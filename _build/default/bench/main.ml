@@ -1,0 +1,457 @@
+(* Benchmark harness reproducing every figure of the paper's evaluation
+   (Section 8: Figures 3-8; the paper has no result tables), plus two
+   extras: a Bechamel steady-state microbenchmark and an ablation study.
+
+   All parameters default to 1/100 of the paper's scale with the tau/m
+   ratio preserved (DESIGN.md, substitution 1), so every run keeps the
+   paper's workload geometry: queries mature around tau/10 timestamps and
+   10% of queries survive to maturity. Use --scale to grow everything
+   proportionally.
+
+   Usage:
+     dune exec bench/main.exe                 # everything, default scale
+     dune exec bench/main.exe -- fig4 --scale 2
+     dune exec bench/main.exe -- micro
+     dune exec bench/main.exe -- --help       # list targets            *)
+
+open Rts_core
+open Rts_workload
+
+let pf = Format.printf
+
+(* ---------------------------------------------------------------- *)
+(* Engine rosters, as in the paper's Section 8 per dimensionality.  *)
+
+let engines_1d : (string * (dim:int -> Engine.t)) list =
+  [
+    ("dt", fun ~dim -> Dt_engine.make ~dim);
+    ("baseline", fun ~dim -> Baseline_engine.make ~dim);
+    ("interval-tree", fun ~dim:_ -> Stab1d_engine.make ());
+  ]
+
+let engines_2d : (string * (dim:int -> Engine.t)) list =
+  [
+    ("dt", fun ~dim -> Dt_engine.make ~dim);
+    ("baseline", fun ~dim -> Baseline_engine.make ~dim);
+    ("seg-intv", fun ~dim:_ -> Stab2d_engine.make ());
+    ("r-tree", fun ~dim -> Rtree_engine.make ~dim);
+  ]
+
+let engines_for dim = if dim = 1 then engines_1d else engines_2d
+
+(* ---------------------------------------------------------------- *)
+(* Output helpers                                                    *)
+
+let hr () = pf "%s@." (String.make 78 '-')
+
+let header title =
+  hr ();
+  pf "%s@." title;
+  hr ()
+
+(* Align several engines' traces on element counts and print a series
+   table with ~rows rows: per-operation cost (us) per engine. *)
+let print_trace_table ~rows (results : Scenario.result list) =
+  match results with
+  | [] -> ()
+  | first :: _ ->
+      pf "@[<h>%-10s %8s" "elements" "alive";
+      List.iter (fun (r : Scenario.result) -> pf " %14s" r.engine_name) results;
+      pf "@]@.";
+      let n = Array.length first.trace in
+      let rows = min rows n in
+      for i = 0 to rows - 1 do
+        let idx = if rows = 1 then 0 else i * (n - 1) / (rows - 1) in
+        let tp = first.trace.(idx) in
+        pf "@[<h>%-10d %8d" tp.Scenario.elements_done tp.Scenario.alive;
+        List.iter
+          (fun (r : Scenario.result) ->
+            if idx < Array.length r.trace then pf " %14.3f" r.trace.(idx).Scenario.avg_us
+            else pf " %14s" "-")
+          results;
+        pf "@]@."
+      done
+
+let print_total_row label (results : Scenario.result list) =
+  pf "@[<h>%-10s" label;
+  List.iter (fun (r : Scenario.result) -> pf " %14.3f" r.total_seconds) results;
+  pf "@]@."
+
+let print_total_header first_col (names : string list) =
+  pf "@[<h>%-10s" first_col;
+  List.iter (fun n -> pf " %14s" n) names;
+  pf "@]@.";
+  pf "@[<h>%-10s" "";
+  List.iter (fun _ -> pf " %14s" "(seconds)") names;
+  pf "@]@."
+
+let run_all cfg dim =
+  List.map
+    (fun (_, factory) ->
+      let r = Scenario.run { cfg with Scenario.dim } factory in
+      pf "  %a@." Scenario.pp_result r;
+      r)
+    (engines_for dim)
+
+(* ---------------------------------------------------------------- *)
+(* Scaled default parameters (paper scale / 100, ratios preserved)   *)
+
+type params = {
+  scale : float;
+  seed : int;
+  m : int; (* paper: 1M *)
+  tau : int; (* paper: 20M *)
+  n_dynamic : int; (* paper: 3M *)
+  horizon : int; (* paper: 2M *)
+}
+
+let params_of ~scale ~seed =
+  let s x = max 1 (int_of_float (float_of_int x *. scale)) in
+  {
+    scale;
+    seed;
+    m = s 10_000;
+    tau = s 200_000;
+    n_dynamic = s 30_000;
+    horizon = s 20_000;
+  }
+
+let base_cfg p =
+  {
+    Scenario.default with
+    Scenario.seed = p.seed;
+    initial_queries = p.m;
+    tau = p.tau;
+    (* static scenarios run until all queries are gone; the cap is a
+       safety net at ~4x the expected maturity time *)
+    max_elements = 4 * (p.tau / 10);
+    chunk = max 64 (p.tau / 10 / 128);
+  }
+
+(* ---------------------------------------------------------------- *)
+(* Figure 3: per-operation cost as a function of time (static)       *)
+
+let fig3 p =
+  List.iter
+    (fun (dim, sub) ->
+      header
+        (Printf.sprintf
+           "Figure 3%s: per-op cost over time (%dD static, m=%d, tau=%d, weighted)" sub dim p.m
+           p.tau);
+      let results = run_all (base_cfg p) dim in
+      pf "@.";
+      print_trace_table ~rows:20 results;
+      pf "@.")
+    [ (1, "a"); (2, "b") ]
+
+(* ---------------------------------------------------------------- *)
+(* Figure 4: total time as a function of m (static)                  *)
+
+let fig4 p =
+  let ms =
+    List.map (fun f -> max 1 (int_of_float (float_of_int p.m *. f))) [ 0.1; 0.25; 0.5; 1.; 2. ]
+  in
+  List.iter
+    (fun (dim, sub) ->
+      header (Printf.sprintf "Figure 4%s: total time vs m (%dD static, tau=%d)" sub dim p.tau);
+      print_total_header "m" (List.map fst (engines_for dim));
+      List.iter
+        (fun m ->
+          let cfg = { (base_cfg p) with Scenario.initial_queries = m } in
+          let results =
+            List.map (fun (_, f) -> Scenario.run { cfg with Scenario.dim } f) (engines_for dim)
+          in
+          print_total_row (string_of_int m) results)
+        ms;
+      pf "@.")
+    [ (1, "a"); (2, "b") ]
+
+(* ---------------------------------------------------------------- *)
+(* Figure 5: total time as a function of tau (static)                *)
+
+let fig5 p =
+  let taus =
+    List.map (fun f -> max 1 (int_of_float (float_of_int p.tau *. f))) [ 0.25; 0.5; 1.; 2.; 4. ]
+  in
+  List.iter
+    (fun (dim, sub) ->
+      header (Printf.sprintf "Figure 5%s: total time vs tau (%dD static, m=%d)" sub dim p.m);
+      print_total_header "tau" (List.map fst (engines_for dim));
+      List.iter
+        (fun tau ->
+          let cfg = { (base_cfg p) with Scenario.tau; max_elements = 4 * (tau / 10) } in
+          let results =
+            List.map (fun (_, f) -> Scenario.run { cfg with Scenario.dim } f) (engines_for dim)
+          in
+          print_total_row (string_of_int tau) results)
+        taus;
+      pf "@.")
+    [ (1, "a"); (2, "b") ]
+
+(* ---------------------------------------------------------------- *)
+(* Figure 6: per-op cost over time (dynamic, stochastic p_ins=0.3)   *)
+
+let dynamic_cfg p mode =
+  {
+    (base_cfg p) with
+    Scenario.mode;
+    max_elements = p.n_dynamic;
+    chunk = max 64 (p.n_dynamic / 128);
+  }
+
+let fig6 p =
+  List.iter
+    (fun (dim, sub) ->
+      header
+        (Printf.sprintf
+           "Figure 6%s: per-op cost over time (%dD dynamic stochastic, p_ins=0.3, m0=%d, n=%d)"
+           sub dim p.m p.n_dynamic);
+      let cfg = dynamic_cfg p (Scenario.Stochastic { p_ins = 0.3; horizon = p.horizon }) in
+      let results = run_all cfg dim in
+      pf "@.";
+      print_trace_table ~rows:20 results;
+      pf "@.")
+    [ (1, "a"); (2, "b") ]
+
+(* ---------------------------------------------------------------- *)
+(* Figure 7: total time as a function of p_ins                       *)
+
+let fig7 p =
+  let ps = [ 0.1; 0.2; 0.3; 0.4; 0.5 ] in
+  List.iter
+    (fun (dim, sub) ->
+      header
+        (Printf.sprintf "Figure 7%s: total time vs p_ins (%dD dynamic stochastic, n=%d)" sub dim
+           p.n_dynamic);
+      print_total_header "p_ins" (List.map fst (engines_for dim));
+      List.iter
+        (fun p_ins ->
+          let cfg = dynamic_cfg p (Scenario.Stochastic { p_ins; horizon = p.horizon }) in
+          let results =
+            List.map (fun (_, f) -> Scenario.run { cfg with Scenario.dim } f) (engines_for dim)
+          in
+          print_total_row (Printf.sprintf "%.1f" p_ins) results)
+        ps;
+      pf "@.")
+    [ (1, "a"); (2, "b") ]
+
+(* ---------------------------------------------------------------- *)
+(* Figure 8: per-op cost over time (dynamic, fixed load)             *)
+
+let fig8 p =
+  List.iter
+    (fun (dim, sub) ->
+      header
+        (Printf.sprintf "Figure 8%s: per-op cost over time (%dD dynamic fixed-load, m=%d, n=%d)"
+           sub dim p.m p.n_dynamic);
+      let cfg = dynamic_cfg p Scenario.Fixed_load in
+      let results = run_all cfg dim in
+      pf "@.";
+      print_trace_table ~rows:20 results;
+      pf "@.")
+    [ (1, "a"); (2, "b") ]
+
+(* ---------------------------------------------------------------- *)
+(* Extra: the "any constant d" claim — d = 3 comparison              *)
+
+let engines_3d : (string * (dim:int -> Engine.t)) list =
+  [
+    ("dt", fun ~dim -> Dt_engine.make ~dim);
+    ("baseline", fun ~dim -> Baseline_engine.make ~dim);
+    ("r-tree", fun ~dim -> Rtree_engine.make ~dim);
+  ]
+
+let dims p =
+  header
+    (Printf.sprintf
+       "Extra: dimensionality sweep (static, m=%d, tau=%d) — Theorem 1 holds for any constant d"
+       (p.m / 2) p.tau);
+  let cfg = { (base_cfg p) with Scenario.initial_queries = p.m / 2 } in
+  print_total_header "d" (List.map fst engines_3d);
+  List.iter
+    (fun dim ->
+      let results = List.map (fun (_, f) -> Scenario.run { cfg with Scenario.dim } f) engines_3d in
+      print_total_row (string_of_int dim) results)
+    [ 1; 2; 3 ];
+  pf "@."
+
+(* ---------------------------------------------------------------- *)
+(* Extra: counting RTS (Section 4's unweighted special case)         *)
+
+let counting p =
+  (* With unit weights the expected per-timestamp gain is 1 instead of
+     100, so tau shrinks by 100x to keep maturity at the same stream
+     position. *)
+  let tau = max 1 (p.tau / 100) in
+  header
+    (Printf.sprintf "Extra: counting RTS (unit weights, 1D static, m=%d, tau=%d)" p.m tau);
+  let cfg =
+    { (base_cfg p) with Scenario.tau; unit_weights = true; max_elements = 4 * tau * 10 }
+  in
+  let results = run_all cfg 1 in
+  pf "@.";
+  print_trace_table ~rows:12 results;
+  pf "@."
+
+(* ---------------------------------------------------------------- *)
+(* Extra: robustness to non-uniform element distributions            *)
+
+let robust p =
+  header
+    (Printf.sprintf
+       "Extra: element-distribution robustness (1D static, m=%d, tau=%d) — beyond the paper's \
+        uniform setup"
+       p.m p.tau);
+  print_total_header "dist" (List.map fst engines_1d);
+  List.iter
+    (fun (name, dist) ->
+      let cfg = { (base_cfg p) with Scenario.value_dist = dist } in
+      let results = List.map (fun (_, f) -> Scenario.run { cfg with Scenario.dim = 1 } f) engines_1d in
+      print_total_row name results)
+    [
+      ("uniform", Generator.Uniform);
+      ("zipf-0.8", Generator.Zipf 0.8);
+      ("zipf-1.2", Generator.Zipf 1.2);
+      ("clust-5", Generator.Clustered 5);
+    ];
+  pf "@."
+
+(* ---------------------------------------------------------------- *)
+(* Extra: Bechamel steady-state per-element microbenchmark           *)
+
+let micro p =
+  let m = max 1 (p.m / 10) in
+  header
+    (Printf.sprintf
+       "Micro: steady-state per-element cost (Bechamel OLS, m=%d alive queries, no maturity)" m);
+  let mk_test name dim (factory : dim:int -> Engine.t) =
+    let gen = Generator.create ~dim ~seed:p.seed () in
+    let engine = factory ~dim in
+    for id = 0 to m - 1 do
+      engine.Engine.register (Generator.query gen ~id ~threshold:max_int)
+    done;
+    let elems = Array.init 4096 (fun _ -> Generator.element gen) in
+    let i = ref 0 in
+    Bechamel.Test.make
+      ~name:(Printf.sprintf "%s/%dd" name dim)
+      (Bechamel.Staged.stage (fun () ->
+           incr i;
+           ignore (engine.Engine.process elems.(!i land 4095))))
+  in
+  let tests =
+    List.concat_map
+      (fun dim -> List.map (fun (name, f) -> mk_test name dim f) (engines_for dim))
+      [ 1; 2 ]
+  in
+  let open Bechamel in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw =
+    Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] (Test.make_grouped ~name:"micro" tests)
+  in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let res = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) res [] in
+  pf "@[<h>%-28s %14s %10s@]@." "engine" "ns/element" "r^2";
+  List.iter
+    (fun (name, o) ->
+      let est = match Analyze.OLS.estimates o with Some (e :: _) -> e | _ -> nan in
+      let r2 = match Analyze.OLS.r_square o with Some r -> r | None -> nan in
+      pf "@[<h>%-28s %14.1f %10.4f@]@." name est r2)
+    (List.sort compare rows);
+  pf "@."
+
+(* ---------------------------------------------------------------- *)
+(* Extra: ablation — DT slack rounds vs eager signalling, plus the   *)
+(* internal telemetry behind the O(h log tau) analysis.              *)
+
+let ablation p =
+  header "Ablation: DT slack rounds vs eager per-change signalling (1D static)";
+  let cfg = base_cfg p in
+  let run name factory =
+    let engine_ref = ref None in
+    let r =
+      Scenario.run cfg (fun ~dim ->
+          let t = factory ~dim in
+          engine_ref := Some t;
+          Dt_engine.engine t)
+    in
+    let t = Option.get !engine_ref in
+    let st = Dt_engine.stats t in
+    pf
+      "@[<h>%-10s total=%.3fs signals=%d round-ends=%d heap-ops=%d counter-updates=%d \
+       rebuilds=%d@]@."
+      name r.Scenario.total_seconds st.Endpoint_tree.signals st.round_ends st.heap_ops
+      st.node_updates (Dt_engine.rebuild_count t);
+    (r, st)
+  in
+  let r_dt, st_dt = run "dt" (fun ~dim -> Dt_engine.create ~dim ()) in
+  let r_eager, st_eager = run "dt-eager" (fun ~dim -> Dt_engine.create ~eager:true ~dim ()) in
+  pf "@.";
+  pf "Slack rounds cut signals by %.1fx and total time by %.2fx.@."
+    (float_of_int st_eager.Endpoint_tree.signals
+    /. float_of_int (max 1 st_dt.Endpoint_tree.signals))
+    (r_eager.Scenario.total_seconds /. r_dt.Scenario.total_seconds);
+  pf
+    "The O(h log tau) analysis predicts ~m*h*log2(tau) = %.2e signal budget; measured %d \
+     (weighted workload, m=%d, tau=%d).@."
+    (let log2 x = log (float_of_int x) /. log 2. in
+     float_of_int p.m *. 2. *. (log2 (2 * p.m) +. 1.) *. (log2 p.tau +. 2.))
+    st_dt.Endpoint_tree.signals p.m p.tau;
+  pf "@."
+
+(* ---------------------------------------------------------------- *)
+(* Command line                                                      *)
+
+open Cmdliner
+
+let scale_arg =
+  let doc = "Multiply every workload parameter (m, tau, n) by this factor. 1.0 = paper/100." in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"FACTOR" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed for the workload." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let with_params f scale seed = f (params_of ~scale ~seed)
+
+let cmd name doc f = Cmd.v (Cmd.info name ~doc) Term.(const (with_params f) $ scale_arg $ seed_arg)
+
+let all_figs p =
+  fig3 p;
+  fig4 p;
+  fig5 p;
+  fig6 p;
+  fig7 p;
+  fig8 p;
+  dims p;
+  counting p;
+  robust p;
+  micro p;
+  ablation p
+
+let default_term = Term.(const (with_params all_figs) $ scale_arg $ seed_arg)
+
+let () =
+  let info =
+    Cmd.info "rts-bench"
+      ~doc:
+        "Regenerate the evaluation of 'Range Thresholding on Streams' (SIGMOD'16): one target \
+         per paper figure, plus a Bechamel microbenchmark and an ablation study."
+  in
+  let cmds =
+    [
+      cmd "fig3" "Per-op cost over time, static scenario (Figures 3a/3b)" fig3;
+      cmd "fig4" "Total time vs number of queries m (Figures 4a/4b)" fig4;
+      cmd "fig5" "Total time vs threshold tau (Figures 5a/5b)" fig5;
+      cmd "fig6" "Per-op cost over time, stochastic insertions (Figure 6)" fig6;
+      cmd "fig7" "Total time vs insertion probability p_ins (Figure 7)" fig7;
+      cmd "fig8" "Per-op cost over time, fixed-load insertions (Figure 8)" fig8;
+      cmd "dims" "Dimensionality sweep d = 1..3 (Theorem 1 extension)" dims;
+      cmd "counting" "Counting RTS: the unweighted special case (Section 4)" counting;
+      cmd "robust" "Non-uniform element distributions (Zipf, clustered)" robust;
+      cmd "micro" "Bechamel steady-state per-element microbenchmark" micro;
+      cmd "ablation" "DT slack rounds vs eager signalling" ablation;
+      cmd "all" "Everything (default)" all_figs;
+    ]
+  in
+  exit (Cmd.eval (Cmd.group ~default:default_term info cmds))

@@ -1,0 +1,259 @@
+(* rts-cli: command-line front end for the RTS library.
+
+   Three subcommands compose into a small streaming pipeline:
+
+     rts-cli generate --dim 1 --count 100000        # synthetic stream to stdout
+     rts-cli run --queries alerts.csv               # stream on stdin, alerts out
+     rts-cli demo --mode fixed-load --engine dt     # run a paper scenario
+
+   File formats (CSV, '#' comments allowed):
+     queries  : id,threshold,lo1,hi1[,lo2,hi2,...]
+     elements : v1[,v2,...],weight                                        *)
+
+open Rts_core
+open Rts_workload
+open Cmdliner
+
+(* ---------------- shared helpers ---------------- *)
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Failure s)) fmt
+
+let engine_conv =
+  let parse = function
+    | "dt" -> Ok `Dt
+    | "dt-eager" -> Ok `Dt_eager
+    | "baseline" -> Ok `Baseline
+    | "interval-tree" -> Ok `Interval_tree
+    | "seg-intv" -> Ok `Seg_intv
+    | "r-tree" -> Ok `Rtree
+    | s -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
+  in
+  let print ppf e =
+    Format.pp_print_string ppf
+      (match e with
+      | `Dt -> "dt"
+      | `Dt_eager -> "dt-eager"
+      | `Baseline -> "baseline"
+      | `Interval_tree -> "interval-tree"
+      | `Seg_intv -> "seg-intv"
+      | `Rtree -> "r-tree")
+  in
+  Arg.conv (parse, print)
+
+let make_engine kind ~dim =
+  match kind with
+  | `Dt -> Dt_engine.make ~dim
+  | `Dt_eager -> Dt_engine.make_eager ~dim
+  | `Baseline -> Baseline_engine.make ~dim
+  | `Interval_tree ->
+      if dim <> 1 then fail "interval-tree engine is 1D only";
+      Stab1d_engine.make ()
+  | `Seg_intv ->
+      if dim <> 2 then fail "seg-intv engine is 2D only";
+      Stab2d_engine.make ()
+  | `Rtree -> Rtree_engine.make ~dim
+
+let engine_arg =
+  let doc = "Engine: dt (the paper's algorithm), dt-eager, baseline, interval-tree, seg-intv, r-tree." in
+  Arg.(value & opt engine_conv `Dt & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+let dim_arg =
+  let doc = "Dimensionality of the data space." in
+  Arg.(value & opt int 1 & info [ "dim" ] ~docv:"D" ~doc)
+
+let seed_arg =
+  let doc = "PRNG seed." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+(* ---------------- run ---------------- *)
+
+let run_cmd engine_kind dim closed queries_file quiet =
+  let engine = make_engine engine_kind ~dim in
+  let ic = open_in queries_file in
+  let queries =
+    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Csv_io.read_queries ~dim ~closed ic)
+  in
+  engine.Engine.register_batch queries;
+  Printf.eprintf "rts-cli: engine=%s dim=%d queries=%d; reading elements from stdin\n%!"
+    engine.Engine.name dim (List.length queries);
+  let alerts, elements =
+    Csv_io.fold_elements ~dim
+      (fun ~elt ~line_no (alerts, _) ->
+        let matured = engine.Engine.process elt in
+        List.iter
+          (fun id -> if not quiet then Printf.printf "ALERT\t%d\t%d\n%!" line_no id)
+          matured;
+        (alerts + List.length matured, line_no))
+      (0, 0) stdin
+  in
+  Printf.eprintf "rts-cli: %d elements, %d alerts, %d queries still live\n%!" elements alerts
+    (engine.Engine.alive ());
+  0
+
+(* ---------------- generate ---------------- *)
+
+let generate_cmd dim seed count unit_weights =
+  let gen = Generator.create ~dim ~seed ~unit_weights () in
+  for _ = 1 to count do
+    print_endline (Csv_io.element_to_line (Generator.element gen))
+  done;
+  0
+
+let genqueries_cmd dim seed count tau =
+  let gen = Generator.create ~dim ~seed () in
+  for id = 0 to count - 1 do
+    print_endline (Csv_io.query_to_line (Generator.query gen ~id ~threshold:tau))
+  done;
+  0
+
+(* ---------------- record / replay ---------------- *)
+
+let replay_cmd engine_kind dim quiet =
+  let engine = make_engine engine_kind ~dim in
+  let outcome = Replay.replay ~dim engine stdin in
+  if not quiet then
+    List.iter
+      (fun (ordinal, id) -> Printf.printf "ALERT\t%d\t%d\n" ordinal id)
+      outcome.Replay.maturities;
+  Printf.eprintf "rts-cli: replayed %d elements, %d registrations, %d terminations, %d alerts\n%!"
+    outcome.Replay.elements outcome.Replay.registered outcome.Replay.terminated
+    (List.length outcome.Replay.maturities);
+  0
+
+(* ---------------- demo ---------------- *)
+
+let mode_conv =
+  let parse = function
+    | "static" -> Ok `Static
+    | "stochastic" -> Ok `Stochastic
+    | "fixed-load" -> Ok `Fixed_load
+    | s -> Error (`Msg (Printf.sprintf "unknown mode %S" s))
+  in
+  let print ppf m =
+    Format.pp_print_string ppf
+      (match m with `Static -> "static" | `Stochastic -> "stochastic" | `Fixed_load -> "fixed-load")
+  in
+  Arg.conv (parse, print)
+
+let scenario_mode mode n p_ins =
+  match mode with
+  | `Static -> Scenario.Static
+  | `Stochastic -> Scenario.Stochastic { p_ins; horizon = 2 * n / 3 }
+  | `Fixed_load -> Scenario.Fixed_load
+
+let record_cmd dim seed m tau n mode p_ins =
+  (* Run a paper scenario against the baseline engine, recording the exact
+     op stream to stdout for later replay against any engine. *)
+  let cfg =
+    {
+      Scenario.default with
+      Scenario.dim;
+      seed;
+      initial_queries = m;
+      tau;
+      mode = scenario_mode mode n p_ins;
+      max_elements = n;
+      chunk = max 64 (n / 64);
+    }
+  in
+  let r =
+    Scenario.run cfg (fun ~dim -> Replay.record_to_channel stdout (Baseline_engine.make ~dim))
+  in
+  Printf.eprintf "rts-cli: recorded %d elements, %d registrations, %d terminations\n%!"
+    r.Scenario.elements r.Scenario.registered r.Scenario.terminated;
+  0
+
+let demo_cmd engine_kind dim seed m tau n mode p_ins =
+  let mode = scenario_mode mode n p_ins in
+  let cfg =
+    {
+      Scenario.default with
+      Scenario.dim;
+      seed;
+      initial_queries = m;
+      tau;
+      mode;
+      max_elements = n;
+      chunk = max 64 (n / 64);
+    }
+  in
+  let r = Scenario.run cfg (fun ~dim -> make_engine engine_kind ~dim) in
+  Format.printf "%a@." Scenario.pp_result r;
+  Format.printf "trace (elements, alive, us/op):@.";
+  Array.iteri
+    (fun i tp ->
+      if i mod (max 1 (Array.length r.trace / 16)) = 0 then
+        Format.printf "  %8d %8d %10.3f@." tp.Scenario.elements_done tp.Scenario.alive
+          tp.Scenario.avg_us)
+    r.Scenario.trace;
+  0
+
+(* ---------------- wiring ---------------- *)
+
+let run_term =
+  let queries_file =
+    Arg.(required & opt (some file) None & info [ "queries" ] ~docv:"FILE" ~doc:"Query CSV file.")
+  in
+  let closed =
+    Arg.(value & flag & info [ "closed" ] ~doc:"Treat query upper bounds as inclusive.")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-alert output.") in
+  Term.(const run_cmd $ engine_arg $ dim_arg $ closed $ queries_file $ quiet)
+
+let generate_term =
+  let count =
+    Arg.(value & opt int 100_000 & info [ "count" ] ~docv:"N" ~doc:"Number of elements.")
+  in
+  let unit_weights = Arg.(value & flag & info [ "unit-weights" ] ~doc:"All weights 1.") in
+  Term.(const generate_cmd $ dim_arg $ seed_arg $ count $ unit_weights)
+
+let genqueries_term =
+  let count =
+    Arg.(value & opt int 1_000 & info [ "count" ] ~docv:"M" ~doc:"Number of queries.")
+  in
+  let tau = Arg.(value & opt int 200_000 & info [ "tau" ] ~docv:"TAU" ~doc:"Threshold.") in
+  Term.(const genqueries_cmd $ dim_arg $ seed_arg $ count $ tau)
+
+let replay_term =
+  let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-alert output.") in
+  Term.(const replay_cmd $ engine_arg $ dim_arg $ quiet)
+
+let demo_term =
+  let m = Arg.(value & opt int 10_000 & info [ "m" ] ~docv:"M" ~doc:"Initial queries.") in
+  let tau = Arg.(value & opt int 200_000 & info [ "tau" ] ~docv:"TAU" ~doc:"Threshold.") in
+  let n = Arg.(value & opt int 30_000 & info [ "n" ] ~docv:"N" ~doc:"Stream length cap.") in
+  let mode =
+    Arg.(value & opt mode_conv `Static & info [ "mode" ] ~docv:"MODE" ~doc:"static | stochastic | fixed-load.")
+  in
+  let p_ins =
+    Arg.(value & opt float 0.3 & info [ "p-ins" ] ~docv:"P" ~doc:"Stochastic insertion probability.")
+  in
+  Term.(const demo_cmd $ engine_arg $ dim_arg $ seed_arg $ m $ tau $ n $ mode $ p_ins)
+
+let record_term =
+  let m = Arg.(value & opt int 1_000 & info [ "m" ] ~docv:"M" ~doc:"Initial queries.") in
+  let tau = Arg.(value & opt int 20_000 & info [ "tau" ] ~docv:"TAU" ~doc:"Threshold.") in
+  let n = Arg.(value & opt int 10_000 & info [ "n" ] ~docv:"N" ~doc:"Stream length cap.") in
+  let mode =
+    Arg.(value & opt mode_conv `Static & info [ "mode" ] ~docv:"MODE" ~doc:"static | stochastic | fixed-load.")
+  in
+  let p_ins =
+    Arg.(value & opt float 0.3 & info [ "p-ins" ] ~docv:"P" ~doc:"Stochastic insertion probability.")
+  in
+  Term.(const record_cmd $ dim_arg $ seed_arg $ m $ tau $ n $ mode $ p_ins)
+
+let () =
+  let info =
+    Cmd.info "rts-cli" ~doc:"Range thresholding on streams: run triggers over CSV streams."
+  in
+  let cmds =
+    [
+      Cmd.v (Cmd.info "run" ~doc:"Register queries from a file; stream elements from stdin.") run_term;
+      Cmd.v (Cmd.info "generate" ~doc:"Emit a synthetic element stream (paper Section 8).") generate_term;
+      Cmd.v (Cmd.info "genqueries" ~doc:"Emit a synthetic query file (paper Section 8).") genqueries_term;
+      Cmd.v (Cmd.info "demo" ~doc:"Run a paper scenario end to end and print its trace.") demo_term;
+      Cmd.v (Cmd.info "record" ~doc:"Record a scenario's exact op stream (R/T/E lines) to stdout.") record_term;
+      Cmd.v (Cmd.info "replay" ~doc:"Replay a recorded op stream from stdin against an engine.") replay_term;
+    ]
+  in
+  exit (Cmd.eval' (Cmd.group info cmds))

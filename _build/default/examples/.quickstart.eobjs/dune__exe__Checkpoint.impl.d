@@ -1,0 +1,1 @@
+examples/checkpoint.ml: List Printf Rts_core Rts_util String

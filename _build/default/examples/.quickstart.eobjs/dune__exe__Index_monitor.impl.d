@@ -1,0 +1,1 @@
+examples/index_monitor.ml: Float List Printf Rts_core Rts_util

@@ -1,0 +1,1 @@
+examples/pubsub.ml: Float Printf Rts_core Rts_structures Rts_util

@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Option Printf Rts_core

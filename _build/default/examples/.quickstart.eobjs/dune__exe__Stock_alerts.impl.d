@@ -1,0 +1,1 @@
+examples/stock_alerts.ml: Array Baseline_engine Float List Printf Rts_core Rts_util Types

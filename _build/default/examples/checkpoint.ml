@@ -1,0 +1,70 @@
+(* Checkpoint and resume — operational persistence for long-lived monitors.
+
+   A production trigger service cannot lose subscription progress on
+   restart. This example runs a monitor halfway through a stream, takes a
+   snapshot (a plain printable string), "crashes", restores a new monitor
+   from the snapshot, and shows that the restored monitor fires the exact
+   same alerts at the exact same stream positions as an uninterrupted one.
+
+     dune exec examples/checkpoint.exe                                    *)
+
+module Rts = Rts_core.Rts
+module Prng = Rts_util.Prng
+
+let () =
+  let rng = Prng.create ~seed:99 in
+  let mk_monitor () =
+    let m = Rts.create ~dim:1 () in
+    for i = 0 to 199 do
+      let lo = float_of_int (Prng.int (Prng.create ~seed:i) 900) in
+      ignore
+        (Rts.subscribe m
+           ~label:(Printf.sprintf "zone-%03d" i)
+           (Rts.interval ~lo ~hi:(lo +. 100.))
+           ~threshold:26_000)
+    done;
+    m
+  in
+  let uninterrupted = mk_monitor () in
+  let service = mk_monitor () in
+
+  let element () =
+    (Prng.float rng 1000., 1 + Prng.int rng 100)
+  in
+
+  (* Phase 1: both monitors see the same first half of the stream. *)
+  let alerts_a = ref [] and alerts_b = ref [] in
+  for tick = 1 to 5_000 do
+    let x, w = element () in
+    List.iter (fun s -> alerts_a := (tick, Rts.id s) :: !alerts_a)
+      (Rts.feed uninterrupted ~weight:w [| x |]);
+    List.iter (fun s -> alerts_b := (tick, Rts.id s) :: !alerts_b)
+      (Rts.feed service ~weight:w [| x |])
+  done;
+  Printf.printf "phase 1: %d alerts from both monitors\n" (List.length !alerts_a);
+
+  (* Checkpoint the service and "crash" it. *)
+  let snapshot = Rts.snapshot service in
+  Printf.printf "checkpoint: %d live subscriptions serialized to %d bytes\n"
+    (Rts.live_count service) (String.length snapshot);
+  let restored =
+    Rts.restore ~on_mature:(fun s -> Printf.printf "  restored monitor fired: %s\n" (Rts.describe s))
+      snapshot
+  in
+  Printf.printf "restored: %d subscriptions live again\n\n" (Rts.live_count restored);
+
+  (* Phase 2: the uninterrupted monitor and the restored one see the same
+     second half; alerts must coincide exactly. *)
+  let mismatches = ref 0 and fired = ref 0 in
+  for tick = 5_001 to 10_000 do
+    let x, w = element () in
+    let a = List.map Rts.id (Rts.feed uninterrupted ~weight:w [| x |]) in
+    let b = List.map Rts.id (Rts.feed restored ~weight:w [| x |]) in
+    if a <> b then incr mismatches;
+    fired := !fired + List.length a;
+    ignore tick
+  done;
+  Printf.printf "\nphase 2: %d more alerts; %d mismatches between uninterrupted and restored\n"
+    !fired !mismatches;
+  assert (!mismatches = 0);
+  Printf.printf "resume was exact: restart lost nothing.\n"

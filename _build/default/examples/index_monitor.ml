@@ -1,0 +1,71 @@
+(* Two-dimensional triggers — the paper's second introductory example.
+
+   "Alert me when 100,000 shares of AAPL have been sold by transactions e
+    satisfying: the selling price of e is in [100, 105], AND when e takes
+    place the NASDAQ index is at 4,600 or lower."
+
+   Each stream element is the point (price, nasdaq) with weight = shares;
+   each trigger is a rectangle — here [100,105] x (-inf, 4600] — which the
+   engine handles natively: one-sided ranges are rectangles with infinite
+   bounds. We lay a grid of such conditioned triggers over the
+   (price, index) plane and stream a correlated simulation through them.
+
+     dune exec examples/index_monitor.exe                                 *)
+
+module Rts = Rts_core.Rts
+module Prng = Rts_util.Prng
+
+let () =
+  let rng = Prng.create ~seed:11 in
+  let monitor = Rts.create ~dim:2 () in
+
+  (* The verbatim query from the paper's introduction. *)
+  let paper_query =
+    Rts.subscribe monitor ~label:"paper: [100,105] x (-inf,4600]"
+      ~on_mature:(fun s -> Printf.printf ">>> %s\n" (Rts.describe s))
+      (Rts.box [| (100., 105.); (neg_infinity, 4600.) |])
+      ~threshold:100_000
+  in
+
+  (* A sheet of conditioned triggers: price bands crossed with index
+     regimes ("only count volume while the market is depressed/elevated"). *)
+  let regimes = [ ("bear", neg_infinity, 4500.); ("flat", 4450., 4750.); ("bull", 4700., infinity) ] in
+  List.iter
+    (fun (regime, ilo, ihi) ->
+      for band = 0 to 19 do
+        let plo = 95. +. float_of_int band in
+        ignore
+          (Rts.subscribe monitor
+             ~label:(Printf.sprintf "%s: price [%.0f,%.0f]" regime plo (plo +. 2.))
+             ~on_mature:(fun s -> Printf.printf "    alert: %s\n" (Rts.describe s))
+             (Rts.box [| (plo, plo +. 2.); (ilo, ihi) |])
+             ~threshold:400_000)
+      done)
+    regimes;
+  Printf.printf "monitoring %d two-dimensional triggers\n\n" (Rts.live_count monitor);
+
+  (* Correlated simulation: the index drifts; price follows the index with
+     idiosyncratic noise; volume spikes when the index falls fast. *)
+  let index = ref 4650. and price = ref 104. and momentum = ref 0. in
+  for tick = 1 to 300_000 do
+    momentum := (0.995 *. !momentum) +. Prng.gaussian rng ~mean:0. ~stddev:0.15;
+    index := Float.max 4300. (Float.min 5000. (!index +. !momentum));
+    let coupling = (!index -. 4650.) *. 0.002 in
+    price :=
+      Float.max 90. (Float.min 120. (!price +. coupling +. Prng.gaussian rng ~mean:0. ~stddev:0.04));
+    let panic = if !momentum < -0.3 then 3. else 1. in
+    let shares = max 1 (int_of_float (panic *. exp (Prng.gaussian rng ~mean:5.0 ~stddev:0.7))) in
+    let matured = Rts.feed monitor ~weight:shares [| !price; !index |] in
+    List.iter
+      (fun s ->
+        if Rts.id s = Rts.id paper_query then
+          Printf.printf "(fired at tick %d, index %.0f, price %.2f)\n" tick !index !price)
+      matured
+  done;
+
+  Printf.printf "\nend of stream: %d alerts fired, %d still live\n" (Rts.matured_count monitor)
+    (Rts.live_count monitor);
+  if Rts.status paper_query = `Live then
+    Printf.printf "the paper's query accumulated %d of %d shares\n"
+      (Rts.progress monitor paper_query)
+      (Rts.threshold paper_query)

@@ -1,0 +1,78 @@
+(* Publish/subscribe churn — RTS as a subscription trigger (Section 3.3).
+
+   A pub/sub system carries a firehose of items, each scored along one
+   dimension (say, a relevance score). Users subscribe to "tell me when
+   enough traffic lands in my score range"; subscriptions arrive and are
+   cancelled continuously — the paper's Scenario 2 dynamism. This example
+   drives the engine with a fixed load of live subscriptions (every
+   departure replaced immediately) and prints a running summary, showing
+   the REGISTER / TERMINATE path of the logarithmic method at work.
+
+     dune exec examples/pubsub.exe                                        *)
+
+module Rts = Rts_core.Rts
+module Prng = Rts_util.Prng
+module Handle_heap = Rts_structures.Handle_heap
+
+let live_target = 2_000
+
+let ticks = 150_000
+
+let () =
+  let rng = Prng.create ~seed:23 in
+  let monitor = Rts.create ~dim:1 () in
+  (* expiry queue: subscriptions auto-cancel after a random TTL *)
+  let expiries = Handle_heap.create ~leq:(fun (a, _) (b, _) -> a <= b) () in
+  let fired = ref 0 and cancelled = ref 0 and created = ref 0 in
+
+  let new_subscription now =
+    (* score ranges cluster around "interesting" scores, as user interests do *)
+    let center = Float.min 99. (Float.max 1. (Prng.gaussian rng ~mean:50. ~stddev:20.)) in
+    let width = 2. +. Prng.float rng 10. in
+    let lo = Float.max 0. (center -. width) and hi = Float.min 100. (center +. width) in
+    let threshold = 5_000 * (1 + Prng.int rng 20) in
+    let s =
+      Rts.subscribe monitor
+        ~label:(Printf.sprintf "scores [%.1f, %.1f]" lo hi)
+        ~on_mature:(fun _ -> incr fired)
+        (Rts.interval ~lo ~hi) ~threshold
+    in
+    incr created;
+    let ttl = 2_000 + Prng.int rng 40_000 in
+    ignore (Handle_heap.push expiries (now + ttl, s))
+  in
+
+  for _ = 1 to live_target do
+    new_subscription 0
+  done;
+
+  for now = 1 to ticks do
+    (* expire due subscriptions (they may have matured already) *)
+    let rec expire () =
+      match Handle_heap.peek expiries with
+      | Some (t, s) when t <= now ->
+          ignore (Handle_heap.pop expiries);
+          if Rts.status s = `Live then begin
+            Rts.cancel monitor s;
+            incr cancelled
+          end;
+          expire ()
+      | _ -> ()
+    in
+    expire ();
+    (* one published item: score skewed toward the hot center *)
+    let score = Float.min 100. (Float.max 0. (Prng.gaussian rng ~mean:50. ~stddev:25.)) in
+    let weight = 1 + Prng.int rng 100 in
+    ignore (Rts.feed monitor ~weight [| score |]);
+    (* fixed load: replace departures immediately *)
+    while Rts.live_count monitor < live_target do
+      new_subscription now
+    done;
+    if now mod 25_000 = 0 then
+      Printf.printf "tick %6d: %d live, %d created, %d fired, %d cancelled\n%!" now
+        (Rts.live_count monitor) !created !fired !cancelled
+  done;
+
+  Printf.printf "\nfinal: %d subscriptions served (%d fired, %d cancelled, %d live)\n" !created
+    !fired !cancelled (Rts.live_count monitor);
+  assert (!created = !fired + !cancelled + Rts.live_count monitor)

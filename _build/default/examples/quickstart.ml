@@ -1,0 +1,43 @@
+(* Quickstart: the smallest possible RTS program.
+
+   Register a couple of 1D range-threshold triggers, feed a handful of
+   weighted stream elements, and watch the alerts fire exactly when the
+   accumulated weight in the range crosses the threshold.
+
+     dune exec examples/quickstart.exe                                   *)
+
+module Rts = Rts_core.Rts
+
+let () =
+  let monitor = Rts.create ~dim:1 () in
+
+  (* "Alert me when 250 units have landed in [10, 20]." *)
+  let a =
+    Rts.subscribe monitor ~label:"hot range [10,20]"
+      ~on_mature:(fun s -> Printf.printf ">>> ALERT: %s\n" (Rts.describe s))
+      (Rts.interval ~lo:10. ~hi:20.)
+      ~threshold:250
+  in
+  (* A second, overlapping trigger with a smaller threshold. *)
+  let b =
+    Rts.subscribe monitor ~label:"warm range [15,30]"
+      ~on_mature:(fun s -> Printf.printf ">>> ALERT: %s\n" (Rts.describe s))
+      (Rts.interval ~lo:15. ~hi:30.)
+      ~threshold:100
+  in
+
+  let stream = [ (12., 80); (25., 60); (18., 90); (5., 500); (16., 70); (11., 40) ] in
+  List.iter
+    (fun (value, weight) ->
+      Printf.printf "element value=%.0f weight=%d\n" value weight;
+      let matured = Rts.feed monitor ~weight [| value |] in
+      if matured = [] then
+        Printf.printf "    progress: %s=%d/%d  %s=%d/%d\n"
+          (Option.get (Rts.label a)) (Rts.progress monitor a) (Rts.threshold a)
+          (Option.get (Rts.label b))
+          (if Rts.status b = `Live then Rts.progress monitor b else Rts.threshold b)
+          (Rts.threshold b))
+    stream;
+
+  Printf.printf "done: %d alert(s) fired, %d trigger(s) still live\n"
+    (Rts.matured_count monitor) (Rts.live_count monitor)

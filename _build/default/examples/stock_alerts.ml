@@ -1,0 +1,94 @@
+(* Stock alerts — the paper's motivating scenario (Section 1).
+
+   A fund manager watches trading volume inside sensitive price bands:
+
+     "Alert me when 100,000 shares of AAPL have been sold in the price
+      range [100, 105] from now."
+
+   We simulate a day of AAPL trades (price = mean-reverting random walk,
+   trade size = rounded log-normal), register a few hundred such band
+   triggers, and stream the trades through the paper's DT engine. At the
+   end we replay the same day against the naive baseline to show both that
+   the alerts agree exactly and how the processing costs compare.
+
+     dune exec examples/stock_alerts.exe                                  *)
+
+module Rts = Rts_core.Rts
+module Prng = Rts_util.Prng
+module Timer = Rts_util.Timer
+open Rts_core
+
+type trade = { price : float; shares : int }
+
+let simulate_day rng ~trades =
+  let price = ref 102.5 in
+  Array.init trades (fun _ ->
+      (* mean-reverting walk around 102.5 with occasional jumps *)
+      let pull = (102.5 -. !price) *. 0.001 in
+      let noise = Prng.gaussian rng ~mean:0. ~stddev:0.05 in
+      let jump = if Prng.bernoulli rng 0.001 then Prng.gaussian rng ~mean:0. ~stddev:1.5 else 0. in
+      price := Float.max 80. (Float.min 125. (!price +. pull +. noise +. jump));
+      let shares =
+        let z = Prng.gaussian rng ~mean:5.5 ~stddev:0.8 in
+        max 1 (int_of_float (exp z))
+      in
+      { price = !price; shares })
+
+(* Price bands of interest: $2-wide bands laid over [90, 115], at several
+   volume thresholds — the kind of alert sheet a trading desk maintains. *)
+let band_specs =
+  List.concat_map
+    (fun threshold ->
+      List.init 50 (fun i ->
+          let lo = 90. +. (0.5 *. float_of_int i) in
+          (lo, lo +. 2., threshold)))
+    [ 100_000; 250_000; 500_000 ]
+
+let () =
+  let rng = Prng.create ~seed:7 in
+  let trades = simulate_day rng ~trades:200_000 in
+  Printf.printf "simulated %d trades, %.1fM shares total\n" (Array.length trades)
+    (float_of_int (Array.fold_left (fun acc t -> acc + t.shares) 0 trades) /. 1e6);
+
+  (* --- the paper's engine, via the high-level monitor API --- *)
+  let monitor = Rts.create ~dim:1 () in
+  let alerts = ref [] in
+  List.iter
+    (fun (lo, hi, threshold) ->
+      ignore
+        (Rts.subscribe monitor
+           ~label:(Printf.sprintf "%dk shares in [%.1f, %.1f]" (threshold / 1000) lo hi)
+           ~on_mature:(fun s -> alerts := Rts.describe s :: !alerts)
+           (Rts.interval ~lo ~hi) ~threshold))
+    band_specs;
+  Printf.printf "registered %d band triggers\n\n" (Rts.live_count monitor);
+
+  let (), dt_time =
+    Timer.time (fun () ->
+        Array.iter (fun t -> ignore (Rts.feed monitor ~weight:t.shares [| t.price |])) trades)
+  in
+  let dt_alerts = List.rev !alerts in
+  Printf.printf "first alerts of the day:\n";
+  List.iteri (fun i a -> if i < 8 then Printf.printf "  %s\n" a) dt_alerts;
+  Printf.printf "  ... %d alerts in total\n\n" (List.length dt_alerts);
+
+  (* --- same day against the O(nm) baseline: agreement + cost --- *)
+  let oracle = Baseline_engine.create ~dim:1 () in
+  List.iteri
+    (fun id (lo, hi, threshold) ->
+      Baseline_engine.register oracle { Types.id; rect = Types.interval_closed lo hi; threshold })
+    band_specs;
+  let baseline_matured = ref 0 in
+  let (), base_time =
+    Timer.time (fun () ->
+        Array.iter
+          (fun t ->
+            let m = Baseline_engine.process oracle { Types.value = [| t.price |]; weight = t.shares } in
+            baseline_matured := !baseline_matured + List.length m)
+          trades)
+  in
+  assert (!baseline_matured = List.length dt_alerts);
+  Printf.printf "engines agree: %d alerts from both\n" !baseline_matured;
+  Printf.printf "stream processing time: dt=%.3fs baseline=%.3fs (%.1fx)\n" dt_time base_time
+    (base_time /. dt_time);
+  Printf.printf "(the gap widens with the number of registered triggers: Figure 4 of the paper)\n"

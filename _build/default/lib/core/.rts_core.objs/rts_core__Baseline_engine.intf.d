@@ -1,0 +1,1 @@
+lib/core/baseline_engine.mli: Engine Types

@@ -1,0 +1,1 @@
+lib/core/dt_engine.ml: Array Endpoint_tree Engine Hashtbl List Logs Types

@@ -1,0 +1,1 @@
+lib/core/dt_engine.mli: Endpoint_tree Engine Types

@@ -1,0 +1,1 @@
+lib/core/endpoint_tree.ml: Array Hashtbl List Types

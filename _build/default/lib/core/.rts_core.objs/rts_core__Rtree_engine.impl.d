@@ -1,0 +1,1 @@
+lib/core/rtree_engine.ml: Engine Hashtbl List Rts_structures Types

@@ -1,0 +1,1 @@
+lib/core/rtree_engine.mli: Engine Types

@@ -1,0 +1,1 @@
+lib/core/rts.ml: Array Buffer Dt_engine Format Hashtbl List Printf Scanf String Types

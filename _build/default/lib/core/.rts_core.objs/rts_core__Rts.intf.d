@@ -1,0 +1,1 @@
+lib/core/rts.mli: Types

@@ -1,0 +1,1 @@
+lib/core/stab1d_engine.ml: Array Engine Hashtbl List Rts_structures Types

@@ -1,0 +1,1 @@
+lib/core/stab1d_engine.mli: Engine Types

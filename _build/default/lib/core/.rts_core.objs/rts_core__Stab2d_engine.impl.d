@@ -1,0 +1,1 @@
+lib/core/stab2d_engine.ml: Array Engine Hashtbl List Rts_structures Types

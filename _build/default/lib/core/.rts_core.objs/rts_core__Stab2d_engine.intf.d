@@ -1,0 +1,1 @@
+lib/core/stab2d_engine.mli: Engine Types

@@ -1,0 +1,51 @@
+open Types
+
+type state = { q : query; mutable got : int }
+
+type t = { dims : int; alive : (int, state) Hashtbl.t }
+
+let create ~dim () =
+  if dim < 1 then invalid_arg "Baseline_engine.create: dim < 1";
+  { dims = dim; alive = Hashtbl.create 64 }
+
+let register t q =
+  validate_query ~dim:t.dims q;
+  if Hashtbl.mem t.alive q.id then invalid_arg "Baseline_engine.register: id already alive";
+  Hashtbl.replace t.alive q.id { q; got = 0 }
+
+let terminate t id =
+  if not (Hashtbl.mem t.alive id) then raise Not_found;
+  Hashtbl.remove t.alive id
+
+let process t e =
+  validate_elem ~dim:t.dims e;
+  let matured = ref [] in
+  Hashtbl.iter
+    (fun id s ->
+      if rect_contains s.q.rect e.value then begin
+        s.got <- s.got + e.weight;
+        if s.got >= s.q.threshold then matured := id :: !matured
+      end)
+    t.alive;
+  List.iter (Hashtbl.remove t.alive) !matured;
+  Engine.sort_matured !matured
+
+let is_alive t id = Hashtbl.mem t.alive id
+
+let progress t id =
+  match Hashtbl.find_opt t.alive id with Some s -> s.got | None -> raise Not_found
+
+let alive_count t = Hashtbl.length t.alive
+
+let engine t =
+  {
+    Engine.name = "baseline";
+    dim = t.dims;
+    register = register t;
+    register_batch = Engine.batch_of_register (register t);
+    terminate = terminate t;
+    process = process t;
+    alive = (fun () -> alive_count t);
+  }
+
+let make ~dim = engine (create ~dim ())

@@ -1,0 +1,29 @@
+(** The Section 3.1 baseline: for every stream element, probe every alive
+    query. Minimum space [O(m_alive)], but [O(m_alive)] time per element —
+    total [O(nm)], the quadratic trap the paper escapes. Serves both as the
+    paper's "Baseline" competitor and as the test oracle all other engines
+    are cross-checked against. *)
+
+open Types
+
+type t
+
+val create : dim:int -> unit -> t
+
+val register : t -> query -> unit
+
+val terminate : t -> int -> unit
+
+val process : t -> elem -> int list
+
+val is_alive : t -> int -> bool
+
+val progress : t -> int -> int
+(** Exact W(q) of an alive query; raises [Not_found] otherwise. *)
+
+val alive_count : t -> int
+
+val engine : t -> Engine.t
+(** Package as a uniform {!Engine.t} named ["baseline"]. *)
+
+val make : dim:int -> Engine.t

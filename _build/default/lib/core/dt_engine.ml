@@ -1,0 +1,272 @@
+open Types
+
+let src = Logs.Src.create "rts.dt_engine" ~doc:"RTS distributed-tracking engine"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type slot = { mutable tree : Endpoint_tree.t option }
+
+type t = {
+  dims : int;
+  eager : bool;
+  mutable slots : slot array; (* slots.(i) plays the role of T_{i+1}, capacity 2^i *)
+  location : (int, int) Hashtbl.t; (* alive query id -> slot index *)
+  consumed : (int, int) Hashtbl.t; (* alive query id -> weight credited before its current tree *)
+  mutable matured_acc : int list; (* maturities reported during the current [process] *)
+  agg : Endpoint_tree.stats; (* stats inherited from destroyed trees *)
+  mutable rebuilds : int;
+}
+
+let create ?(eager = false) ~dim () =
+  if dim < 1 then invalid_arg "Dt_engine.create: dim < 1";
+  {
+    dims = dim;
+    eager;
+    slots = [||];
+    location = Hashtbl.create 64;
+    consumed = Hashtbl.create 64;
+    matured_acc = [];
+    agg = { elements = 0; node_updates = 0; signals = 0; round_ends = 0; heap_ops = 0 };
+    rebuilds = 0;
+  }
+
+let absorb_stats (agg : Endpoint_tree.stats) (s : Endpoint_tree.stats) =
+  agg.elements <- agg.elements + s.elements;
+  agg.node_updates <- agg.node_updates + s.node_updates;
+  agg.signals <- agg.signals + s.signals;
+  agg.round_ends <- agg.round_ends + s.round_ends;
+  agg.heap_ops <- agg.heap_ops + s.heap_ops
+
+let slot_alive slot = match slot.tree with Some tr -> Endpoint_tree.alive_count tr | None -> 0
+
+let ensure_slots t j =
+  let g = Array.length t.slots in
+  if j > g then begin
+    let slots = Array.init j (fun i -> if i < g then t.slots.(i) else { tree = None }) in
+    t.slots <- slots
+  end
+
+let on_mature_of t qid =
+  Hashtbl.remove t.location qid;
+  Hashtbl.remove t.consumed qid;
+  t.matured_acc <- qid :: t.matured_acc
+
+(* Build a tree over [batch] (query, remaining) pairs and install it in
+   slot [idx], updating per-query bookkeeping. *)
+let install_tree t idx batch =
+  t.rebuilds <- t.rebuilds + 1;
+  Log.debug (fun m -> m "building endpoint tree in slot %d over %d queries" idx (List.length batch));
+  let tree = Endpoint_tree.build ~eager:t.eager ~dim:t.dims ~on_mature:(on_mature_of t) batch in
+  t.slots.(idx).tree <- Some tree;
+  List.iter
+    (fun ((q : query), remaining) ->
+      Hashtbl.replace t.location q.id idx;
+      Hashtbl.replace t.consumed q.id (q.threshold - remaining))
+    batch
+
+let discard_slot t slot =
+  match slot.tree with
+  | Some tr ->
+      absorb_stats t.agg (Endpoint_tree.stats tr);
+      slot.tree <- None
+  | None -> ()
+
+let register t (q : query) =
+  validate_query ~dim:t.dims q;
+  if Hashtbl.mem t.location q.id then invalid_arg "Dt_engine.register: id already alive";
+  (* Smallest j (1-based) with alive(T_1) + ... + alive(T_j) < 2^(j-1);
+     always exists once j exceeds the current number of slots by enough. *)
+  let g = Array.length t.slots in
+  let rec find_j j cum =
+    let cum = cum + if j - 1 < g then slot_alive t.slots.(j - 1) else 0 in
+    if cum < 1 lsl (j - 1) then j else find_j (j + 1) cum
+  in
+  let j = find_j 1 0 in
+  ensure_slots t j;
+  (* Migrate everything in T_1..T_j into a fresh T_j, thresholds reduced by
+     the weight already seen (Section 5, step 2). *)
+  let batch = ref [ (q, q.threshold) ] in
+  for i = 0 to j - 1 do
+    (match t.slots.(i).tree with
+    | Some tr -> batch := List.rev_append (Endpoint_tree.alive_queries tr) !batch
+    | None -> ());
+    discard_slot t t.slots.(i)
+  done;
+  install_tree t (j - 1) !batch
+
+(* Batch registration: one collapse absorbing the whole batch — the
+   logarithmic method's insertion step generalized from 1 to [len] new
+   queries (find the smallest j whose capacity 2^(j-1) can hold the prefix
+   trees' alive queries plus the batch, rebuild T_j on their union). *)
+let register_batch t queries =
+  match queries with
+  | [] -> ()
+  | _ ->
+      List.iter
+        (fun (q : query) ->
+          validate_query ~dim:t.dims q;
+          if Hashtbl.mem t.location q.id then
+            invalid_arg "Dt_engine.register_batch: id already alive")
+        queries;
+      let len = List.length queries in
+      let g = Array.length t.slots in
+      let rec find_j j cum =
+        let cum = cum + if j - 1 < g then slot_alive t.slots.(j - 1) else 0 in
+        if cum + len <= 1 lsl (j - 1) then j else find_j (j + 1) cum
+      in
+      let j = find_j 1 0 in
+      ensure_slots t j;
+      let batch = ref (List.map (fun (q : query) -> (q, q.threshold)) queries) in
+      for i = 0 to j - 1 do
+        (match t.slots.(i).tree with
+        | Some tr -> batch := List.rev_append (Endpoint_tree.alive_queries tr) !batch
+        | None -> ());
+        discard_slot t t.slots.(i)
+      done;
+      install_tree t (j - 1) !batch
+
+let create_static ?eager ~dim queries =
+  let t = create ?eager ~dim () in
+  register_batch t queries;
+  t
+
+(* Global rebuilding (Section 4): once a tree has lost half the queries it
+   was built with, rebuild it on the alive remainder with thresholds
+   adjusted; drop it entirely when empty. *)
+let maybe_rebuild t idx =
+  let slot = t.slots.(idx) in
+  match slot.tree with
+  | None -> ()
+  | Some tr ->
+      let alive = Endpoint_tree.alive_count tr and built = Endpoint_tree.built_count tr in
+      if alive = 0 then begin
+        Log.debug (fun m -> m "slot %d empty, dropping its tree" idx);
+        discard_slot t slot
+      end
+      else if 2 * alive <= built then begin
+        Log.debug (fun m ->
+            m "global rebuild of slot %d: %d alive of %d built" idx alive built);
+        let batch = Endpoint_tree.alive_queries tr in
+        discard_slot t slot;
+        install_tree t idx batch
+      end
+
+let process t e =
+  t.matured_acc <- [];
+  Array.iter
+    (fun slot -> match slot.tree with Some tr -> Endpoint_tree.process tr e | None -> ())
+    t.slots;
+  if t.matured_acc <> [] then
+    for i = 0 to Array.length t.slots - 1 do
+      maybe_rebuild t i
+    done;
+  let out = Engine.sort_matured t.matured_acc in
+  t.matured_acc <- [];
+  out
+
+let terminate t id =
+  match Hashtbl.find_opt t.location id with
+  | None -> raise Not_found
+  | Some idx ->
+      let tr = match t.slots.(idx).tree with Some tr -> tr | None -> assert false in
+      Endpoint_tree.remove tr id;
+      Hashtbl.remove t.location id;
+      Hashtbl.remove t.consumed id;
+      maybe_rebuild t idx
+
+let is_alive t id = Hashtbl.mem t.location id
+
+let progress t id =
+  match Hashtbl.find_opt t.location id with
+  | None -> raise Not_found
+  | Some idx ->
+      let tr = match t.slots.(idx).tree with Some tr -> tr | None -> assert false in
+      Hashtbl.find t.consumed id + Endpoint_tree.current_weight tr id
+
+let alive_count t = Hashtbl.length t.location
+
+let tree_count t =
+  Array.fold_left (fun acc slot -> if slot_alive slot > 0 then acc + 1 else acc) 0 t.slots
+
+let rebuild_count t = t.rebuilds
+
+let stats t =
+  let total : Endpoint_tree.stats =
+    {
+      elements = t.agg.elements;
+      node_updates = t.agg.node_updates;
+      signals = t.agg.signals;
+      round_ends = t.agg.round_ends;
+      heap_ops = t.agg.heap_ops;
+    }
+  in
+  Array.iter
+    (fun slot ->
+      match slot.tree with Some tr -> absorb_stats total (Endpoint_tree.stats tr) | None -> ())
+    t.slots;
+  total
+
+let alive_snapshot t =
+  let acc = ref [] in
+  Array.iter
+    (fun slot ->
+      match slot.tree with
+      | Some tr ->
+          List.iter
+            (fun ((q : query), remaining) -> acc := (q, q.threshold - remaining) :: !acc)
+            (Endpoint_tree.alive_queries tr)
+      | None -> ())
+    t.slots;
+  List.sort (fun ((a : query), _) ((b : query), _) -> compare a.id b.id) !acc
+
+let restore ?eager ~dim entries =
+  let t = create ?eager ~dim () in
+  (match entries with
+  | [] -> ()
+  | _ ->
+      let seen = Hashtbl.create 64 in
+      List.iter
+        (fun ((q : query), consumed) ->
+          validate_query ~dim q;
+          if consumed < 0 || consumed >= q.threshold then
+            invalid_arg "Dt_engine.restore: consumed out of range";
+          if Hashtbl.mem seen q.id then invalid_arg "Dt_engine.restore: duplicate id";
+          Hashtbl.replace seen q.id ())
+        entries;
+      let len = List.length entries in
+      let rec slot_for j = if len <= 1 lsl (j - 1) then j else slot_for (j + 1) in
+      let j = slot_for 1 in
+      ensure_slots t j;
+      install_tree t (j - 1)
+        (List.map (fun ((q : query), consumed) -> (q, q.threshold - consumed)) entries));
+  t
+
+let space t =
+  Array.fold_left
+    (fun (acc : Endpoint_tree.space) slot ->
+      match slot.tree with
+      | Some tr ->
+          let s = Endpoint_tree.space tr in
+          {
+            Endpoint_tree.tree_nodes = acc.tree_nodes + s.tree_nodes;
+            live_entries = acc.live_entries + s.live_entries;
+            dead_entries = acc.dead_entries + s.dead_entries;
+          }
+      | None -> acc)
+    { Endpoint_tree.tree_nodes = 0; live_entries = 0; dead_entries = 0 }
+    t.slots
+
+let engine t =
+  {
+    Engine.name = (if t.eager then "dt-eager" else "dt");
+    dim = t.dims;
+    register = register t;
+    register_batch = register_batch t;
+    terminate = terminate t;
+    process = process t;
+    alive = (fun () -> alive_count t);
+  }
+
+let make ~dim = engine (create ~dim ())
+
+let make_eager ~dim = engine (create ~eager:true ~dim ())

@@ -1,0 +1,452 @@
+open Types
+
+type stats = {
+  mutable elements : int;
+  mutable node_updates : int;
+  mutable signals : int;
+  mutable round_ends : int;
+  mutable heap_ops : int;
+}
+
+(* One query's distributed-tracking state. [edges] are the (query, node)
+   pairs of its canonical node set U_q: the "participants" of Section 4.
+   [tree_tau] is the weight the query still needed when this tree was
+   built; within a tree, W(q) is simply the sum of the canonical nodes'
+   counters (all counters start at zero at build time and U_q tiles R_q). *)
+type qstate = {
+  query : query;
+  tree_tau : int;
+  mutable edges : edge array;
+  mutable tmp_edges : edge list; (* build-time accumulator *)
+  mutable lambda : int;
+  mutable signals : int; (* signals received in the current round *)
+  mutable direct : bool; (* endgame mode: remaining <= 6h *)
+  mutable wknown : int; (* direct mode: coordinator's exact W(q) *)
+  mutable alive : bool;
+}
+
+and edge = {
+  owner : qstate;
+  enode : node;
+  mutable cbar : int; (* node counter acknowledged to the coordinator *)
+  mutable sigma : int; (* counter value at which the next signal fires *)
+  mutable pos : int; (* index in the node's sigma heap; -1 when absent *)
+}
+
+(* A node of one endpoint tree level. [jlo, jhi) is the jurisdiction
+   interval; the rightmost spine has jhi = infinity. Last-dimension nodes
+   carry the element counter and the min-heap H(u) of slack deadlines;
+   other dimensions carry the secondary tree on the next dimension. *)
+and node = {
+  jlo : float;
+  jhi : float;
+  left : node option;
+  right : node option;
+  mutable counter : int;
+  heap : sheap;
+  mutable sub : level option;
+  mutable pending : qstate list; (* build-time accumulator *)
+}
+
+(* The per-node min-heap H(u) of slack deadlines, intrusive and specialized:
+   entries are the edges themselves, ordered by [sigma], each knowing its
+   own array index. There is one such heap per last-dimension node and one
+   entry per (query, canonical node) pair — sum of |U_q| entries overall —
+   so both the per-entry footprint and the per-comparison cost matter far
+   more than generality here (a closure-based generic heap measurably
+   dominates the 2D running time). *)
+and sheap = { mutable data : edge array; mutable len : int }
+
+and level = { k : int; last : bool; root : node option }
+
+type t = {
+  dims : int;
+  eager : bool; (* ablation: skip DT rounds, signal every counter change *)
+  top : level;
+  states : (int, qstate) Hashtbl.t;
+  mutable alive : int;
+  built : int;
+  on_mature : int -> unit;
+  st : stats;
+}
+
+(* ---- intrusive sigma heap ------------------------------------------- *)
+
+let heap_swap h i j =
+  let a = h.data.(i) and b = h.data.(j) in
+  h.data.(i) <- b;
+  h.data.(j) <- a;
+  a.pos <- j;
+  b.pos <- i
+
+let rec heap_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.data.(i).sigma < h.data.(parent).sigma then begin
+      heap_swap h i parent;
+      heap_up h parent
+    end
+  end
+
+let rec heap_down h i =
+  let l = (2 * i) + 1 in
+  if l < h.len then begin
+    let r = l + 1 in
+    let smallest = if r < h.len && h.data.(r).sigma < h.data.(l).sigma then r else l in
+    if h.data.(smallest).sigma < h.data.(i).sigma then begin
+      heap_swap h i smallest;
+      heap_down h smallest
+    end
+  end
+
+let heap_push h e =
+  let cap = Array.length h.data in
+  if h.len >= cap then begin
+    let ndata = Array.make (max 4 (2 * cap)) e in
+    Array.blit h.data 0 ndata 0 h.len;
+    h.data <- ndata
+  end;
+  h.data.(h.len) <- e;
+  e.pos <- h.len;
+  h.len <- h.len + 1;
+  heap_up h e.pos
+
+let heap_remove h e =
+  let i = e.pos in
+  assert (i >= 0 && i < h.len && h.data.(i) == e);
+  h.len <- h.len - 1;
+  e.pos <- -1;
+  if i <> h.len then begin
+    let last = h.data.(h.len) in
+    h.data.(i) <- last;
+    last.pos <- i;
+    heap_down h i;
+    heap_up h last.pos
+  end
+
+(* Restore order after [e.sigma] changed in place. *)
+let heap_fix h e =
+  heap_down h e.pos;
+  heap_up h e.pos
+
+(* ---- construction --------------------------------------------------- *)
+
+let rec build_subtree keys lo hi =
+  if lo = hi then
+    let jhi = if lo + 1 < Array.length keys then keys.(lo + 1) else infinity in
+    {
+      jlo = keys.(lo);
+      jhi;
+      left = None;
+      right = None;
+      counter = 0;
+      heap = { data = [||]; len = 0 };
+      sub = None;
+      pending = [];
+    }
+  else
+    let mid = (lo + hi) / 2 in
+    let l = build_subtree keys lo mid in
+    let r = build_subtree keys (mid + 1) hi in
+    {
+      jlo = l.jlo;
+      jhi = r.jhi;
+      left = Some l;
+      right = Some r;
+      counter = 0;
+      heap = { data = [||]; len = 0 };
+      sub = None;
+      pending = [];
+    }
+
+(* Canonical decomposition of [qlo, qhi) over the subtree rooted at [u]:
+   emit the maximal nodes whose jurisdiction is contained in the range.
+   Since qlo and qhi are grid endpoints of this level, a leaf can never
+   partially overlap the range. *)
+let rec add_canonical u qlo qhi emit =
+  if qlo <= u.jlo && u.jhi <= qhi then emit u
+  else if u.jhi <= qlo || qhi <= u.jlo then ()
+  else
+    match (u.left, u.right) with
+    | Some l, Some r ->
+        add_canonical l qlo qhi emit;
+        add_canonical r qlo qhi emit
+    | _ -> assert false
+
+let rec build_level ~dims k (qs : qstate list) : level =
+  let last = k = dims - 1 in
+  (* Grid endpoints on dimension k. A +infinity upper bound creates no
+     endpoint: the rightmost jurisdiction already extends to +infinity. *)
+  let endpoints =
+    List.concat_map
+      (fun q ->
+        let lo = q.query.rect.lo.(k) and hi = q.query.rect.hi.(k) in
+        if hi = infinity then [ lo ] else [ lo; hi ])
+      qs
+  in
+  let keys = Array.of_list (List.sort_uniq compare endpoints) in
+  if Array.length keys = 0 then { k; last; root = None }
+  else begin
+    let root = build_subtree keys 0 (Array.length keys - 1) in
+    List.iter
+      (fun q ->
+        let qlo = q.query.rect.lo.(k) and qhi = q.query.rect.hi.(k) in
+        add_canonical root qlo qhi (fun u ->
+            if last then
+              q.tmp_edges <-
+                { owner = q; enode = u; cbar = 0; sigma = 0; pos = -1 } :: q.tmp_edges
+            else u.pending <- q :: u.pending))
+      qs;
+    (* Recursively hang the secondary trees. *)
+    if not last then begin
+      let rec visit u =
+        if u.pending <> [] then begin
+          u.sub <- Some (build_level ~dims (k + 1) u.pending);
+          u.pending <- []
+        end;
+        (match u.left with Some l -> visit l | None -> ());
+        match u.right with Some r -> visit r | None -> ()
+      in
+      visit root
+    end;
+    { k; last; root = Some root }
+  end
+
+(* ---- distributed-tracking per query ---------------------------------- *)
+
+let set_deadline t edge =
+  t.st.heap_ops <- t.st.heap_ops + 1;
+  if edge.pos >= 0 then heap_fix edge.enode.heap edge else heap_push edge.enode.heap edge
+
+(* Start a DT round (or the direct endgame) for [q], given how much weight
+   it still needs. Resynchronizes every edge with its node's exact counter
+   — the "collection" step of the protocol. *)
+let start_phase t (q : qstate) remaining =
+  assert (remaining >= 1);
+  let h = Array.length q.edges in
+  if t.eager || remaining <= 6 * h then begin
+    q.direct <- true;
+    q.wknown <- q.tree_tau - remaining;
+    Array.iter
+      (fun e ->
+        e.cbar <- e.enode.counter;
+        e.sigma <- e.enode.counter + 1;
+        set_deadline t e)
+      q.edges
+  end
+  else begin
+    q.direct <- false;
+    q.lambda <- remaining / (2 * h);
+    q.signals <- 0;
+    Array.iter
+      (fun e ->
+        e.cbar <- e.enode.counter;
+        e.sigma <- e.cbar + q.lambda;
+        set_deadline t e)
+      q.edges
+  end
+
+let tree_weight (q : qstate) = Array.fold_left (fun acc e -> acc + e.enode.counter) 0 q.edges
+
+let mature t (q : qstate) =
+  q.alive <- false;
+  Array.iter
+    (fun e ->
+      if e.pos >= 0 then begin
+        heap_remove e.enode.heap e;
+        t.st.heap_ops <- t.st.heap_ops + 1
+      end)
+    q.edges;
+  t.alive <- t.alive - 1;
+  Hashtbl.remove t.states q.query.id;
+  t.on_mature q.query.id
+
+let end_round t (q : qstate) =
+  t.st.round_ends <- t.st.round_ends + 1;
+  let w = tree_weight q in
+  let remaining = q.tree_tau - w in
+  if remaining <= 0 then mature t q else start_phase t q remaining
+
+(* The edge has just been popped from its node's heap because
+   c(u) >= sigma. Deliver the pending signal(s). *)
+let fire t edge =
+  let q = edge.owner in
+  let u = edge.enode in
+  if q.direct then begin
+    t.st.signals <- t.st.signals + 1;
+    q.wknown <- q.wknown + (u.counter - edge.cbar);
+    edge.cbar <- u.counter;
+    if q.wknown >= q.tree_tau then mature t q
+    else begin
+      edge.sigma <- u.counter + 1;
+      set_deadline t edge
+    end
+  end
+  else begin
+    let h = Array.length q.edges in
+    let k = (u.counter - edge.cbar) / q.lambda in
+    (* The coordinator halts the round at the h-th signal, so at most
+       h - q.signals of the k signals are actually delivered; any surplus
+       weight is picked up by the round-end collection. *)
+    let delivered = min k (h - q.signals) in
+    t.st.signals <- t.st.signals + delivered;
+    q.signals <- q.signals + delivered;
+    if q.signals >= h then end_round t q
+    else begin
+      edge.cbar <- edge.cbar + (k * q.lambda);
+      edge.sigma <- edge.cbar + q.lambda;
+      set_deadline t edge
+    end
+  end
+
+(* Hot path: runs on every counter increment of every visited node, so it
+   must not allocate when no deadline fires. *)
+let drain t u =
+  let h = u.heap in
+  let rec loop () =
+    if h.len > 0 then begin
+      let edge = h.data.(0) in
+      if edge.sigma <= u.counter then begin
+        heap_remove h edge;
+        t.st.heap_ops <- t.st.heap_ops + 1;
+        fire t edge;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+(* ---- public API ------------------------------------------------------ *)
+
+let build ?(eager = false) ~dim ~on_mature batch =
+  if dim < 1 then invalid_arg "Endpoint_tree.build: dim < 1";
+  let states = Hashtbl.create (max 16 (2 * List.length batch)) in
+  let qstates =
+    List.map
+      (fun (q, remaining) ->
+        validate_query ~dim q;
+        if remaining < 1 then invalid_arg "Endpoint_tree.build: remaining < 1";
+        if remaining > q.threshold then
+          invalid_arg "Endpoint_tree.build: remaining exceeds threshold";
+        if Hashtbl.mem states q.id then invalid_arg "Endpoint_tree.build: duplicate query id";
+        let qs =
+          {
+            query = q;
+            tree_tau = remaining;
+            edges = [||];
+            tmp_edges = [];
+            lambda = 0;
+            signals = 0;
+            direct = false;
+            wknown = 0;
+            alive = true;
+          }
+        in
+        Hashtbl.replace states q.id qs;
+        qs)
+      batch
+  in
+  let top = build_level ~dims:dim 0 qstates in
+  let t =
+    {
+      dims = dim;
+      eager;
+      top;
+      states;
+      alive = List.length qstates;
+      built = List.length qstates;
+      on_mature;
+      st = { elements = 0; node_updates = 0; signals = 0; round_ends = 0; heap_ops = 0 };
+    }
+  in
+  List.iter
+    (fun q ->
+      q.edges <- Array.of_list q.tmp_edges;
+      q.tmp_edges <- [];
+      assert (Array.length q.edges >= 1);
+      start_phase t q q.tree_tau)
+    qstates;
+  t
+
+let dim t = t.dims
+
+let process t e =
+  if Array.length e.value <> t.dims then invalid_arg "Endpoint_tree.process: bad dimensionality";
+  if e.weight < 1 then invalid_arg "Endpoint_tree.process: weight < 1";
+  t.st.elements <- t.st.elements + 1;
+  let rec process_level lvl =
+    match lvl.root with
+    | None -> ()
+    | Some root ->
+        let x = e.value.(lvl.k) in
+        if x >= root.jlo then descend lvl x root
+  and descend lvl x u =
+    (if lvl.last then begin
+       u.counter <- u.counter + e.weight;
+       t.st.node_updates <- t.st.node_updates + 1;
+       drain t u
+     end
+     else match u.sub with Some sub -> process_level sub | None -> ());
+    match u.right with
+    | Some r -> (
+        if x >= r.jlo then descend lvl x r
+        else match u.left with Some l -> descend lvl x l | None -> assert false)
+    | None -> ()
+  in
+  process_level t.top
+
+let find_alive t id =
+  match Hashtbl.find_opt t.states id with
+  | Some q when q.alive -> q
+  | _ -> raise Not_found
+
+let is_alive t id = match Hashtbl.find_opt t.states id with Some q -> q.alive | None -> false
+
+let remove t id =
+  let q = find_alive t id in
+  q.alive <- false;
+  Array.iter
+    (fun e ->
+      if e.pos >= 0 then begin
+        heap_remove e.enode.heap e;
+        t.st.heap_ops <- t.st.heap_ops + 1
+      end)
+    q.edges;
+  t.alive <- t.alive - 1;
+  Hashtbl.remove t.states id
+
+let current_weight t id = tree_weight (find_alive t id)
+
+let remaining t id =
+  let q = find_alive t id in
+  q.tree_tau - tree_weight q
+
+let alive_count t = t.alive
+
+let built_count t = t.built
+
+let alive_queries t =
+  Hashtbl.fold
+    (fun _ (q : qstate) acc -> if q.alive then (q.query, q.tree_tau - tree_weight q) :: acc else acc)
+    t.states []
+
+let fanout t id = Array.length (find_alive t id).edges
+
+let stats t = t.st
+
+type space = { tree_nodes : int; live_entries : int; dead_entries : int }
+
+let space t =
+  let nodes = ref 0 and live = ref 0 and dead = ref 0 in
+  let rec walk_level lvl =
+    match lvl.root with None -> () | Some root -> walk root
+  and walk u =
+    incr nodes;
+    live := !live + u.heap.len;
+    dead := !dead + (Array.length u.heap.data - u.heap.len);
+    (match u.sub with Some sub -> walk_level sub | None -> ());
+    (match u.left with Some l -> walk l | None -> ());
+    match u.right with Some r -> walk r | None -> ()
+  in
+  walk_level t.top;
+  { tree_nodes = !nodes; live_entries = !live; dead_entries = !dead }

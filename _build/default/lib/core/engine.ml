@@ -1,0 +1,15 @@
+open Types
+
+type t = {
+  name : string;
+  dim : int;
+  register : query -> unit;
+  register_batch : query list -> unit;
+  terminate : int -> unit;
+  process : elem -> int list;
+  alive : unit -> int;
+}
+
+let sort_matured ids = List.sort compare ids
+
+let batch_of_register register queries = List.iter register queries

@@ -1,0 +1,41 @@
+(** Uniform interface over all RTS engines.
+
+    Every solution evaluated in the paper — the proposed DT algorithm and
+    the four competitors — supports exactly three operations: REGISTER,
+    TERMINATE, and processing one stream element (which may mature any
+    number of queries). This record-of-closures interface lets the workload
+    driver, the test suite, and the benchmark harness treat them uniformly;
+    cross-checking any two engines for equal maturity behaviour is the
+    central correctness property of the repository. *)
+
+open Types
+
+type t = {
+  name : string;
+  dim : int;
+  register : query -> unit;
+      (** Accept a query at the current moment. Raises [Invalid_argument] on
+          an invalid query or duplicate alive id. *)
+  register_batch : query list -> unit;
+      (** Accept many queries at one instant. Semantically identical to
+          registering them one by one (in list order), but an engine may
+          exploit the batch — the DT engine builds one endpoint tree
+          directly, the paper's Scenario-1 "construction at the beginning
+          of the stream", instead of paying the logarithmic method's
+          migration churn per query. *)
+  terminate : int -> unit;
+      (** Stop and eliminate an alive query by id. Raises [Not_found] if the
+          id is not alive (already matured, terminated, or never seen). *)
+  process : elem -> int list;
+      (** Feed one stream element; returns the ids of the queries this
+          element matured, in ascending id order (deterministic across
+          engines so traces can be compared verbatim). *)
+  alive : unit -> int;  (** Number of currently alive queries. *)
+}
+
+val sort_matured : int list -> int list
+(** Ascending, dedup-free sort used by implementations to normalize their
+    [process] output. *)
+
+val batch_of_register : (query -> unit) -> query list -> unit
+(** Default [register_batch]: iterate [register]. *)

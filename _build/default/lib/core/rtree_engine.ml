@@ -1,0 +1,53 @@
+open Types
+module Rtree = Rts_structures.Rtree
+
+type state = { q : query; mutable got : int }
+
+type t = { dims : int; tree : state Rtree.t; index : (int, state) Hashtbl.t }
+
+let create ~dim () =
+  if dim < 1 then invalid_arg "Rtree_engine.create: dim < 1";
+  { dims = dim; tree = Rtree.create ~dim (); index = Hashtbl.create 64 }
+
+let register t q =
+  validate_query ~dim:t.dims q;
+  if Hashtbl.mem t.index q.id then invalid_arg "Rtree_engine.register: id already alive";
+  let s = { q; got = 0 } in
+  Rtree.insert t.tree ~id:q.id ~lo:q.rect.lo ~hi:q.rect.hi s;
+  Hashtbl.replace t.index q.id s
+
+let remove t (s : state) =
+  Rtree.delete t.tree ~id:s.q.id;
+  Hashtbl.remove t.index s.q.id
+
+let terminate t id =
+  match Hashtbl.find_opt t.index id with Some s -> remove t s | None -> raise Not_found
+
+let process t e =
+  validate_elem ~dim:t.dims e;
+  let matured = ref [] in
+  Rtree.iter_stab t.tree e.value (fun _id s ->
+      s.got <- s.got + e.weight;
+      if s.got >= s.q.threshold then matured := s :: !matured);
+  List.iter (remove t) !matured;
+  Engine.sort_matured (List.map (fun s -> s.q.id) !matured)
+
+let is_alive t id = Hashtbl.mem t.index id
+
+let progress t id =
+  match Hashtbl.find_opt t.index id with Some s -> s.got | None -> raise Not_found
+
+let alive_count t = Hashtbl.length t.index
+
+let engine t =
+  {
+    Engine.name = "r-tree";
+    dim = t.dims;
+    register = register t;
+    register_batch = Engine.batch_of_register (register t);
+    terminate = terminate t;
+    process = process t;
+    alive = (fun () -> alive_count t);
+  }
+
+let make ~dim = engine (create ~dim ())

@@ -1,0 +1,27 @@
+(** The stabbing approach of Section 3.1 on a Guttman {!Rtree} — the
+    paper's "[2D] R-tree" competitor, generalized to any dimensionality.
+    Heuristic: [O(nm)] worst case, and — as Figure 8 of the paper shows —
+    degenerate update behaviour on heavily overlapping query rectangles. *)
+
+open Types
+
+type t
+
+val create : dim:int -> unit -> t
+
+val register : t -> query -> unit
+
+val terminate : t -> int -> unit
+
+val process : t -> elem -> int list
+
+val is_alive : t -> int -> bool
+
+val progress : t -> int -> int
+
+val alive_count : t -> int
+
+val engine : t -> Engine.t
+(** Package as a uniform {!Engine.t} named ["r-tree"]. *)
+
+val make : dim:int -> Engine.t

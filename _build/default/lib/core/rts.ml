@@ -1,0 +1,167 @@
+open Types
+
+type status = [ `Live | `Matured | `Cancelled ]
+
+type subscription = {
+  sid : int;
+  slabel : string option;
+  squery : query;
+  mutable sstatus : status;
+  mutable callback : (subscription -> unit) option;
+}
+
+type t = {
+  dims : int;
+  engine : Dt_engine.t;
+  subs : (int, subscription) Hashtbl.t; (* live subscriptions, by id *)
+  mutable next_id : int;
+  mutable matured : int;
+}
+
+let create ~dim () =
+  if dim < 1 then invalid_arg "Rts.create: dim < 1";
+  { dims = dim; engine = Dt_engine.create ~dim (); subs = Hashtbl.create 64; next_id = 0; matured = 0 }
+
+let dim t = t.dims
+
+let interval ~lo ~hi = interval_closed lo hi
+
+let box bounds = rect_closed bounds
+
+let subscribe t ?label ?on_mature r ~threshold =
+  let q = { id = t.next_id; rect = r; threshold } in
+  validate_query ~dim:t.dims q;
+  t.next_id <- t.next_id + 1;
+  let s = { sid = q.id; slabel = label; squery = q; sstatus = `Live; callback = on_mature } in
+  Dt_engine.register t.engine q;
+  Hashtbl.replace t.subs q.id s;
+  s
+
+let cancel t s =
+  if s.sstatus <> `Live then invalid_arg "Rts.cancel: subscription not live";
+  Dt_engine.terminate t.engine s.sid;
+  s.sstatus <- `Cancelled;
+  Hashtbl.remove t.subs s.sid
+
+let feed_elem t e =
+  let matured_ids = Dt_engine.process t.engine e in
+  List.map
+    (fun sid ->
+      let s = Hashtbl.find t.subs sid in
+      s.sstatus <- `Matured;
+      t.matured <- t.matured + 1;
+      Hashtbl.remove t.subs sid;
+      (match s.callback with Some f -> f s | None -> ());
+      s)
+    matured_ids
+
+let feed t ?(weight = 1) value = feed_elem t { value; weight }
+
+let status s = s.sstatus
+
+let label s = s.slabel
+
+let id s = s.sid
+
+let rect s = s.squery.rect
+
+let threshold s = s.squery.threshold
+
+let progress t s =
+  match s.sstatus with
+  | `Live -> Dt_engine.progress t.engine s.sid
+  | `Matured -> s.squery.threshold
+  | `Cancelled -> invalid_arg "Rts.progress: subscription cancelled"
+
+let live_count t = Dt_engine.alive_count t.engine
+
+let matured_count t = t.matured
+
+(* ---- snapshots ------------------------------------------------------ *)
+
+let snapshot t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "rts-snapshot 1 dim %d\n" t.dims);
+  List.iter
+    (fun ((q : query), consumed) ->
+      let s = Hashtbl.find t.subs q.id in
+      Buffer.add_string buf (Printf.sprintf "%d %d %d" q.id q.threshold consumed);
+      Array.iteri
+        (fun k lo -> Buffer.add_string buf (Printf.sprintf " %h %h" lo q.rect.hi.(k)))
+        q.rect.lo;
+      let label = match s.slabel with Some l -> l | None -> "" in
+      Buffer.add_string buf (Printf.sprintf " %S\n" label))
+    (Dt_engine.alive_snapshot t.engine);
+  Buffer.contents buf
+
+let restore ?on_mature data =
+  let lines = String.split_on_char '\n' data in
+  let header, body =
+    match lines with
+    | h :: rest -> (h, rest)
+    | [] -> invalid_arg "Rts.restore: empty snapshot"
+  in
+  let dims =
+    try Scanf.sscanf header "rts-snapshot 1 dim %d" (fun d -> d)
+    with Scanf.Scan_failure _ | Failure _ | End_of_file ->
+      invalid_arg "Rts.restore: bad snapshot header"
+  in
+  if dims < 1 then invalid_arg "Rts.restore: bad dimensionality";
+  let parse_line line =
+    let tokens =
+      (* the trailing %S label may contain spaces: split off the quoted tail *)
+      match String.index_opt line '"' with
+      | Some i ->
+          let head = String.sub line 0 i in
+          let tail = String.sub line i (String.length line - i) in
+          (String.split_on_char ' ' (String.trim head) |> List.filter (( <> ) ""), tail)
+      | None -> invalid_arg "Rts.restore: missing label field"
+    in
+    let fields, quoted = tokens in
+    let label = Scanf.sscanf quoted "%S" (fun s -> s) in
+    match fields with
+    | id :: threshold :: consumed :: bounds when List.length bounds = 2 * dims ->
+        let id = int_of_string id in
+        let threshold = int_of_string threshold in
+        let consumed = int_of_string consumed in
+        let arr = Array.of_list bounds in
+        let lo = Array.init dims (fun k -> float_of_string arr.(2 * k)) in
+        let hi = Array.init dims (fun k -> float_of_string arr.((2 * k) + 1)) in
+        ({ id; rect = { lo; hi }; threshold }, consumed, label)
+    | _ -> invalid_arg "Rts.restore: malformed subscription line"
+  in
+  let entries =
+    List.filter_map
+      (fun line -> if String.trim line = "" then None else Some (parse_line line))
+      body
+  in
+  let engine =
+    Dt_engine.restore ~dim:dims (List.map (fun (q, consumed, _) -> (q, consumed)) entries)
+  in
+  let t =
+    { dims; engine; subs = Hashtbl.create 64; next_id = 0; matured = 0 }
+  in
+  List.iter
+    (fun ((q : query), _, label) ->
+      let s =
+        {
+          sid = q.id;
+          slabel = (if label = "" then None else Some label);
+          squery = q;
+          sstatus = `Live;
+          callback = (match on_mature with Some f -> Some f | None -> None);
+        }
+      in
+      Hashtbl.replace t.subs q.id s;
+      if q.id >= t.next_id then t.next_id <- q.id + 1)
+    entries;
+  t
+
+let subscriptions t = Hashtbl.fold (fun _ s acc -> s :: acc) t.subs []
+
+let describe s =
+  let name = match s.slabel with Some l -> l | None -> Printf.sprintf "#%d" s.sid in
+  let st =
+    match s.sstatus with `Live -> "live" | `Matured -> "MATURED" | `Cancelled -> "cancelled"
+  in
+  Format.asprintf "%s: %a >= %d [%s]" name pp_rect s.squery.rect s.squery.threshold st

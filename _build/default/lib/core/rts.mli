@@ -1,0 +1,101 @@
+(** High-level range-thresholding monitor — the API a downstream
+    application uses.
+
+    This is a convenience layer over {!Dt_engine} (the paper's algorithm):
+    subscriptions carry labels and callbacks, ids are allocated internally,
+    and closed bounds are accepted directly. One {!t} monitors one stream;
+    feed it every element and it tells you which subscriptions matured —
+    exactly once each, during the element that crosses the threshold.
+
+    {[
+      let m = Rts.create ~dim:1 () in
+      let alert =
+        Rts.subscribe m ~label:"AAPL 100-105 heavy selling"
+          ~on_mature:(fun s -> print_endline (Rts.describe s))
+          (Rts.interval ~lo:100. ~hi:105.)
+          ~threshold:100_000
+      in
+      (* ... for each trade: *)
+      ignore (Rts.feed m ~weight:shares [| price |]);
+      ignore alert
+    ]} *)
+
+open Types
+
+type t
+(** A monitor over one [dim]-dimensional stream. *)
+
+type subscription
+(** A registered range-thresholding trigger. *)
+
+val create : dim:int -> unit -> t
+
+val dim : t -> int
+
+val interval : lo:float -> hi:float -> rect
+(** Closed 1D range [lo, hi] (both bounds inclusive, via the infinitesimal
+    trick). *)
+
+val box : (float * float) array -> rect
+(** Closed d-dimensional box from per-dimension inclusive (lo, hi) pairs. *)
+
+val subscribe :
+  t ->
+  ?label:string ->
+  ?on_mature:(subscription -> unit) ->
+  rect ->
+  threshold:int ->
+  subscription
+(** [subscribe t rect ~threshold] registers a trigger: fire once the total
+    weight of subsequent elements falling in [rect] reaches [threshold].
+    [on_mature] (if any) runs from inside the {!feed} call that matures the
+    subscription, after it has been removed. *)
+
+val cancel : t -> subscription -> unit
+(** Terminate a live subscription. Raises [Invalid_argument] if it is
+    already matured or cancelled. *)
+
+val feed : t -> ?weight:int -> float array -> subscription list
+(** [feed t ~weight value] processes one stream element (default weight 1)
+    and returns the subscriptions it matured (also running their
+    callbacks). *)
+
+val feed_elem : t -> elem -> subscription list
+(** Like {!feed}, for a prebuilt element. *)
+
+val status : subscription -> [ `Live | `Matured | `Cancelled ]
+
+val label : subscription -> string option
+
+val id : subscription -> int
+(** Internal id — unique per monitor, stable for the subscription's life. *)
+
+val rect : subscription -> rect
+
+val threshold : subscription -> int
+
+val progress : t -> subscription -> int
+(** Exact weight accumulated so far by a live subscription; its [threshold]
+    if matured; raises [Invalid_argument] if cancelled. *)
+
+val live_count : t -> int
+
+val matured_count : t -> int
+
+val snapshot : t -> string
+(** Serialize the monitor's live state — every live subscription with its
+    exact accumulated weight — to a printable, line-oriented format (hex
+    floats, so bounds round-trip bit-exactly). Callbacks are not
+    serialized. *)
+
+val restore : ?on_mature:(subscription -> unit) -> string -> t
+(** Rebuild a monitor from {!snapshot} output: same subscriptions, labels,
+    ids and progress; future maturity behaviour is identical to the
+    snapshotted monitor's. [on_mature] (if given) is attached to every
+    restored subscription. Raises [Invalid_argument] on malformed input. *)
+
+val subscriptions : t -> subscription list
+(** All live subscriptions, in unspecified order. *)
+
+val describe : subscription -> string
+(** One human-readable line: label (or id), range, threshold, status. *)

@@ -1,0 +1,51 @@
+open Types
+module Interval_tree = Rts_structures.Interval_tree
+
+type state = { q : query; mutable got : int }
+
+type t = { tree : state Interval_tree.t; index : (int, state) Hashtbl.t }
+
+let create () = { tree = Interval_tree.create (); index = Hashtbl.create 64 }
+
+let register t q =
+  validate_query ~dim:1 q;
+  if Hashtbl.mem t.index q.id then invalid_arg "Stab1d_engine.register: id already alive";
+  let s = { q; got = 0 } in
+  Interval_tree.insert t.tree ~id:q.id ~lo:q.rect.lo.(0) ~hi:q.rect.hi.(0) s;
+  Hashtbl.replace t.index q.id s
+
+let remove t (s : state) =
+  Interval_tree.delete t.tree ~id:s.q.id ~lo:s.q.rect.lo.(0) ~hi:s.q.rect.hi.(0);
+  Hashtbl.remove t.index s.q.id
+
+let terminate t id =
+  match Hashtbl.find_opt t.index id with Some s -> remove t s | None -> raise Not_found
+
+let process t e =
+  validate_elem ~dim:1 e;
+  let matured = ref [] in
+  Interval_tree.iter_stab t.tree e.value.(0) (fun _id s ->
+      s.got <- s.got + e.weight;
+      if s.got >= s.q.threshold then matured := s :: !matured);
+  List.iter (remove t) !matured;
+  Engine.sort_matured (List.map (fun s -> s.q.id) !matured)
+
+let is_alive t id = Hashtbl.mem t.index id
+
+let progress t id =
+  match Hashtbl.find_opt t.index id with Some s -> s.got | None -> raise Not_found
+
+let alive_count t = Hashtbl.length t.index
+
+let engine t =
+  {
+    Engine.name = "interval-tree";
+    dim = 1;
+    register = register t;
+    register_batch = Engine.batch_of_register (register t);
+    terminate = terminate t;
+    process = process t;
+    alive = (fun () -> alive_count t);
+  }
+
+let make () = engine (create ())

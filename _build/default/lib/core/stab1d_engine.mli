@@ -1,0 +1,29 @@
+(** The 1D stabbing approach of Section 3.1: an {!Interval_tree} indexes
+    the alive queries; each element stabs the tree and increments every
+    stabbed query's accumulated weight. Cost is [O~(n) + O(m tau_max)] —
+    better than the baseline when elements stab few queries, but still
+    trapped quadratically via [tau_max] (Section 3.1's refined analysis).
+    This is the paper's "[1D] Interval tree" competitor. *)
+
+open Types
+
+type t
+
+val create : unit -> t
+
+val register : t -> query -> unit
+
+val terminate : t -> int -> unit
+
+val process : t -> elem -> int list
+
+val is_alive : t -> int -> bool
+
+val progress : t -> int -> int
+
+val alive_count : t -> int
+
+val engine : t -> Engine.t
+(** Package as a uniform {!Engine.t} named ["interval-tree"]. *)
+
+val make : unit -> Engine.t

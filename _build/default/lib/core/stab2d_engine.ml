@@ -1,0 +1,52 @@
+open Types
+module Segment_interval_tree = Rts_structures.Segment_interval_tree
+
+type state = { q : query; mutable got : int }
+
+type t = { tree : state Segment_interval_tree.t; index : (int, state) Hashtbl.t }
+
+let create () = { tree = Segment_interval_tree.create (); index = Hashtbl.create 64 }
+
+let register t q =
+  validate_query ~dim:2 q;
+  if Hashtbl.mem t.index q.id then invalid_arg "Stab2d_engine.register: id already alive";
+  let s = { q; got = 0 } in
+  Segment_interval_tree.insert t.tree ~id:q.id ~xlo:q.rect.lo.(0) ~xhi:q.rect.hi.(0)
+    ~ylo:q.rect.lo.(1) ~yhi:q.rect.hi.(1) s;
+  Hashtbl.replace t.index q.id s
+
+let remove t (s : state) =
+  Segment_interval_tree.delete t.tree ~id:s.q.id;
+  Hashtbl.remove t.index s.q.id
+
+let terminate t id =
+  match Hashtbl.find_opt t.index id with Some s -> remove t s | None -> raise Not_found
+
+let process t e =
+  validate_elem ~dim:2 e;
+  let matured = ref [] in
+  Segment_interval_tree.iter_stab t.tree ~x:e.value.(0) ~y:e.value.(1) (fun _id s ->
+      s.got <- s.got + e.weight;
+      if s.got >= s.q.threshold then matured := s :: !matured);
+  List.iter (remove t) !matured;
+  Engine.sort_matured (List.map (fun s -> s.q.id) !matured)
+
+let is_alive t id = Hashtbl.mem t.index id
+
+let progress t id =
+  match Hashtbl.find_opt t.index id with Some s -> s.got | None -> raise Not_found
+
+let alive_count t = Hashtbl.length t.index
+
+let engine t =
+  {
+    Engine.name = "seg-intv";
+    dim = 2;
+    register = register t;
+    register_batch = Engine.batch_of_register (register t);
+    terminate = terminate t;
+    process = process t;
+    alive = (fun () -> alive_count t);
+  }
+
+let make () = engine (create ())

@@ -1,0 +1,27 @@
+(** The 2D stabbing approach of Section 3.1 on the combined
+    segment-tree/interval-tree structure — the paper's "[2D] Seg-Intv tree"
+    competitor. Same [O~(n) + O(m tau_max)] character as the 1D stabbing
+    engine. *)
+
+open Types
+
+type t
+
+val create : unit -> t
+
+val register : t -> query -> unit
+
+val terminate : t -> int -> unit
+
+val process : t -> elem -> int list
+
+val is_alive : t -> int -> bool
+
+val progress : t -> int -> int
+
+val alive_count : t -> int
+
+val engine : t -> Engine.t
+(** Package as a uniform {!Engine.t} named ["seg-intv"]. *)
+
+val make : unit -> Engine.t

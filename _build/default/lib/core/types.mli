@@ -1,0 +1,61 @@
+(** Shared vocabulary of the RTS problem (Section 2 of the paper).
+
+    The data space is [R^d]. A stream element carries a point value and a
+    positive integer weight; a query is an axis-parallel rectangle plus an
+    integer threshold. All rectangles in this repository are half-open
+    ([lo <= x < hi] per coordinate): the paper's "infinitesimal trick"
+    (Section 4) turns a closed bound into a half-open one by nudging the
+    upper endpoint to the next representable float, which {!rect_closed}
+    implements. *)
+
+type point = float array
+(** A point in [R^d], represented as a [d]-element array. *)
+
+type rect = { lo : float array; hi : float array }
+(** Half-open box: contains point [p] iff [lo.(k) <= p.(k) < hi.(k)] for
+    every coordinate [k]. [lo.(k) = neg_infinity] and [hi.(k) = infinity]
+    express one-sided ranges. *)
+
+type elem = { value : point; weight : int }
+(** One stream element. [weight >= 1]; the counting version of the problem
+    has [weight = 1] everywhere. *)
+
+type query = { id : int; rect : rect; threshold : int }
+(** A registered RTS query: mature once the accumulated weight of elements
+    falling in [rect] (since registration) reaches [threshold >= 1]. Ids
+    are chosen by the caller and must be unique among alive queries. *)
+
+val dim_of_rect : rect -> int
+
+val rect_make : (float * float) array -> rect
+(** [rect_make bounds] builds a half-open rectangle from per-dimension
+    [(lo, hi)] pairs. Raises [Invalid_argument] if any [lo >= hi]. *)
+
+val rect_closed : (float * float) array -> rect
+(** Like {!rect_make}, but each upper bound is treated as inclusive: it is
+    replaced by its float successor ([Float.succ]), per the paper's
+    infinitesimal trick. *)
+
+val interval : float -> float -> rect
+(** [interval lo hi] is the 1D half-open rectangle [lo, hi). *)
+
+val interval_closed : float -> float -> rect
+(** [interval_closed lo hi] is the 1D closed interval [lo, hi] encoded as
+    [lo, succ hi). *)
+
+val rect_contains : rect -> point -> bool
+(** Half-open containment test. Raises [Invalid_argument] on mismatched
+    dimensionality. *)
+
+val validate_query : dim:int -> query -> unit
+(** Check dimensionality, non-empty rectangle, and [threshold >= 1];
+    raises [Invalid_argument] with a descriptive message otherwise. *)
+
+val validate_elem : dim:int -> elem -> unit
+(** Check dimensionality, finite coordinates, and [weight >= 1]. *)
+
+val pp_rect : Format.formatter -> rect -> unit
+
+val pp_elem : Format.formatter -> elem -> unit
+
+val pp_query : Format.formatter -> query -> unit

@@ -1,0 +1,1 @@
+lib/dt/distributed_tracking.ml: Array

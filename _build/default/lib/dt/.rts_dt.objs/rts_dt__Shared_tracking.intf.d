@@ -1,0 +1,1 @@
+lib/dt/shared_tracking.mli:

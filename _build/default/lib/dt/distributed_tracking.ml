@@ -1,0 +1,120 @@
+type mode =
+  | Rounds (* slack-based rounds while remaining tau > 6h *)
+  | Direct (* endgame: every counter change is forwarded *)
+
+type t = {
+  h : int;
+  tau : int;
+  counters : int array; (* c_i: ground-truth participant counters *)
+  cbar : int array; (* counter value acknowledged to the coordinator *)
+  mutable mode : mode;
+  mutable lambda : int;
+  mutable signals : int; (* signals received in the current round *)
+  mutable known : int; (* Direct mode: coordinator's exact view of the sum *)
+  mutable mature : bool;
+  mutable messages : int;
+  mutable rounds : int;
+}
+
+let total t = Array.fold_left ( + ) 0 t.counters
+
+let is_mature t = t.mature
+
+let messages t = t.messages
+
+let rounds t = t.rounds
+
+(* Begin a round (or the direct endgame) given the remaining threshold.
+   Also used for the very first round. Synchronizes cbar with the precise
+   counters, which in the message accounting corresponds to the collection
+   the coordinator just performed. *)
+let start_phase t remaining =
+  assert (remaining > 0);
+  Array.blit t.counters 0 t.cbar 0 t.h;
+  if remaining <= 6 * t.h then begin
+    t.mode <- Direct;
+    t.known <- total t;
+    (* one broadcast telling participants to switch to direct forwarding *)
+    t.messages <- t.messages + t.h
+  end
+  else begin
+    t.mode <- Rounds;
+    t.lambda <- remaining / (2 * t.h);
+    assert (t.lambda >= 3);
+    t.signals <- 0;
+    (* slack broadcast *)
+    t.messages <- t.messages + t.h
+  end
+
+let end_round t =
+  (* Round-end announcement + collection of all precise counters. *)
+  t.messages <- t.messages + (2 * t.h);
+  t.rounds <- t.rounds + 1;
+  let sum = total t in
+  if sum >= t.tau then t.mature <- true else start_phase t (t.tau - sum)
+
+let create ~h ~tau =
+  if h < 1 then invalid_arg "Distributed_tracking.create: h < 1";
+  if tau < 1 then invalid_arg "Distributed_tracking.create: tau < 1";
+  let t =
+    {
+      h;
+      tau;
+      counters = Array.make h 0;
+      cbar = Array.make h 0;
+      mode = Rounds;
+      lambda = 0;
+      signals = 0;
+      known = 0;
+      mature = false;
+      messages = 0;
+      rounds = 0;
+    }
+  in
+  start_phase t tau;
+  t
+
+let increment t ~site ~by =
+  if t.mature then invalid_arg "Distributed_tracking.increment: already mature";
+  if site < 0 || site >= t.h then invalid_arg "Distributed_tracking.increment: bad site";
+  if by <= 0 then invalid_arg "Distributed_tracking.increment: by <= 0";
+  t.counters.(site) <- t.counters.(site) + by;
+  (match t.mode with
+  | Direct ->
+      (* Forward the change; coordinator's view becomes exact again. *)
+      t.messages <- t.messages + 1;
+      t.known <- t.known + by;
+      t.cbar.(site) <- t.counters.(site);
+      if t.known >= t.tau then t.mature <- true
+  | Rounds ->
+      (* Send signals one by one; the coordinator stops the round at the
+         h-th, so a large increment never floods more than a round's worth
+         of messages (Section 7, step 2: "...unless q has announced the end
+         of this round"). Leftover surplus is absorbed by the collection
+         performed at round end. *)
+      let continue = ref true in
+      while !continue && t.counters.(site) - t.cbar.(site) >= t.lambda do
+        t.cbar.(site) <- t.cbar.(site) + t.lambda;
+        t.messages <- t.messages + 1;
+        t.signals <- t.signals + 1;
+        if t.signals >= t.h then begin
+          end_round t;
+          (* end_round either matured or reset cbar to the exact counters,
+             so the surplus loop is finished either way. *)
+          continue := false
+        end
+      done);
+  t.mature
+
+let message_bound ~h ~tau =
+  (* Each round costs at most 4h messages (slack broadcast + at most h
+     signals + end announcement + collection) and shrinks tau by a factor
+     >= 3/2; the direct endgame forwards at most 6h changes (each change
+     adds >= 1 toward a remainder <= 6h) plus its h-word broadcast. A +2
+     fudge on the round count absorbs rounding in both the log and the
+     lambda floor. *)
+  let rec rounds_needed tau acc =
+    if tau <= 6 * h then acc else rounds_needed (2 * tau / 3) (acc + 1)
+  in
+  let r = rounds_needed tau 0 + 2 in
+  (4 * h * r) + (7 * h)

@@ -1,0 +1,54 @@
+(** Executable specification of the distributed-tracking (DT) protocol
+    (Cormode, Muthukrishnan & Yi, ACM TALG 2011), exactly as described in
+    Sections 3.2 and 7 of the paper.
+
+    Setting: one coordinator and [h] participants, each holding an integer
+    counter starting at 0. At each timestamp at most one counter increases —
+    by 1 in the unweighted problem of Section 3.2, by an arbitrary positive
+    integer in the weighted variant of Section 7. The coordinator must
+    report {e maturity} the moment the counter sum reaches the threshold
+    [tau], while keeping the number of transmitted messages
+    [O(h log tau)] — far below the trivial [tau] messages.
+
+    Protocol: while [tau > 6h], the coordinator broadcasts the slack
+    [lambda = tau / (2h)]; a participant sends a one-bit signal for every
+    [lambda] units its counter accumulates; after [h] signals the coordinator
+    collects all exact counters, deducts them from [tau], and starts the next
+    round. Once [tau <= 6h] every counter change is forwarded directly.
+
+    This module simulates all sites on one machine with explicit message
+    accounting. The RTS core inlines the same logic across shared
+    endpoint-tree nodes; the test suite cross-checks the core against this
+    reference and validates the message bound. *)
+
+type t
+
+val create : h:int -> tau:int -> t
+(** [create ~h ~tau] starts a protocol instance with [h] participants
+    (numbered [0 .. h-1]) and threshold [tau]. Requires [h >= 1] and
+    [tau >= 1]. *)
+
+val increment : t -> site:int -> by:int -> bool
+(** [increment t ~site ~by] raises participant [site]'s counter by [by > 0]
+    (use [by:1] for the unweighted protocol) and runs all induced protocol
+    steps. Returns [true] exactly when this increment makes the instance
+    mature. Raises [Invalid_argument] on a dead instance, a bad site index,
+    or [by <= 0]. *)
+
+val is_mature : t -> bool
+
+val total : t -> int
+(** Exact current sum of all participants' counters (ground truth the
+    simulator can see; the coordinator itself only knows collected state). *)
+
+val messages : t -> int
+(** Number of protocol messages (words) transmitted so far, counting slack
+    broadcasts, signals, round-end announcements and counter collections. *)
+
+val rounds : t -> int
+(** Number of completed rounds (i.e. slack halvings) so far. *)
+
+val message_bound : h:int -> tau:int -> int
+(** A concrete instantiation of the [O(h log tau)] guarantee:
+    an upper bound on [messages] valid for every execution, asserted by the
+    test suite. *)

@@ -1,0 +1,260 @@
+(* Same DT-over-shared-participants machinery as Rts_core.Endpoint_tree,
+   with plain counter cells instead of tree nodes. Kept independent (and
+   deliberately simpler: a generic comparison-free intrusive heap over
+   edges) so that the protocol layer can be tested and reused without any
+   geometry. *)
+
+type status = Live | Mature | Cancelled
+
+type instance = {
+  iid : int;
+  threshold : int;
+  mutable edges : edge array;
+  mutable lambda : int;
+  mutable signals_in_round : int;
+  mutable direct : bool;
+  mutable wknown : int; (* direct mode: exact accumulated weight *)
+  mutable status : status;
+}
+
+and edge = {
+  owner : instance;
+  cell : cell;
+  mutable offset : int; (* cell value at registration *)
+  mutable cbar : int; (* acknowledged cell value *)
+  mutable sigma : int; (* next-signal deadline on the cell value *)
+  mutable pos : int; (* index in the cell's heap; -1 = absent *)
+}
+
+and cell = { idx : int; mutable value : int; mutable data : edge array; mutable len : int }
+
+type t = {
+  cells : cell array;
+  mutable next_id : int;
+  mutable live : int;
+  mutable signals : int;
+}
+
+(* ---- intrusive sigma heap on cells ---- *)
+
+let heap_swap c i j =
+  let a = c.data.(i) and b = c.data.(j) in
+  c.data.(i) <- b;
+  c.data.(j) <- a;
+  a.pos <- j;
+  b.pos <- i
+
+let rec heap_up c i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if c.data.(i).sigma < c.data.(parent).sigma then begin
+      heap_swap c i parent;
+      heap_up c parent
+    end
+  end
+
+let rec heap_down c i =
+  let l = (2 * i) + 1 in
+  if l < c.len then begin
+    let r = l + 1 in
+    let smallest = if r < c.len && c.data.(r).sigma < c.data.(l).sigma then r else l in
+    if c.data.(smallest).sigma < c.data.(i).sigma then begin
+      heap_swap c i smallest;
+      heap_down c smallest
+    end
+  end
+
+let heap_push c e =
+  let cap = Array.length c.data in
+  if c.len >= cap then begin
+    let ndata = Array.make (max 4 (2 * cap)) e in
+    Array.blit c.data 0 ndata 0 c.len;
+    c.data <- ndata
+  end;
+  c.data.(c.len) <- e;
+  e.pos <- c.len;
+  c.len <- c.len + 1;
+  heap_up c e.pos
+
+let heap_remove c e =
+  let i = e.pos in
+  assert (i >= 0 && i < c.len && c.data.(i) == e);
+  c.len <- c.len - 1;
+  e.pos <- -1;
+  if i <> c.len then begin
+    let last = c.data.(c.len) in
+    c.data.(i) <- last;
+    last.pos <- i;
+    heap_down c i;
+    heap_up c last.pos
+  end
+
+let heap_fix c e =
+  heap_down c e.pos;
+  heap_up c e.pos
+
+(* ---- protocol ---- *)
+
+let create ~counters =
+  if counters < 1 then invalid_arg "Shared_tracking.create: counters < 1";
+  {
+    cells = Array.init counters (fun idx -> { idx; value = 0; data = [||]; len = 0 });
+    next_id = 0;
+    live = 0;
+    signals = 0;
+  }
+
+let counters t = Array.length t.cells
+
+let counter_value t i =
+  if i < 0 || i >= Array.length t.cells then invalid_arg "Shared_tracking.counter_value";
+  t.cells.(i).value
+
+let accumulated (inst : instance) =
+  Array.fold_left (fun acc e -> acc + (e.cell.value - e.offset)) 0 inst.edges
+
+let set_deadline e = if e.pos >= 0 then heap_fix e.cell e else heap_push e.cell e
+
+let start_phase (inst : instance) remaining =
+  assert (remaining >= 1);
+  let h = Array.length inst.edges in
+  if remaining <= 6 * h then begin
+    inst.direct <- true;
+    inst.wknown <- inst.threshold - remaining;
+    Array.iter
+      (fun e ->
+        e.cbar <- e.cell.value;
+        e.sigma <- e.cell.value + 1;
+        set_deadline e)
+      inst.edges
+  end
+  else begin
+    inst.direct <- false;
+    inst.lambda <- remaining / (2 * h);
+    inst.signals_in_round <- 0;
+    Array.iter
+      (fun e ->
+        e.cbar <- e.cell.value;
+        e.sigma <- e.cbar + inst.lambda;
+        set_deadline e)
+      inst.edges
+  end
+
+let register t ~watch ~threshold =
+  if threshold < 1 then invalid_arg "Shared_tracking.register: threshold < 1";
+  if watch = [] then invalid_arg "Shared_tracking.register: empty watch set";
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun i ->
+      if i < 0 || i >= Array.length t.cells then
+        invalid_arg "Shared_tracking.register: bad counter index";
+      if Hashtbl.mem seen i then invalid_arg "Shared_tracking.register: duplicate counter";
+      Hashtbl.replace seen i ())
+    watch;
+  let inst =
+    {
+      iid = t.next_id;
+      threshold;
+      edges = [||];
+      lambda = 0;
+      signals_in_round = 0;
+      direct = false;
+      wknown = 0;
+      status = Live;
+    }
+  in
+  t.next_id <- t.next_id + 1;
+  inst.edges <-
+    Array.of_list
+      (List.map
+         (fun i ->
+           let cell = t.cells.(i) in
+           { owner = inst; cell; offset = cell.value; cbar = 0; sigma = 0; pos = -1 })
+         watch);
+  start_phase inst threshold;
+  t.live <- t.live + 1;
+  inst
+
+let detach inst =
+  Array.iter (fun e -> if e.pos >= 0 then heap_remove e.cell e) inst.edges
+
+let cancel t inst =
+  if inst.status <> Live then invalid_arg "Shared_tracking.cancel: instance not live";
+  detach inst;
+  inst.status <- Cancelled;
+  t.live <- t.live - 1
+
+let mature t inst acc =
+  detach inst;
+  inst.status <- Mature;
+  t.live <- t.live - 1;
+  acc := inst :: !acc
+
+let end_round t inst acc =
+  let w = accumulated inst in
+  let remaining = inst.threshold - w in
+  if remaining <= 0 then mature t inst acc else start_phase inst remaining
+
+let fire t edge acc =
+  let inst = edge.owner in
+  let c = edge.cell in
+  if inst.direct then begin
+    t.signals <- t.signals + 1;
+    inst.wknown <- inst.wknown + (c.value - edge.cbar);
+    edge.cbar <- c.value;
+    if inst.wknown >= inst.threshold then mature t inst acc
+    else begin
+      edge.sigma <- c.value + 1;
+      set_deadline edge
+    end
+  end
+  else begin
+    let h = Array.length inst.edges in
+    let k = (c.value - edge.cbar) / inst.lambda in
+    let delivered = min k (h - inst.signals_in_round) in
+    t.signals <- t.signals + delivered;
+    inst.signals_in_round <- inst.signals_in_round + delivered;
+    if inst.signals_in_round >= h then end_round t inst acc
+    else begin
+      edge.cbar <- edge.cbar + (k * inst.lambda);
+      edge.sigma <- edge.cbar + inst.lambda;
+      set_deadline edge
+    end
+  end
+
+let increment t i ~by =
+  if i < 0 || i >= Array.length t.cells then invalid_arg "Shared_tracking.increment: bad index";
+  if by < 1 then invalid_arg "Shared_tracking.increment: by < 1";
+  let c = t.cells.(i) in
+  c.value <- c.value + by;
+  let acc = ref [] in
+  let rec drain () =
+    if c.len > 0 then begin
+      let edge = c.data.(0) in
+      if edge.sigma <= c.value then begin
+        heap_remove c edge;
+        fire t edge acc;
+        drain ()
+      end
+    end
+  in
+  drain ();
+  List.sort (fun a b -> compare a.iid b.iid) !acc
+
+let is_live inst = inst.status = Live
+
+let is_mature inst = inst.status = Mature
+
+let progress _t inst =
+  match inst.status with
+  | Live -> accumulated inst
+  | Mature -> inst.threshold
+  | Cancelled -> invalid_arg "Shared_tracking.progress: instance cancelled"
+
+let threshold inst = inst.threshold
+
+let fanout inst = Array.length inst.edges
+
+let signals t = t.signals
+
+let live_count t = t.live

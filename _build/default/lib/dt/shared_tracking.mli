@@ -1,0 +1,70 @@
+(** Many distributed-tracking instances over shared counters — the paper's
+    Section 4 composition ("putting together all queries with heaps"),
+    isolated from the endpoint-tree geometry.
+
+    Setting: [h] shared counters. Each {e instance} (the paper's query)
+    watches a subset of the counters and must report maturity the moment
+    the sum of its counters' increments — counted from the instance's
+    registration — reaches its threshold. Naively, incrementing counter
+    [i] costs O(#instances watching i). This module instead keeps, per
+    counter, a min-heap of slack deadlines [sigma = cbar + lambda]
+    (equation (5) of the paper), so an increment costs O(1) when no
+    deadline fires plus O(log) per fired signal — the exact engine-room
+    mechanism of the RTS result, reusable for any fan-in trigger problem
+    (e.g. quota monitors over shared meters).
+
+    Weighted increments follow Section 7: signals are delivered in batches,
+    the round is stopped at the h-th signal, and instances whose remaining
+    threshold drops to [<= 6 h_q] switch to exact per-change forwarding.
+
+    Maturity is exact: reported during the {!increment} that crosses the
+    threshold. *)
+
+type t
+(** A tracker over a fixed set of counters. *)
+
+type instance
+(** One registered threshold instance. *)
+
+val create : counters:int -> t
+(** [create ~counters] makes a tracker with counters [0 .. counters-1],
+    all starting at 0. Requires [counters >= 1]. *)
+
+val counters : t -> int
+
+val counter_value : t -> int -> int
+(** Current value of one counter (sum of all increments ever). *)
+
+val register : t -> watch:int list -> threshold:int -> instance
+(** [register t ~watch ~threshold] starts an instance over the distinct
+    counter indices [watch] (nonempty, deduplicated by the caller;
+    checked). It counts only increments that happen from now on. *)
+
+val cancel : t -> instance -> unit
+(** Remove a live instance in O(h log) time. Raises [Invalid_argument] if
+    it is not live. *)
+
+val increment : t -> int -> by:int -> instance list
+(** [increment t i ~by] raises counter [i] by [by >= 1] and returns the
+    instances this increment matured (removed automatically), in
+    registration order. *)
+
+val is_live : instance -> bool
+
+val is_mature : instance -> bool
+
+val progress : t -> instance -> int
+(** Exact accumulated weight of a live instance (O(h_q)); its threshold if
+    mature. Raises [Invalid_argument] if cancelled. *)
+
+val threshold : instance -> int
+
+val fanout : instance -> int
+(** h_q: number of counters the instance watches. *)
+
+val signals : t -> int
+(** Total signals delivered so far, across all instances — the analogue of
+    the DT message count; tests hold it to the O(sum h_q log tau_q)
+    budget. *)
+
+val live_count : t -> int

@@ -1,0 +1,1 @@
+lib/structures/handle_heap.mli:

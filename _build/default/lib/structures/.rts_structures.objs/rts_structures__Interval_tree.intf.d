@@ -1,0 +1,1 @@
+lib/structures/interval_tree.mli:

@@ -1,0 +1,1 @@
+lib/structures/rtree.ml: Array Hashtbl List

@@ -1,0 +1,1 @@
+lib/structures/segment_interval_tree.ml: Array Hashtbl Interval_tree List Segment_tree

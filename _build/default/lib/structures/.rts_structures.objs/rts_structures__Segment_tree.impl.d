@@ -1,0 +1,1 @@
+lib/structures/segment_tree.ml: Array Float Option

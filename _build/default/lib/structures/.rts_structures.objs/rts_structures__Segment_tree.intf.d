@@ -1,0 +1,1 @@
+lib/structures/segment_tree.mli:

@@ -1,0 +1,1 @@
+lib/structures/weight_balanced_tree.mli:

@@ -1,0 +1,126 @@
+(* Entries carry their array index so that a handle (the entry itself)
+   supports O(log n) removal. [pos = -1] marks a dead handle. The [owner]
+   field lets [is_member]/[remove] reject handles from a different heap
+   without comparing heaps structurally. *)
+
+type 'a handle = { mutable pos : int; mutable v : 'a; owner : Obj.t }
+
+type 'a t = {
+  leq : 'a -> 'a -> bool;
+  mutable data : 'a handle array;
+  mutable len : int;
+}
+
+let create ~leq () = { leq; data = [||]; len = 0 }
+
+let size h = h.len
+
+let is_empty h = h.len = 0
+
+let ensure_capacity h =
+  let cap = Array.length h.data in
+  if h.len >= cap then begin
+    let ncap = max 8 (cap * 2) in
+    let ndata = Array.make ncap h.data.(0) in
+    Array.blit h.data 0 ndata 0 h.len;
+    h.data <- ndata
+  end
+
+let swap h i j =
+  let a = h.data.(i) and b = h.data.(j) in
+  h.data.(i) <- b;
+  h.data.(j) <- a;
+  a.pos <- j;
+  b.pos <- i
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.leq h.data.(i).v h.data.(parent).v && not (h.leq h.data.(parent).v h.data.(i).v)
+    then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && not (h.leq h.data.(!smallest).v h.data.(l).v) then smallest := l;
+  if r < h.len && not (h.leq h.data.(!smallest).v h.data.(r).v) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h v =
+  let entry = { pos = h.len; v; owner = Obj.repr h } in
+  if h.len = 0 && Array.length h.data = 0 then h.data <- Array.make 8 entry
+  else ensure_capacity h;
+  h.data.(h.len) <- entry;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1);
+  entry
+
+let peek h = if h.len = 0 then None else Some h.data.(0).v
+
+let peek_exn h =
+  if h.len = 0 then invalid_arg "Handle_heap.peek_exn: empty heap";
+  h.data.(0).v
+
+let is_member h (e : 'a handle) = e.pos >= 0 && e.owner == Obj.repr h
+
+let check_live h e op =
+  if e.pos < 0 then invalid_arg (op ^ ": dead handle");
+  if e.owner != Obj.repr h then invalid_arg (op ^ ": handle from another heap")
+
+(* Remove the entry at index [i]: move the last entry into the hole, then
+   restore order in whichever direction is violated. *)
+let remove_at h i =
+  let victim = h.data.(i) in
+  h.len <- h.len - 1;
+  if i <> h.len then begin
+    let last = h.data.(h.len) in
+    h.data.(i) <- last;
+    last.pos <- i;
+    sift_down h i;
+    sift_up h last.pos
+  end;
+  victim.pos <- -1;
+  victim
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let e = remove_at h 0 in
+    Some e.v
+  end
+
+let remove h e =
+  check_live h e "Handle_heap.remove";
+  ignore (remove_at h e.pos)
+
+let update h e v =
+  check_live h e "Handle_heap.update";
+  e.v <- v;
+  sift_down h e.pos;
+  sift_up h e.pos
+
+let value (e : 'a handle) =
+  if e.pos < 0 then invalid_arg "Handle_heap.value: dead handle";
+  e.v
+
+let to_list h =
+  let rec loop i acc = if i < 0 then acc else loop (i - 1) (h.data.(i).v :: acc) in
+  loop (h.len - 1) []
+
+let check_invariants h =
+  for i = 0 to h.len - 1 do
+    let e = h.data.(i) in
+    assert (e.pos = i);
+    assert (e.owner == Obj.repr h);
+    if i > 0 then begin
+      let parent = h.data.((i - 1) / 2) in
+      assert (h.leq parent.v e.v)
+    end
+  done

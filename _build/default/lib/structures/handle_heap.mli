@@ -1,0 +1,61 @@
+(** Binary min-heap with handles.
+
+    The RTS algorithm (Section 4 of the paper) keeps, at every endpoint-tree
+    node [u], a min-heap [H(u)] of slack deadlines — one entry per query whose
+    canonical node set contains [u]. Besides the usual [peek]/[pop], the
+    algorithm must *remove or reprioritize an arbitrary entry* whenever a
+    query's DT round ends, the query matures, or it is terminated. This
+    module therefore returns a {e handle} from [push]; the handle tracks the
+    entry as it moves inside the array and supports O(log n) removal and
+    priority update.
+
+    The heap is a plain array-embedded binary heap: no amortization tricks,
+    worst-case O(log n) per operation, O(1) [peek]. *)
+
+type 'a t
+(** A heap of values of type ['a]. *)
+
+type 'a handle
+(** A live entry in some heap. A handle becomes {e dead} once removed
+    (by [pop] or [remove]); using a dead handle raises [Invalid_argument],
+    except for [is_member] which simply answers [false]. *)
+
+val create : leq:('a -> 'a -> bool) -> unit -> 'a t
+(** [create ~leq ()] is an empty heap ordered by [leq] (total preorder;
+    [leq a b] means [a] has priority at least as urgent as [b]). *)
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> 'a handle
+(** Insert a value; O(log n). *)
+
+val peek : 'a t -> 'a option
+(** Minimum value, if any; O(1). *)
+
+val peek_exn : 'a t -> 'a
+(** Like [peek] but raises [Invalid_argument] on an empty heap. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum; its handle dies. O(log n). *)
+
+val remove : 'a t -> 'a handle -> unit
+(** Remove an arbitrary live entry; O(log n). Raises [Invalid_argument] if
+    the handle is dead or belongs to another heap. *)
+
+val update : 'a t -> 'a handle -> 'a -> unit
+(** Replace the value of a live entry and restore heap order; O(log n). *)
+
+val value : 'a handle -> 'a
+(** Current value under a live handle. *)
+
+val is_member : 'a t -> 'a handle -> bool
+(** Whether the handle is live and belongs to this heap. *)
+
+val to_list : 'a t -> 'a list
+(** All values, in unspecified order; O(n). *)
+
+val check_invariants : 'a t -> unit
+(** Verify the heap-order property and handle back-pointers; raises
+    [Assert_failure] on violation. For tests. *)

@@ -1,0 +1,187 @@
+(* Functional AVL nodes under a mutable root. Keys are (lo, hi, id)
+   lexicographic; every node caches its height and the maximum high endpoint
+   in its subtree (the stabbing-pruning augmentation). *)
+
+type 'a node = {
+  lo : float;
+  hi : float;
+  id : int;
+  payload : 'a;
+  left : 'a node option;
+  right : 'a node option;
+  height : int;
+  maxhi : float;
+}
+
+type 'a t = { mutable root : 'a node option; mutable size : int }
+
+let create () = { root = None; size = 0 }
+
+let size t = t.size
+
+let is_empty t = t.size = 0
+
+let height = function None -> 0 | Some n -> n.height
+
+let maxhi_opt = function None -> neg_infinity | Some n -> n.maxhi
+
+let mk lo hi id payload left right =
+  {
+    lo;
+    hi;
+    id;
+    payload;
+    left;
+    right;
+    height = 1 + max (height left) (height right);
+    maxhi = max hi (max (maxhi_opt left) (maxhi_opt right));
+  }
+
+let remk n left right = mk n.lo n.hi n.id n.payload left right
+
+let balance_factor n = height n.left - height n.right
+
+(* Standard AVL rebalancing of a node whose children are already valid. *)
+let rebalance n =
+  let bf = balance_factor n in
+  if bf > 1 then begin
+    match n.left with
+    | None -> assert false
+    | Some l ->
+        if height l.left >= height l.right then
+          (* single right rotation *)
+          remk l l.left (Some (remk n l.right n.right))
+        else begin
+          match l.right with
+          | None -> assert false
+          | Some lr ->
+              remk lr (Some (remk l l.left lr.left)) (Some (remk n lr.right n.right))
+        end
+  end
+  else if bf < -1 then begin
+    match n.right with
+    | None -> assert false
+    | Some r ->
+        if height r.right >= height r.left then
+          remk r (Some (remk n n.left r.left)) r.right
+        else begin
+          match r.left with
+          | None -> assert false
+          | Some rl ->
+              remk rl (Some (remk n n.left rl.left)) (Some (remk r rl.right r.right))
+        end
+  end
+  else n
+
+let compare_key lo hi id n =
+  let c = compare lo n.lo in
+  if c <> 0 then c
+  else
+    let c = compare hi n.hi in
+    if c <> 0 then c else compare id n.id
+
+exception Duplicate
+
+let rec insert_node lo hi id payload = function
+  | None -> mk lo hi id payload None None
+  | Some n ->
+      let c = compare_key lo hi id n in
+      if c = 0 then raise Duplicate
+      else if c < 0 then
+        rebalance (remk n (Some (insert_node lo hi id payload n.left)) n.right)
+      else rebalance (remk n n.left (Some (insert_node lo hi id payload n.right)))
+
+let insert t ~id ~lo ~hi payload =
+  if not (lo < hi) then invalid_arg "Interval_tree.insert: requires lo < hi";
+  (try t.root <- Some (insert_node lo hi id payload t.root)
+   with Duplicate -> invalid_arg "Interval_tree.insert: duplicate (lo, hi, id)");
+  t.size <- t.size + 1
+
+(* Delete the minimum node of a nonempty subtree, returning it and the rest. *)
+let rec take_min n =
+  match n.left with
+  | None -> (n, n.right)
+  | Some l ->
+      let m, rest = take_min l in
+      (m, Some (rebalance (remk n rest n.right)))
+
+let rec delete_node lo hi id = function
+  | None -> raise Not_found
+  | Some n ->
+      let c = compare_key lo hi id n in
+      if c < 0 then Some (rebalance (remk n (delete_node lo hi id n.left) n.right))
+      else if c > 0 then Some (rebalance (remk n n.left (delete_node lo hi id n.right)))
+      else begin
+        match (n.left, n.right) with
+        | None, r -> r
+        | l, None -> l
+        | l, Some r ->
+            let succ, rest = take_min r in
+            Some (rebalance (remk succ l rest))
+      end
+
+let delete t ~id ~lo ~hi =
+  t.root <- delete_node lo hi id t.root;
+  t.size <- t.size - 1
+
+let rec mem_node lo hi id = function
+  | None -> false
+  | Some n ->
+      let c = compare_key lo hi id n in
+      if c = 0 then true
+      else if c < 0 then mem_node lo hi id n.left
+      else mem_node lo hi id n.right
+
+let mem t ~id ~lo ~hi = mem_node lo hi id t.root
+
+let iter_stab t v f =
+  (* Prune subtrees whose maxhi <= v (nothing there can contain v) and, when
+     v precedes a node's lo, its entire right subtree (keys there have even
+     larger lo). *)
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        if n.maxhi > v then begin
+          go n.left;
+          if v >= n.lo then begin
+            if v < n.hi then f n.id n.payload;
+            go n.right
+          end
+        end
+  in
+  go t.root
+
+let stab t v =
+  let acc = ref [] in
+  iter_stab t v (fun id payload -> acc := (id, payload) :: !acc);
+  !acc
+
+let iter t f =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        go n.left;
+        f n.id n.lo n.hi n.payload;
+        go n.right
+  in
+  go t.root
+
+let check_invariants t =
+  let rec go lo_bound = function
+    | None -> (0, neg_infinity, 0)
+    | Some n ->
+        (match lo_bound with
+        | Some (plo, phi, pid, side) ->
+            let c = compare_key plo phi pid n in
+            if side = `Left then assert (c > 0) else assert (c < 0)
+        | None -> ());
+        let hl, ml, cl = go (Some (n.lo, n.hi, n.id, `Left)) n.left in
+        let hr, mr, cr = go (Some (n.lo, n.hi, n.id, `Right)) n.right in
+        assert (n.height = 1 + max hl hr);
+        assert (abs (hl - hr) <= 1);
+        assert (n.maxhi = max n.hi (max ml mr));
+        assert (n.lo < n.hi);
+        (n.height, n.maxhi, cl + cr + 1)
+  in
+  let _, _, count = go None t.root in
+  assert (count = t.size)

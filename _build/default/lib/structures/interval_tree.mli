@@ -1,0 +1,50 @@
+(** Dynamic interval tree for stabbing queries.
+
+    This is the structure behind the paper's 1D "Interval tree" competitor
+    (Section 3.1): a balanced BST over intervals that, given a point [v],
+    reports every stored interval containing [v].
+
+    Implementation: AVL tree keyed on the interval's low endpoint (ties
+    broken by high endpoint, then by the caller-supplied integer id so that
+    duplicate intervals coexist), with the classic max-high augmentation
+    (CLRS ch. 14). Insert and delete are worst-case O(log n); a stabbing
+    query visits only subtrees whose max-high exceeds the probe and is
+    output-sensitive in practice.
+
+    Intervals are half-open [lo, hi): a probe [v] stabs an interval iff
+    [lo <= v && v < hi]. *)
+
+type 'a t
+(** Mutable set of intervals, each carrying a payload of type ['a]. *)
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val insert : 'a t -> id:int -> lo:float -> hi:float -> 'a -> unit
+(** Insert interval [lo, hi) with payload. Requires [lo < hi] (empty
+    intervals are meaningless for stabbing) and an [id] unique among the
+    currently stored intervals; both are checked. *)
+
+val delete : 'a t -> id:int -> lo:float -> hi:float -> unit
+(** Remove the interval previously inserted with exactly this key triple.
+    Raises [Not_found] if absent. *)
+
+val mem : 'a t -> id:int -> lo:float -> hi:float -> bool
+
+val stab : 'a t -> float -> (int * 'a) list
+(** [stab t v] returns [(id, payload)] for every stored interval containing
+    [v], in unspecified order. *)
+
+val iter_stab : 'a t -> float -> (int -> 'a -> unit) -> unit
+(** Like [stab] but invokes a callback, avoiding list allocation — this is
+    the hot path of the stabbing RTS engine. *)
+
+val iter : 'a t -> (int -> float -> float -> 'a -> unit) -> unit
+(** Visit every stored interval (id, lo, hi, payload) in key order. *)
+
+val check_invariants : 'a t -> unit
+(** Assert BST order, AVL balance (|balance factor| <= 1), correct heights
+    and max-high augmentation. For tests. *)

@@ -1,0 +1,362 @@
+(* Guttman R-tree with quadratic split.
+
+   Nodes keep explicit MBRs and parent pointers; leaf items carry a
+   back-pointer to their leaf so [delete] starts from the id index instead
+   of a tree search. MBRs are half-open boxes, like everything in this
+   repository, so a point p is inside iff lo.(k) <= p.(k) < hi.(k). *)
+
+type 'a item = {
+  id : int;
+  ilo : float array;
+  ihi : float array;
+  payload : 'a;
+  mutable home : 'a node option; (* leaf currently holding this item *)
+}
+
+and 'a node = {
+  mutable level : int; (* 0 = leaf *)
+  mutable items : 'a item list; (* level = 0 *)
+  mutable children : 'a node list; (* level > 0 *)
+  mutable nlo : float array; (* MBR *)
+  mutable nhi : float array;
+  mutable parent : 'a node option;
+}
+
+type 'a t = {
+  dim : int;
+  max_entries : int;
+  min_entries : int;
+  mutable root : 'a node;
+  index : (int, 'a item) Hashtbl.t;
+}
+
+let empty_box dim = (Array.make dim infinity, Array.make dim neg_infinity)
+
+let new_node dim level =
+  let lo, hi = empty_box dim in
+  { level; items = []; children = []; nlo = lo; nhi = hi; parent = None }
+
+let create ?(max_entries = 8) ~dim () =
+  if dim < 1 then invalid_arg "Rtree.create: dim < 1";
+  if max_entries < 4 then invalid_arg "Rtree.create: max_entries < 4";
+  {
+    dim;
+    max_entries;
+    min_entries = max 2 (max_entries / 2);
+    root = new_node dim 0;
+    index = Hashtbl.create 64;
+  }
+
+let size t = Hashtbl.length t.index
+
+let mem t ~id = Hashtbl.mem t.index id
+
+(* --- box arithmetic ------------------------------------------------- *)
+
+let box_area dim lo hi =
+  let a = ref 1. in
+  for k = 0 to dim - 1 do
+    a := !a *. max 0. (hi.(k) -. lo.(k))
+  done;
+  !a
+
+let union_area dim alo ahi blo bhi =
+  let a = ref 1. in
+  for k = 0 to dim - 1 do
+    a := !a *. max 0. (max ahi.(k) bhi.(k) -. min alo.(k) blo.(k))
+  done;
+  !a
+
+let grow_box dim lo hi blo bhi =
+  for k = 0 to dim - 1 do
+    if blo.(k) < lo.(k) then lo.(k) <- blo.(k);
+    if bhi.(k) > hi.(k) then hi.(k) <- bhi.(k)
+  done
+
+let box_contains_point dim lo hi p =
+  let rec go k = k = dim || (lo.(k) <= p.(k) && p.(k) < hi.(k) && go (k + 1)) in
+  go 0
+
+(* --- MBR maintenance ------------------------------------------------- *)
+
+let node_entry_boxes n =
+  if n.level = 0 then List.map (fun it -> (it.ilo, it.ihi)) n.items
+  else List.map (fun c -> (c.nlo, c.nhi)) n.children
+
+let recompute_mbr t n =
+  let lo, hi = empty_box t.dim in
+  List.iter (fun (blo, bhi) -> grow_box t.dim lo hi blo bhi) (node_entry_boxes n);
+  n.nlo <- lo;
+  n.nhi <- hi
+
+let rec adjust_mbr_upward t n =
+  recompute_mbr t n;
+  match n.parent with None -> () | Some p -> adjust_mbr_upward t p
+
+(* --- quadratic split -------------------------------------------------- *)
+
+(* Distribute boxes [entries] (with attached values) into two groups using
+   Guttman's quadratic PickSeeds / PickNext. Returns the two index lists. *)
+let quadratic_partition t (boxes : (float array * float array) array) =
+  let n = Array.length boxes in
+  assert (n >= 2);
+  (* PickSeeds: the pair wasting the most area. *)
+  let seed1 = ref 0 and seed2 = ref 1 and worst = ref neg_infinity in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let ilo, ihi = boxes.(i) and jlo, jhi = boxes.(j) in
+      let waste =
+        union_area t.dim ilo ihi jlo jhi -. box_area t.dim ilo ihi -. box_area t.dim jlo jhi
+      in
+      if waste > !worst then begin
+        worst := waste;
+        seed1 := i;
+        seed2 := j
+      end
+    done
+  done;
+  let g1 = ref [] and g2 = ref [] in
+  let n1 = ref 0 and n2 = ref 0 in
+  let lo1, hi1 = empty_box t.dim and lo2, hi2 = empty_box t.dim in
+  let add_to g cnt lo hi i =
+    g := i :: !g;
+    incr cnt;
+    let blo, bhi = boxes.(i) in
+    grow_box t.dim lo hi blo bhi
+  in
+  add_to g1 n1 lo1 hi1 !seed1;
+  add_to g2 n2 lo2 hi2 !seed2;
+  let rest = ref [] in
+  for i = n - 1 downto 0 do
+    if i <> !seed1 && i <> !seed2 then rest := i :: !rest
+  done;
+  let total_left () = List.length !rest in
+  while !rest <> [] do
+    (* If one group must take everything left to reach min fill, do so. *)
+    if !n1 + total_left () <= t.min_entries then begin
+      List.iter (fun i -> add_to g1 n1 lo1 hi1 i) !rest;
+      rest := []
+    end
+    else if !n2 + total_left () <= t.min_entries then begin
+      List.iter (fun i -> add_to g2 n2 lo2 hi2 i) !rest;
+      rest := []
+    end
+    else begin
+      (* PickNext: entry with the greatest preference difference. *)
+      let best = ref (-1) and best_diff = ref neg_infinity and best_d1 = ref 0. and best_d2 = ref 0. in
+      List.iter
+        (fun i ->
+          let blo, bhi = boxes.(i) in
+          let d1 = union_area t.dim lo1 hi1 blo bhi -. box_area t.dim lo1 hi1 in
+          let d2 = union_area t.dim lo2 hi2 blo bhi -. box_area t.dim lo2 hi2 in
+          let diff = abs_float (d1 -. d2) in
+          if diff > !best_diff then begin
+            best_diff := diff;
+            best := i;
+            best_d1 := d1;
+            best_d2 := d2
+          end)
+        !rest;
+      let i = !best in
+      rest := List.filter (fun j -> j <> i) !rest;
+      let prefer_1 =
+        if !best_d1 <> !best_d2 then !best_d1 < !best_d2
+        else if !n1 <> !n2 then !n1 < !n2
+        else box_area t.dim lo1 hi1 <= box_area t.dim lo2 hi2
+      in
+      if prefer_1 then add_to g1 n1 lo1 hi1 i else add_to g2 n2 lo2 hi2 i
+    end
+  done;
+  (!g1, !g2)
+
+(* Split an overfull node in place; returns the freshly created sibling. *)
+let split_node t n =
+  let boxes = Array.of_list (node_entry_boxes n) in
+  let g1, g2 = quadratic_partition t boxes in
+  let sibling = new_node t.dim n.level in
+  sibling.parent <- n.parent;
+  if n.level = 0 then begin
+    let items = Array.of_list n.items in
+    n.items <- List.map (fun i -> items.(i)) g1;
+    sibling.items <- List.map (fun i -> items.(i)) g2;
+    List.iter (fun it -> it.home <- Some sibling) sibling.items
+  end
+  else begin
+    let children = Array.of_list n.children in
+    n.children <- List.map (fun i -> children.(i)) g1;
+    sibling.children <- List.map (fun i -> children.(i)) g2;
+    List.iter (fun c -> c.parent <- Some sibling) sibling.children
+  end;
+  recompute_mbr t n;
+  recompute_mbr t sibling;
+  sibling
+
+let node_entry_count n = if n.level = 0 then List.length n.items else List.length n.children
+
+(* Propagate splits toward the root. *)
+let rec handle_overflow t n =
+  if node_entry_count n > t.max_entries then begin
+    let sibling = split_node t n in
+    match n.parent with
+    | None ->
+        (* n was the root: grow the tree. *)
+        let new_root = new_node t.dim (n.level + 1) in
+        new_root.children <- [ n; sibling ];
+        n.parent <- Some new_root;
+        sibling.parent <- Some new_root;
+        recompute_mbr t new_root;
+        t.root <- new_root
+    | Some p ->
+        p.children <- sibling :: p.children;
+        sibling.parent <- Some p;
+        recompute_mbr t p;
+        handle_overflow t p
+  end
+
+(* ChooseLeaf: descend to the given level picking least enlargement. *)
+let choose_node t blo bhi level =
+  let rec descend n =
+    if n.level = level then n
+    else begin
+      let best = ref None and best_growth = ref infinity and best_area = ref infinity in
+      List.iter
+        (fun c ->
+          let area = box_area t.dim c.nlo c.nhi in
+          let growth = union_area t.dim c.nlo c.nhi blo bhi -. area in
+          if growth < !best_growth || (growth = !best_growth && area < !best_area) then begin
+            best := Some c;
+            best_growth := growth;
+            best_area := area
+          end)
+        n.children;
+      match !best with Some c -> descend c | None -> assert false
+    end
+  in
+  descend t.root
+
+let insert_item t it =
+  let leaf = choose_node t it.ilo it.ihi 0 in
+  leaf.items <- it :: leaf.items;
+  it.home <- Some leaf;
+  adjust_mbr_upward t leaf;
+  handle_overflow t leaf
+
+let insert t ~id ~lo ~hi payload =
+  if Array.length lo <> t.dim || Array.length hi <> t.dim then
+    invalid_arg "Rtree.insert: wrong dimensionality";
+  for k = 0 to t.dim - 1 do
+    if not (lo.(k) < hi.(k)) then invalid_arg "Rtree.insert: empty rectangle"
+  done;
+  if mem t ~id then invalid_arg "Rtree.insert: duplicate id";
+  let it = { id; ilo = Array.copy lo; ihi = Array.copy hi; payload; home = None } in
+  Hashtbl.replace t.index id it;
+  insert_item t it
+
+(* Guttman's CondenseTree reinsertion: put the *entries* of an eliminated
+   node back at their original level. An eliminated node itself may be
+   underfull or even empty, but each of its surviving entries is a valid
+   node (it respected the fill bounds as a child), so a subtree entry can
+   be re-hung one level up — unless the tree has shrunk below that height,
+   in which case it is unpacked recursively down to items. *)
+let rec reinsert_entries t n =
+  if n.level = 0 then
+    List.iter
+      (fun it ->
+        it.home <- None;
+        insert_item t it)
+      n.items
+  else
+    List.iter
+      (fun c ->
+        c.parent <- None;
+        if t.root.level >= c.level + 1 then begin
+          let target = choose_node t c.nlo c.nhi (c.level + 1) in
+          target.children <- c :: target.children;
+          c.parent <- Some target;
+          adjust_mbr_upward t target;
+          handle_overflow t target
+        end
+        else reinsert_entries t c)
+      n.children
+
+let delete t ~id =
+  let it = match Hashtbl.find_opt t.index id with Some it -> it | None -> raise Not_found in
+  Hashtbl.remove t.index id;
+  let leaf = match it.home with Some l -> l | None -> assert false in
+  leaf.items <- List.filter (fun other -> other != it) leaf.items;
+  it.home <- None;
+  (* CondenseTree: drop underfull nodes along the path, remember them. *)
+  let orphans = ref [] in
+  let rec condense n =
+    match n.parent with
+    | None ->
+        recompute_mbr t n (* root: always kept *)
+    | Some p ->
+        if node_entry_count n < t.min_entries then begin
+          p.children <- List.filter (fun c -> c != n) p.children;
+          n.parent <- None;
+          orphans := n :: !orphans
+        end
+        else recompute_mbr t n;
+        condense p
+  in
+  condense leaf;
+  (* Shrink the root while it has a single child. *)
+  while t.root.level > 0 && List.length t.root.children = 1 do
+    match t.root.children with
+    | [ only ] ->
+        only.parent <- None;
+        t.root <- only
+    | _ -> assert false
+  done;
+  if t.root.level > 0 && t.root.children = [] then t.root <- new_node t.dim 0;
+  List.iter (reinsert_entries t) !orphans
+
+let iter_stab t p f =
+  if Array.length p <> t.dim then invalid_arg "Rtree.stab: wrong dimensionality";
+  let rec go n =
+    if box_contains_point t.dim n.nlo n.nhi p then
+      if n.level = 0 then
+        List.iter
+          (fun it -> if box_contains_point t.dim it.ilo it.ihi p then f it.id it.payload)
+          n.items
+      else List.iter go n.children
+  in
+  go t.root
+
+let stab t p =
+  let acc = ref [] in
+  iter_stab t p (fun id payload -> acc := (id, payload) :: !acc);
+  !acc
+
+let height t = t.root.level + 1
+
+let check_invariants t =
+  let seen = Hashtbl.create 64 in
+  let rec check n ~is_root =
+    (* MBR is tight. *)
+    let lo, hi = empty_box t.dim in
+    List.iter (fun (blo, bhi) -> grow_box t.dim lo hi blo bhi) (node_entry_boxes n);
+    assert (n.nlo = lo && n.nhi = hi);
+    let count = node_entry_count n in
+    if not is_root then assert (count >= t.min_entries && count <= t.max_entries)
+    else assert (count <= t.max_entries);
+    if n.level = 0 then
+      List.iter
+        (fun it ->
+          assert (match it.home with Some h -> h == n | None -> false);
+          assert (not (Hashtbl.mem seen it.id));
+          Hashtbl.replace seen it.id ();
+          assert (Hashtbl.mem t.index it.id))
+        n.items
+    else
+      List.iter
+        (fun c ->
+          assert (c.level = n.level - 1);
+          assert (match c.parent with Some p -> p == n | None -> false);
+          check c ~is_root:false)
+        n.children
+  in
+  check t.root ~is_root:true;
+  assert (t.root.parent = None);
+  assert (Hashtbl.length seen = Hashtbl.length t.index)

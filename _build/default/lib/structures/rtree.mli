@@ -1,0 +1,42 @@
+(** Dynamic R-tree (Guttman 1984) with quadratic split, used as the paper's
+    2D "R-tree" stabbing competitor (Sections 3.1 and 8).
+
+    Stores axis-parallel half-open rectangles in any fixed dimensionality.
+    Supports insertion, deletion (with Guttman's condense-and-reinsert), and
+    point-stabbing search. As the paper stresses, the R-tree is a heuristic
+    structure with no attractive worst-case guarantees — its benchmark role
+    is precisely to exhibit that weakness on heavily-overlapping query
+    rectangles (Figure 8). *)
+
+type 'a t
+
+val create : ?max_entries:int -> dim:int -> unit -> 'a t
+(** [create ~dim ()] makes an empty R-tree over [dim]-dimensional
+    rectangles. [max_entries] (default 8, minimum 4) is Guttman's M; the
+    minimum fill m is M/2 rounded down, at least 2. *)
+
+val size : 'a t -> int
+(** Number of stored rectangles. *)
+
+val insert : 'a t -> id:int -> lo:float array -> hi:float array -> 'a -> unit
+(** Insert rectangle [lo, hi) (componentwise half-open). Requires arrays of
+    length [dim] with [lo.(k) < hi.(k)] for all k, and a fresh id. *)
+
+val delete : 'a t -> id:int -> unit
+(** Remove a rectangle by id. Raises [Not_found] if absent. *)
+
+val mem : 'a t -> id:int -> bool
+
+val stab : 'a t -> float array -> (int * 'a) list
+(** All rectangles containing the point. *)
+
+val iter_stab : 'a t -> float array -> (int -> 'a -> unit) -> unit
+(** Callback form of [stab]. *)
+
+val height : 'a t -> int
+(** Height of the tree (leaf = 1); all leaves are at the same depth. *)
+
+val check_invariants : 'a t -> unit
+(** Assert: MBRs tightly contain children, fill bounds hold for non-root
+    nodes, all leaves at equal depth, parent pointers consistent, and the
+    id index agrees with tree contents. For tests. *)

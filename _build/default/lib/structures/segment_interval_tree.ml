@@ -1,0 +1,150 @@
+(* Built on the generic {!Segment_tree}: the x-dimension is a static
+   segment tree whose node payloads are interval trees on y. Rectangles
+   whose x-endpoints are off the current grid wait in an overflow buffer
+   until an amortized rebuild (see the .mli). *)
+
+type 'a record = {
+  id : int;
+  xlo : float;
+  xhi : float;
+  ylo : float;
+  yhi : float;
+  payload : 'a;
+  (* Canonical x-nodes whose y-tree holds this rectangle; empty while the
+     rectangle sits in the overflow buffer. *)
+  mutable nodes : 'a snode list;
+}
+
+and 'a snode = 'a record Interval_tree.t Segment_tree.node
+
+type 'a t = {
+  mutable seg : 'a record Interval_tree.t Segment_tree.t option;
+  placed : (int, 'a record) Hashtbl.t; (* id -> record stored in the tree *)
+  overflow : (int, 'a record) Hashtbl.t; (* id -> record awaiting rebuild *)
+  mutable built_size : int; (* #rectangles placed at the last rebuild *)
+  mutable deletions : int; (* deletions since the last rebuild *)
+}
+
+let create () =
+  {
+    seg = None;
+    placed = Hashtbl.create 64;
+    overflow = Hashtbl.create 16;
+    built_size = 0;
+    deletions = 0;
+  }
+
+let size t = Hashtbl.length t.placed + Hashtbl.length t.overflow
+
+let overflow_count t = Hashtbl.length t.overflow
+
+let mem t ~id = Hashtbl.mem t.placed id || Hashtbl.mem t.overflow id
+
+(* Insert [r] into the canonical nodes covering [r.xlo, r.xhi). *)
+let place_record seg r =
+  Segment_tree.iter_canonical seg ~lo:r.xlo ~hi:r.xhi (fun n ->
+      Interval_tree.insert (Segment_tree.payload n) ~id:r.id ~lo:r.ylo ~hi:r.yhi r;
+      r.nodes <- n :: r.nodes)
+
+let live_records t =
+  let acc = ref [] in
+  Hashtbl.iter (fun _ r -> acc := r :: !acc) t.placed;
+  Hashtbl.iter (fun _ r -> acc := r :: !acc) t.overflow;
+  !acc
+
+let rebuild t =
+  let records = live_records t in
+  Hashtbl.reset t.placed;
+  Hashtbl.reset t.overflow;
+  t.deletions <- 0;
+  let endpoints = List.concat_map (fun r -> [ r.xlo; r.xhi ]) records in
+  let keys = Array.of_list (List.sort_uniq compare endpoints) in
+  t.seg <- Segment_tree.build ~payload:Interval_tree.create keys;
+  match t.seg with
+  | None -> t.built_size <- 0
+  | Some seg ->
+      List.iter
+        (fun r ->
+          r.nodes <- [];
+          place_record seg r;
+          Hashtbl.replace t.placed r.id r)
+        records;
+      t.built_size <- List.length records
+
+let needs_rebuild t =
+  let ov = Hashtbl.length t.overflow in
+  ov >= 16 && ov * 4 >= t.built_size
+
+let insert t ~id ~xlo ~xhi ~ylo ~yhi payload =
+  if not (xlo < xhi && ylo < yhi) then
+    invalid_arg "Segment_interval_tree.insert: empty rectangle";
+  if mem t ~id then invalid_arg "Segment_interval_tree.insert: duplicate id";
+  let r = { id; xlo; xhi; ylo; yhi; payload; nodes = [] } in
+  match t.seg with
+  | Some seg
+    when Segment_tree.on_grid seg xlo
+         && (xhi = infinity || Segment_tree.on_grid seg xhi) ->
+      place_record seg r;
+      Hashtbl.replace t.placed id r
+  | _ ->
+      Hashtbl.replace t.overflow id r;
+      if needs_rebuild t then rebuild t
+
+let delete t ~id =
+  match Hashtbl.find_opt t.placed id with
+  | Some r ->
+      List.iter
+        (fun n -> Interval_tree.delete (Segment_tree.payload n) ~id ~lo:r.ylo ~hi:r.yhi)
+        r.nodes;
+      r.nodes <- [];
+      Hashtbl.remove t.placed id;
+      t.deletions <- t.deletions + 1;
+      if t.deletions * 2 >= t.built_size && t.built_size > 16 then rebuild t
+  | None ->
+      if Hashtbl.mem t.overflow id then Hashtbl.remove t.overflow id else raise Not_found
+
+let iter_stab t ~x ~y f =
+  (* Each node on the x-path is a potential canonical node of a rectangle
+     whose x-range contains x; stab its y-tree. *)
+  (match t.seg with
+  | Some seg ->
+      Segment_tree.iter_path seg x (fun n ->
+          Interval_tree.iter_stab (Segment_tree.payload n) y (fun id r -> f id r.payload))
+  | None -> ());
+  Hashtbl.iter
+    (fun id r -> if x >= r.xlo && x < r.xhi && y >= r.ylo && y < r.yhi then f id r.payload)
+    t.overflow
+
+let stab t ~x ~y =
+  let acc = ref [] in
+  iter_stab t ~x ~y (fun id payload -> acc := (id, payload) :: !acc);
+  !acc
+
+let check_invariants t =
+  (match t.seg with
+  | Some seg ->
+      Segment_tree.check_invariants seg;
+      Segment_tree.iter_nodes seg (fun n -> Interval_tree.check_invariants (Segment_tree.payload n))
+  | None -> ());
+  (* Every placed record sits in nodes that tile exactly its x-range. *)
+  Hashtbl.iter
+    (fun id r ->
+      assert (id = r.id);
+      let spans = List.map (fun n -> Segment_tree.jurisdiction n) r.nodes in
+      let spans = List.sort compare spans in
+      let rec contiguous cur = function
+        | [] -> assert (cur = r.xhi)
+        | (lo, hi) :: rest ->
+            assert (lo = cur);
+            contiguous hi rest
+      in
+      (match spans with
+      | [] -> assert false
+      | (lo, _) :: _ ->
+          assert (lo = r.xlo);
+          contiguous r.xlo spans);
+      List.iter
+        (fun n ->
+          assert (Interval_tree.mem (Segment_tree.payload n) ~id ~lo:r.ylo ~hi:r.yhi))
+        r.nodes)
+    t.placed

@@ -1,0 +1,49 @@
+(** Two-dimensional stabbing structure: segment tree on x, interval trees
+    on y — the paper's "Seg-Intv tree" competitor (Section 3.1 / Section 8).
+
+    A stored rectangle [xlo, xhi) x [ylo, yhi) is decomposed by the segment
+    tree into O(log n) canonical x-nodes; each canonical node holds the
+    rectangle's y-interval in a secondary {!Interval_tree}. A stabbing probe
+    (x, y) walks the single root-to-leaf x-path covering [x] and stabs each
+    node's y-tree with [y], so its cost is O(log n * (log n + k)).
+
+    Dynamism: the segment tree's elementary intervals are fixed at build
+    time, so a rectangle whose x-endpoints are off-grid cannot be decomposed
+    canonically. Such rectangles go to an {e overflow buffer} scanned
+    linearly by probes; once the buffer reaches a quarter of the built
+    structure (or deletions have removed half of it), the whole structure is
+    rebuilt on the live set — the same amortized-rebuilding idea the paper
+    itself uses for its endpoint trees. This keeps amortized polylogarithmic
+    updates while preserving the competitor's stabbing behaviour (see
+    DESIGN.md, substitution 2). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+(** Number of rectangles currently stored (tree + overflow). *)
+
+val overflow_count : 'a t -> int
+(** Rectangles currently in the overflow buffer (for tests/diagnostics). *)
+
+val insert :
+  'a t -> id:int -> xlo:float -> xhi:float -> ylo:float -> yhi:float -> 'a -> unit
+(** Insert rectangle [xlo, xhi) x [ylo, yhi). Requires nonempty sides and an
+    id unique among stored rectangles. May trigger an internal rebuild. *)
+
+val delete : 'a t -> id:int -> unit
+(** Remove the rectangle with this id. Raises [Not_found] if absent. *)
+
+val mem : 'a t -> id:int -> bool
+
+val stab : 'a t -> x:float -> y:float -> (int * 'a) list
+(** All stored rectangles containing the point, as [(id, payload)]. *)
+
+val iter_stab : 'a t -> x:float -> y:float -> (int -> 'a -> unit) -> unit
+(** Callback form of [stab] (hot path of the stabbing engine). *)
+
+val check_invariants : 'a t -> unit
+(** Assert structural invariants: every stored rectangle is recorded in
+    exactly its canonical nodes, jurisdiction intervals nest correctly, and
+    id bookkeeping is consistent. For tests. *)

@@ -1,0 +1,113 @@
+type 'a node = {
+  jlo : float;
+  jhi : float; (* jurisdiction [jlo, jhi); infinity on the right spine *)
+  left : 'a node option;
+  right : 'a node option;
+  payload : 'a;
+}
+
+type 'a t = { root : 'a node; keys : float array; count : int }
+
+let build ~payload keys =
+  let n = Array.length keys in
+  if n = 0 then None
+  else begin
+    Array.iteri
+      (fun i k ->
+        if not (Float.is_finite k) then invalid_arg "Segment_tree.build: non-finite key";
+        if i > 0 && not (keys.(i - 1) < k) then
+          invalid_arg "Segment_tree.build: keys must be sorted and distinct")
+      keys;
+    let count = ref 0 in
+    let rec mk lo hi =
+      incr count;
+      if lo = hi then
+        let jhi = if lo + 1 < n then keys.(lo + 1) else infinity in
+        { jlo = keys.(lo); jhi; left = None; right = None; payload = payload () }
+      else
+        let mid = (lo + hi) / 2 in
+        let l = mk lo mid in
+        let r = mk (mid + 1) hi in
+        { jlo = l.jlo; jhi = r.jhi; left = Some l; right = Some r; payload = payload () }
+    in
+    let root = mk 0 (n - 1) in
+    Some { root; keys; count = !count }
+  end
+
+let root t = t.root
+
+let node_count t = t.count
+
+let payload n = n.payload
+
+let jurisdiction n = (n.jlo, n.jhi)
+
+let is_leaf n = n.left = None
+
+let children n =
+  match (n.left, n.right) with
+  | Some l, Some r -> Some (l, r)
+  | None, None -> None
+  | _ -> assert false
+
+let covers t x = x >= t.root.jlo
+
+let iter_path t x f =
+  let rec go u =
+    f u;
+    match u.right with
+    | Some r -> if x >= r.jlo then go r else go (Option.get u.left)
+    | None -> ()
+  in
+  if covers t x then go t.root
+
+let on_grid t x =
+  let keys = t.keys in
+  let rec bs lo hi =
+    if lo > hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if keys.(mid) = x then true else if keys.(mid) < x then bs (mid + 1) hi else bs lo (mid - 1)
+  in
+  bs 0 (Array.length keys - 1)
+
+let iter_canonical t ~lo ~hi f =
+  if not (lo < hi) then invalid_arg "Segment_tree.iter_canonical: empty range";
+  if not (on_grid t lo) then invalid_arg "Segment_tree.iter_canonical: lo off grid";
+  if not (hi = infinity || on_grid t hi) then
+    invalid_arg "Segment_tree.iter_canonical: hi off grid";
+  let rec go u =
+    if lo <= u.jlo && u.jhi <= hi then f u
+    else if u.jhi <= lo || hi <= u.jlo then ()
+    else
+      match (u.left, u.right) with
+      | Some l, Some r ->
+          go l;
+          go r
+      | _ -> assert false
+  in
+  go t.root
+
+let iter_nodes t f =
+  let rec go u =
+    f u;
+    (match u.left with Some l -> go l | None -> ());
+    match u.right with Some r -> go r | None -> ()
+  in
+  go t.root
+
+let check_invariants t =
+  let rec go u =
+    assert (u.jlo < u.jhi);
+    match (u.left, u.right) with
+    | Some l, Some r ->
+        assert (l.jlo = u.jlo);
+        assert (l.jhi = r.jlo);
+        assert (r.jhi = u.jhi);
+        go l;
+        go r
+    | None, None -> ()
+    | _ -> assert false
+  in
+  go t.root;
+  assert (t.root.jhi = infinity)

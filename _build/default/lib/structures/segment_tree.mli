@@ -1,0 +1,64 @@
+(** Static segment tree over a grid of float endpoints.
+
+    The classic structure (de Berg et al., ch. 10) underlying both the
+    paper's "Seg-Intv" competitor and, conceptually, the endpoint tree's
+    canonical decomposition: a balanced binary tree whose leaves are the
+    {e elementary intervals} between consecutive grid endpoints (the last
+    leaf extends to +infinity), and whose internal nodes cover the union
+    of their children. Any half-open interval with endpoints on the grid
+    decomposes into O(log n) {e canonical nodes} with disjoint
+    jurisdictions; any point is covered by exactly one root-to-leaf path.
+
+    The tree is generic in a per-node payload (created by a callback at
+    build time): the seg-intv structure stores an interval tree per node,
+    the endpoint tree stores counters and slack heaps. The grid is fixed
+    at build time — dynamism is layered above (overflow buffers, the
+    logarithmic method), exactly as in the paper. *)
+
+type 'a t
+(** A segment tree whose nodes carry payloads of type ['a]. *)
+
+type 'a node
+
+val build : payload:(unit -> 'a) -> float array -> 'a t option
+(** [build ~payload keys] over a sorted array of distinct, finite grid
+    endpoints; [payload] is invoked once per node. Returns [None] for an
+    empty grid. Raises [Invalid_argument] if keys are unsorted, duplicated,
+    or non-finite. O(n). *)
+
+val root : 'a t -> 'a node
+
+val node_count : 'a t -> int
+
+val payload : 'a node -> 'a
+
+val jurisdiction : 'a node -> float * float
+(** [lo, hi) covered by the node; [hi = infinity] on the rightmost spine. *)
+
+val is_leaf : 'a node -> bool
+
+val children : 'a node -> ('a node * 'a node) option
+
+val covers : 'a t -> float -> bool
+(** Whether the point is at or right of the leftmost grid endpoint (i.e.
+    on some root-to-leaf path). *)
+
+val iter_path : 'a t -> float -> ('a node -> unit) -> unit
+(** Visit the nodes covering a point, root to leaf — O(log n); no visit if
+    the point precedes the grid. *)
+
+val iter_canonical : 'a t -> lo:float -> hi:float -> ('a node -> unit) -> unit
+(** Visit the canonical decomposition of [lo, hi): the maximal nodes whose
+    jurisdiction it contains. Requires [lo < hi] and both endpoints on the
+    grid ([hi = infinity] allowed); raises [Invalid_argument] otherwise
+    (off-grid endpoints would make a leaf partially overlap). O(log n)
+    visits. *)
+
+val on_grid : 'a t -> float -> bool
+(** Whether a value is one of the grid endpoints (O(log n)). *)
+
+val iter_nodes : 'a t -> ('a node -> unit) -> unit
+(** Visit every node, unspecified order. *)
+
+val check_invariants : 'a t -> unit
+(** Assert the jurisdiction-nesting invariants. For tests. *)

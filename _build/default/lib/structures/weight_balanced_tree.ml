@@ -1,0 +1,231 @@
+(* Scapegoat tree (Galperin & Rivest 1993) with alpha = 0.7: no rotations,
+   no per-node balance metadata beyond subtree sizes; an insertion that
+   lands too deep walks back up, finds the highest alpha-unbalanced
+   ancestor (the scapegoat), and rebuilds that subtree perfectly.
+   Deletions decrement sizes and trigger a full rebuild once the live size
+   falls below half of the maximum since the last full rebuild. *)
+
+type 'a node = {
+  key : float;
+  mutable payload : 'a;
+  mutable left : 'a node option;
+  mutable right : 'a node option;
+  mutable size : int;
+}
+
+type 'a t = {
+  mutable root : 'a node option;
+  mutable max_size : int; (* high-water mark since the last full rebuild *)
+  mutable rebuilds : int;
+}
+
+let alpha = 0.7
+
+let create () = { root = None; max_size = 0; rebuilds = 0 }
+
+let node_size = function None -> 0 | Some n -> n.size
+
+let size t = node_size t.root
+
+let is_empty t = size t = 0
+
+(* ---- perfect rebuild ---- *)
+
+let flatten subtree =
+  let acc = ref [] in
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        go n.right;
+        acc := n :: !acc;
+        go n.left
+  in
+  go subtree;
+  Array.of_list !acc
+
+let rec build_perfect nodes lo hi =
+  if lo > hi then None
+  else begin
+    let mid = (lo + hi) / 2 in
+    let n = nodes.(mid) in
+    n.left <- build_perfect nodes lo (mid - 1);
+    n.right <- build_perfect nodes (mid + 1) hi;
+    n.size <- hi - lo + 1;
+    Some n
+  end
+
+let rebuild_subtree t subtree =
+  t.rebuilds <- t.rebuilds + 1;
+  let nodes = flatten subtree in
+  build_perfect nodes 0 (Array.length nodes - 1)
+
+(* ---- search ---- *)
+
+let rec find_node key = function
+  | None -> None
+  | Some n -> if key = n.key then Some n else find_node key (if key < n.key then n.left else n.right)
+
+let find t ~key =
+  match find_node key t.root with Some n -> n.payload | None -> raise Not_found
+
+let mem t ~key = find_node key t.root <> None
+
+let min_key t =
+  let rec go n = match n.left with Some l -> go l | None -> n.key in
+  match t.root with Some n -> go n | None -> raise Not_found
+
+let max_key t =
+  let rec go n = match n.right with Some r -> go r | None -> n.key in
+  match t.root with Some n -> go n | None -> raise Not_found
+
+let rank t ~key =
+  let rec go acc = function
+    | None -> acc
+    | Some n ->
+        if key <= n.key then go acc n.left else go (acc + node_size n.left + 1) n.right
+  in
+  go 0 t.root
+
+let nth t i =
+  if i < 0 || i >= size t then invalid_arg "Weight_balanced_tree.nth: out of range";
+  let rec go i n =
+    let ls = node_size n.left in
+    if i < ls then go i (Option.get n.left)
+    else if i = ls then (n.key, n.payload)
+    else go (i - ls - 1) (Option.get n.right)
+  in
+  go i (Option.get t.root)
+
+let iter t f =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        go n.left;
+        f n.key n.payload;
+        go n.right
+  in
+  go t.root
+
+let height t =
+  let rec go = function
+    | None -> 0
+    | Some n -> 1 + max (go n.left) (go n.right)
+  in
+  go t.root
+
+let rebuilds t = t.rebuilds
+
+(* ---- insertion with scapegoat detection ---- *)
+
+let log_inv_alpha = -.log alpha
+
+let depth_limit t =
+  (* scapegoat bound: depth of any node <= log_{1/alpha}(max_size) + 1 *)
+  int_of_float (log (float_of_int (max 2 t.max_size)) /. log_inv_alpha) + 1
+
+let is_unbalanced n =
+  let s = float_of_int n.size in
+  float_of_int (node_size n.left) > alpha *. s || float_of_int (node_size n.right) > alpha *. s
+
+let insert t ~key payload =
+  if not (Float.is_finite key) then invalid_arg "Weight_balanced_tree.insert: non-finite key";
+  let fresh = { key; payload; left = None; right = None; size = 1 } in
+  (* Descend, recording the path for size updates and scapegoat search. *)
+  let path = ref [] in
+  let rec descend = function
+    | None -> ()
+    | Some n ->
+        if key = n.key then invalid_arg "Weight_balanced_tree.insert: duplicate key";
+        path := n :: !path;
+        if key < n.key then
+          match n.left with None -> n.left <- Some fresh | some -> descend some
+        else
+          match n.right with None -> n.right <- Some fresh | some -> descend some
+  in
+  (match t.root with None -> t.root <- Some fresh | some -> descend some);
+  List.iter (fun n -> n.size <- n.size + 1) !path;
+  t.max_size <- max t.max_size (size t);
+  let depth = List.length !path in
+  if depth > depth_limit t then begin
+    (* find the highest unbalanced ancestor (path is child-to-root) *)
+    let scapegoat = List.fold_left (fun acc n -> if is_unbalanced n then Some n else acc) None !path in
+    match scapegoat with
+    | None -> () (* depth bound can lag max_size after deletions; harmless *)
+    | Some g ->
+        let rebuilt = rebuild_subtree t (Some g) in
+        (* the parent is the first node after g in the child-to-root path *)
+        let rec after = function
+          | a :: rest when a == g -> rest
+          | _ :: rest -> after rest
+          | [] -> []
+        in
+        (match after !path with
+        | parent :: _ ->
+            if (match parent.left with Some l -> l == g | None -> false) then parent.left <- rebuilt
+            else parent.right <- rebuilt
+        | [] -> t.root <- rebuilt)
+  end
+
+(* ---- deletion ---- *)
+
+let rec delete_node key = function
+  | None -> raise Not_found
+  | Some n ->
+      if key < n.key then begin
+        n.left <- delete_node key n.left;
+        n.size <- n.size - 1;
+        Some n
+      end
+      else if key > n.key then begin
+        n.right <- delete_node key n.right;
+        n.size <- n.size - 1;
+        Some n
+      end
+      else begin
+        match (n.left, n.right) with
+        | None, r -> r
+        | l, None -> l
+        | l, Some r ->
+            (* splice out the successor (leftmost of the right subtree) *)
+            let rec take_min m =
+              match m.left with
+              | None -> (m, m.right)
+              | Some ml ->
+                  let succ, rest = take_min ml in
+                  m.left <- rest;
+                  m.size <- m.size - 1;
+                  (succ, Some m)
+            in
+            let succ, rest = take_min r in
+            succ.left <- l;
+            succ.right <- rest;
+            succ.size <- node_size l + node_size rest + 1;
+            Some succ
+      end
+
+let delete t ~key =
+  t.root <- delete_node key t.root;
+  if 2 * size t < t.max_size then begin
+    t.root <- rebuild_subtree t t.root;
+    t.max_size <- size t
+  end
+
+let check_invariants t =
+  let rec go lo hi = function
+    | None -> 0
+    | Some n ->
+        assert (lo < n.key && n.key < hi);
+        let sl = go lo n.key n.left in
+        let sr = go n.key hi n.right in
+        assert (n.size = sl + sr + 1);
+        n.size
+  in
+  let total = go neg_infinity infinity t.root in
+  assert (total = size t);
+  assert (total <= t.max_size);
+  if total > 1 then begin
+    let bound =
+      int_of_float (log (float_of_int (max 2 t.max_size)) /. log_inv_alpha) + 2
+    in
+    assert (height t <= bound)
+  end

@@ -1,0 +1,69 @@
+(** Weight-balanced binary search tree (scapegoat rebalancing).
+
+    Section 5 of the paper notes that dynamic query registration could "in
+    theory" be handled by weight-balancing techniques (Arge & Vitter's
+    external interval management) instead of the logarithmic method,
+    rebuilding subtrees — together with their secondary structures — when
+    they drift out of balance; the authors call the resulting algorithm
+    too complicated to implement in practice and use the logarithmic
+    method instead, as does this repository's engine. This module provides
+    the underlying {e structure} of that road not taken: a BB[alpha]-style
+    weight-balanced BST maintained by partial rebuilding (Galperin–Rivest
+    scapegoat trees), in which rebalancing is always a {e subtree rebuild}
+    — precisely the operation a secondary structure can piggyback on — and
+    never a rotation.
+
+    Keys are floats with payloads; keys are unique. Guarantees with
+    [alpha = 0.7]: height <= log_{1/alpha}(n) + 2 always; insert/delete
+    cost O(log n) amortized; [rank]/[nth] order statistics in O(height)
+    via the subtree size counters that the balancing scheme maintains
+    anyway. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val insert : 'a t -> key:float -> 'a -> unit
+(** Insert a new key. Raises [Invalid_argument] on a duplicate or
+    non-finite key. Amortized O(log n); worst case O(n) when a scapegoat
+    subtree is rebuilt. *)
+
+val delete : 'a t -> key:float -> unit
+(** Remove a key. Raises [Not_found] if absent. Amortized O(log n); the
+    whole tree is rebuilt once fewer than half the inserted nodes
+    remain. *)
+
+val find : 'a t -> key:float -> 'a
+(** Raises [Not_found]. O(height). *)
+
+val mem : 'a t -> key:float -> bool
+
+val min_key : 'a t -> float
+(** Raises [Not_found] on an empty tree. *)
+
+val max_key : 'a t -> float
+
+val rank : 'a t -> key:float -> int
+(** Number of stored keys strictly below [key] (the key itself need not be
+    present). O(height). *)
+
+val nth : 'a t -> int -> float * 'a
+(** [nth t i] is the i-th smallest key (0-based) with its payload. Raises
+    [Invalid_argument] if out of range. O(height). *)
+
+val iter : 'a t -> (float -> 'a -> unit) -> unit
+(** In ascending key order. *)
+
+val height : 'a t -> int
+(** Leaf-counted height (empty = 0). *)
+
+val rebuilds : 'a t -> int
+(** Partial/full rebuilds performed so far (amortization telemetry). *)
+
+val check_invariants : 'a t -> unit
+(** Assert BST order, size-counter correctness, and the scapegoat height
+    bound. For tests. *)

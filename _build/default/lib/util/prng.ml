@@ -1,0 +1,88 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create ~seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+(* SplitMix64 output function: one additive step plus two xor-shift-multiply
+   mixing rounds (constants from the reference implementation). *)
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split g =
+  let s = bits64 g in
+  (* Mix once more so the child stream is decorrelated from the parent's. *)
+  { state = Int64.mul s 0xD1342543DE82EF95L }
+
+(* Top 62 bits, guaranteed to fit OCaml's native int non-negatively. *)
+let nonneg g = Int64.to_int (Int64.shift_right_logical (bits64 g) 2)
+
+let int g bound =
+  assert (bound > 0);
+  (* Rejection sampling to avoid modulo bias. *)
+  let rec loop () =
+    let r = nonneg g in
+    let v = r mod bound in
+    if r - v > max_int - bound + 1 then loop () else v
+  in
+  loop ()
+
+let int_in g lo hi =
+  assert (lo <= hi);
+  lo + int g (hi - lo + 1)
+
+(* 53 uniform mantissa bits, as in the standard doubles-from-int64 recipe. *)
+let unit_float g =
+  let u = Int64.shift_right_logical (bits64 g) 11 in
+  Int64.to_float u *. 0x1.0p-53
+
+let float g bound =
+  assert (bound > 0.);
+  unit_float g *. bound
+
+let float_in g lo hi =
+  assert (lo < hi);
+  lo +. (unit_float g *. (hi -. lo))
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let bernoulli g p = unit_float g < p
+
+let gaussian g ~mean ~stddev =
+  let rec nonzero () =
+    let u = unit_float g in
+    if u > 0. then u else nonzero ()
+  in
+  let u1 = nonzero () in
+  let u2 = unit_float g in
+  let r = sqrt (-2. *. log u1) in
+  mean +. (stddev *. r *. cos (2. *. Float.pi *. u2))
+
+let geometric g p =
+  assert (p > 0. && p <= 1.);
+  if p >= 1. then 1
+  else
+    let rec nonzero () =
+      let u = unit_float g in
+      if u > 0. then u else nonzero ()
+    in
+    let u = nonzero () in
+    (* Inversion: ceil(ln u / ln (1-p)) is Geometric(p) on {1,2,...}. *)
+    let k = ceil (log u /. log (1. -. p)) in
+    if k < 1. then 1
+    else if k > 1e18 then max_int
+    else int_of_float k
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

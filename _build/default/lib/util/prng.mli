@@ -1,0 +1,57 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in this repository — workload generation, property tests,
+    benchmark inputs — flows through this module so that every experiment is
+    reproducible from a single integer seed. The generator is SplitMix64
+    (Steele, Lea & Flood, OOPSLA 2014): a tiny, fast, splittable PRNG whose
+    statistical quality is more than sufficient for workload synthesis. *)
+
+type t
+(** Mutable generator state. Not thread-safe; create one per stream. *)
+
+val create : seed:int -> t
+(** [create ~seed] returns a fresh generator. Equal seeds yield equal
+    sequences. *)
+
+val copy : t -> t
+(** [copy g] is an independent generator that will replay [g]'s future. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a new generator whose sequence is
+    (statistically) independent of [g]'s subsequent output. Use it to give
+    each sub-component of a simulation its own stream so that adding draws
+    in one component does not perturb another. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform on [0, bound). Requires [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform on the inclusive range [lo, hi].
+    Requires [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform on [0, bound). Requires [bound > 0]. *)
+
+val float_in : t -> float -> float -> float
+(** [float_in g lo hi] is uniform on [lo, hi). Requires [lo < hi]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli g p] is [true] with probability [p]. *)
+
+val gaussian : t -> mean:float -> stddev:float -> float
+(** One draw from N(mean, stddev^2), via Box–Muller (no caching of the
+    second deviate, to keep the state a single word). *)
+
+val geometric : t -> float -> int
+(** [geometric g p] is the number of Bernoulli(p) trials up to and including
+    the first success, i.e. supported on 1, 2, 3, ... Uses inversion, so it
+    is O(1) even for tiny [p]. Requires [0 < p <= 1]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

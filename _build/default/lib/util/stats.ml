@@ -1,0 +1,57 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  total : float;
+}
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.summarize: empty array";
+  let mean = ref 0. and m2 = ref 0. in
+  let mn = ref xs.(0) and mx = ref xs.(0) and total = ref 0. in
+  Array.iteri
+    (fun i x ->
+      total := !total +. x;
+      if x < !mn then mn := x;
+      if x > !mx then mx := x;
+      let delta = x -. !mean in
+      mean := !mean +. (delta /. float_of_int (i + 1));
+      m2 := !m2 +. (delta *. (x -. !mean)))
+    xs;
+  let variance = if n > 1 then !m2 /. float_of_int (n - 1) else 0. in
+  {
+    count = n;
+    mean = !mean;
+    stddev = sqrt variance;
+    min = !mn;
+    max = !mx;
+    total = !total;
+  }
+
+let mean xs = (summarize xs).mean
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+  sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let histogram xs ~buckets =
+  if buckets <= 0 then invalid_arg "Stats.histogram: buckets <= 0";
+  let s = summarize xs in
+  let width = (s.max -. s.min) /. float_of_int buckets in
+  let width = if width <= 0. then 1. else width in
+  let counts = Array.make buckets 0 in
+  Array.iter
+    (fun x ->
+      let b = int_of_float ((x -. s.min) /. width) in
+      let b = max 0 (min (buckets - 1) b) in
+      counts.(b) <- counts.(b) + 1)
+    xs;
+  Array.mapi (fun i c -> (s.min +. (float_of_int i *. width), c)) counts

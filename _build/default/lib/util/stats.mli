@@ -1,0 +1,27 @@
+(** Small summary-statistics helpers used by the benchmark harness and by
+    distribution sanity tests. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  total : float;
+}
+
+val summarize : float array -> summary
+(** Single pass mean/variance (Welford). Raises [Invalid_argument] on an
+    empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0,100]: nearest-rank percentile of a copy
+    of [xs] (the input is not modified). Raises [Invalid_argument] on an
+    empty array or [p] outside [0,100]. *)
+
+val histogram : float array -> buckets:int -> (float * int) array
+(** [histogram xs ~buckets] divides [min xs, max xs] into equal-width
+    buckets; returns (bucket lower bound, count) pairs. *)
+
+val mean : float array -> float
+(** Arithmetic mean; raises on empty input. *)

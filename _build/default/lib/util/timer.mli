@@ -1,0 +1,11 @@
+(** Wall-clock timing for the figure harness.
+
+    The paper reports wall-clock per-operation cost; individual operations at
+    our scale take well under a microsecond, so callers time *batches* of
+    operations between [now] reads. *)
+
+val now : unit -> float
+(** Monotonic-ish wall-clock seconds ([Unix.gettimeofday]). *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with elapsed seconds. *)

@@ -1,0 +1,1 @@
+lib/workload/csv_io.ml: Array Buffer List Printf Rts_core String Types

@@ -1,0 +1,1 @@
+lib/workload/csv_io.mli: Rts_core Types

@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array Float Rts_core Rts_util

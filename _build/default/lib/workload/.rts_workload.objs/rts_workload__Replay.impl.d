@@ -1,0 +1,1 @@
+lib/workload/replay.ml: Csv_io Engine List Printf Rts_core String Types

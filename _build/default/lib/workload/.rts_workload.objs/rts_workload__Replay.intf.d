@@ -1,0 +1,1 @@
+lib/workload/replay.mli: Engine Rts_core Types

@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Array Engine Format Generator Hashtbl List Rts_core Rts_structures Rts_util Types

@@ -1,0 +1,102 @@
+open Rts_core
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+let is_skippable line =
+  let line = String.trim line in
+  line = "" || line.[0] = '#'
+
+let fields line = String.split_on_char ',' line |> List.map String.trim
+
+let float_field ~line_no name s =
+  match s with
+  | "-inf" -> neg_infinity
+  | "inf" | "+inf" -> infinity
+  | _ -> ( try float_of_string s with Failure _ -> fail "line %d: bad %s: %S" line_no name s)
+
+let int_field ~line_no name s =
+  try int_of_string s with Failure _ -> fail "line %d: bad %s: %S" line_no name s
+
+let parse_query ~dim ~closed ~line_no line =
+  match fields line with
+  | id :: threshold :: bounds when List.length bounds = 2 * dim ->
+      let id = int_field ~line_no "id" id in
+      let threshold = int_field ~line_no "threshold" threshold in
+      let arr = Array.of_list bounds in
+      let pairs =
+        Array.init dim (fun k ->
+            ( float_field ~line_no "lower bound" arr.(2 * k),
+              float_field ~line_no "upper bound" arr.((2 * k) + 1) ))
+      in
+      let rect =
+        try if closed then Types.rect_closed pairs else Types.rect_make pairs
+        with Invalid_argument msg -> fail "line %d: %s" line_no msg
+      in
+      { Types.id; rect; threshold }
+  | id :: threshold :: bounds ->
+      ignore id;
+      ignore threshold;
+      fail "line %d: expected %d bounds for dimension %d, got %d" line_no (2 * dim) dim
+        (List.length bounds)
+  | _ -> fail "line %d: expected id,threshold,bounds..." line_no
+
+let parse_element ~dim ~line_no line =
+  let fs = fields line in
+  let n = List.length fs in
+  if n <> dim && n <> dim + 1 then
+    fail "line %d: expected %d coordinates [+ weight], got %d fields" line_no dim n;
+  let arr = Array.of_list fs in
+  let value = Array.init dim (fun k -> float_field ~line_no "coordinate" arr.(k)) in
+  let weight = if n = dim + 1 then int_field ~line_no "weight" arr.(dim) else 1 in
+  if weight < 1 then fail "line %d: weight < 1" line_no;
+  { Types.value; weight }
+
+let float_str x =
+  if x = infinity then "inf" else if x = neg_infinity then "-inf" else Printf.sprintf "%g" x
+
+let query_to_line (q : Types.query) =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (Printf.sprintf "%d,%d" q.id q.threshold);
+  Array.iteri
+    (fun k lo ->
+      Buffer.add_string buf (Printf.sprintf ",%s,%s" (float_str lo) (float_str q.rect.hi.(k))))
+    q.rect.lo;
+  Buffer.contents buf
+
+let element_to_line (e : Types.elem) =
+  let buf = Buffer.create 32 in
+  Array.iteri
+    (fun k x ->
+      if k > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (float_str x))
+    e.value;
+  Buffer.add_string buf (Printf.sprintf ",%d" e.weight);
+  Buffer.contents buf
+
+let read_queries ~dim ~closed ic =
+  let acc = ref [] in
+  let line_no = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr line_no;
+       if not (is_skippable line) then
+         acc := parse_query ~dim ~closed ~line_no:!line_no line :: !acc
+     done
+   with End_of_file -> ());
+  List.rev !acc
+
+let fold_elements ~dim f init ic =
+  let acc = ref init in
+  let line_no = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr line_no;
+       if not (is_skippable line) then
+         acc := f ~elt:(parse_element ~dim ~line_no:!line_no line) ~line_no:!line_no !acc
+     done
+   with End_of_file -> ());
+  !acc

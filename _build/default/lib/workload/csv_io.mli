@@ -1,0 +1,35 @@
+(** Plain-text interchange format for streams and query sheets.
+
+    Used by the [rts-cli] tool and handy for piping workloads between
+    processes. Lines are comma-separated; blank lines and lines starting
+    with ['#'] are ignored. Infinite bounds are spelled [-inf] / [inf]
+    (or [+inf]).
+
+    - query line:   [id,threshold,lo1,hi1[,lo2,hi2,...]]
+    - element line: [v1[,v2,...][,weight]]   (weight defaults to 1) *)
+
+open Rts_core
+
+exception Parse_error of string
+(** Raised with a human-readable message naming the offending line. *)
+
+val is_skippable : string -> bool
+(** Blank or comment line. *)
+
+val parse_query : dim:int -> closed:bool -> line_no:int -> string -> Types.query
+(** Parse one query line. With [closed], upper bounds are inclusive
+    (infinitesimal trick); otherwise rectangles are half-open as written. *)
+
+val parse_element : dim:int -> line_no:int -> string -> Types.elem
+
+val query_to_line : Types.query -> string
+(** Inverse of {!parse_query} with [closed:false] (bounds emitted
+    verbatim). *)
+
+val element_to_line : Types.elem -> string
+
+val read_queries : dim:int -> closed:bool -> in_channel -> Types.query list
+(** Read a whole query sheet; skips comments; raises {!Parse_error}. *)
+
+val fold_elements : dim:int -> (elt:Types.elem -> line_no:int -> 'a -> 'a) -> 'a -> in_channel -> 'a
+(** Stream elements from a channel without materializing them. *)

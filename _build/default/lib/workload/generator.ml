@@ -1,0 +1,138 @@
+open Rts_core.Types
+module Prng = Rts_util.Prng
+
+let domain = 1e5
+
+type value_distribution = Uniform | Zipf of float | Clustered of int
+
+(* Sampler for one coordinate, fixed at creation. *)
+type coord_sampler =
+  | Sample_uniform
+  | Sample_zipf of float array (* bucket CDF over [0, domain_hi) *)
+  | Sample_clustered of float array (* hot-spot centers *)
+
+type t = {
+  dims : int;
+  rng : Prng.t;
+  sampler : coord_sampler;
+  domain_hi : float;
+  side : float; (* side length of a query square *)
+  center_mean : float;
+  center_stddev : float;
+  weight_mean : float;
+  weight_stddev : float;
+  unit_weights : bool;
+}
+
+let zipf_buckets = 1024
+
+let make_sampler rng domain_hi = function
+  | Uniform -> Sample_uniform
+  | Zipf s ->
+      if s <= 0. then invalid_arg "Generator.create: Zipf exponent <= 0";
+      (* rank-frequency CDF over shuffled buckets, so the hot buckets are
+         scattered across the domain rather than piled at 0 *)
+      let ranks = Array.init zipf_buckets (fun i -> i) in
+      Prng.shuffle rng ranks;
+      let weights = Array.map (fun r -> 1. /. (float_of_int (r + 1) ** s)) ranks in
+      let total = Array.fold_left ( +. ) 0. weights in
+      let cdf = Array.make zipf_buckets 0. in
+      let acc = ref 0. in
+      Array.iteri
+        (fun i w ->
+          acc := !acc +. (w /. total);
+          cdf.(i) <- !acc)
+        weights;
+      ignore domain_hi;
+      Sample_zipf cdf
+  | Clustered k ->
+      if k < 1 then invalid_arg "Generator.create: Clustered k < 1";
+      Sample_clustered (Array.init k (fun _ -> Prng.float rng domain_hi))
+
+let create ?(value_dist = Uniform) ?(domain_hi = domain) ?(volume_fraction = 0.1)
+    ?(weight_mean = 100.) ?(weight_stddev = 15.) ?(unit_weights = false) ~dim ~seed () =
+  if dim < 1 then invalid_arg "Generator.create: dim < 1";
+  if not (volume_fraction > 0. && volume_fraction < 1.) then
+    invalid_arg "Generator.create: volume_fraction outside (0, 1)";
+  let side = domain_hi *. (volume_fraction ** (1. /. float_of_int dim)) in
+  let rng = Prng.create ~seed in
+  {
+    dims = dim;
+    sampler = make_sampler rng domain_hi value_dist;
+    rng;
+    domain_hi;
+    side;
+    center_mean = 0.5 *. domain_hi;
+    center_stddev = 0.15 *. 0.5 *. domain_hi;
+    weight_mean;
+    weight_stddev;
+    unit_weights;
+  }
+
+let dim t = t.dims
+
+let sample_coord t =
+  match t.sampler with
+  | Sample_uniform -> Prng.float t.rng t.domain_hi
+  | Sample_zipf cdf ->
+      let u = Prng.float t.rng 1. in
+      (* binary search for the bucket, then uniform within it *)
+      let lo = ref 0 and hi = ref (Array.length cdf - 1) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if cdf.(mid) < u then lo := mid + 1 else hi := mid
+      done;
+      let bucket_width = t.domain_hi /. float_of_int (Array.length cdf) in
+      (float_of_int !lo +. Prng.float t.rng 1.) *. bucket_width
+  | Sample_clustered centers ->
+      let c = centers.(Prng.int t.rng (Array.length centers)) in
+      let x = Prng.gaussian t.rng ~mean:c ~stddev:(0.03 *. t.domain_hi) in
+      Float.max 0. (Float.min (Float.pred t.domain_hi) x)
+
+let element t =
+  let value = Array.init t.dims (fun _ -> sample_coord t) in
+  let weight =
+    if t.unit_weights then 1
+    else begin
+      (* Redraw while the rounded Gaussian lands below 1, as in the paper. *)
+      let rec draw () =
+        let w =
+          int_of_float
+            (Float.round (Prng.gaussian t.rng ~mean:t.weight_mean ~stddev:t.weight_stddev))
+        in
+        if w < 1 then draw () else w
+      in
+      draw ()
+    end
+  in
+  { value; weight }
+
+let rectangle t =
+  let half = t.side /. 2. in
+  (* Redraw the whole center until the square fits in the data space. *)
+  let rec draw () =
+    let center =
+      Array.init t.dims (fun _ ->
+          Prng.gaussian t.rng ~mean:t.center_mean ~stddev:t.center_stddev)
+    in
+    let ok =
+      Array.for_all (fun c -> c -. half >= 0. && c +. half <= t.domain_hi) center
+    in
+    if ok then rect_make (Array.map (fun c -> (c -. half, c +. half)) center) else draw ()
+  in
+  draw ()
+
+let query t ~id ~threshold = { id; rect = rectangle t; threshold }
+
+let expected_stab_probability t =
+  (t.side /. t.domain_hi) ** float_of_int t.dims
+
+let mean_weight t = if t.unit_weights then 1. else t.weight_mean
+
+(* P(survive s timestamps) = (1 - p)^s = 0.1 at the expected maturity time
+   s = tau / (stab probability * mean weight). *)
+let p_del t ~tau =
+  let steps = float_of_int tau /. (expected_stab_probability t *. mean_weight t) in
+  1. -. (0.1 ** (1. /. steps))
+
+let lifetime t ~tau = Prng.geometric t.rng (p_del t ~tau)

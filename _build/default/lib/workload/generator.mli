@@ -1,0 +1,74 @@
+(** Synthetic workload of the paper's experimental evaluation (Section 8).
+
+    - Data space: integer-ish domain [0, 10^5] per dimension.
+    - Element values: uniform over the data space; element weights: Gaussian
+      N(100, 15) rounded, redrawn while < 1 (or constant 1 for counting RTS).
+    - Query rectangles: squares (intervals for d = 1) of volume 10% of the
+      data space, centers Gaussian per coordinate with mean 5*10^4 and
+      standard deviation 15% of the mean, redrawn until the rectangle lies
+      inside the data space — elements are everywhere, queries concentrate
+      on an "area of common interest".
+    - Lifetimes: a query is terminated early with per-timestamp probability
+      [p_del] calibrated so that it survives to its expected maturity time
+      tau/10 with probability 10%. We draw the geometric lifetime once at
+      registration instead of flipping a coin per timestamp per query —
+      identical in distribution, O(1) per tick (DESIGN.md, substitution 4). *)
+
+open Rts_core.Types
+
+type t
+(** Generator state: dimension, parameters and a private PRNG stream. *)
+
+type value_distribution =
+  | Uniform  (** the paper's element distribution *)
+  | Zipf of float
+      (** rank-frequency skew over 1024 buckets per dimension; the
+          parameter is the Zipf exponent (1.0 = classic). A robustness
+          extension beyond the paper's setup. *)
+  | Clustered of int
+      (** mixture of k Gaussian hot spots drawn once at creation; another
+          robustness extension. *)
+
+val domain : float
+(** Upper end of the data space per dimension (10^5; lower end is 0). *)
+
+val create :
+  ?value_dist:value_distribution ->
+  ?domain_hi:float ->
+  ?volume_fraction:float ->
+  ?weight_mean:float ->
+  ?weight_stddev:float ->
+  ?unit_weights:bool ->
+  dim:int ->
+  seed:int ->
+  unit ->
+  t
+(** Defaults mirror the paper: [value_dist = Uniform], [domain_hi = 1e5],
+    [volume_fraction = 0.1], weights N(100, 15), [unit_weights = false]. *)
+
+val dim : t -> int
+
+val element : t -> elem
+(** Draw one stream element. *)
+
+val rectangle : t -> rect
+(** Draw one query rectangle (square of the configured volume fraction,
+    Gaussian center, contained in the data space). *)
+
+val query : t -> id:int -> threshold:int -> query
+(** Draw a query with the given id and threshold. *)
+
+val expected_stab_probability : t -> float
+(** Probability that a uniform element value falls in any given query
+    rectangle = the volume fraction (0.1 by default) — the paper uses this
+    to predict maturity at tau/10 timestamps. *)
+
+val p_del : t -> tau:int -> float
+(** The paper's deletion probability: the per-timestamp termination
+    probability making P(survive tau/10 timestamps) = 10%. *)
+
+val lifetime : t -> tau:int -> int
+(** Draw a geometric lifetime (in timestamps) under {!p_del}. *)
+
+val mean_weight : t -> float
+(** Expected element weight (100, or 1 with [unit_weights]). *)

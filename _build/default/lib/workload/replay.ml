@@ -1,0 +1,92 @@
+open Rts_core
+
+type op =
+  | Register of Types.query
+  | Terminate of int
+  | Element of Types.elem
+
+let op_to_line = function
+  | Register q -> "R," ^ Csv_io.query_to_line q
+  | Terminate id -> Printf.sprintf "T,%d" id
+  | Element e -> "E," ^ Csv_io.element_to_line e
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Csv_io.Parse_error s)) fmt
+
+let parse_op ~dim ~line_no line =
+  match String.index_opt line ',' with
+  | Some i when i = 1 -> (
+      let rest = String.sub line 2 (String.length line - 2) in
+      match line.[0] with
+      | 'R' -> Register (Csv_io.parse_query ~dim ~closed:false ~line_no rest)
+      | 'T' -> (
+          match int_of_string_opt (String.trim rest) with
+          | Some id -> Terminate id
+          | None -> fail "line %d: bad terminate id %S" line_no rest)
+      | 'E' -> Element (Csv_io.parse_element ~dim ~line_no rest)
+      | c -> fail "line %d: unknown op %C" line_no c)
+  | _ -> fail "line %d: expected R,/T,/E, prefix" line_no
+
+let recording ~sink (engine : Engine.t) =
+  {
+    engine with
+    Engine.register =
+      (fun q ->
+        sink (Register q);
+        engine.register q);
+    register_batch =
+      (fun qs ->
+        List.iter (fun q -> sink (Register q)) qs;
+        engine.register_batch qs);
+    terminate =
+      (fun id ->
+        sink (Terminate id);
+        engine.terminate id);
+    process =
+      (fun e ->
+        sink (Element e);
+        engine.process e);
+  }
+
+let record_to_channel oc engine =
+  recording ~sink:(fun op -> output_string oc (op_to_line op ^ "\n")) engine
+
+type outcome = {
+  elements : int;
+  registered : int;
+  terminated : int;
+  maturities : (int * int) list;
+}
+
+let apply (engine : Engine.t) (elements, registered, terminated, maturities) op =
+  match op with
+  | Register q ->
+      engine.register q;
+      (elements, registered + 1, terminated, maturities)
+  | Terminate id ->
+      engine.terminate id;
+      (elements, registered, terminated + 1, maturities)
+  | Element e ->
+      let matured = engine.process e in
+      let ordinal = elements + 1 in
+      ( ordinal,
+        registered,
+        terminated,
+        List.fold_left (fun acc id -> (ordinal, id) :: acc) maturities matured )
+
+let finish (elements, registered, terminated, maturities) =
+  { elements; registered; terminated; maturities = List.rev maturities }
+
+let replay ~dim engine ic =
+  let state = ref (0, 0, 0, []) in
+  let line_no = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr line_no;
+       if not (Csv_io.is_skippable line) then
+         state := apply engine !state (parse_op ~dim ~line_no:!line_no line)
+     done
+   with End_of_file -> ());
+  finish !state
+
+let replay_ops engine ops = finish (List.fold_left (apply engine) (0, 0, 0, []) ops)

@@ -1,0 +1,52 @@
+(** Recordable, replayable operation traces.
+
+    An RTS execution is fully determined by its operation stream —
+    REGISTER, TERMINATE, and element arrivals in order. This module
+    serializes that stream to a line format and replays it against any
+    engine, so a workload can be captured once (e.g. from the synthetic
+    {!Scenario} driver, or from production) and re-run bit-identically
+    against different engines, builds, or implementations. The replayed
+    maturity log is the equivalence evidence.
+
+    Line format (CSV, comments/blanks skipped):
+    {v
+    R,<id>,<threshold>,<lo1>,<hi1>[,...]    register
+    T,<id>                                  terminate
+    E,<v1>[,...],<weight>                   element
+    v} *)
+
+open Rts_core
+
+type op =
+  | Register of Types.query
+  | Terminate of int
+  | Element of Types.elem
+
+val op_to_line : op -> string
+
+val parse_op : dim:int -> line_no:int -> string -> op
+(** Raises {!Csv_io.Parse_error} on malformed input. *)
+
+val recording : sink:(op -> unit) -> Engine.t -> Engine.t
+(** [recording ~sink engine] behaves exactly like [engine] but reports
+    every operation to [sink] before applying it (batch registrations are
+    recorded as individual [Register] ops). *)
+
+val record_to_channel : out_channel -> Engine.t -> Engine.t
+(** [recording] with a sink that writes {!op_to_line} lines. *)
+
+type outcome = {
+  elements : int;
+  registered : int;
+  terminated : int;
+  maturities : (int * int) list;
+      (** (element ordinal, query id), ascending — element ordinal counts
+          [Element] ops, starting at 1 *)
+}
+
+val replay : dim:int -> Engine.t -> in_channel -> outcome
+(** Feed a recorded trace to an engine. Raises {!Csv_io.Parse_error} on
+    malformed input; engine errors (duplicate ids etc.) propagate. *)
+
+val replay_ops : Engine.t -> op list -> outcome
+(** In-memory variant of {!replay}. *)

@@ -1,0 +1,76 @@
+(** Workload driver: runs any {!Rts_core.Engine.t} over a paper-style
+    scenario (Section 8) and measures it.
+
+    The driver pre-generates stream elements, queries and lifetimes in
+    untimed batches, so the timed region contains (essentially) only engine
+    operations; per-operation costs are measured over chunks of consecutive
+    timestamps, exactly because single operations at this scale are far
+    below timer resolution.
+
+    Determinism: for a fixed config (including seed), the sequence of
+    elements, registrations and terminations presented to the engine is
+    identical for every (correct) engine — maturity is a pure function of
+    the stream — so results of different engines are directly comparable
+    and the test suite can diff their maturity traces verbatim. *)
+
+open Rts_core
+
+type mode =
+  | Static  (** all queries registered before the stream (Scenario 1) *)
+  | Stochastic of { p_ins : float; horizon : int }
+      (** from timestamp 1 to [horizon], register a new query with
+          probability [p_ins] per timestamp (Scenario 2, stochastic mode) *)
+  | Fixed_load
+      (** replace every matured/terminated query immediately, keeping the
+          alive count constant (Scenario 2, fixed-load mode) *)
+
+type config = {
+  dim : int;
+  seed : int;
+  value_dist : Generator.value_distribution;
+      (** element value distribution; [Uniform] is the paper's setup *)
+  initial_queries : int;
+  tau : int;  (** threshold given to every query, as in the paper *)
+  unit_weights : bool;  (** counting RTS instead of weighted *)
+  with_terminations : bool;
+      (** draw the paper's p_del lifetimes (on by default in the paper) *)
+  mode : mode;
+  max_elements : int;
+      (** hard cap on stream length; static scenarios also stop when no
+          query is left alive *)
+  chunk : int;  (** timestamps per timing batch (also trace resolution) *)
+}
+
+val default : config
+(** 1D, seed 42, 10_000 static queries, tau = 200_000 (the paper's tau/m
+    ratio of 20), weighted, with terminations, max 400_000 elements,
+    chunk 2048. *)
+
+type trace_point = {
+  ops_done : int;  (** operations completed by the end of this chunk *)
+  elements_done : int;
+  alive : int;  (** alive queries at the end of this chunk *)
+  avg_us : float;  (** mean wall-clock microseconds per operation *)
+}
+
+type result = {
+  engine_name : string;
+  config : config;
+  total_seconds : float;  (** timed engine work, all chunks *)
+  elements : int;
+  registered : int;  (** queries ever registered, initial batch included *)
+  matured : int;
+  terminated : int;
+  ops : int;  (** elements + registrations + terminations + maturities *)
+  trace : trace_point array;
+  maturity_log : (int * int) list;
+      (** (timestamp, query id) of every maturity, ascending timestamp —
+          the ground truth used by the cross-engine equivalence tests *)
+}
+
+val run : config -> (dim:int -> Engine.t) -> result
+(** Run one scenario on a freshly made engine. The factory receives
+    [config.dim]. *)
+
+val pp_result : Format.formatter -> result -> unit
+(** One summary line: name, totals, mean per-op cost. *)

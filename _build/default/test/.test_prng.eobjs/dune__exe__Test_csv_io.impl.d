@@ -1,0 +1,1 @@
+test/test_csv_io.ml: Alcotest Array Csv_io Filename Fun Generator List Rts_core Rts_workload String Sys Types

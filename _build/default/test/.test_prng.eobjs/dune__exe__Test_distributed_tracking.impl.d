@@ -1,0 +1,1 @@
+test/test_distributed_tracking.ml: Alcotest List Printf QCheck QCheck_alcotest Rts_dt Rts_util Unix

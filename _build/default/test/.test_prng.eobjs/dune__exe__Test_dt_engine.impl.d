@@ -1,0 +1,1 @@
+test/test_dt_engine.ml: Alcotest Dt_engine List Printf QCheck QCheck_alcotest Rts_core Rts_util Types

@@ -1,0 +1,1 @@
+test/test_endpoint_tree.ml: Alcotest Array Endpoint_tree List Printf QCheck QCheck_alcotest Rts_core Rts_util Types

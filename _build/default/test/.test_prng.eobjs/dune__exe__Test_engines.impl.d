@@ -1,0 +1,1 @@
+test/test_engines.ml: Alcotest Array Baseline_engine Dt_engine Engine List Printf QCheck QCheck_alcotest Rtree_engine Rts_core Rts_util Stab1d_engine Stab2d_engine Types

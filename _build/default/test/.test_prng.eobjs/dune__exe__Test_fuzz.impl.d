@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Array Baseline_engine Dt_engine Engine List Printf Replay Rtree_engine Rts_core Rts_util Rts_workload Scenario Stab1d_engine Stab2d_engine String Types

@@ -1,0 +1,1 @@
+test/test_handle_heap.ml: Alcotest List QCheck QCheck_alcotest Rts_structures Rts_util Test

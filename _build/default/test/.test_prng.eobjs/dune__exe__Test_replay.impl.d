@@ -1,0 +1,1 @@
+test/test_replay.ml: Alcotest Baseline_engine Csv_io Dt_engine Engine List Replay Rtree_engine Rts_core Rts_util Rts_workload Stab1d_engine String Types

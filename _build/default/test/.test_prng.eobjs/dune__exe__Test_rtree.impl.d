@@ -1,0 +1,1 @@
+test/test_rtree.ml: Alcotest Array List Printf QCheck QCheck_alcotest Rts_structures Rts_util

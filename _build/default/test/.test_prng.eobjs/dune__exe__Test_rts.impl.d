@@ -1,0 +1,1 @@
+test/test_rts.ml: Alcotest Baseline_engine Dt_engine Engine List Printf Rts_core Rts_util String Types

@@ -1,0 +1,1 @@
+test/test_segment_interval_tree.ml: Alcotest List QCheck QCheck_alcotest Rts_structures Rts_util

@@ -1,0 +1,1 @@
+test/test_segment_interval_tree.mli:

@@ -1,0 +1,1 @@
+test/test_segment_tree.ml: Alcotest Array List Option Printf QCheck QCheck_alcotest Rts_structures Rts_util

@@ -1,0 +1,1 @@
+test/test_shared_tracking.ml: Alcotest Array List Printf QCheck QCheck_alcotest Rts_dt Rts_util

@@ -1,0 +1,1 @@
+test/test_types.ml: Alcotest Array Float Format Gen List QCheck QCheck_alcotest Rts_core Types

@@ -1,0 +1,1 @@
+test/test_weight_balanced_tree.ml: Alcotest Float List Printf QCheck QCheck_alcotest Rts_structures Rts_util

@@ -1,0 +1,1 @@
+test/test_weight_balanced_tree.mli:

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Baseline_engine Dt_engine Generator Hashtbl List Option Printf Rtree_engine Rts_core Rts_util Rts_workload Scenario Stab1d_engine Stab2d_engine Types

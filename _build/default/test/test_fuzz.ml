@@ -1,0 +1,182 @@
+(* Heavier randomized differential testing — the wide net on top of the
+   per-module suites. Every case drives multiple engines through the same
+   op stream and requires bit-identical maturity behaviour; configurations
+   sweep dimensionality, weighting, dynamism mode, thresholds and domain
+   tightness. Runtime is kept to tens of seconds. *)
+
+open Rts_core
+open Rts_workload
+module Prng = Rts_util.Prng
+
+let engines_for dim =
+  List.concat
+    [
+      [ ("baseline", Baseline_engine.make ~dim); ("dt", Dt_engine.make ~dim) ];
+      (if dim <= 3 then [ ("r-tree", Rtree_engine.make ~dim) ] else []);
+      (if dim = 1 then [ ("interval-tree", Stab1d_engine.make ()) ] else []);
+      (if dim = 2 then [ ("seg-intv", Stab2d_engine.make ()) ] else []);
+      [ ("dt-eager", Dt_engine.make_eager ~dim) ];
+    ]
+
+(* One randomized episode: interleaved register/terminate/process with
+   parameters drawn from the seed. *)
+let episode seed =
+  let rng = Prng.create ~seed in
+  let dim = 1 + Prng.int rng 3 in
+  let domain = 2 + Prng.int rng 30 in
+  let max_weight = 1 + Prng.int rng 200 in
+  let max_tau = 1 + Prng.int rng 1000 in
+  let p_reg = 0.05 +. Prng.float rng 0.3 in
+  let p_term = Prng.float rng 0.08 in
+  let steps = 300 + Prng.int rng 700 in
+  let engines = engines_for dim in
+  let next = ref 0 and alive = ref [] and matured_total = ref 0 in
+  for step = 1 to steps do
+    if Prng.bernoulli rng p_reg || !alive = [] then begin
+      let bounds =
+        Array.init dim (fun _ ->
+            let a = float_of_int (Prng.int rng domain) in
+            (a, a +. 1. +. float_of_int (Prng.int rng domain)))
+      in
+      let q =
+        { Types.id = !next; rect = Types.rect_make bounds; threshold = 1 + Prng.int rng max_tau }
+      in
+      incr next;
+      alive := q.id :: !alive;
+      List.iter (fun (_, (e : Engine.t)) -> e.register q) engines
+    end;
+    if !alive <> [] && Prng.bernoulli rng p_term then begin
+      let v = List.nth !alive (Prng.int rng (List.length !alive)) in
+      alive := List.filter (fun i -> i <> v) !alive;
+      List.iter (fun (_, (e : Engine.t)) -> e.terminate v) engines
+    end;
+    let elem =
+      {
+        Types.value = Array.init dim (fun _ -> float_of_int (Prng.int rng (domain + 4)));
+        weight = 1 + Prng.int rng max_weight;
+      }
+    in
+    let outs = List.map (fun (name, (e : Engine.t)) -> (name, e.process elem)) engines in
+    (match outs with
+    | (ref_name, ref_out) :: rest ->
+        List.iter
+          (fun (name, out) ->
+            if out <> ref_out then
+              Alcotest.failf "seed %d step %d (d=%d): %s=[%s] but %s=[%s]" seed step dim name
+                (String.concat ";" (List.map string_of_int out))
+                ref_name
+                (String.concat ";" (List.map string_of_int ref_out)))
+          rest;
+        matured_total := !matured_total + List.length ref_out;
+        alive := List.filter (fun i -> not (List.mem i ref_out)) !alive
+    | [] -> ());
+    let expected_alive = List.length !alive in
+    List.iter
+      (fun (name, (e : Engine.t)) ->
+        if e.alive () <> expected_alive then
+          Alcotest.failf "seed %d step %d: %s alive=%d, driver says %d" seed step name (e.alive ())
+            expected_alive)
+      engines
+  done
+
+let test_episodes () =
+  for seed = 1000 to 1039 do
+    episode seed
+  done
+
+let scenario_case ~dim ~unit_weights ~mode () =
+  let cfg =
+    {
+      Scenario.default with
+      Scenario.dim;
+      seed = 77;
+      initial_queries = 400;
+      tau = (if unit_weights then 40 else 4_000);
+      unit_weights;
+      mode;
+      max_elements = 8_000;
+      chunk = 512;
+    }
+  in
+  let reference = Scenario.run cfg (fun ~dim -> Baseline_engine.make ~dim) in
+  List.iter
+    (fun (name, factory) ->
+      let r = Scenario.run cfg factory in
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "%s maturity log (d=%d)" name dim)
+        reference.Scenario.maturity_log r.Scenario.maturity_log)
+    (match dim with
+    | 1 ->
+        [
+          ("dt", fun ~dim -> Dt_engine.make ~dim);
+          ("interval-tree", fun ~dim:_ -> Stab1d_engine.make ());
+        ]
+    | _ ->
+        [
+          ("dt", fun ~dim -> Dt_engine.make ~dim);
+          ("seg-intv", fun ~dim:_ -> Stab2d_engine.make ());
+          ("r-tree", fun ~dim -> Rtree_engine.make ~dim);
+        ])
+
+let test_scenario_matrix () =
+  List.iter
+    (fun dim ->
+      List.iter
+        (fun unit_weights ->
+          List.iter
+            (fun mode -> scenario_case ~dim ~unit_weights ~mode ())
+            [
+              Scenario.Static;
+              Scenario.Stochastic { p_ins = 0.25; horizon = 6_000 };
+              Scenario.Fixed_load;
+            ])
+        [ false; true ])
+    [ 1; 2 ]
+
+let test_record_replay_scenario () =
+  (* Record a full scenario through the wrapper, then replay the trace
+     against every engine: same maturity logs as the recording run. *)
+  let cfg =
+    {
+      Scenario.default with
+      Scenario.dim = 1;
+      seed = 123;
+      initial_queries = 300;
+      tau = 3_000;
+      mode = Scenario.Fixed_load;
+      max_elements = 5_000;
+      chunk = 512;
+    }
+  in
+  let ops = ref [] in
+  let recorded =
+    Scenario.run cfg (fun ~dim ->
+        Replay.recording ~sink:(fun op -> ops := op :: !ops) (Baseline_engine.make ~dim))
+  in
+  let trace = List.rev !ops in
+  List.iter
+    (fun (name, engine) ->
+      let o = Replay.replay_ops engine trace in
+      Alcotest.(check int)
+        (name ^ " maturity count")
+        (List.length recorded.Scenario.maturity_log)
+        (List.length o.Replay.maturities);
+      Alcotest.(check int) (name ^ " elements") recorded.Scenario.elements o.Replay.elements)
+    [
+      ("dt", Dt_engine.make ~dim:1);
+      ("interval-tree", Stab1d_engine.make ());
+      ("baseline", Baseline_engine.make ~dim:1);
+    ]
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "40 randomized episodes, d in 1..3, 6 engines" `Slow test_episodes;
+          Alcotest.test_case "scenario matrix: modes x dims x weighting" `Slow
+            test_scenario_matrix;
+          Alcotest.test_case "record then replay a whole scenario" `Quick
+            test_record_replay_scenario;
+        ] );
+    ]

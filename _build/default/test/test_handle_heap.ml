@@ -1,0 +1,198 @@
+(* Handle_heap: unit tests for the handle lifecycle plus a model-based
+   qcheck test replaying random op sequences against a sorted-list model.
+   This structure underlies every sigma heap H(u) in the RTS core, so a
+   subtle swap/back-pointer bug here would corrupt maturity detection. *)
+
+module Handle_heap = Rts_structures.Handle_heap
+
+let int_heap () = Handle_heap.create ~leq:(fun (a : int) b -> a <= b) ()
+
+let drain h =
+  let rec go acc = match Handle_heap.pop h with Some v -> go (v :: acc) | None -> List.rev acc in
+  go []
+
+let test_empty () =
+  let h = int_heap () in
+  Alcotest.(check bool) "is_empty" true (Handle_heap.is_empty h);
+  Alcotest.(check int) "size" 0 (Handle_heap.size h);
+  Alcotest.(check (option int)) "peek" None (Handle_heap.peek h);
+  Alcotest.(check (option int)) "pop" None (Handle_heap.pop h);
+  Alcotest.check_raises "peek_exn raises" (Invalid_argument "Handle_heap.peek_exn: empty heap")
+    (fun () -> ignore (Handle_heap.peek_exn h))
+
+let test_push_pop_sorted () =
+  let h = int_heap () in
+  List.iter (fun v -> ignore (Handle_heap.push h v)) [ 5; 1; 4; 1; 3; 9; 2 ];
+  Alcotest.(check (list int)) "sorted drain" [ 1; 1; 2; 3; 4; 5; 9 ] (drain h)
+
+let test_peek_stable () =
+  let h = int_heap () in
+  ignore (Handle_heap.push h 3);
+  ignore (Handle_heap.push h 1);
+  Alcotest.(check (option int)) "peek min" (Some 1) (Handle_heap.peek h);
+  Alcotest.(check (option int)) "peek again" (Some 1) (Handle_heap.peek h);
+  Alcotest.(check int) "size unchanged" 2 (Handle_heap.size h)
+
+let test_remove_middle () =
+  let h = int_heap () in
+  let _a = Handle_heap.push h 1 in
+  let b = Handle_heap.push h 2 in
+  let _c = Handle_heap.push h 3 in
+  Handle_heap.remove h b;
+  Alcotest.(check (list int)) "2 removed" [ 1; 3 ] (drain h)
+
+let test_remove_min () =
+  let h = int_heap () in
+  let a = Handle_heap.push h 1 in
+  ignore (Handle_heap.push h 2);
+  Handle_heap.remove h a;
+  Alcotest.(check (option int)) "new min" (Some 2) (Handle_heap.peek h)
+
+let test_remove_dead_handle_raises () =
+  let h = int_heap () in
+  let a = Handle_heap.push h 1 in
+  ignore (Handle_heap.pop h);
+  Alcotest.check_raises "dead handle" (Invalid_argument "Handle_heap.remove: dead handle")
+    (fun () -> Handle_heap.remove h a)
+
+let test_remove_foreign_handle_raises () =
+  let h1 = int_heap () and h2 = int_heap () in
+  let a = Handle_heap.push h1 1 in
+  ignore (Handle_heap.push h2 1);
+  Alcotest.check_raises "foreign handle"
+    (Invalid_argument "Handle_heap.remove: handle from another heap") (fun () ->
+      Handle_heap.remove h2 a)
+
+let test_update_decrease () =
+  let h = int_heap () in
+  ignore (Handle_heap.push h 10);
+  let b = Handle_heap.push h 20 in
+  Handle_heap.update h b 1;
+  Alcotest.(check (option int)) "decreased to min" (Some 1) (Handle_heap.peek h)
+
+let test_update_increase () =
+  let h = int_heap () in
+  let a = Handle_heap.push h 1 in
+  ignore (Handle_heap.push h 5);
+  Handle_heap.update h a 10;
+  Alcotest.(check (list int)) "increase reorders" [ 5; 10 ] (drain h)
+
+let test_is_member () =
+  let h = int_heap () in
+  let a = Handle_heap.push h 1 in
+  Alcotest.(check bool) "member while live" true (Handle_heap.is_member h a);
+  ignore (Handle_heap.pop h);
+  Alcotest.(check bool) "dead after pop" false (Handle_heap.is_member h a)
+
+let test_value () =
+  let h = int_heap () in
+  let a = Handle_heap.push h 7 in
+  Alcotest.(check int) "value" 7 (Handle_heap.value a);
+  Handle_heap.update h a 9;
+  Alcotest.(check int) "updated value" 9 (Handle_heap.value a)
+
+let test_to_list () =
+  let h = int_heap () in
+  List.iter (fun v -> ignore (Handle_heap.push h v)) [ 3; 1; 2 ];
+  Alcotest.(check (list int)) "to_list multiset" [ 1; 2; 3 ]
+    (List.sort compare (Handle_heap.to_list h))
+
+let test_many_elements () =
+  let h = int_heap () in
+  let n = 10_000 in
+  for i = n downto 1 do
+    ignore (Handle_heap.push h i)
+  done;
+  Handle_heap.check_invariants h;
+  Alcotest.(check int) "size" n (Handle_heap.size h);
+  Alcotest.(check (list int)) "sorted" (List.init n (fun i -> i + 1)) (drain h)
+
+(* Model-based property: replay pushes / pops / removes / updates against a
+   reference association list, checking pop order and invariants. *)
+let prop_model =
+  let open QCheck in
+  Test.make ~count:200 ~name:"heap vs model under random ops"
+    (pair small_int (list (int_range 0 3)))
+    (fun (seed, script) ->
+      let rng = Rts_util.Prng.create ~seed in
+      let h = int_heap () in
+      (* model: list of (serial, value, handle); serial for identity *)
+      let model = ref [] in
+      let serial = ref 0 in
+      let push () =
+        let v = Rts_util.Prng.int rng 1000 in
+        let hd = Handle_heap.push h v in
+        incr serial;
+        model := (!serial, ref v, hd) :: !model
+      in
+      let pick () =
+        match !model with
+        | [] -> None
+        | l -> Some (List.nth l (Rts_util.Prng.int rng (List.length l)))
+      in
+      let ok = ref true in
+      let step op =
+        match op with
+        | 0 | 3 -> push ()
+        | 1 -> (
+            (* pop must yield the model minimum *)
+            match Handle_heap.pop h with
+            | None -> if !model <> [] then ok := false
+            | Some v ->
+                let m = List.fold_left (fun acc (_, r, _) -> min acc !r) max_int !model in
+                if v <> m then ok := false;
+                (* remove one matching entry from the model *)
+                let removed = ref false in
+                model :=
+                  List.filter
+                    (fun (_, r, hd) ->
+                      if (not !removed) && !r = v && not (Handle_heap.is_member h hd) then begin
+                        removed := true;
+                        false
+                      end
+                      else true)
+                    !model)
+        | 2 -> (
+            match pick () with
+            | Some ((sn, _, hd) as _entry) when Handle_heap.is_member h hd ->
+                if Rts_util.Prng.bool rng then begin
+                  Handle_heap.remove h hd;
+                  model := List.filter (fun (sn', _, _) -> sn' <> sn) !model
+                end
+                else begin
+                  let v' = Rts_util.Prng.int rng 1000 in
+                  Handle_heap.update h hd v';
+                  List.iter (fun (sn', r, _) -> if sn' = sn then r := v') !model
+                end
+            | _ -> ())
+        | _ -> ()
+      in
+      List.iter step script;
+      Handle_heap.check_invariants h;
+      if Handle_heap.size h <> List.length !model then ok := false;
+      (* final drain must be the sorted model *)
+      let expected = List.sort compare (List.map (fun (_, r, _) -> !r) !model) in
+      let got = drain h in
+      !ok && got = expected)
+
+let () =
+  Alcotest.run "handle_heap"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty heap" `Quick test_empty;
+          Alcotest.test_case "push/pop sorted" `Quick test_push_pop_sorted;
+          Alcotest.test_case "peek stable" `Quick test_peek_stable;
+          Alcotest.test_case "remove middle" `Quick test_remove_middle;
+          Alcotest.test_case "remove min" `Quick test_remove_min;
+          Alcotest.test_case "remove dead raises" `Quick test_remove_dead_handle_raises;
+          Alcotest.test_case "remove foreign raises" `Quick test_remove_foreign_handle_raises;
+          Alcotest.test_case "update decrease" `Quick test_update_decrease;
+          Alcotest.test_case "update increase" `Quick test_update_increase;
+          Alcotest.test_case "is_member lifecycle" `Quick test_is_member;
+          Alcotest.test_case "value" `Quick test_value;
+          Alcotest.test_case "to_list" `Quick test_to_list;
+          Alcotest.test_case "10k elements" `Quick test_many_elements;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_model ]);
+    ]

@@ -1,0 +1,172 @@
+(* Interval_tree: unit tests for stabbing semantics and deletion, AVL/
+   augmentation invariants after every mutation, and a model-based qcheck
+   property comparing stabbing output against a naive list scan. *)
+
+module Interval_tree = Rts_structures.Interval_tree
+module Prng = Rts_util.Prng
+
+let sorted_ids l = List.sort compare (List.map fst l)
+
+let test_empty () =
+  let t : unit Interval_tree.t = Interval_tree.create () in
+  Alcotest.(check int) "size" 0 (Interval_tree.size t);
+  Alcotest.(check bool) "is_empty" true (Interval_tree.is_empty t);
+  Alcotest.(check (list int)) "stab empty" [] (sorted_ids (Interval_tree.stab t 0.))
+
+let test_single () =
+  let t = Interval_tree.create () in
+  Interval_tree.insert t ~id:1 ~lo:2. ~hi:5. "a";
+  Alcotest.(check (list int)) "inside" [ 1 ] (sorted_ids (Interval_tree.stab t 3.));
+  Alcotest.(check (list int)) "left endpoint included" [ 1 ]
+    (sorted_ids (Interval_tree.stab t 2.));
+  Alcotest.(check (list int)) "right endpoint excluded" []
+    (sorted_ids (Interval_tree.stab t 5.));
+  Alcotest.(check (list int)) "left of" [] (sorted_ids (Interval_tree.stab t 1.9));
+  Alcotest.(check (list int)) "right of" [] (sorted_ids (Interval_tree.stab t 5.1))
+
+let test_overlapping () =
+  let t = Interval_tree.create () in
+  Interval_tree.insert t ~id:1 ~lo:0. ~hi:10. ();
+  Interval_tree.insert t ~id:2 ~lo:5. ~hi:15. ();
+  Interval_tree.insert t ~id:3 ~lo:8. ~hi:9. ();
+  Alcotest.(check (list int)) "x=6" [ 1; 2 ] (sorted_ids (Interval_tree.stab t 6.));
+  Alcotest.(check (list int)) "x=8.5" [ 1; 2; 3 ] (sorted_ids (Interval_tree.stab t 8.5));
+  Alcotest.(check (list int)) "x=12" [ 2 ] (sorted_ids (Interval_tree.stab t 12.))
+
+let test_duplicate_intervals_distinct_ids () =
+  let t = Interval_tree.create () in
+  Interval_tree.insert t ~id:1 ~lo:1. ~hi:2. ();
+  Interval_tree.insert t ~id:2 ~lo:1. ~hi:2. ();
+  Alcotest.(check (list int)) "both reported" [ 1; 2 ] (sorted_ids (Interval_tree.stab t 1.5));
+  Interval_tree.delete t ~id:1 ~lo:1. ~hi:2.;
+  Alcotest.(check (list int)) "only 2 left" [ 2 ] (sorted_ids (Interval_tree.stab t 1.5))
+
+let test_duplicate_key_rejected () =
+  let t = Interval_tree.create () in
+  Interval_tree.insert t ~id:1 ~lo:1. ~hi:2. ();
+  Alcotest.check_raises "exact duplicate"
+    (Invalid_argument "Interval_tree.insert: duplicate (lo, hi, id)") (fun () ->
+      Interval_tree.insert t ~id:1 ~lo:1. ~hi:2. ())
+
+let test_empty_interval_rejected () =
+  let t = Interval_tree.create () in
+  Alcotest.check_raises "lo = hi" (Invalid_argument "Interval_tree.insert: requires lo < hi")
+    (fun () -> Interval_tree.insert t ~id:1 ~lo:3. ~hi:3. ())
+
+let test_delete_missing () =
+  let t : unit Interval_tree.t = Interval_tree.create () in
+  Alcotest.check_raises "missing" Not_found (fun () -> Interval_tree.delete t ~id:9 ~lo:0. ~hi:1.)
+
+let test_mem () =
+  let t = Interval_tree.create () in
+  Interval_tree.insert t ~id:4 ~lo:0. ~hi:1. ();
+  Alcotest.(check bool) "present" true (Interval_tree.mem t ~id:4 ~lo:0. ~hi:1.);
+  Alcotest.(check bool) "wrong id" false (Interval_tree.mem t ~id:5 ~lo:0. ~hi:1.);
+  Interval_tree.delete t ~id:4 ~lo:0. ~hi:1.;
+  Alcotest.(check bool) "gone" false (Interval_tree.mem t ~id:4 ~lo:0. ~hi:1.)
+
+let test_iter_in_key_order () =
+  let t = Interval_tree.create () in
+  Interval_tree.insert t ~id:1 ~lo:5. ~hi:6. ();
+  Interval_tree.insert t ~id:2 ~lo:1. ~hi:9. ();
+  Interval_tree.insert t ~id:3 ~lo:3. ~hi:4. ();
+  let acc = ref [] in
+  Interval_tree.iter t (fun id lo _hi () -> acc := (lo, id) :: !acc);
+  Alcotest.(check (list (pair (float 0.) int)))
+    "ascending lo" [ (1., 2); (3., 3); (5., 1) ] (List.rev !acc)
+
+let test_infinite_bounds () =
+  let t = Interval_tree.create () in
+  Interval_tree.insert t ~id:1 ~lo:neg_infinity ~hi:0. ();
+  Interval_tree.insert t ~id:2 ~lo:0. ~hi:infinity ();
+  Alcotest.(check (list int)) "far left" [ 1 ] (sorted_ids (Interval_tree.stab t (-1e300)));
+  Alcotest.(check (list int)) "far right" [ 2 ] (sorted_ids (Interval_tree.stab t 1e300));
+  Interval_tree.check_invariants t
+
+let test_balance_sequential_inserts () =
+  let t = Interval_tree.create () in
+  (* Ascending insertions are the classic way to break an unbalanced BST. *)
+  for i = 0 to 2047 do
+    let lo = float_of_int i in
+    Interval_tree.insert t ~id:i ~lo ~hi:(lo +. 0.5) ()
+  done;
+  Interval_tree.check_invariants t;
+  Alcotest.(check int) "size" 2048 (Interval_tree.size t);
+  Alcotest.(check (list int)) "point stab" [ 1000 ] (sorted_ids (Interval_tree.stab t 1000.25))
+
+let test_balance_sequential_deletes () =
+  let t = Interval_tree.create () in
+  for i = 0 to 1023 do
+    Interval_tree.insert t ~id:i ~lo:(float_of_int i) ~hi:(float_of_int i +. 0.5) ()
+  done;
+  for i = 0 to 511 do
+    Interval_tree.delete t ~id:i ~lo:(float_of_int i) ~hi:(float_of_int i +. 0.5);
+    if i mod 100 = 0 then Interval_tree.check_invariants t
+  done;
+  Interval_tree.check_invariants t;
+  Alcotest.(check int) "size" 512 (Interval_tree.size t)
+
+(* Model-based property: random inserts/deletes/stabs on a small integer
+   grid, diffing against a plain list. *)
+let prop_model =
+  QCheck.Test.make ~count:200 ~name:"stab = naive scan under random ops"
+    QCheck.(pair small_int (int_range 10 200))
+    (fun (seed, steps) ->
+      let rng = Prng.create ~seed in
+      let t = Interval_tree.create () in
+      let model = ref [] in
+      let next = ref 0 in
+      let ok = ref true in
+      for _ = 1 to steps do
+        let r = Prng.int rng 10 in
+        if r < 5 then begin
+          let a = float_of_int (Prng.int rng 20) in
+          let b = float_of_int (1 + Prng.int rng 20) in
+          let lo = min a b and hi = max a b +. 1. in
+          Interval_tree.insert t ~id:!next ~lo ~hi ();
+          model := (!next, lo, hi) :: !model;
+          incr next
+        end
+        else if r < 7 && !model <> [] then begin
+          let idx = Prng.int rng (List.length !model) in
+          let id, lo, hi = List.nth !model idx in
+          Interval_tree.delete t ~id ~lo ~hi;
+          model := List.filter (fun (id', _, _) -> id' <> id) !model
+        end
+        else begin
+          let x = float_of_int (Prng.int rng 25) in
+          let got = sorted_ids (Interval_tree.stab t x) in
+          let want =
+            List.filter (fun (_, lo, hi) -> lo <= x && x < hi) !model
+            |> List.map (fun (id, _, _) -> id)
+            |> List.sort compare
+          in
+          if got <> want then ok := false
+        end;
+        Interval_tree.check_invariants t
+      done;
+      !ok && Interval_tree.size t = List.length !model)
+
+let () =
+  Alcotest.run "interval_tree"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "single interval" `Quick test_single;
+          Alcotest.test_case "overlapping intervals" `Quick test_overlapping;
+          Alcotest.test_case "duplicate intervals, distinct ids" `Quick
+            test_duplicate_intervals_distinct_ids;
+          Alcotest.test_case "duplicate key rejected" `Quick test_duplicate_key_rejected;
+          Alcotest.test_case "empty interval rejected" `Quick test_empty_interval_rejected;
+          Alcotest.test_case "delete missing" `Quick test_delete_missing;
+          Alcotest.test_case "mem" `Quick test_mem;
+          Alcotest.test_case "iter key order" `Quick test_iter_in_key_order;
+          Alcotest.test_case "infinite bounds" `Quick test_infinite_bounds;
+          Alcotest.test_case "AVL balance: ascending inserts" `Quick
+            test_balance_sequential_inserts;
+          Alcotest.test_case "AVL balance: ascending deletes" `Quick
+            test_balance_sequential_deletes;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_model ]);
+    ]

@@ -1,0 +1,197 @@
+(* PRNG: determinism, ranges, and coarse distribution sanity. The point is
+   not to certify SplitMix64 statistically, but to catch plumbing bugs
+   (sign overflows, swapped bounds, biased rejection loops) that would
+   silently skew every workload in the repository. *)
+
+module Prng = Rts_util.Prng
+module Stats = Rts_util.Stats
+
+let test_determinism () =
+  let a = Prng.create ~seed:7 and b = Prng.create ~seed:7 in
+  for i = 1 to 1000 do
+    Alcotest.(check int64) (Printf.sprintf "draw %d" i) (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_seeds_differ () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.bits64 a <> Prng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds diverge" true !differs
+
+let test_copy_replays () =
+  let a = Prng.create ~seed:99 in
+  ignore (Prng.bits64 a);
+  let b = Prng.copy a in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "copy replays" (Prng.bits64 a) (Prng.bits64 b)
+  done
+
+let test_split_independent () =
+  let a = Prng.create ~seed:5 in
+  let child = Prng.split a in
+  (* Parent and child must not produce the same stream. *)
+  let same = ref 0 in
+  for _ = 1 to 100 do
+    if Prng.bits64 a = Prng.bits64 child then incr same
+  done;
+  Alcotest.(check int) "split decorrelates" 0 !same
+
+let test_int_range () =
+  let g = Prng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int g 7 in
+    Alcotest.(check bool) "0 <= v < 7" true (v >= 0 && v < 7)
+  done
+
+let test_int_bound_one () =
+  let g = Prng.create ~seed:3 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "bound 1 is constant 0" 0 (Prng.int g 1)
+  done
+
+let test_int_covers_all_residues () =
+  let g = Prng.create ~seed:11 in
+  let seen = Array.make 10 0 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int g 10 in
+    seen.(v) <- seen.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check bool) (Printf.sprintf "residue %d roughly uniform" i) true
+        (c > 700 && c < 1300))
+    seen
+
+let test_int_in () =
+  let g = Prng.create ~seed:13 in
+  for _ = 1 to 10_000 do
+    let v = Prng.int_in g (-5) 5 in
+    Alcotest.(check bool) "-5 <= v <= 5" true (v >= -5 && v <= 5)
+  done
+
+let test_float_range () =
+  let g = Prng.create ~seed:17 in
+  for _ = 1 to 10_000 do
+    let v = Prng.float g 2.5 in
+    Alcotest.(check bool) "0 <= v < 2.5" true (v >= 0. && v < 2.5)
+  done
+
+let test_float_mean () =
+  let g = Prng.create ~seed:19 in
+  let xs = Array.init 50_000 (fun _ -> Prng.float g 1.) in
+  let m = Stats.mean xs in
+  Alcotest.(check bool) "mean close to 0.5" true (abs_float (m -. 0.5) < 0.01)
+
+let test_bool_balance () =
+  let g = Prng.create ~seed:23 in
+  let heads = ref 0 in
+  for _ = 1 to 20_000 do
+    if Prng.bool g then incr heads
+  done;
+  Alcotest.(check bool) "fair-ish coin" true (!heads > 9_400 && !heads < 10_600)
+
+let test_bernoulli () =
+  let g = Prng.create ~seed:29 in
+  let hits = ref 0 in
+  for _ = 1 to 50_000 do
+    if Prng.bernoulli g 0.2 then incr hits
+  done;
+  let p = float_of_int !hits /. 50_000. in
+  Alcotest.(check bool) "p = 0.2 +/- 0.02" true (abs_float (p -. 0.2) < 0.02)
+
+let test_bernoulli_extremes () =
+  let g = Prng.create ~seed:31 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never" false (Prng.bernoulli g 0.);
+    Alcotest.(check bool) "p=1 always" true (Prng.bernoulli g 1.)
+  done
+
+let test_gaussian_moments () =
+  let g = Prng.create ~seed:37 in
+  let xs = Array.init 50_000 (fun _ -> Prng.gaussian g ~mean:100. ~stddev:15.) in
+  let s = Stats.summarize xs in
+  Alcotest.(check bool) "mean ~100" true (abs_float (s.mean -. 100.) < 0.5);
+  Alcotest.(check bool) "stddev ~15" true (abs_float (s.stddev -. 15.) < 0.5)
+
+let test_geometric_mean () =
+  let g = Prng.create ~seed:41 in
+  let p = 0.05 in
+  let xs = Array.init 50_000 (fun _ -> float_of_int (Prng.geometric g p)) in
+  let m = Stats.mean xs in
+  (* E[Geometric(p)] = 1/p = 20. *)
+  Alcotest.(check bool) "mean ~1/p" true (abs_float (m -. 20.) < 1.)
+
+let test_geometric_support () =
+  let g = Prng.create ~seed:43 in
+  for _ = 1 to 10_000 do
+    Alcotest.(check bool) "k >= 1" true (Prng.geometric g 0.5 >= 1)
+  done;
+  for _ = 1 to 100 do
+    Alcotest.(check int) "p=1 gives 1" 1 (Prng.geometric g 1.)
+  done
+
+let test_geometric_tiny_p () =
+  let g = Prng.create ~seed:47 in
+  (* Must not loop or overflow for very small p. *)
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "positive" true (Prng.geometric g 1e-9 >= 1)
+  done
+
+let test_shuffle_permutes () =
+  let g = Prng.create ~seed:53 in
+  let a = Array.init 100 (fun i -> i) in
+  let b = Array.copy a in
+  Prng.shuffle g b;
+  let sorted = Array.copy b in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same multiset" a sorted;
+  Alcotest.(check bool) "actually moved" true (b <> a)
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~count:500 ~name:"int stays in bounds"
+    QCheck.(pair small_int (int_range 1 1_000_000))
+    (fun (seed, bound) ->
+      let g = Prng.create ~seed in
+      let v = Prng.int g bound in
+      v >= 0 && v < bound)
+
+let prop_float_in =
+  QCheck.Test.make ~count:500 ~name:"float_in stays in bounds"
+    QCheck.(triple small_int (float_bound_exclusive 1000.) (float_range 1000.1 2000.))
+    (fun (seed, lo, hi) ->
+      let g = Prng.create ~seed in
+      let v = Prng.float_in g lo hi in
+      v >= lo && v < hi)
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seeds differ" `Quick test_seeds_differ;
+          Alcotest.test_case "copy replays" `Quick test_copy_replays;
+          Alcotest.test_case "split independent" `Quick test_split_independent;
+          Alcotest.test_case "int range" `Quick test_int_range;
+          Alcotest.test_case "int bound 1" `Quick test_int_bound_one;
+          Alcotest.test_case "int covers residues" `Quick test_int_covers_all_residues;
+          Alcotest.test_case "int_in range" `Quick test_int_in;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "float mean" `Quick test_float_mean;
+          Alcotest.test_case "bool balance" `Quick test_bool_balance;
+          Alcotest.test_case "bernoulli rate" `Quick test_bernoulli;
+          Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+          Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+          Alcotest.test_case "geometric support" `Quick test_geometric_support;
+          Alcotest.test_case "geometric tiny p" `Quick test_geometric_tiny_p;
+          Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutes;
+        ] );
+      ( "property",
+        [
+          QCheck_alcotest.to_alcotest prop_int_in_bounds;
+          QCheck_alcotest.to_alcotest prop_float_in;
+        ] );
+    ]

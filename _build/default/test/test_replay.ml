@@ -1,0 +1,145 @@
+(* Replay: op-line round-trips, the recording engine wrapper, and the
+   end-to-end property that a recorded trace replayed against any engine
+   yields the recorder's exact maturity log. *)
+
+open Rts_core
+open Rts_workload
+module Prng = Rts_util.Prng
+
+let q ~id ~threshold (lo, hi) = { Types.id; rect = Types.interval lo hi; threshold }
+
+let test_op_line_roundtrip () =
+  let ops =
+    [
+      Replay.Register (q ~id:3 ~threshold:100 (1.5, 2.5));
+      Replay.Terminate 42;
+      Replay.Element { Types.value = [| 7.25 |]; weight = 9 };
+    ]
+  in
+  List.iter
+    (fun op ->
+      let line = Replay.op_to_line op in
+      let parsed = Replay.parse_op ~dim:1 ~line_no:1 line in
+      Alcotest.(check bool) ("roundtrip: " ^ line) true (parsed = op))
+    ops
+
+let test_parse_errors () =
+  let bad l =
+    match Replay.parse_op ~dim:1 ~line_no:7 l with
+    | exception Csv_io.Parse_error msg ->
+        Alcotest.(check bool) ("line number in: " ^ msg) true
+          (String.length msg >= 6 && String.sub msg 0 6 = "line 7")
+    | _ -> Alcotest.fail ("should not parse: " ^ l)
+  in
+  bad "X,1,2";
+  bad "T,abc";
+  bad "R,1";
+  bad "E,";
+  bad "no commas"
+
+let test_recording_wrapper () =
+  let log = ref [] in
+  let engine = Replay.recording ~sink:(fun op -> log := op :: !log) (Baseline_engine.make ~dim:1) in
+  engine.Engine.register (q ~id:1 ~threshold:5 (0., 10.));
+  engine.Engine.register_batch [ q ~id:2 ~threshold:5 (0., 10.); q ~id:3 ~threshold:5 (0., 10.) ];
+  ignore (engine.Engine.process { Types.value = [| 5. |]; weight = 2 });
+  engine.Engine.terminate 2;
+  let kinds =
+    List.rev_map
+      (function Replay.Register _ -> "R" | Replay.Terminate _ -> "T" | Replay.Element _ -> "E")
+      !log
+  in
+  Alcotest.(check (list string)) "ops in order" [ "R"; "R"; "R"; "E"; "T" ] kinds;
+  Alcotest.(check int) "engine state advanced" 2 (engine.Engine.alive ())
+
+let test_replay_ops_outcome () =
+  let ops =
+    [
+      Replay.Register (q ~id:1 ~threshold:3 (0., 10.));
+      Replay.Element { Types.value = [| 5. |]; weight = 2 };
+      Replay.Register (q ~id:2 ~threshold:2 (0., 10.));
+      Replay.Element { Types.value = [| 50. |]; weight = 9 };
+      Replay.Element { Types.value = [| 5. |]; weight = 1 };
+      (* matures q1 (3/3) on element 3; q2 at 1/2 *)
+      Replay.Terminate 2;
+    ]
+  in
+  let o = Replay.replay_ops (Dt_engine.make ~dim:1) ops in
+  Alcotest.(check int) "elements" 3 o.Replay.elements;
+  Alcotest.(check int) "registered" 2 o.Replay.registered;
+  Alcotest.(check int) "terminated" 1 o.Replay.terminated;
+  Alcotest.(check (list (pair int int))) "maturity log" [ (3, 1) ] o.Replay.maturities
+
+(* Building valid terminate ops requires knowing maturities; simplest is to
+   record from a live engine. *)
+let recorded_trace seed steps =
+  let log = ref [] in
+  let engine =
+    Replay.recording ~sink:(fun op -> log := op :: !log) (Baseline_engine.make ~dim:1)
+  in
+  let rng = Prng.create ~seed in
+  let alive = ref [] and next = ref 0 in
+  for _ = 1 to steps do
+    if Prng.bernoulli rng 0.2 || !alive = [] then begin
+      let a = float_of_int (Prng.int rng 20) in
+      engine.Engine.register
+        (q ~id:!next ~threshold:(1 + Prng.int rng 40) (a, a +. 1. +. float_of_int (Prng.int rng 10)));
+      alive := !next :: !alive;
+      incr next
+    end;
+    if !alive <> [] && Prng.bernoulli rng 0.05 then begin
+      let v = List.nth !alive (Prng.int rng (List.length !alive)) in
+      engine.Engine.terminate v;
+      alive := List.filter (fun i -> i <> v) !alive
+    end;
+    let matured =
+      engine.Engine.process
+        { Types.value = [| float_of_int (Prng.int rng 25) |]; weight = 1 + Prng.int rng 5 }
+    in
+    alive := List.filter (fun i -> not (List.mem i matured)) !alive
+  done;
+  List.rev !log
+
+let test_recorded_trace_replays_identically () =
+  let ops = recorded_trace 5 800 in
+  let reference = Replay.replay_ops (Baseline_engine.make ~dim:1) ops in
+  List.iter
+    (fun (name, engine) ->
+      let o = Replay.replay_ops engine ops in
+      Alcotest.(check (list (pair int int)))
+        (name ^ " maturity log") reference.Replay.maturities o.Replay.maturities;
+      Alcotest.(check int) (name ^ " elements") reference.Replay.elements o.Replay.elements)
+    [
+      ("dt", Dt_engine.make ~dim:1);
+      ("dt-eager", Dt_engine.make_eager ~dim:1);
+      ("interval-tree", Stab1d_engine.make ());
+      ("r-tree", Rtree_engine.make ~dim:1);
+    ]
+
+let test_text_roundtrip_full_trace () =
+  (* Serialize a whole trace to text and back; outcome unchanged. *)
+  let ops = recorded_trace 11 300 in
+  let text = String.concat "\n" (List.map Replay.op_to_line ops) in
+  let reparsed =
+    String.split_on_char '\n' text
+    |> List.mapi (fun i line -> Replay.parse_op ~dim:1 ~line_no:(i + 1) line)
+  in
+  let a = Replay.replay_ops (Dt_engine.make ~dim:1) ops in
+  let b = Replay.replay_ops (Dt_engine.make ~dim:1) reparsed in
+  Alcotest.(check (list (pair int int))) "same maturities" a.Replay.maturities b.Replay.maturities
+
+let () =
+  Alcotest.run "replay"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "op line roundtrip" `Quick test_op_line_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "recording wrapper" `Quick test_recording_wrapper;
+          Alcotest.test_case "replay_ops outcome" `Quick test_replay_ops_outcome;
+          Alcotest.test_case "recorded trace replays identically" `Quick
+            test_recorded_trace_replays_identically;
+          Alcotest.test_case "text roundtrip of a full trace" `Quick
+            test_text_roundtrip_full_trace;
+        ] );
+    ]

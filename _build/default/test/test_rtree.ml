@@ -1,0 +1,174 @@
+(* Rtree: stabbing semantics vs naive scan across dimensions, shape
+   invariants (fill factors, equal leaf depth, tight MBRs) after heavy
+   insert/delete churn — the failure mode the paper highlights in Fig. 8. *)
+
+module Rtree = Rts_structures.Rtree
+module Prng = Rts_util.Prng
+
+let sorted_ids l = List.sort compare (List.map fst l)
+
+let test_empty () =
+  let t : unit Rtree.t = Rtree.create ~dim:2 () in
+  Alcotest.(check int) "size" 0 (Rtree.size t);
+  Alcotest.(check (list int)) "stab" [] (sorted_ids (Rtree.stab t [| 0.; 0. |]));
+  Alcotest.(check int) "height" 1 (Rtree.height t);
+  Rtree.check_invariants t
+
+let test_single () =
+  let t = Rtree.create ~dim:2 () in
+  Rtree.insert t ~id:1 ~lo:[| 0.; 0. |] ~hi:[| 10.; 5. |] "a";
+  Alcotest.(check (list int)) "inside" [ 1 ] (sorted_ids (Rtree.stab t [| 5.; 2. |]));
+  Alcotest.(check (list int)) "lo corner in" [ 1 ] (sorted_ids (Rtree.stab t [| 0.; 0. |]));
+  Alcotest.(check (list int)) "hi corner out" [] (sorted_ids (Rtree.stab t [| 10.; 5. |]));
+  Rtree.check_invariants t
+
+let test_split_grows_height () =
+  let t = Rtree.create ~max_entries:4 ~dim:1 () in
+  for i = 0 to 40 do
+    let f = float_of_int i in
+    Rtree.insert t ~id:i ~lo:[| f |] ~hi:[| f +. 0.5 |] ()
+  done;
+  Rtree.check_invariants t;
+  Alcotest.(check bool) "height grew" true (Rtree.height t > 1);
+  Alcotest.(check int) "size" 41 (Rtree.size t);
+  Alcotest.(check (list int)) "stab leaf" [ 17 ] (sorted_ids (Rtree.stab t [| 17.25 |]))
+
+let test_delete_and_condense () =
+  let t = Rtree.create ~max_entries:4 ~dim:1 () in
+  for i = 0 to 63 do
+    let f = float_of_int i in
+    Rtree.insert t ~id:i ~lo:[| f |] ~hi:[| f +. 0.5 |] ()
+  done;
+  for i = 0 to 55 do
+    Rtree.delete t ~id:i;
+    if i mod 8 = 0 then Rtree.check_invariants t
+  done;
+  Rtree.check_invariants t;
+  Alcotest.(check int) "size" 8 (Rtree.size t);
+  for i = 56 to 63 do
+    let f = float_of_int i in
+    Alcotest.(check (list int))
+      (Printf.sprintf "survivor %d findable" i)
+      [ i ]
+      (sorted_ids (Rtree.stab t [| f +. 0.25 |]))
+  done
+
+let test_delete_to_empty_and_reuse () =
+  let t = Rtree.create ~dim:2 () in
+  for i = 0 to 30 do
+    let f = float_of_int i in
+    Rtree.insert t ~id:i ~lo:[| f; f |] ~hi:[| f +. 1.; f +. 1. |] ()
+  done;
+  for i = 0 to 30 do
+    Rtree.delete t ~id:i
+  done;
+  Alcotest.(check int) "emptied" 0 (Rtree.size t);
+  Rtree.check_invariants t;
+  Rtree.insert t ~id:99 ~lo:[| 0.; 0. |] ~hi:[| 1.; 1. |] ();
+  Alcotest.(check (list int)) "reusable" [ 99 ] (sorted_ids (Rtree.stab t [| 0.5; 0.5 |]))
+
+let test_delete_missing () =
+  let t : unit Rtree.t = Rtree.create ~dim:1 () in
+  Alcotest.check_raises "missing" Not_found (fun () -> Rtree.delete t ~id:1)
+
+let test_duplicate_id_rejected () =
+  let t = Rtree.create ~dim:1 () in
+  Rtree.insert t ~id:1 ~lo:[| 0. |] ~hi:[| 1. |] ();
+  Alcotest.check_raises "dup" (Invalid_argument "Rtree.insert: duplicate id") (fun () ->
+      Rtree.insert t ~id:1 ~lo:[| 2. |] ~hi:[| 3. |] ())
+
+let test_bad_dim_rejected () =
+  let t : unit Rtree.t = Rtree.create ~dim:2 () in
+  Alcotest.check_raises "bad dim" (Invalid_argument "Rtree.insert: wrong dimensionality")
+    (fun () -> Rtree.insert t ~id:1 ~lo:[| 0. |] ~hi:[| 1. |] ())
+
+let test_heavily_overlapping () =
+  (* The RTS workload regime: many near-identical rectangles around a hot
+     center. The R-tree must stay correct (if slow). *)
+  let t = Rtree.create ~dim:2 () in
+  let rng = Prng.create ~seed:5 in
+  let rects =
+    List.init 300 (fun i ->
+        let cx = 50. +. Prng.float rng 2. and cy = 50. +. Prng.float rng 2. in
+        (i, (cx -. 10., cx +. 10., cy -. 10., cy +. 10.)))
+  in
+  List.iter
+    (fun (i, (xlo, xhi, ylo, yhi)) -> Rtree.insert t ~id:i ~lo:[| xlo; ylo |] ~hi:[| xhi; yhi |] ())
+    rects;
+  Rtree.check_invariants t;
+  let got = sorted_ids (Rtree.stab t [| 51.; 51. |]) in
+  let want =
+    List.filter
+      (fun (_, (xlo, xhi, ylo, yhi)) -> xlo <= 51. && 51. < xhi && ylo <= 51. && 51. < yhi)
+      rects
+    |> List.map fst |> List.sort compare
+  in
+  Alcotest.(check (list int)) "hot point" want got
+
+let prop_model dim =
+  QCheck.Test.make ~count:100
+    ~name:(Printf.sprintf "%dd stab = naive scan under random ops" dim)
+    QCheck.(pair small_int (int_range 10 150))
+    (fun (seed, steps) ->
+      let rng = Prng.create ~seed in
+      let t = Rtree.create ~max_entries:5 ~dim () in
+      let model = ref [] in
+      let next = ref 0 in
+      let ok = ref true in
+      let coord () = float_of_int (Prng.int rng 12) in
+      for _ = 1 to steps do
+        let r = Prng.int rng 10 in
+        if r < 5 then begin
+          let box =
+            Array.init dim (fun _ ->
+                let a = coord () in
+                (a, a +. 1. +. coord ()))
+          in
+          Rtree.insert t ~id:!next ~lo:(Array.map fst box) ~hi:(Array.map snd box) ();
+          model := (!next, box) :: !model;
+          incr next
+        end
+        else if r < 7 && !model <> [] then begin
+          let idx = Prng.int rng (List.length !model) in
+          let id, _ = List.nth !model idx in
+          Rtree.delete t ~id;
+          model := List.filter (fun (id', _) -> id' <> id) !model
+        end
+        else begin
+          let p = Array.init dim (fun _ -> coord ()) in
+          let got = sorted_ids (Rtree.stab t p) in
+          let want =
+            List.filter
+              (fun (_, box) ->
+                Array.for_all2 (fun (lo, hi) x -> lo <= x && x < hi) box p)
+              !model
+            |> List.map fst |> List.sort compare
+          in
+          if got <> want then ok := false
+        end;
+        Rtree.check_invariants t
+      done;
+      !ok && Rtree.size t = List.length !model)
+
+let () =
+  Alcotest.run "rtree"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "single" `Quick test_single;
+          Alcotest.test_case "splits grow height" `Quick test_split_grows_height;
+          Alcotest.test_case "delete and condense" `Quick test_delete_and_condense;
+          Alcotest.test_case "delete to empty, reuse" `Quick test_delete_to_empty_and_reuse;
+          Alcotest.test_case "delete missing" `Quick test_delete_missing;
+          Alcotest.test_case "duplicate id rejected" `Quick test_duplicate_id_rejected;
+          Alcotest.test_case "bad dimensionality rejected" `Quick test_bad_dim_rejected;
+          Alcotest.test_case "heavily overlapping rectangles" `Quick test_heavily_overlapping;
+        ] );
+      ( "property",
+        [
+          QCheck_alcotest.to_alcotest (prop_model 1);
+          QCheck_alcotest.to_alcotest (prop_model 2);
+          QCheck_alcotest.to_alcotest (prop_model 3);
+        ] );
+    ]

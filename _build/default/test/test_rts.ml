@@ -1,0 +1,273 @@
+(* Rts facade: subscription lifecycle, callbacks, closed-bound semantics,
+   progress reporting, and agreement with a scalar model. *)
+
+module Rts = Rts_core.Rts
+module Prng = Rts_util.Prng
+
+let test_basic_lifecycle () =
+  let m = Rts.create ~dim:1 () in
+  let fired = ref [] in
+  let s =
+    Rts.subscribe m ~label:"x"
+      ~on_mature:(fun s -> fired := Rts.id s :: !fired)
+      (Rts.interval ~lo:0. ~hi:10.)
+      ~threshold:5
+  in
+  Alcotest.(check string) "status live" "Live"
+    (match Rts.status s with `Live -> "Live" | `Matured -> "M" | `Cancelled -> "C");
+  Alcotest.(check int) "live count" 1 (Rts.live_count m);
+  Alcotest.(check int) "progress 0" 0 (Rts.progress m s);
+  let r1 = Rts.feed m ~weight:3 [| 5. |] in
+  Alcotest.(check int) "no maturity yet" 0 (List.length r1);
+  Alcotest.(check int) "progress 3" 3 (Rts.progress m s);
+  let r2 = Rts.feed m ~weight:2 [| 0. |] in
+  Alcotest.(check int) "matured" 1 (List.length r2);
+  Alcotest.(check (list int)) "callback ran" [ Rts.id s ] !fired;
+  Alcotest.(check int) "live count 0" 0 (Rts.live_count m);
+  Alcotest.(check int) "matured count" 1 (Rts.matured_count m);
+  Alcotest.(check int) "progress of matured = threshold" 5 (Rts.progress m s)
+
+let test_closed_bounds () =
+  let m = Rts.create ~dim:1 () in
+  let s = Rts.subscribe m (Rts.interval ~lo:0. ~hi:10.) ~threshold:1 in
+  (* the upper bound itself must count: [0, 10] is closed *)
+  let r = Rts.feed m [| 10. |] in
+  Alcotest.(check int) "hi inclusive" 1 (List.length r);
+  Alcotest.(check bool) "same subscription" true (Rts.id (List.hd r) = Rts.id s)
+
+let test_default_weight_is_one () =
+  let m = Rts.create ~dim:1 () in
+  ignore (Rts.subscribe m (Rts.interval ~lo:0. ~hi:1.) ~threshold:3);
+  Alcotest.(check int) "1st" 0 (List.length (Rts.feed m [| 0.5 |]));
+  Alcotest.(check int) "2nd" 0 (List.length (Rts.feed m [| 0.5 |]));
+  Alcotest.(check int) "3rd matures" 1 (List.length (Rts.feed m [| 0.5 |]))
+
+let test_cancel () =
+  let m = Rts.create ~dim:1 () in
+  let s = Rts.subscribe m (Rts.interval ~lo:0. ~hi:10.) ~threshold:1 in
+  Rts.cancel m s;
+  Alcotest.(check int) "live count" 0 (Rts.live_count m);
+  Alcotest.(check int) "no fire after cancel" 0 (List.length (Rts.feed m [| 5. |]));
+  Alcotest.check_raises "double cancel" (Invalid_argument "Rts.cancel: subscription not live")
+    (fun () -> Rts.cancel m s);
+  Alcotest.check_raises "progress of cancelled"
+    (Invalid_argument "Rts.progress: subscription cancelled") (fun () ->
+      ignore (Rts.progress m s))
+
+let test_multi_dim_box () =
+  let m = Rts.create ~dim:2 () in
+  let s =
+    Rts.subscribe m (Rts.box [| (0., 10.); (neg_infinity, 5.) |]) ~threshold:2
+  in
+  ignore (Rts.feed m [| 5.; 4. |]);
+  ignore (Rts.feed m [| 5.; 6. |]);
+  (* second coord above 5: excluded *)
+  Alcotest.(check int) "progress 1" 1 (Rts.progress m s);
+  let r = Rts.feed m [| 10.; -1e9 |] in
+  (* x = 10 inclusive; y unbounded below *)
+  Alcotest.(check int) "matured" 1 (List.length r)
+
+let test_describe () =
+  let m = Rts.create ~dim:1 () in
+  let s = Rts.subscribe m ~label:"hello" (Rts.interval ~lo:0. ~hi:1.) ~threshold:9 in
+  let d = Rts.describe s in
+  Alcotest.(check bool) "mentions label" true
+    (String.length d >= 5 && String.sub d 0 5 = "hello");
+  let anon = Rts.subscribe m (Rts.interval ~lo:0. ~hi:1.) ~threshold:9 in
+  Alcotest.(check bool) "anon mentions id" true
+    (String.length (Rts.describe anon) > 0 && (Rts.describe anon).[0] = '#')
+
+let test_callbacks_order_and_once () =
+  let m = Rts.create ~dim:1 () in
+  let calls = ref [] in
+  for i = 0 to 4 do
+    ignore
+      (Rts.subscribe m
+         ~on_mature:(fun s -> calls := (i, Rts.id s) :: !calls)
+         (Rts.interval ~lo:0. ~hi:1.)
+         ~threshold:1)
+  done;
+  let fired = Rts.feed m [| 0.5 |] in
+  Alcotest.(check int) "all five fire" 5 (List.length fired);
+  Alcotest.(check int) "five callbacks exactly once" 5 (List.length !calls);
+  (* feeding again fires nothing *)
+  Alcotest.(check int) "no refire" 0 (List.length (Rts.feed m [| 0.5 |]))
+
+let test_against_scalar_model () =
+  let rng = Prng.create ~seed:3 in
+  let m = Rts.create ~dim:1 () in
+  let subs =
+    List.init 40 (fun _ ->
+        let a = float_of_int (Prng.int rng 20) in
+        let b = a +. float_of_int (Prng.int rng 10) in
+        let threshold = 1 + Prng.int rng 200 in
+        let s = Rts.subscribe m (Rts.interval ~lo:a ~hi:b) ~threshold in
+        (s, a, b, threshold, ref 0, ref false))
+  in
+  for _ = 1 to 1500 do
+    let x = float_of_int (Prng.int rng 25) in
+    let w = 1 + Prng.int rng 5 in
+    let fired = Rts.feed m ~weight:w [| x |] in
+    let fired_ids = List.map Rts.id fired in
+    List.iter
+      (fun (s, a, b, threshold, acc, dead) ->
+        if (not !dead) && a <= x && x <= b then begin
+          acc := !acc + w;
+          if !acc >= threshold then begin
+            Alcotest.(check bool) "model says fire" true (List.mem (Rts.id s) fired_ids);
+            dead := true
+          end
+        end)
+      subs
+  done;
+  List.iter
+    (fun (s, _, _, threshold, acc, dead) ->
+      if !dead then Alcotest.(check bool) "matured" true (Rts.status s = `Matured)
+      else begin
+        Alcotest.(check bool) "live" true (Rts.status s = `Live);
+        Alcotest.(check int) "progress" (min !acc (threshold - 1)) (Rts.progress m s)
+      end)
+    subs
+
+let test_snapshot_roundtrip () =
+  let m = Rts.create ~dim:2 () in
+  let a =
+    Rts.subscribe m ~label:"with spaces and \"quotes\""
+      (Rts.box [| (0., 10.); (neg_infinity, 5.) |])
+      ~threshold:100
+  in
+  let b = Rts.subscribe m (Rts.box [| (3., 4.); (0., 1.) |]) ~threshold:7 in
+  ignore (Rts.feed m ~weight:42 [| 5.; 0. |]);
+  (* a: 42/100; b: not covered (y=0 in [0,1]? yes 0 in [0, succ 1) and x=5 not in [3, succ 4)) *)
+  Alcotest.(check int) "a progress" 42 (Rts.progress m a);
+  Alcotest.(check int) "b progress" 0 (Rts.progress m b);
+  let snap = Rts.snapshot m in
+  let fired = ref [] in
+  let m' = Rts.restore ~on_mature:(fun s -> fired := Rts.id s :: !fired) snap in
+  Alcotest.(check int) "live count restored" 2 (Rts.live_count m');
+  let subs = List.sort compare (List.map Rts.id (Rts.subscriptions m')) in
+  Alcotest.(check (list int)) "ids restored" [ Rts.id a; Rts.id b ] subs;
+  let a' = List.find (fun s -> Rts.id s = Rts.id a) (Rts.subscriptions m') in
+  Alcotest.(check (option string)) "label restored" (Rts.label a) (Rts.label a');
+  Alcotest.(check int) "progress restored" 42 (Rts.progress m' a');
+  (* 58 more weight matures a in both monitors at the same element *)
+  ignore (Rts.feed m ~weight:57 [| 5.; 0. |]);
+  ignore (Rts.feed m' ~weight:57 [| 5.; 0. |]);
+  Alcotest.(check int) "57 not enough (99 < 100)" 0 (List.length !fired);
+  let orig = Rts.feed m ~weight:1 [| 5.; 0. |] in
+  let rest = Rts.feed m' ~weight:1 [| 5.; 0. |] in
+  Alcotest.(check int) "original fires" 1 (List.length orig);
+  Alcotest.(check int) "restored fires" 1 (List.length rest);
+  Alcotest.(check (list int)) "callback on restore fired" [ Rts.id a ] !fired
+
+let test_snapshot_divergence_free () =
+  (* Long random run: snapshot mid-way, continue both, maturities match. *)
+  let rng = Prng.create ~seed:19 in
+  let m = Rts.create ~dim:1 () in
+  for _ = 0 to 99 do
+    let lo = float_of_int (Prng.int rng 20) in
+    ignore
+      (Rts.subscribe m
+         (Rts.interval ~lo ~hi:(lo +. 1. +. float_of_int (Prng.int rng 10)))
+         ~threshold:(50 + Prng.int rng 200))
+  done;
+  for _ = 1 to 300 do
+    ignore (Rts.feed m ~weight:(1 + Prng.int rng 5) [| float_of_int (Prng.int rng 30) |])
+  done;
+  let m' = Rts.restore (Rts.snapshot m) in
+  Alcotest.(check int) "same live count" (Rts.live_count m) (Rts.live_count m');
+  for step = 1 to 2000 do
+    let x = [| float_of_int (Prng.int rng 30) |] in
+    let w = 1 + Prng.int rng 5 in
+    let o = List.sort compare (List.map Rts.id (Rts.feed m ~weight:w x)) in
+    let r = List.sort compare (List.map Rts.id (Rts.feed m' ~weight:w x)) in
+    Alcotest.(check (list int)) (Printf.sprintf "step %d" step) o r
+  done
+
+let test_snapshot_empty () =
+  let m = Rts.create ~dim:3 () in
+  let m' = Rts.restore (Rts.snapshot m) in
+  Alcotest.(check int) "dim restored" 3 (Rts.dim m');
+  Alcotest.(check int) "empty" 0 (Rts.live_count m')
+
+let test_restore_rejects_garbage () =
+  Alcotest.check_raises "bad header" (Invalid_argument "Rts.restore: bad snapshot header")
+    (fun () -> ignore (Rts.restore "not a snapshot"))
+
+let test_register_batch_equivalence () =
+  (* Engine.register_batch must behave exactly like sequential register. *)
+  let open Rts_core in
+  let rng = Prng.create ~seed:17 in
+  let queries =
+    List.init 300 (fun id ->
+        let a = float_of_int (Prng.int rng 30) in
+        let b = a +. 1. +. float_of_int (Prng.int rng 15) in
+        { Types.id; rect = Types.interval a b; threshold = 1 + Prng.int rng 60 })
+  in
+  let batched = Dt_engine.make ~dim:1 in
+  batched.Engine.register_batch queries;
+  let sequential = Dt_engine.make ~dim:1 in
+  List.iter sequential.Engine.register queries;
+  let oracle = Baseline_engine.make ~dim:1 in
+  oracle.Engine.register_batch queries;
+  for step = 1 to 2500 do
+    let e =
+      { Types.value = [| float_of_int (Prng.int rng 50) |]; weight = 1 + Prng.int rng 4 }
+    in
+    let a = batched.Engine.process e in
+    let b = sequential.Engine.process e in
+    let c = oracle.Engine.process e in
+    Alcotest.(check (list int)) (Printf.sprintf "step %d batched" step) c a;
+    Alcotest.(check (list int)) (Printf.sprintf "step %d sequential" step) c b
+  done
+
+let test_register_batch_on_nonempty_engine () =
+  let open Rts_core in
+  let e1 = Dt_engine.create ~dim:1 () in
+  Dt_engine.register e1 { Types.id = 100; rect = Types.interval 0. 10.; threshold = 5 };
+  ignore (Dt_engine.process e1 { Types.value = [| 5. |]; weight = 3 });
+  (* batch onto a non-empty engine must keep prior progress *)
+  Dt_engine.register_batch e1
+    (List.init 50 (fun id -> { Types.id; rect = Types.interval 0. 10.; threshold = 100 }));
+  Alcotest.(check int) "prior progress preserved" 3 (Dt_engine.progress e1 100);
+  Alcotest.(check int) "all alive" 51 (Dt_engine.alive_count e1);
+  let matured = Dt_engine.process e1 { Types.value = [| 5. |]; weight = 2 } in
+  Alcotest.(check (list int)) "old query matures on schedule" [ 100 ] matured
+
+let test_register_batch_duplicate_rejected () =
+  let open Rts_core in
+  let e = Dt_engine.create ~dim:1 () in
+  Dt_engine.register e { Types.id = 1; rect = Types.interval 0. 1.; threshold = 1 };
+  Alcotest.check_raises "dup in batch"
+    (Invalid_argument "Dt_engine.register_batch: id already alive") (fun () ->
+      Dt_engine.register_batch e [ { Types.id = 1; rect = Types.interval 0. 1.; threshold = 1 } ])
+
+let () =
+  Alcotest.run "rts_facade"
+    [
+      ( "facade",
+        [
+          Alcotest.test_case "basic lifecycle" `Quick test_basic_lifecycle;
+          Alcotest.test_case "closed bounds" `Quick test_closed_bounds;
+          Alcotest.test_case "default weight" `Quick test_default_weight_is_one;
+          Alcotest.test_case "cancel" `Quick test_cancel;
+          Alcotest.test_case "multi-dim box" `Quick test_multi_dim_box;
+          Alcotest.test_case "describe" `Quick test_describe;
+          Alcotest.test_case "callbacks once" `Quick test_callbacks_order_and_once;
+          Alcotest.test_case "scalar model agreement" `Quick test_against_scalar_model;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_snapshot_roundtrip;
+          Alcotest.test_case "divergence-free continuation" `Quick test_snapshot_divergence_free;
+          Alcotest.test_case "empty snapshot" `Quick test_snapshot_empty;
+          Alcotest.test_case "rejects garbage" `Quick test_restore_rejects_garbage;
+        ] );
+      ( "register_batch",
+        [
+          Alcotest.test_case "batch = sequential = oracle" `Quick test_register_batch_equivalence;
+          Alcotest.test_case "batch on non-empty engine" `Quick
+            test_register_batch_on_nonempty_engine;
+          Alcotest.test_case "duplicate rejected" `Quick test_register_batch_duplicate_rejected;
+        ] );
+    ]

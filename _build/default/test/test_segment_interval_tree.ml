@@ -1,0 +1,164 @@
+(* Segment_interval_tree: 2D stabbing semantics vs a naive scan, overflow
+   buffer + rebuild behaviour, and structural invariants. *)
+
+module Sit = Rts_structures.Segment_interval_tree
+module Prng = Rts_util.Prng
+
+let sorted_ids l = List.sort compare (List.map fst l)
+
+let test_empty () =
+  let t : unit Sit.t = Sit.create () in
+  Alcotest.(check int) "size" 0 (Sit.size t);
+  Alcotest.(check (list int)) "stab" [] (sorted_ids (Sit.stab t ~x:0. ~y:0.))
+
+let test_single_rectangle () =
+  let t = Sit.create () in
+  Sit.insert t ~id:1 ~xlo:0. ~xhi:10. ~ylo:0. ~yhi:5. ();
+  Sit.check_invariants t;
+  Alcotest.(check (list int)) "inside" [ 1 ] (sorted_ids (Sit.stab t ~x:5. ~y:2.));
+  Alcotest.(check (list int)) "corner lo included" [ 1 ] (sorted_ids (Sit.stab t ~x:0. ~y:0.));
+  Alcotest.(check (list int)) "x hi excluded" [] (sorted_ids (Sit.stab t ~x:10. ~y:2.));
+  Alcotest.(check (list int)) "y hi excluded" [] (sorted_ids (Sit.stab t ~x:5. ~y:5.));
+  Alcotest.(check (list int)) "outside x" [] (sorted_ids (Sit.stab t ~x:11. ~y:2.));
+  Alcotest.(check (list int)) "outside y" [] (sorted_ids (Sit.stab t ~x:5. ~y:7.))
+
+let test_overlapping_rectangles () =
+  let t = Sit.create () in
+  Sit.insert t ~id:1 ~xlo:0. ~xhi:10. ~ylo:0. ~yhi:10. ();
+  Sit.insert t ~id:2 ~xlo:5. ~xhi:15. ~ylo:5. ~yhi:15. ();
+  Sit.insert t ~id:3 ~xlo:9. ~xhi:11. ~ylo:9. ~yhi:11. ();
+  Sit.check_invariants t;
+  Alcotest.(check (list int)) "triple overlap" [ 1; 2; 3 ]
+    (sorted_ids (Sit.stab t ~x:9.5 ~y:9.5));
+  Alcotest.(check (list int)) "only 1" [ 1 ] (sorted_ids (Sit.stab t ~x:2. ~y:2.));
+  Alcotest.(check (list int)) "only 2" [ 2 ] (sorted_ids (Sit.stab t ~x:12. ~y:12.))
+
+let test_delete () =
+  let t = Sit.create () in
+  Sit.insert t ~id:1 ~xlo:0. ~xhi:4. ~ylo:0. ~yhi:4. ();
+  Sit.insert t ~id:2 ~xlo:1. ~xhi:5. ~ylo:1. ~yhi:5. ();
+  Sit.delete t ~id:1;
+  Alcotest.(check (list int)) "1 gone" [ 2 ] (sorted_ids (Sit.stab t ~x:2. ~y:2.));
+  Alcotest.(check bool) "mem" false (Sit.mem t ~id:1);
+  Alcotest.check_raises "double delete" Not_found (fun () -> Sit.delete t ~id:1)
+
+let test_duplicate_id_rejected () =
+  let t = Sit.create () in
+  Sit.insert t ~id:1 ~xlo:0. ~xhi:1. ~ylo:0. ~yhi:1. ();
+  Alcotest.check_raises "dup id" (Invalid_argument "Segment_interval_tree.insert: duplicate id")
+    (fun () -> Sit.insert t ~id:1 ~xlo:2. ~xhi:3. ~ylo:2. ~yhi:3. ())
+
+let test_empty_rectangle_rejected () =
+  let t : unit Sit.t = Sit.create () in
+  Alcotest.check_raises "empty side"
+    (Invalid_argument "Segment_interval_tree.insert: empty rectangle") (fun () ->
+      Sit.insert t ~id:1 ~xlo:0. ~xhi:0. ~ylo:0. ~yhi:1. ())
+
+let test_overflow_then_rebuild () =
+  let t = Sit.create () in
+  (* First insert goes to overflow (no grid yet) and immediately triggers a
+     rebuild; later off-grid inserts accumulate until the threshold. *)
+  Sit.insert t ~id:0 ~xlo:0. ~xhi:100. ~ylo:0. ~yhi:100. ();
+  let n = 200 in
+  for i = 1 to n do
+    let f = float_of_int i in
+    (* endpoints all distinct: each insert is off the current grid *)
+    Sit.insert t ~id:i ~xlo:(f /. 7.) ~xhi:(50. +. (f /. 7.)) ~ylo:0. ~yhi:50. ()
+  done;
+  Sit.check_invariants t;
+  Alcotest.(check int) "all stored" (n + 1) (Sit.size t);
+  (* overflow is bounded by the rebuild policy: < max(16, built/4) + 1 *)
+  Alcotest.(check bool) "overflow bounded" true (Sit.overflow_count t <= max 16 (Sit.size t / 4));
+  (* stab must see both placed and overflowed rectangles *)
+  let hits = sorted_ids (Sit.stab t ~x:30. ~y:25.) in
+  let expected =
+    List.init (n + 1) (fun i -> i)
+    |> List.filter (fun i ->
+           if i = 0 then true
+           else
+             let f = float_of_int i in
+             f /. 7. <= 30. && 30. < 50. +. (f /. 7.))
+  in
+  Alcotest.(check (list int)) "stab across overflow" expected hits
+
+let test_delete_from_overflow () =
+  let t = Sit.create () in
+  Sit.insert t ~id:1 ~xlo:0. ~xhi:10. ~ylo:0. ~yhi:10. ();
+  Sit.insert t ~id:2 ~xlo:0.5 ~xhi:9.5 ~ylo:0. ~yhi:10. ();
+  (* id 2 may be in overflow; delete must work regardless of placement *)
+  Sit.delete t ~id:2;
+  Alcotest.(check (list int)) "only 1 remains" [ 1 ] (sorted_ids (Sit.stab t ~x:5. ~y:5.));
+  Sit.check_invariants t
+
+let test_mass_deletion_triggers_rebuild () =
+  let t = Sit.create () in
+  let n = 128 in
+  for i = 0 to n - 1 do
+    let f = float_of_int i in
+    Sit.insert t ~id:i ~xlo:f ~xhi:(f +. 10.) ~ylo:0. ~yhi:10. ()
+  done;
+  for i = 0 to (n / 2) + 10 do
+    Sit.delete t ~id:i
+  done;
+  Sit.check_invariants t;
+  Alcotest.(check int) "size" (n - (n / 2) - 11) (Sit.size t)
+
+let prop_model =
+  QCheck.Test.make ~count:150 ~name:"2d stab = naive scan under random ops"
+    QCheck.(pair small_int (int_range 10 150))
+    (fun (seed, steps) ->
+      let rng = Prng.create ~seed in
+      let t = Sit.create () in
+      let model = ref [] in
+      let next = ref 0 in
+      let ok = ref true in
+      let coord () = float_of_int (Prng.int rng 15) in
+      for _ = 1 to steps do
+        let r = Prng.int rng 10 in
+        if r < 5 then begin
+          let x1 = coord () and x2 = coord () +. 1. in
+          let y1 = coord () and y2 = coord () +. 1. in
+          let xlo = min x1 x2 and xhi = max x1 x2 +. 1. in
+          let ylo = min y1 y2 and yhi = max y1 y2 +. 1. in
+          Sit.insert t ~id:!next ~xlo ~xhi ~ylo ~yhi ();
+          model := (!next, (xlo, xhi, ylo, yhi)) :: !model;
+          incr next
+        end
+        else if r < 7 && !model <> [] then begin
+          let idx = Prng.int rng (List.length !model) in
+          let id, _ = List.nth !model idx in
+          Sit.delete t ~id;
+          model := List.filter (fun (id', _) -> id' <> id) !model
+        end
+        else begin
+          let x = coord () and y = coord () in
+          let got = sorted_ids (Sit.stab t ~x ~y) in
+          let want =
+            List.filter
+              (fun (_, (xlo, xhi, ylo, yhi)) -> xlo <= x && x < xhi && ylo <= y && y < yhi)
+              !model
+            |> List.map fst |> List.sort compare
+          in
+          if got <> want then ok := false
+        end;
+        Sit.check_invariants t
+      done;
+      !ok && Sit.size t = List.length !model)
+
+let () =
+  Alcotest.run "segment_interval_tree"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "single rectangle" `Quick test_single_rectangle;
+          Alcotest.test_case "overlapping rectangles" `Quick test_overlapping_rectangles;
+          Alcotest.test_case "delete" `Quick test_delete;
+          Alcotest.test_case "duplicate id rejected" `Quick test_duplicate_id_rejected;
+          Alcotest.test_case "empty rectangle rejected" `Quick test_empty_rectangle_rejected;
+          Alcotest.test_case "overflow then rebuild" `Quick test_overflow_then_rebuild;
+          Alcotest.test_case "delete from overflow" `Quick test_delete_from_overflow;
+          Alcotest.test_case "mass deletion rebuild" `Quick test_mass_deletion_triggers_rebuild;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_model ]);
+    ]

@@ -1,0 +1,175 @@
+(* Segment_tree: elementary-interval tiling, path and canonical-set
+   traversals, and the structural properties the endpoint tree and the
+   seg-intv structure both rely on (disjointness, O(log n) sizes). *)
+
+module Seg = Rts_structures.Segment_tree
+module Prng = Rts_util.Prng
+
+let build keys = Option.get (Seg.build ~payload:(fun () -> ref 0) (Array.of_list keys))
+
+let test_empty_grid () =
+  Alcotest.(check bool) "None" true (Seg.build ~payload:(fun () -> ()) [||] = None)
+
+let test_singleton_grid () =
+  let t = build [ 5. ] in
+  Alcotest.(check int) "one node" 1 (Seg.node_count t);
+  Alcotest.(check bool) "leaf" true (Seg.is_leaf (Seg.root t));
+  Alcotest.(check (pair (float 0.) (float 0.))) "jurisdiction" (5., infinity)
+    (Seg.jurisdiction (Seg.root t));
+  Alcotest.(check bool) "covers right" true (Seg.covers t 1e30);
+  Alcotest.(check bool) "not left" false (Seg.covers t 4.9)
+
+let test_build_validation () =
+  Alcotest.check_raises "unsorted"
+    (Invalid_argument "Segment_tree.build: keys must be sorted and distinct") (fun () ->
+      ignore (Seg.build ~payload:(fun () -> ()) [| 2.; 1. |]));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Segment_tree.build: keys must be sorted and distinct") (fun () ->
+      ignore (Seg.build ~payload:(fun () -> ()) [| 1.; 1. |]));
+  Alcotest.check_raises "non-finite" (Invalid_argument "Segment_tree.build: non-finite key")
+    (fun () -> ignore (Seg.build ~payload:(fun () -> ()) [| 1.; infinity |]))
+
+let test_node_count () =
+  (* n leaves => 2n - 1 nodes in a full binary tree *)
+  List.iter
+    (fun n ->
+      let t = build (List.init n float_of_int) in
+      Alcotest.(check int) (Printf.sprintf "n=%d" n) ((2 * n) - 1) (Seg.node_count t))
+    [ 1; 2; 3; 7; 8; 100 ]
+
+let test_leaves_tile_the_line () =
+  let t = build [ 1.; 3.; 7.; 9. ] in
+  Seg.check_invariants t;
+  let leaves = ref [] in
+  Seg.iter_nodes t (fun n -> if Seg.is_leaf n then leaves := Seg.jurisdiction n :: !leaves);
+  Alcotest.(check (list (pair (float 0.) (float 0.))))
+    "leaf jurisdictions"
+    [ (1., 3.); (3., 7.); (7., 9.); (9., infinity) ]
+    (List.sort compare !leaves)
+
+let test_path_unique_per_level () =
+  let t = build (List.init 50 (fun i -> float_of_int (2 * i))) in
+  (* each point's path visits exactly one node per level, each covering it *)
+  List.iter
+    (fun x ->
+      let visited = ref [] in
+      Seg.iter_path t x (fun n -> visited := Seg.jurisdiction n :: !visited);
+      Alcotest.(check bool) "nonempty" true (!visited <> []);
+      List.iter
+        (fun (lo, hi) ->
+          Alcotest.(check bool) (Printf.sprintf "x=%g in [%g,%g)" x lo hi) true
+            (lo <= x && x < hi))
+        !visited;
+      (* strictly nested: sorted by width they form a chain *)
+      let widths = List.map (fun (lo, hi) -> hi -. lo) !visited in
+      let sorted = List.sort compare widths in
+      Alcotest.(check (list (float 0.))) "chain" sorted (List.rev (List.sort compare widths)
+                                                         |> List.rev))
+    [ 0.; 1.; 49.; 98.; 1e10 ]
+
+let test_canonical_disjoint_cover () =
+  let rng = Prng.create ~seed:3 in
+  let keys = List.init 64 (fun i -> float_of_int i) in
+  let t = build keys in
+  for _ = 1 to 200 do
+    let a = Prng.int rng 63 in
+    let b = a + 1 + Prng.int rng (63 - a) in
+    let lo = float_of_int a and hi = float_of_int b in
+    let spans = ref [] in
+    Seg.iter_canonical t ~lo ~hi (fun n -> spans := Seg.jurisdiction n :: !spans);
+    let spans = List.sort compare !spans in
+    (* contiguous tiling of [lo, hi) *)
+    let rec tile cur = function
+      | [] -> Alcotest.(check (float 0.)) "ends at hi" hi cur
+      | (l, h) :: rest ->
+          Alcotest.(check (float 0.)) "contiguous" cur l;
+          tile h rest
+    in
+    (match spans with
+    | (l, _) :: _ -> Alcotest.(check (float 0.)) "starts at lo" lo l
+    | [] -> Alcotest.fail "empty canonical set");
+    tile lo spans;
+    (* O(log n): at most 2 per level *)
+    Alcotest.(check bool)
+      (Printf.sprintf "size %d <= 2 log2(128)" (List.length spans))
+      true
+      (List.length spans <= 14)
+  done
+
+let test_canonical_to_infinity () =
+  let t = build [ 0.; 10.; 20. ] in
+  let spans = ref [] in
+  Seg.iter_canonical t ~lo:10. ~hi:infinity (fun n -> spans := Seg.jurisdiction n :: !spans);
+  let total_lo = List.fold_left (fun acc (lo, _) -> min acc lo) infinity !spans in
+  let total_hi = List.fold_left (fun acc (_, hi) -> max acc hi) neg_infinity !spans in
+  Alcotest.(check (float 0.)) "from 10" 10. total_lo;
+  Alcotest.(check (float 0.)) "to infinity" infinity total_hi
+
+let test_canonical_validation () =
+  let t = build [ 0.; 10. ] in
+  Alcotest.check_raises "off grid" (Invalid_argument "Segment_tree.iter_canonical: lo off grid")
+    (fun () -> Seg.iter_canonical t ~lo:5. ~hi:10. (fun _ -> ()));
+  Alcotest.check_raises "hi off grid"
+    (Invalid_argument "Segment_tree.iter_canonical: hi off grid") (fun () ->
+      Seg.iter_canonical t ~lo:0. ~hi:5. (fun _ -> ()));
+  Alcotest.check_raises "empty" (Invalid_argument "Segment_tree.iter_canonical: empty range")
+    (fun () -> Seg.iter_canonical t ~lo:10. ~hi:10. (fun _ -> ()))
+
+let test_on_grid () =
+  let t = build [ 1.; 5.; 9. ] in
+  List.iter
+    (fun (x, expected) ->
+      Alcotest.(check bool) (Printf.sprintf "on_grid %g" x) expected (Seg.on_grid t x))
+    [ (1., true); (5., true); (9., true); (0., false); (3., false); (10., false) ]
+
+let test_payload_counters () =
+  (* Use payload refs as counters via iter_path: the segment-tree half of
+     the endpoint tree's counting scheme. *)
+  let t = build [ 0.; 10.; 20.; 30. ] in
+  let bump x = Seg.iter_path t x (fun n -> incr (Seg.payload n)) in
+  List.iter bump [ 5.; 15.; 15.; 25.; 100. ];
+  (* count elements in [10, 30) via canonical nodes *)
+  let total = ref 0 in
+  Seg.iter_canonical t ~lo:10. ~hi:30. (fun n -> total := !total + !(Seg.payload n));
+  Alcotest.(check int) "3 elements in [10,30)" 3 !total;
+  let all = ref 0 in
+  Seg.iter_canonical t ~lo:0. ~hi:infinity (fun n -> all := !all + !(Seg.payload n));
+  Alcotest.(check int) "all 5 accounted" 5 !all
+
+let prop_canonical_equals_scan =
+  QCheck.Test.make ~count:300 ~name:"canonical count = naive leaf scan"
+    QCheck.(triple small_int (int_range 2 64) (int_range 0 62))
+    (fun (seed, n, a) ->
+      QCheck.assume (a < n - 1);
+      let rng = Prng.create ~seed in
+      let keys = Array.init n (fun i -> float_of_int i) in
+      let t = Option.get (Seg.build ~payload:(fun () -> ref 0) keys) in
+      (* scatter points *)
+      let points = List.init 100 (fun _ -> Prng.float rng (float_of_int (n + 5))) in
+      List.iter (fun x -> Seg.iter_path t x (fun node -> incr (Seg.payload node))) points;
+      let b = a + 1 + Prng.int rng (n - 1 - a) in
+      let lo = float_of_int a and hi = float_of_int b in
+      let canonical = ref 0 in
+      Seg.iter_canonical t ~lo ~hi (fun node -> canonical := !canonical + !(Seg.payload node));
+      let naive = List.length (List.filter (fun x -> lo <= x && x < hi) points) in
+      !canonical = naive)
+
+let () =
+  Alcotest.run "segment_tree"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty grid" `Quick test_empty_grid;
+          Alcotest.test_case "singleton grid" `Quick test_singleton_grid;
+          Alcotest.test_case "build validation" `Quick test_build_validation;
+          Alcotest.test_case "node count" `Quick test_node_count;
+          Alcotest.test_case "leaves tile the line" `Quick test_leaves_tile_the_line;
+          Alcotest.test_case "path covers point" `Quick test_path_unique_per_level;
+          Alcotest.test_case "canonical disjoint cover" `Quick test_canonical_disjoint_cover;
+          Alcotest.test_case "canonical to infinity" `Quick test_canonical_to_infinity;
+          Alcotest.test_case "canonical validation" `Quick test_canonical_validation;
+          Alcotest.test_case "on_grid" `Quick test_on_grid;
+          Alcotest.test_case "payload counters" `Quick test_payload_counters;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_canonical_equals_scan ]);
+    ]

@@ -1,0 +1,232 @@
+(* Shared_tracking: many DT instances over shared counters. Exactness
+   against a scalar model under random schedules, signal budget, shared
+   counter semantics (offsets: only post-registration increments count),
+   and the heap-sharing behaviour that makes increments cheap. *)
+
+module St = Rts_dt.Shared_tracking
+module Prng = Rts_util.Prng
+
+let test_single_instance_exact () =
+  let t = St.create ~counters:4 in
+  let inst = St.register t ~watch:[ 0; 2 ] ~threshold:10 in
+  Alcotest.(check int) "fanout" 2 (St.fanout inst);
+  Alcotest.(check (list bool)) "no fire on unwatched" []
+    (List.map St.is_mature (St.increment t 1 ~by:100));
+  ignore (St.increment t 3 ~by:100);
+  Alcotest.(check int) "progress 0" 0 (St.progress t inst);
+  ignore (St.increment t 0 ~by:4);
+  ignore (St.increment t 2 ~by:5);
+  Alcotest.(check int) "progress 9" 9 (St.progress t inst);
+  Alcotest.(check bool) "live" true (St.is_live inst);
+  let matured = St.increment t 0 ~by:1 in
+  Alcotest.(check int) "matures exactly at 10" 1 (List.length matured);
+  Alcotest.(check bool) "mature" true (St.is_mature inst);
+  Alcotest.(check int) "progress caps at threshold" 10 (St.progress t inst)
+
+let test_registration_offset () =
+  (* Increments before registration must not count. *)
+  let t = St.create ~counters:1 in
+  ignore (St.increment t 0 ~by:1_000);
+  let inst = St.register t ~watch:[ 0 ] ~threshold:5 in
+  Alcotest.(check int) "starts at zero" 0 (St.progress t inst);
+  Alcotest.(check int) "no immediate fire" 0 (List.length (St.increment t 0 ~by:4));
+  Alcotest.(check int) "fires at 5" 1 (List.length (St.increment t 0 ~by:1))
+
+let test_cancel () =
+  let t = St.create ~counters:2 in
+  let a = St.register t ~watch:[ 0 ] ~threshold:3 in
+  let b = St.register t ~watch:[ 0 ] ~threshold:3 in
+  St.cancel t a;
+  Alcotest.(check int) "live count" 1 (St.live_count t);
+  let matured = St.increment t 0 ~by:10 in
+  Alcotest.(check bool) "only b fires" true
+    (List.length matured = 1 && St.is_mature b && not (St.is_mature a));
+  Alcotest.check_raises "double cancel"
+    (Invalid_argument "Shared_tracking.cancel: instance not live") (fun () -> St.cancel t a);
+  Alcotest.check_raises "progress of cancelled"
+    (Invalid_argument "Shared_tracking.progress: instance cancelled") (fun () ->
+      ignore (St.progress t a))
+
+let test_validation () =
+  Alcotest.check_raises "no counters" (Invalid_argument "Shared_tracking.create: counters < 1")
+    (fun () -> ignore (St.create ~counters:0));
+  let t = St.create ~counters:2 in
+  Alcotest.check_raises "empty watch"
+    (Invalid_argument "Shared_tracking.register: empty watch set") (fun () ->
+      ignore (St.register t ~watch:[] ~threshold:1));
+  Alcotest.check_raises "bad index"
+    (Invalid_argument "Shared_tracking.register: bad counter index") (fun () ->
+      ignore (St.register t ~watch:[ 2 ] ~threshold:1));
+  Alcotest.check_raises "duplicate counter"
+    (Invalid_argument "Shared_tracking.register: duplicate counter") (fun () ->
+      ignore (St.register t ~watch:[ 0; 0 ] ~threshold:1));
+  Alcotest.check_raises "bad threshold"
+    (Invalid_argument "Shared_tracking.register: threshold < 1") (fun () ->
+      ignore (St.register t ~watch:[ 0 ] ~threshold:0));
+  Alcotest.check_raises "bad increment"
+    (Invalid_argument "Shared_tracking.increment: by < 1") (fun () ->
+      ignore (St.increment t 0 ~by:0))
+
+let test_many_instances_model () =
+  (* 200 instances over 16 shared counters; random weighted increments;
+     diff maturity against a per-instance scalar model. *)
+  let rng = Prng.create ~seed:5 in
+  let t = St.create ~counters:16 in
+  let insts =
+    List.init 200 (fun _ ->
+        let h = 1 + Prng.int rng 6 in
+        let all = Array.init 16 (fun i -> i) in
+        Prng.shuffle rng all;
+        let watch = Array.to_list (Array.sub all 0 h) in
+        let threshold = 1 + Prng.int rng 500 in
+        let inst = St.register t ~watch ~threshold in
+        (inst, watch, threshold, ref 0, ref false))
+  in
+  for step = 1 to 3000 do
+    let i = Prng.int rng 16 in
+    let by = 1 + Prng.int rng 10 in
+    let matured = St.increment t i ~by in
+    List.iter
+      (fun (inst, watch, threshold, acc, dead) ->
+        if (not !dead) && List.mem i watch then begin
+          acc := !acc + by;
+          if !acc >= threshold then begin
+            dead := true;
+            Alcotest.(check bool)
+              (Printf.sprintf "step %d: model fire matches" step)
+              true
+              (List.exists (fun m -> m == inst) matured)
+          end
+        end)
+      insts;
+    List.iter
+      (fun m -> Alcotest.(check bool) "reported ones are model-dead" true
+          (List.exists (fun (inst, _, _, _, dead) -> inst == m && !dead) insts))
+      matured
+  done;
+  (* survivors: progress must equal the model *)
+  List.iter
+    (fun (inst, _, _, acc, dead) ->
+      if not !dead then
+        Alcotest.(check int) "surviving progress" !acc (St.progress t inst))
+    insts
+
+let test_signal_budget () =
+  (* Signals across all instances stay within O(sum h log tau). *)
+  let rng = Prng.create ~seed:7 in
+  let t = St.create ~counters:8 in
+  let tau = 20_000 in
+  let insts = List.init 100 (fun _ -> St.register t ~watch:[ Prng.int rng 8 ] ~threshold:tau) in
+  ignore insts;
+  (* drive everything to maturity *)
+  let live = ref (St.live_count t) in
+  while !live > 0 do
+    let matured = St.increment t (Prng.int rng 8) ~by:(1 + Prng.int rng 20) in
+    live := !live - List.length matured
+  done;
+  let log2 x = log (float_of_int x) /. log 2. in
+  let budget = int_of_float (100. *. 8. *. (log2 tau +. 2.)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "signals %d <= budget %d" (St.signals t) budget)
+    true
+    (St.signals t <= budget)
+
+let test_increment_cheap_when_quiet () =
+  (* With large thresholds and tiny increments, most increments must not
+     deliver any signal at all (the whole point of the slack heaps):
+     signals stay far below the number of increments. *)
+  let t = St.create ~counters:1 in
+  for _ = 1 to 50 do
+    ignore (St.register t ~watch:[ 0 ] ~threshold:1_000_000)
+  done;
+  for _ = 1 to 10_000 do
+    ignore (St.increment t 0 ~by:1)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "signals %d << 50 x 10000 naive" (St.signals t))
+    true
+    (St.signals t < 2_000)
+
+let test_cancel_mid_round () =
+  (* Cancel an instance after it has consumed several DT rounds; the shared
+     counters keep serving the others exactly. *)
+  let t = St.create ~counters:4 in
+  let a = St.register t ~watch:[ 0; 1; 2; 3 ] ~threshold:100_000 in
+  let b = St.register t ~watch:[ 0; 1 ] ~threshold:500 in
+  for i = 0 to 199 do
+    ignore (St.increment t (i mod 4) ~by:100)
+  done;
+  (* a has seen 20_000; b has seen the weight on counters 0 and 1 = 10_000,
+     so b matured long ago *)
+  Alcotest.(check bool) "b matured" true (St.is_mature b);
+  Alcotest.(check int) "a progress" 20_000 (St.progress t a);
+  St.cancel t a;
+  let c = St.register t ~watch:[ 0 ] ~threshold:50 in
+  let matured = St.increment t 0 ~by:60 in
+  Alcotest.(check int) "only c fires" 1 (List.length matured);
+  Alcotest.(check bool) "c is the one" true (St.is_mature c)
+
+let test_huge_weight_overshoot () =
+  let t = St.create ~counters:2 in
+  let a = St.register t ~watch:[ 0; 1 ] ~threshold:1_000_000 in
+  let matured = St.increment t 0 ~by:50_000_000 in
+  Alcotest.(check bool) "immediate maturity" true
+    (List.length matured = 1 && St.is_mature a)
+
+let prop_exactness =
+  QCheck.Test.make ~count:100 ~name:"random instances over shared counters are exact"
+    QCheck.(triple small_int (int_range 1 12) (int_range 1 400))
+    (fun (seed, counters, max_tau) ->
+      let rng = Prng.create ~seed in
+      let t = St.create ~counters in
+      let model = ref [] in
+      let ok = ref true in
+      for _ = 1 to 400 do
+        if Prng.bernoulli rng 0.15 then begin
+          let h = 1 + Prng.int rng counters in
+          let all = Array.init counters (fun i -> i) in
+          Prng.shuffle rng all;
+          let watch = Array.to_list (Array.sub all 0 h) in
+          let inst = St.register t ~watch ~threshold:(1 + Prng.int rng max_tau) in
+          model := (inst, watch, ref 0) :: !model
+        end;
+        let i = Prng.int rng counters in
+        let by = 1 + Prng.int rng 8 in
+        let matured = St.increment t i ~by in
+        let expected = ref [] in
+        model :=
+          List.filter
+            (fun (inst, watch, acc) ->
+              if List.mem i watch then acc := !acc + by;
+              if !acc >= St.threshold inst then begin
+                expected := inst :: !expected;
+                false
+              end
+              else true)
+            !model;
+        let ids l = List.sort compare (List.map (fun m -> St.fanout m + St.threshold m) l) in
+        ignore ids;
+        if List.length matured <> List.length !expected then ok := false;
+        List.iter
+          (fun m -> if not (List.exists (fun e -> e == m) !expected) then ok := false)
+          matured
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "shared_tracking"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "single instance exact" `Quick test_single_instance_exact;
+          Alcotest.test_case "registration offset" `Quick test_registration_offset;
+          Alcotest.test_case "cancel" `Quick test_cancel;
+          Alcotest.test_case "validation" `Quick test_validation;
+          Alcotest.test_case "200 instances vs model" `Quick test_many_instances_model;
+          Alcotest.test_case "signal budget" `Quick test_signal_budget;
+          Alcotest.test_case "quiet increments are cheap" `Quick test_increment_cheap_when_quiet;
+          Alcotest.test_case "cancel mid-round" `Quick test_cancel_mid_round;
+          Alcotest.test_case "huge weight overshoot" `Quick test_huge_weight_overshoot;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_exactness ]);
+    ]

@@ -1,0 +1,98 @@
+(* Stats helpers: exact answers on hand-computed inputs plus properties
+   against naive two-pass formulas. *)
+
+module Stats = Rts_util.Stats
+
+let feq ?(eps = 1e-9) a b = abs_float (a -. b) <= eps *. (1. +. abs_float a +. abs_float b)
+
+let check_float name a b = Alcotest.(check bool) name true (feq a b)
+
+let test_summarize_simple () =
+  let s = Stats.summarize [| 1.; 2.; 3.; 4.; 5. |] in
+  Alcotest.(check int) "count" 5 s.count;
+  check_float "mean" 3. s.mean;
+  check_float "stddev" (sqrt 2.5) s.stddev;
+  check_float "min" 1. s.min;
+  check_float "max" 5. s.max;
+  check_float "total" 15. s.total
+
+let test_summarize_singleton () =
+  let s = Stats.summarize [| 42. |] in
+  Alcotest.(check int) "count" 1 s.count;
+  check_float "mean" 42. s.mean;
+  check_float "stddev" 0. s.stddev
+
+let test_summarize_constant () =
+  let s = Stats.summarize (Array.make 1000 7.5) in
+  check_float "mean" 7.5 s.mean;
+  check_float "stddev" 0. s.stddev
+
+let test_summarize_empty () =
+  Alcotest.check_raises "empty raises" (Invalid_argument "Stats.summarize: empty array")
+    (fun () -> ignore (Stats.summarize [||]))
+
+let test_percentile () =
+  let xs = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  check_float "p50" 50. (Stats.percentile xs 50.);
+  check_float "p100" 100. (Stats.percentile xs 100.);
+  check_float "p1" 1. (Stats.percentile xs 1.);
+  (* order must not matter *)
+  let rev = Array.init 100 (fun i -> float_of_int (100 - i)) in
+  check_float "unsorted p50" 50. (Stats.percentile rev 50.)
+
+let test_percentile_does_not_mutate () =
+  let xs = [| 3.; 1.; 2. |] in
+  ignore (Stats.percentile xs 50.);
+  Alcotest.(check (array (float 0.))) "input untouched" [| 3.; 1.; 2. |] xs
+
+let test_histogram () =
+  let xs = [| 0.; 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8.; 9. |] in
+  let h = Stats.histogram xs ~buckets:5 in
+  Alcotest.(check int) "bucket count" 5 (Array.length h);
+  let total = Array.fold_left (fun acc (_, c) -> acc + c) 0 h in
+  Alcotest.(check int) "all points bucketed" 10 total
+
+let test_histogram_constant_input () =
+  let h = Stats.histogram (Array.make 5 3.) ~buckets:4 in
+  let total = Array.fold_left (fun acc (_, c) -> acc + c) 0 h in
+  Alcotest.(check int) "constant input survives" 5 total
+
+let prop_welford_matches_two_pass =
+  QCheck.Test.make ~count:200 ~name:"Welford = two-pass variance"
+    QCheck.(array_of_size Gen.(int_range 2 200) (float_bound_exclusive 1000.))
+    (fun xs ->
+      QCheck.assume (Array.length xs >= 2);
+      let s = Stats.summarize xs in
+      let n = float_of_int (Array.length xs) in
+      let mean = Array.fold_left ( +. ) 0. xs /. n in
+      let var = Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs /. (n -. 1.) in
+      feq ~eps:1e-6 s.mean mean && feq ~eps:1e-6 s.stddev (sqrt var))
+
+let prop_minmax =
+  QCheck.Test.make ~count:200 ~name:"min/max are true extrema"
+    QCheck.(array_of_size Gen.(int_range 1 100) (float_bound_exclusive 1000.))
+    (fun xs ->
+      QCheck.assume (Array.length xs >= 1);
+      let s = Stats.summarize xs in
+      Array.for_all (fun x -> x >= s.min && x <= s.max) xs)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "summarize simple" `Quick test_summarize_simple;
+          Alcotest.test_case "summarize singleton" `Quick test_summarize_singleton;
+          Alcotest.test_case "summarize constant" `Quick test_summarize_constant;
+          Alcotest.test_case "summarize empty" `Quick test_summarize_empty;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "percentile pure" `Quick test_percentile_does_not_mutate;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "histogram constant" `Quick test_histogram_constant_input;
+        ] );
+      ( "property",
+        [
+          QCheck_alcotest.to_alcotest prop_welford_matches_two_pass;
+          QCheck_alcotest.to_alcotest prop_minmax;
+        ] );
+    ]

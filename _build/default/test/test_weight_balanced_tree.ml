@@ -1,0 +1,168 @@
+(* Weight_balanced_tree (scapegoat): model-based correctness, the height
+   bound under adversarial (sorted) insertion, deletion-triggered
+   rebuilds, and order statistics. *)
+
+module Wb = Rts_structures.Weight_balanced_tree
+module Prng = Rts_util.Prng
+
+let test_empty () =
+  let t : unit Wb.t = Wb.create () in
+  Alcotest.(check int) "size" 0 (Wb.size t);
+  Alcotest.(check bool) "is_empty" true (Wb.is_empty t);
+  Alcotest.(check int) "height" 0 (Wb.height t);
+  Alcotest.check_raises "min" Not_found (fun () -> ignore (Wb.min_key t));
+  Alcotest.check_raises "max" Not_found (fun () -> ignore (Wb.max_key t));
+  Alcotest.check_raises "find" Not_found (fun () -> ignore (Wb.find t ~key:1.))
+
+let test_basic_ops () =
+  let t = Wb.create () in
+  List.iter (fun k -> Wb.insert t ~key:k (int_of_float k)) [ 5.; 2.; 8.; 1.; 9. ];
+  Wb.check_invariants t;
+  Alcotest.(check int) "size" 5 (Wb.size t);
+  Alcotest.(check int) "find" 8 (Wb.find t ~key:8.);
+  Alcotest.(check bool) "mem" true (Wb.mem t ~key:2.);
+  Alcotest.(check bool) "not mem" false (Wb.mem t ~key:3.);
+  Alcotest.(check (float 0.)) "min" 1. (Wb.min_key t);
+  Alcotest.(check (float 0.)) "max" 9. (Wb.max_key t);
+  let keys = ref [] in
+  Wb.iter t (fun k _ -> keys := k :: !keys);
+  Alcotest.(check (list (float 0.))) "in order" [ 1.; 2.; 5.; 8.; 9. ] (List.rev !keys)
+
+let test_duplicate_rejected () =
+  let t = Wb.create () in
+  Wb.insert t ~key:1. ();
+  Alcotest.check_raises "dup" (Invalid_argument "Weight_balanced_tree.insert: duplicate key")
+    (fun () -> Wb.insert t ~key:1. ());
+  Alcotest.check_raises "nan" (Invalid_argument "Weight_balanced_tree.insert: non-finite key")
+    (fun () -> Wb.insert t ~key:Float.nan ())
+
+let test_sorted_insertion_stays_balanced () =
+  (* The adversarial case scapegoat rebuilding exists for. *)
+  let t = Wb.create () in
+  let n = 10_000 in
+  for i = 1 to n do
+    Wb.insert t ~key:(float_of_int i) ()
+  done;
+  Wb.check_invariants t;
+  (* log_{1/0.7}(10000) ~ 25.8 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "height %d logarithmic" (Wb.height t))
+    true
+    (Wb.height t <= 28);
+  Alcotest.(check bool) "rebuilds happened" true (Wb.rebuilds t > 0);
+  (* amortization: rebuild count is O(n / something), not per-insert *)
+  Alcotest.(check bool)
+    (Printf.sprintf "rebuilds %d amortized" (Wb.rebuilds t))
+    true
+    (Wb.rebuilds t < n / 4)
+
+let test_delete () =
+  let t = Wb.create () in
+  for i = 1 to 100 do
+    Wb.insert t ~key:(float_of_int i) i
+  done;
+  for i = 1 to 50 do
+    Wb.delete t ~key:(float_of_int (2 * i))
+  done;
+  Wb.check_invariants t;
+  Alcotest.(check int) "size" 50 (Wb.size t);
+  Alcotest.(check bool) "odd kept" true (Wb.mem t ~key:51.);
+  Alcotest.(check bool) "even gone" false (Wb.mem t ~key:52.);
+  Alcotest.check_raises "delete missing" Not_found (fun () -> Wb.delete t ~key:52.)
+
+let test_mass_deletion_rebuilds () =
+  let t = Wb.create () in
+  for i = 1 to 4096 do
+    Wb.insert t ~key:(float_of_int i) ()
+  done;
+  let before = Wb.rebuilds t in
+  for i = 1 to 3000 do
+    Wb.delete t ~key:(float_of_int i)
+  done;
+  Wb.check_invariants t;
+  Alcotest.(check bool) "full rebuilds triggered" true (Wb.rebuilds t > before);
+  Alcotest.(check bool)
+    (Printf.sprintf "height %d tight after shrink" (Wb.height t))
+    true
+    (Wb.height t <= 14)
+
+let test_order_statistics () =
+  let t = Wb.create () in
+  List.iter (fun k -> Wb.insert t ~key:k ()) [ 10.; 20.; 30.; 40.; 50. ];
+  Alcotest.(check int) "rank of present" 2 (Wb.rank t ~key:30.);
+  Alcotest.(check int) "rank of absent" 3 (Wb.rank t ~key:35.);
+  Alcotest.(check int) "rank below all" 0 (Wb.rank t ~key:0.);
+  Alcotest.(check int) "rank above all" 5 (Wb.rank t ~key:100.);
+  Alcotest.(check (float 0.)) "nth 0" 10. (fst (Wb.nth t 0));
+  Alcotest.(check (float 0.)) "nth 4" 50. (fst (Wb.nth t 4));
+  Alcotest.check_raises "nth out of range"
+    (Invalid_argument "Weight_balanced_tree.nth: out of range") (fun () -> ignore (Wb.nth t 5))
+
+let test_payloads_survive_rebuilds () =
+  let t = Wb.create () in
+  for i = 0 to 999 do
+    Wb.insert t ~key:(float_of_int i) (i * 7)
+  done;
+  for i = 0 to 999 do
+    Alcotest.(check int) (Printf.sprintf "payload %d" i) (i * 7) (Wb.find t ~key:(float_of_int i))
+  done
+
+let prop_model =
+  QCheck.Test.make ~count:200 ~name:"scapegoat tree vs sorted-assoc model"
+    QCheck.(pair small_int (int_range 20 300))
+    (fun (seed, steps) ->
+      let rng = Prng.create ~seed in
+      let t = Wb.create () in
+      let model = ref [] in
+      let ok = ref true in
+      for _ = 1 to steps do
+        let r = Prng.int rng 10 in
+        let key = float_of_int (Prng.int rng 50) in
+        if r < 5 then begin
+          if not (List.mem_assoc key !model) then begin
+            let v = Prng.int rng 1000 in
+            Wb.insert t ~key v;
+            model := (key, v) :: !model
+          end
+        end
+        else if r < 7 then begin
+          match Wb.mem t ~key with
+          | true ->
+              Wb.delete t ~key;
+              model := List.remove_assoc key !model
+          | false -> if List.mem_assoc key !model then ok := false
+        end
+        else begin
+          let tree_value = try Some (Wb.find t ~key) with Not_found -> None in
+          if tree_value <> List.assoc_opt key !model then ok := false;
+          (* rank must agree with the model count *)
+          let expected_rank = List.length (List.filter (fun (k, _) -> k < key) !model) in
+          if Wb.rank t ~key <> expected_rank then ok := false
+        end;
+        Wb.check_invariants t
+      done;
+      !ok
+      && Wb.size t = List.length !model
+      &&
+      let sorted = List.sort compare (List.map fst !model) in
+      let got = ref [] in
+      Wb.iter t (fun k _ -> got := k :: !got);
+      List.rev !got = sorted)
+
+let () =
+  Alcotest.run "weight_balanced_tree"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "basic operations" `Quick test_basic_ops;
+          Alcotest.test_case "duplicate/invalid rejected" `Quick test_duplicate_rejected;
+          Alcotest.test_case "sorted insertion stays balanced" `Quick
+            test_sorted_insertion_stays_balanced;
+          Alcotest.test_case "delete" `Quick test_delete;
+          Alcotest.test_case "mass deletion rebuilds" `Quick test_mass_deletion_rebuilds;
+          Alcotest.test_case "order statistics" `Quick test_order_statistics;
+          Alcotest.test_case "payloads survive rebuilds" `Quick test_payloads_survive_rebuilds;
+        ] );
+      ("property", [ QCheck_alcotest.to_alcotest prop_model ]);
+    ]
