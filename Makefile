@@ -1,0 +1,29 @@
+# Developer entry points. `make check` is what CI runs.
+
+DUNE ?= dune
+SMOKE_SCALE ?= 0.05
+
+.PHONY: all build test bench-smoke check clean
+
+all: build
+
+build:
+	$(DUNE) build @all
+
+test: build
+	$(DUNE) runtest
+
+# Small-scale benchmark smoke in --json mode: exercises the traced
+# scenario driver and the metrics plumbing end to end, then re-parses
+# the BENCH_*.json output and enforces the DT message budget.
+bench-smoke: build
+	$(DUNE) exec bench/main.exe -- fig4 --scale $(SMOKE_SCALE) --json > /dev/null
+	$(DUNE) exec bench/main.exe -- fig6 --scale $(SMOKE_SCALE) --json > /dev/null
+	$(DUNE) exec tools/validate_bench.exe BENCH_fig4.json BENCH_fig6.json
+
+check: build test bench-smoke
+	@echo "check: OK"
+
+clean:
+	$(DUNE) clean
+	rm -f BENCH_*.json

@@ -16,6 +16,8 @@
 
 open Rts_core
 open Rts_workload
+module Json = Rts_obs.Json
+module Metrics = Rts_obs.Metrics
 
 let pf = Format.printf
 
@@ -85,36 +87,147 @@ let print_total_header first_col (names : string list) =
   List.iter (fun _ -> pf " %14s" "(seconds)") names;
   pf "@]@."
 
-let run_all cfg dim =
-  List.map
-    (fun (_, factory) ->
-      let r = Scenario.run { cfg with Scenario.dim } factory in
-      pf "  %a@." Scenario.pp_result r;
-      r)
-    (engines_for dim)
-
 (* ---------------------------------------------------------------- *)
 (* Scaled default parameters (paper scale / 100, ratios preserved)   *)
 
 type params = {
   scale : float;
   seed : int;
+  json : bool; (* also write a BENCH_<fig>.json trajectory *)
   m : int; (* paper: 1M *)
   tau : int; (* paper: 20M *)
   n_dynamic : int; (* paper: 3M *)
   horizon : int; (* paper: 2M *)
 }
 
-let params_of ~scale ~seed =
+let params_of ~scale ~seed ~json =
   let s x = max 1 (int_of_float (float_of_int x *. scale)) in
   {
     scale;
     seed;
+    json;
     m = s 10_000;
     tau = s 200_000;
     n_dynamic = s 30_000;
     horizon = s 20_000;
   }
+
+(* ---------------------------------------------------------------- *)
+(* BENCH_<fig>.json: machine-readable trajectories.                  *)
+(* Every run funnels through [run_one]; with --json the scenario is  *)
+(* driven by [Scenario.run_traced] so each trace window carries its  *)
+(* metric delta, and the accumulated runs are flushed per figure by  *)
+(* [emit_json].                                                      *)
+
+let mode_str = function
+  | Scenario.Static -> "static"
+  | Scenario.Stochastic _ -> "stochastic"
+  | Scenario.Fixed_load -> "fixed-load"
+
+let log2 x = log (float_of_int x) /. log 2.
+
+(* Analytic O(h log tau) DT message budget mirrored from the test
+   suite's telemetry-bound assertion (test_endpoint_tree): per query
+   8 * h_max * (log2 tau + 2) signals with h_max = (2 (log2 2m + 1))^d;
+   dynamic scenarios migrate each query O(log m) times, adding one more
+   logarithmic factor. *)
+let dt_message_budget ~dim ~m ~tau ~static =
+  let m = max 2 m in
+  let h_max = (2. *. (log2 (2 * m) +. 1.)) ** float_of_int dim in
+  let per_query = 8. *. h_max *. (log2 (max 2 tau) +. 2.) in
+  let migration = if static then 1. else log2 (2 * m) +. 2. in
+  int_of_float (float_of_int m *. per_query *. migration)
+
+let trace_point_json (tp : Scenario.trace_point) =
+  Json.Obj
+    [
+      ("elements", Json.int tp.Scenario.elements_done);
+      ("alive", Json.int tp.Scenario.alive);
+      ("avg_us", Json.Num tp.Scenario.avg_us);
+      ("dt_signals", Json.int (Metrics.counter_value tp.Scenario.metrics "dt_signals_total"));
+    ]
+
+let result_json (r : Scenario.result) =
+  let fm = r.Scenario.final_metrics in
+  let cfg = r.Scenario.config in
+  let dt_fields =
+    match Metrics.get fm "dt_signals_total" with
+    | Some (Metrics.Counter messages) ->
+        let static = cfg.Scenario.mode = Scenario.Static in
+        let budget =
+          dt_message_budget ~dim:cfg.Scenario.dim ~m:(max 1 r.Scenario.registered)
+            ~tau:cfg.Scenario.tau ~static
+        in
+        [
+          ("dt_messages", Json.int messages);
+          ("dt_message_budget", Json.int budget);
+          ("dt_budget_ok", Json.Bool (messages <= budget));
+        ]
+    | _ -> []
+  in
+  Json.Obj
+    ([
+       ("engine", Json.Str r.Scenario.engine_name);
+       ("dim", Json.int cfg.Scenario.dim);
+       ("m0", Json.int cfg.Scenario.initial_queries);
+       ("tau", Json.int cfg.Scenario.tau);
+       ("mode", Json.Str (mode_str cfg.Scenario.mode));
+       ("seed", Json.int cfg.Scenario.seed);
+       ("total_seconds", Json.Num r.Scenario.total_seconds);
+       ("per_op_us", Json.Num (r.Scenario.total_seconds *. 1e6 /. float_of_int (max 1 r.Scenario.ops)));
+       ("elements", Json.int r.Scenario.elements);
+       ("registered", Json.int r.Scenario.registered);
+       ("matured", Json.int r.Scenario.matured);
+       ("terminated", Json.int r.Scenario.terminated);
+       ("ops", Json.int r.Scenario.ops);
+       ("metrics", Metrics.to_json fm);
+       ("trace", Json.List (Array.to_list (Array.map trace_point_json r.Scenario.trace)));
+     ]
+    @ dt_fields)
+
+let runs_acc : Json.t list ref = ref []
+
+let run_one p cfg factory =
+  let r = (if p.json then Scenario.run_traced else Scenario.run) cfg factory in
+  if p.json then runs_acc := result_json r :: !runs_acc;
+  r
+
+let emit_json p figure =
+  if p.json then begin
+    let runs = List.rev !runs_acc in
+    runs_acc := [];
+    let doc =
+      Json.Obj
+        [
+          ("figure", Json.Str figure);
+          ( "params",
+            Json.Obj
+              [
+                ("scale", Json.Num p.scale);
+                ("seed", Json.int p.seed);
+                ("m", Json.int p.m);
+                ("tau", Json.int p.tau);
+                ("n_dynamic", Json.int p.n_dynamic);
+                ("horizon", Json.int p.horizon);
+              ] );
+          ("runs", Json.List runs);
+        ]
+    in
+    let file = Printf.sprintf "BENCH_%s.json" figure in
+    let oc = open_out file in
+    Json.to_channel ~indent:2 oc doc;
+    output_char oc '\n';
+    close_out oc;
+    Printf.eprintf "rts-bench: wrote %s (%d runs)\n%!" file (List.length runs)
+  end
+
+let run_all p cfg dim =
+  List.map
+    (fun (_, factory) ->
+      let r = run_one p { cfg with Scenario.dim } factory in
+      pf "  %a@." Scenario.pp_result r;
+      r)
+    (engines_for dim)
 
 let base_cfg p =
   {
@@ -138,11 +251,12 @@ let fig3 p =
         (Printf.sprintf
            "Figure 3%s: per-op cost over time (%dD static, m=%d, tau=%d, weighted)" sub dim p.m
            p.tau);
-      let results = run_all (base_cfg p) dim in
+      let results = run_all p (base_cfg p) dim in
       pf "@.";
       print_trace_table ~rows:20 results;
       pf "@.")
-    [ (1, "a"); (2, "b") ]
+    [ (1, "a"); (2, "b") ];
+  emit_json p "fig3"
 
 (* ---------------------------------------------------------------- *)
 (* Figure 4: total time as a function of m (static)                  *)
@@ -159,12 +273,13 @@ let fig4 p =
         (fun m ->
           let cfg = { (base_cfg p) with Scenario.initial_queries = m } in
           let results =
-            List.map (fun (_, f) -> Scenario.run { cfg with Scenario.dim } f) (engines_for dim)
+            List.map (fun (_, f) -> run_one p { cfg with Scenario.dim } f) (engines_for dim)
           in
           print_total_row (string_of_int m) results)
         ms;
       pf "@.")
-    [ (1, "a"); (2, "b") ]
+    [ (1, "a"); (2, "b") ];
+  emit_json p "fig4"
 
 (* ---------------------------------------------------------------- *)
 (* Figure 5: total time as a function of tau (static)                *)
@@ -181,12 +296,13 @@ let fig5 p =
         (fun tau ->
           let cfg = { (base_cfg p) with Scenario.tau; max_elements = 4 * (tau / 10) } in
           let results =
-            List.map (fun (_, f) -> Scenario.run { cfg with Scenario.dim } f) (engines_for dim)
+            List.map (fun (_, f) -> run_one p { cfg with Scenario.dim } f) (engines_for dim)
           in
           print_total_row (string_of_int tau) results)
         taus;
       pf "@.")
-    [ (1, "a"); (2, "b") ]
+    [ (1, "a"); (2, "b") ];
+  emit_json p "fig5"
 
 (* ---------------------------------------------------------------- *)
 (* Figure 6: per-op cost over time (dynamic, stochastic p_ins=0.3)   *)
@@ -207,11 +323,12 @@ let fig6 p =
            "Figure 6%s: per-op cost over time (%dD dynamic stochastic, p_ins=0.3, m0=%d, n=%d)"
            sub dim p.m p.n_dynamic);
       let cfg = dynamic_cfg p (Scenario.Stochastic { p_ins = 0.3; horizon = p.horizon }) in
-      let results = run_all cfg dim in
+      let results = run_all p cfg dim in
       pf "@.";
       print_trace_table ~rows:20 results;
       pf "@.")
-    [ (1, "a"); (2, "b") ]
+    [ (1, "a"); (2, "b") ];
+  emit_json p "fig6"
 
 (* ---------------------------------------------------------------- *)
 (* Figure 7: total time as a function of p_ins                       *)
@@ -228,12 +345,13 @@ let fig7 p =
         (fun p_ins ->
           let cfg = dynamic_cfg p (Scenario.Stochastic { p_ins; horizon = p.horizon }) in
           let results =
-            List.map (fun (_, f) -> Scenario.run { cfg with Scenario.dim } f) (engines_for dim)
+            List.map (fun (_, f) -> run_one p { cfg with Scenario.dim } f) (engines_for dim)
           in
           print_total_row (Printf.sprintf "%.1f" p_ins) results)
         ps;
       pf "@.")
-    [ (1, "a"); (2, "b") ]
+    [ (1, "a"); (2, "b") ];
+  emit_json p "fig7"
 
 (* ---------------------------------------------------------------- *)
 (* Figure 8: per-op cost over time (dynamic, fixed load)             *)
@@ -245,11 +363,12 @@ let fig8 p =
         (Printf.sprintf "Figure 8%s: per-op cost over time (%dD dynamic fixed-load, m=%d, n=%d)"
            sub dim p.m p.n_dynamic);
       let cfg = dynamic_cfg p Scenario.Fixed_load in
-      let results = run_all cfg dim in
+      let results = run_all p cfg dim in
       pf "@.";
       print_trace_table ~rows:20 results;
       pf "@.")
-    [ (1, "a"); (2, "b") ]
+    [ (1, "a"); (2, "b") ];
+  emit_json p "fig8"
 
 (* ---------------------------------------------------------------- *)
 (* Extra: the "any constant d" claim — d = 3 comparison              *)
@@ -270,9 +389,10 @@ let dims p =
   print_total_header "d" (List.map fst engines_3d);
   List.iter
     (fun dim ->
-      let results = List.map (fun (_, f) -> Scenario.run { cfg with Scenario.dim } f) engines_3d in
+      let results = List.map (fun (_, f) -> run_one p { cfg with Scenario.dim } f) engines_3d in
       print_total_row (string_of_int dim) results)
     [ 1; 2; 3 ];
+  emit_json p "dims";
   pf "@."
 
 (* ---------------------------------------------------------------- *)
@@ -288,9 +408,10 @@ let counting p =
   let cfg =
     { (base_cfg p) with Scenario.tau; unit_weights = true; max_elements = 4 * tau * 10 }
   in
-  let results = run_all cfg 1 in
+  let results = run_all p cfg 1 in
   pf "@.";
   print_trace_table ~rows:12 results;
+  emit_json p "counting";
   pf "@."
 
 (* ---------------------------------------------------------------- *)
@@ -306,7 +427,7 @@ let robust p =
   List.iter
     (fun (name, dist) ->
       let cfg = { (base_cfg p) with Scenario.value_dist = dist } in
-      let results = List.map (fun (_, f) -> Scenario.run { cfg with Scenario.dim = 1 } f) engines_1d in
+      let results = List.map (fun (_, f) -> run_one p { cfg with Scenario.dim = 1 } f) engines_1d in
       print_total_row name results)
     [
       ("uniform", Generator.Uniform);
@@ -314,6 +435,7 @@ let robust p =
       ("zipf-1.2", Generator.Zipf 1.2);
       ("clust-5", Generator.Clustered 5);
     ];
+  emit_json p "robust";
   pf "@."
 
 (* ---------------------------------------------------------------- *)
@@ -370,7 +492,7 @@ let ablation p =
   let run name factory =
     let engine_ref = ref None in
     let r =
-      Scenario.run cfg (fun ~dim ->
+      run_one p cfg (fun ~dim ->
           let t = factory ~dim in
           engine_ref := Some t;
           Dt_engine.engine t)
@@ -397,6 +519,7 @@ let ablation p =
     (let log2 x = log (float_of_int x) /. log 2. in
      float_of_int p.m *. 2. *. (log2 (2 * p.m) +. 1.) *. (log2 p.tau +. 2.))
     st_dt.Endpoint_tree.signals p.m p.tau;
+  emit_json p "ablation";
   pf "@."
 
 (* ---------------------------------------------------------------- *)
@@ -412,9 +535,18 @@ let seed_arg =
   let doc = "PRNG seed for the workload." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
-let with_params f scale seed = f (params_of ~scale ~seed)
+let json_arg =
+  let doc =
+    "Also write a machine-readable BENCH_<figure>.json next to the textual output: engine, \
+     workload parameters, wall-clock time, per-op cost trajectory and final metric totals \
+     (including DT message counts against the O(h log tau) budget)."
+  in
+  Arg.(value & flag & info [ "json" ] ~doc)
 
-let cmd name doc f = Cmd.v (Cmd.info name ~doc) Term.(const (with_params f) $ scale_arg $ seed_arg)
+let with_params f scale seed json = f (params_of ~scale ~seed ~json)
+
+let cmd name doc f =
+  Cmd.v (Cmd.info name ~doc) Term.(const (with_params f) $ scale_arg $ seed_arg $ json_arg)
 
 let all_figs p =
   fig3 p;
@@ -429,7 +561,7 @@ let all_figs p =
   micro p;
   ablation p
 
-let default_term = Term.(const (with_params all_figs) $ scale_arg $ seed_arg)
+let default_term = Term.(const (with_params all_figs) $ scale_arg $ seed_arg $ json_arg)
 
 let () =
   let info =

@@ -65,9 +65,22 @@ let seed_arg =
   let doc = "PRNG seed." in
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
 
+let stats_arg =
+  let doc =
+    "After the run, print the engine's metric totals (counters, gauges) to stderr in \
+     Prometheus text exposition format."
+  in
+  Arg.(value & flag & info [ "stats" ] ~doc)
+
+(* With --stats, dump the engine's uniform metric snapshot on stderr so it
+   never mixes with the alert/CSV stream on stdout. *)
+let print_stats stats snapshot =
+  if stats then
+    Printf.eprintf "%s%!" (Rts_obs.Metrics.to_prometheus ~prefix:"rts_" snapshot)
+
 (* ---------------- run ---------------- *)
 
-let run_cmd engine_kind dim closed queries_file quiet =
+let run_cmd engine_kind dim closed queries_file quiet stats =
   let engine = make_engine engine_kind ~dim in
   let ic = open_in queries_file in
   let queries =
@@ -88,6 +101,7 @@ let run_cmd engine_kind dim closed queries_file quiet =
   in
   Printf.eprintf "rts-cli: %d elements, %d alerts, %d queries still live\n%!" elements alerts
     (engine.Engine.alive ());
+  print_stats stats (engine.Engine.metrics ());
   0
 
 (* ---------------- generate ---------------- *)
@@ -108,7 +122,7 @@ let genqueries_cmd dim seed count tau =
 
 (* ---------------- record / replay ---------------- *)
 
-let replay_cmd engine_kind dim quiet =
+let replay_cmd engine_kind dim quiet stats =
   let engine = make_engine engine_kind ~dim in
   let outcome = Replay.replay ~dim engine stdin in
   if not quiet then
@@ -118,6 +132,7 @@ let replay_cmd engine_kind dim quiet =
   Printf.eprintf "rts-cli: replayed %d elements, %d registrations, %d terminations, %d alerts\n%!"
     outcome.Replay.elements outcome.Replay.registered outcome.Replay.terminated
     (List.length outcome.Replay.maturities);
+  print_stats stats (engine.Engine.metrics ());
   0
 
 (* ---------------- demo ---------------- *)
@@ -163,7 +178,7 @@ let record_cmd dim seed m tau n mode p_ins =
     r.Scenario.elements r.Scenario.registered r.Scenario.terminated;
   0
 
-let demo_cmd engine_kind dim seed m tau n mode p_ins =
+let demo_cmd engine_kind dim seed m tau n mode p_ins stats =
   let mode = scenario_mode mode n p_ins in
   let cfg =
     {
@@ -186,6 +201,7 @@ let demo_cmd engine_kind dim seed m tau n mode p_ins =
         Format.printf "  %8d %8d %10.3f@." tp.Scenario.elements_done tp.Scenario.alive
           tp.Scenario.avg_us)
     r.Scenario.trace;
+  print_stats stats r.Scenario.final_metrics;
   0
 
 (* ---------------- wiring ---------------- *)
@@ -198,7 +214,7 @@ let run_term =
     Arg.(value & flag & info [ "closed" ] ~doc:"Treat query upper bounds as inclusive.")
   in
   let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-alert output.") in
-  Term.(const run_cmd $ engine_arg $ dim_arg $ closed $ queries_file $ quiet)
+  Term.(const run_cmd $ engine_arg $ dim_arg $ closed $ queries_file $ quiet $ stats_arg)
 
 let generate_term =
   let count =
@@ -216,7 +232,7 @@ let genqueries_term =
 
 let replay_term =
   let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-alert output.") in
-  Term.(const replay_cmd $ engine_arg $ dim_arg $ quiet)
+  Term.(const replay_cmd $ engine_arg $ dim_arg $ quiet $ stats_arg)
 
 let demo_term =
   let m = Arg.(value & opt int 10_000 & info [ "m" ] ~docv:"M" ~doc:"Initial queries.") in
@@ -228,7 +244,7 @@ let demo_term =
   let p_ins =
     Arg.(value & opt float 0.3 & info [ "p-ins" ] ~docv:"P" ~doc:"Stochastic insertion probability.")
   in
-  Term.(const demo_cmd $ engine_arg $ dim_arg $ seed_arg $ m $ tau $ n $ mode $ p_ins)
+  Term.(const demo_cmd $ engine_arg $ dim_arg $ seed_arg $ m $ tau $ n $ mode $ p_ins $ stats_arg)
 
 let record_term =
   let m = Arg.(value & opt int 1_000 & info [ "m" ] ~docv:"M" ~doc:"Initial queries.") in

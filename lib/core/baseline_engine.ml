@@ -1,33 +1,42 @@
 open Types
+module Metrics = Rts_obs.Metrics
 
 type state = { q : query; mutable got : int }
 
-type t = { dims : int; alive : (int, state) Hashtbl.t }
+type t = { dims : int; alive : (int, state) Hashtbl.t; counters : Engine.Counters.t }
 
 let create ~dim () =
   if dim < 1 then invalid_arg "Baseline_engine.create: dim < 1";
-  { dims = dim; alive = Hashtbl.create 64 }
+  { dims = dim; alive = Hashtbl.create 64; counters = Engine.Counters.create () }
 
 let register t q =
   validate_query ~dim:t.dims q;
   if Hashtbl.mem t.alive q.id then invalid_arg "Baseline_engine.register: id already alive";
-  Hashtbl.replace t.alive q.id { q; got = 0 }
+  Hashtbl.replace t.alive q.id { q; got = 0 };
+  Metrics.incr t.counters.registered
 
 let terminate t id =
   if not (Hashtbl.mem t.alive id) then raise Not_found;
-  Hashtbl.remove t.alive id
+  Hashtbl.remove t.alive id;
+  Metrics.incr t.counters.terminated
 
 let process t e =
   validate_elem ~dim:t.dims e;
+  Metrics.incr t.counters.elements;
   let matured = ref [] in
   Hashtbl.iter
     (fun id s ->
       if rect_contains s.q.rect e.value then begin
+        Metrics.incr t.counters.scan_updates;
         s.got <- s.got + e.weight;
         if s.got >= s.q.threshold then matured := id :: !matured
       end)
     t.alive;
-  List.iter (Hashtbl.remove t.alive) !matured;
+  List.iter
+    (fun id ->
+      Hashtbl.remove t.alive id;
+      Metrics.incr t.counters.matured)
+    !matured;
   Engine.sort_matured !matured
 
 let is_alive t id = Hashtbl.mem t.alive id
@@ -36,6 +45,8 @@ let progress t id =
   match Hashtbl.find_opt t.alive id with Some s -> s.got | None -> raise Not_found
 
 let alive_count t = Hashtbl.length t.alive
+
+let metrics t = Engine.Counters.snapshot t.counters ~alive:(alive_count t)
 
 let engine t =
   {
@@ -46,6 +57,7 @@ let engine t =
     terminate = terminate t;
     process = process t;
     alive = (fun () -> alive_count t);
+    metrics = (fun () -> metrics t);
   }
 
 let make ~dim = engine (create ~dim ())

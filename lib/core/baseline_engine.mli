@@ -23,6 +23,10 @@ val progress : t -> int -> int
 
 val alive_count : t -> int
 
+val metrics : t -> Engine.Metrics.snapshot
+(** Uniform metric snapshot (see {!Engine.t.metrics}); [scan_updates_total]
+    counts per-query probes that hit — the O(nm) term itself. *)
+
 val engine : t -> Engine.t
 (** Package as a uniform {!Engine.t} named ["baseline"]. *)
 

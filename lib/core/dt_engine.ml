@@ -15,6 +15,13 @@ type t = {
   mutable matured_acc : int list; (* maturities reported during the current [process] *)
   agg : Endpoint_tree.stats; (* stats inherited from destroyed trees *)
   mutable rebuilds : int;
+  (* engine-level tallies for the uniform metrics surface; the protocol
+     counters (signals, round ends, heap ops, node updates) live in the
+     endpoint trees' flat stats records and are folded in on demand *)
+  mutable n_elements : int;
+  mutable n_registered : int;
+  mutable n_terminated : int;
+  mutable n_matured : int;
 }
 
 let create ?(eager = false) ~dim () =
@@ -28,6 +35,10 @@ let create ?(eager = false) ~dim () =
     matured_acc = [];
     agg = { elements = 0; node_updates = 0; signals = 0; round_ends = 0; heap_ops = 0 };
     rebuilds = 0;
+    n_elements = 0;
+    n_registered = 0;
+    n_terminated = 0;
+    n_matured = 0;
   }
 
 let absorb_stats (agg : Endpoint_tree.stats) (s : Endpoint_tree.stats) =
@@ -49,6 +60,7 @@ let ensure_slots t j =
 let on_mature_of t qid =
   Hashtbl.remove t.location qid;
   Hashtbl.remove t.consumed qid;
+  t.n_matured <- t.n_matured + 1;
   t.matured_acc <- qid :: t.matured_acc
 
 (* Build a tree over [batch] (query, remaining) pairs and install it in
@@ -83,6 +95,7 @@ let register t (q : query) =
   in
   let j = find_j 1 0 in
   ensure_slots t j;
+  t.n_registered <- t.n_registered + 1;
   (* Migrate everything in T_1..T_j into a fresh T_j, thresholds reduced by
      the weight already seen (Section 5, step 2). *)
   let batch = ref [ (q, q.threshold) ] in
@@ -116,6 +129,7 @@ let register_batch t queries =
       in
       let j = find_j 1 0 in
       ensure_slots t j;
+      t.n_registered <- t.n_registered + len;
       let batch = ref (List.map (fun (q : query) -> (q, q.threshold)) queries) in
       for i = 0 to j - 1 do
         (match t.slots.(i).tree with
@@ -152,6 +166,7 @@ let maybe_rebuild t idx =
       end
 
 let process t e =
+  t.n_elements <- t.n_elements + 1;
   t.matured_acc <- [];
   Array.iter
     (fun slot -> match slot.tree with Some tr -> Endpoint_tree.process tr e | None -> ())
@@ -172,6 +187,7 @@ let terminate t id =
       Endpoint_tree.remove tr id;
       Hashtbl.remove t.location id;
       Hashtbl.remove t.consumed id;
+      t.n_terminated <- t.n_terminated + 1;
       maybe_rebuild t idx
 
 let is_alive t id = Hashtbl.mem t.location id
@@ -237,6 +253,7 @@ let restore ?eager ~dim entries =
       let rec slot_for j = if len <= 1 lsl (j - 1) then j else slot_for (j + 1) in
       let j = slot_for 1 in
       ensure_slots t j;
+      t.n_registered <- t.n_registered + len;
       install_tree t (j - 1)
         (List.map (fun ((q : query), consumed) -> (q, q.threshold - consumed)) entries));
   t
@@ -256,6 +273,27 @@ let space t =
     { Endpoint_tree.tree_nodes = 0; live_entries = 0; dead_entries = 0 }
     t.slots
 
+(* Uniform metrics surface. The hot-path counters stay in the endpoint
+   trees' flat mutable records (Endpoint_tree.stats) — a snapshot folds
+   them into the shared metric names, so the observability layer costs
+   nothing per element beyond the engine's own tallies. *)
+let metrics t : Rts_obs.Metrics.snapshot =
+  let st = stats t in
+  Rts_obs.Metrics.of_assoc
+    [
+      ("elements_total", Rts_obs.Metrics.Counter t.n_elements);
+      ("registered_total", Rts_obs.Metrics.Counter t.n_registered);
+      ("terminated_total", Rts_obs.Metrics.Counter t.n_terminated);
+      ("matured_total", Rts_obs.Metrics.Counter t.n_matured);
+      ("alive", Rts_obs.Metrics.Gauge (float_of_int (alive_count t)));
+      ("trees", Rts_obs.Metrics.Gauge (float_of_int (tree_count t)));
+      ("rebuilds_total", Rts_obs.Metrics.Counter t.rebuilds);
+      ("dt_node_updates_total", Rts_obs.Metrics.Counter st.node_updates);
+      ("dt_signals_total", Rts_obs.Metrics.Counter st.signals);
+      ("dt_round_ends_total", Rts_obs.Metrics.Counter st.round_ends);
+      ("dt_heap_ops_total", Rts_obs.Metrics.Counter st.heap_ops);
+    ]
+
 let engine t =
   {
     Engine.name = (if t.eager then "dt-eager" else "dt");
@@ -265,6 +303,7 @@ let engine t =
     terminate = terminate t;
     process = process t;
     alive = (fun () -> alive_count t);
+    metrics = (fun () -> metrics t);
   }
 
 let make ~dim = engine (create ~dim ())

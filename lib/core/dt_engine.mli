@@ -68,6 +68,15 @@ val stats : t -> Endpoint_tree.stats
     heap operations, counter updates) — drives the message-bound assertions
     and the ablation bench. *)
 
+val metrics : t -> Engine.Metrics.snapshot
+(** The uniform observability surface (see {!Engine.t.metrics}): folds
+    {!stats} into the shared metric names ([dt_signals_total] = DT
+    messages delivered, [dt_round_ends_total], [dt_heap_ops_total],
+    [dt_node_updates_total], [rebuilds_total]) next to the engine-level
+    tallies ([elements_total], [registered_total], [terminated_total],
+    [matured_total]) and the [alive] / [trees] gauges. Counters agree
+    with {!stats} exactly — asserted by the test suite. *)
+
 val alive_snapshot : t -> (query * int) list
 (** [(q, W)] for every alive query, ascending id: the original query and
     the exact weight it has accumulated since registration. Together with

@@ -1,4 +1,5 @@
 open Types
+module Metrics = Rts_obs.Metrics
 
 type t = {
   name : string;
@@ -8,8 +9,44 @@ type t = {
   terminate : int -> unit;
   process : elem -> int list;
   alive : unit -> int;
+  metrics : unit -> Metrics.snapshot;
 }
 
 let sort_matured ids = List.sort compare ids
 
 let batch_of_register register queries = List.iter register queries
+
+let no_metrics () = Metrics.empty
+
+(* Shared instrumentation backbone for the scan-style engines (baseline and
+   the three stabbing competitors): the uniform metric names every engine
+   must answer, backed by a private registry with O(1) hot-path counters.
+   The DT engine exposes the same names but sources the protocol counters
+   from its endpoint trees' flat stats records (see Dt_engine.metrics). *)
+module Counters = struct
+  type nonrec t = {
+    reg : Metrics.t;
+    elements : Metrics.counter;
+    registered : Metrics.counter;
+    terminated : Metrics.counter;
+    matured : Metrics.counter;
+    scan_updates : Metrics.counter;
+    alive : Metrics.gauge;
+  }
+
+  let create () =
+    let reg = Metrics.create () in
+    {
+      reg;
+      elements = Metrics.counter reg "elements_total";
+      registered = Metrics.counter reg "registered_total";
+      terminated = Metrics.counter reg "terminated_total";
+      matured = Metrics.counter reg "matured_total";
+      scan_updates = Metrics.counter reg "scan_updates_total";
+      alive = Metrics.gauge reg "alive";
+    }
+
+  let snapshot c ~alive =
+    Metrics.set c.alive (float_of_int alive);
+    Metrics.snapshot c.reg
+end

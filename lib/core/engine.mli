@@ -9,6 +9,7 @@
     central correctness property of the repository. *)
 
 open Types
+module Metrics = Rts_obs.Metrics
 
 type t = {
   name : string;
@@ -31,6 +32,16 @@ type t = {
           element matured, in ascending id order (deterministic across
           engines so traces can be compared verbatim). *)
   alive : unit -> int;  (** Number of currently alive queries. *)
+  metrics : unit -> Metrics.snapshot;
+      (** Uniform observability surface (DESIGN.md, "Observability").
+          Every engine answers at least [elements_total],
+          [registered_total], [terminated_total], [matured_total] and the
+          [alive] gauge; scan-style engines add [scan_updates_total] (the
+          O(nm) work term), the DT engine adds its protocol counters
+          ([dt_signals_total], [dt_round_ends_total], [dt_heap_ops_total],
+          [dt_node_updates_total], [rebuilds_total], [trees]). Counters
+          are monotone across calls; snapshots are cheap (O(#metrics))
+          and may be {!Metrics.diff}ed for per-window deltas. *)
 }
 
 val sort_matured : int list -> int list
@@ -39,3 +50,27 @@ val sort_matured : int list -> int list
 
 val batch_of_register : (query -> unit) -> query list -> unit
 (** Default [register_batch]: iterate [register]. *)
+
+val no_metrics : unit -> Metrics.snapshot
+(** The empty snapshot — for wrapper engines (e.g. recording proxies)
+    that have nothing of their own to report. *)
+
+(** Registry + the uniform counter set shared by the scan-style engines.
+    Owning one of these is all an engine needs to satisfy the [metrics]
+    contract; hot-path increments are single int mutations. *)
+module Counters : sig
+  type t = {
+    reg : Metrics.t;
+    elements : Metrics.counter;
+    registered : Metrics.counter;
+    terminated : Metrics.counter;
+    matured : Metrics.counter;
+    scan_updates : Metrics.counter;
+    alive : Metrics.gauge;
+  }
+
+  val create : unit -> t
+
+  val snapshot : t -> alive:int -> Metrics.snapshot
+  (** Refreshes the [alive] gauge, then snapshots the registry. *)
+end

@@ -1,35 +1,57 @@
 open Types
 module Rtree = Rts_structures.Rtree
+module Metrics = Rts_obs.Metrics
 
 type state = { q : query; mutable got : int }
 
-type t = { dims : int; tree : state Rtree.t; index : (int, state) Hashtbl.t }
+type t = {
+  dims : int;
+  tree : state Rtree.t;
+  index : (int, state) Hashtbl.t;
+  counters : Engine.Counters.t;
+}
 
 let create ~dim () =
   if dim < 1 then invalid_arg "Rtree_engine.create: dim < 1";
-  { dims = dim; tree = Rtree.create ~dim (); index = Hashtbl.create 64 }
+  {
+    dims = dim;
+    tree = Rtree.create ~dim ();
+    index = Hashtbl.create 64;
+    counters = Engine.Counters.create ();
+  }
 
 let register t q =
   validate_query ~dim:t.dims q;
   if Hashtbl.mem t.index q.id then invalid_arg "Rtree_engine.register: id already alive";
   let s = { q; got = 0 } in
   Rtree.insert t.tree ~id:q.id ~lo:q.rect.lo ~hi:q.rect.hi s;
-  Hashtbl.replace t.index q.id s
+  Hashtbl.replace t.index q.id s;
+  Metrics.incr t.counters.registered
 
 let remove t (s : state) =
   Rtree.delete t.tree ~id:s.q.id;
   Hashtbl.remove t.index s.q.id
 
 let terminate t id =
-  match Hashtbl.find_opt t.index id with Some s -> remove t s | None -> raise Not_found
+  match Hashtbl.find_opt t.index id with
+  | Some s ->
+      remove t s;
+      Metrics.incr t.counters.terminated
+  | None -> raise Not_found
 
 let process t e =
   validate_elem ~dim:t.dims e;
+  Metrics.incr t.counters.elements;
   let matured = ref [] in
   Rtree.iter_stab t.tree e.value (fun _id s ->
+      Metrics.incr t.counters.scan_updates;
       s.got <- s.got + e.weight;
       if s.got >= s.q.threshold then matured := s :: !matured);
-  List.iter (remove t) !matured;
+  List.iter
+    (fun s ->
+      remove t s;
+      Metrics.incr t.counters.matured)
+    !matured;
   Engine.sort_matured (List.map (fun s -> s.q.id) !matured)
 
 let is_alive t id = Hashtbl.mem t.index id
@@ -38,6 +60,8 @@ let progress t id =
   match Hashtbl.find_opt t.index id with Some s -> s.got | None -> raise Not_found
 
 let alive_count t = Hashtbl.length t.index
+
+let metrics t = Engine.Counters.snapshot t.counters ~alive:(alive_count t)
 
 let engine t =
   {
@@ -48,6 +72,7 @@ let engine t =
     terminate = terminate t;
     process = process t;
     alive = (fun () -> alive_count t);
+    metrics = (fun () -> metrics t);
   }
 
 let make ~dim = engine (create ~dim ())

@@ -1,33 +1,50 @@
 open Types
 module Interval_tree = Rts_structures.Interval_tree
+module Metrics = Rts_obs.Metrics
 
 type state = { q : query; mutable got : int }
 
-type t = { tree : state Interval_tree.t; index : (int, state) Hashtbl.t }
+type t = {
+  tree : state Interval_tree.t;
+  index : (int, state) Hashtbl.t;
+  counters : Engine.Counters.t;
+}
 
-let create () = { tree = Interval_tree.create (); index = Hashtbl.create 64 }
+let create () =
+  { tree = Interval_tree.create (); index = Hashtbl.create 64; counters = Engine.Counters.create () }
 
 let register t q =
   validate_query ~dim:1 q;
   if Hashtbl.mem t.index q.id then invalid_arg "Stab1d_engine.register: id already alive";
   let s = { q; got = 0 } in
   Interval_tree.insert t.tree ~id:q.id ~lo:q.rect.lo.(0) ~hi:q.rect.hi.(0) s;
-  Hashtbl.replace t.index q.id s
+  Hashtbl.replace t.index q.id s;
+  Metrics.incr t.counters.registered
 
 let remove t (s : state) =
   Interval_tree.delete t.tree ~id:s.q.id ~lo:s.q.rect.lo.(0) ~hi:s.q.rect.hi.(0);
   Hashtbl.remove t.index s.q.id
 
 let terminate t id =
-  match Hashtbl.find_opt t.index id with Some s -> remove t s | None -> raise Not_found
+  match Hashtbl.find_opt t.index id with
+  | Some s ->
+      remove t s;
+      Metrics.incr t.counters.terminated
+  | None -> raise Not_found
 
 let process t e =
   validate_elem ~dim:1 e;
+  Metrics.incr t.counters.elements;
   let matured = ref [] in
   Interval_tree.iter_stab t.tree e.value.(0) (fun _id s ->
+      Metrics.incr t.counters.scan_updates;
       s.got <- s.got + e.weight;
       if s.got >= s.q.threshold then matured := s :: !matured);
-  List.iter (remove t) !matured;
+  List.iter
+    (fun s ->
+      remove t s;
+      Metrics.incr t.counters.matured)
+    !matured;
   Engine.sort_matured (List.map (fun s -> s.q.id) !matured)
 
 let is_alive t id = Hashtbl.mem t.index id
@@ -36,6 +53,8 @@ let progress t id =
   match Hashtbl.find_opt t.index id with Some s -> s.got | None -> raise Not_found
 
 let alive_count t = Hashtbl.length t.index
+
+let metrics t = Engine.Counters.snapshot t.counters ~alive:(alive_count t)
 
 let engine t =
   {
@@ -46,6 +65,7 @@ let engine t =
     terminate = terminate t;
     process = process t;
     alive = (fun () -> alive_count t);
+    metrics = (fun () -> metrics t);
   }
 
 let make () = engine (create ())

@@ -1,11 +1,21 @@
 open Types
 module Segment_interval_tree = Rts_structures.Segment_interval_tree
+module Metrics = Rts_obs.Metrics
 
 type state = { q : query; mutable got : int }
 
-type t = { tree : state Segment_interval_tree.t; index : (int, state) Hashtbl.t }
+type t = {
+  tree : state Segment_interval_tree.t;
+  index : (int, state) Hashtbl.t;
+  counters : Engine.Counters.t;
+}
 
-let create () = { tree = Segment_interval_tree.create (); index = Hashtbl.create 64 }
+let create () =
+  {
+    tree = Segment_interval_tree.create ();
+    index = Hashtbl.create 64;
+    counters = Engine.Counters.create ();
+  }
 
 let register t q =
   validate_query ~dim:2 q;
@@ -13,22 +23,33 @@ let register t q =
   let s = { q; got = 0 } in
   Segment_interval_tree.insert t.tree ~id:q.id ~xlo:q.rect.lo.(0) ~xhi:q.rect.hi.(0)
     ~ylo:q.rect.lo.(1) ~yhi:q.rect.hi.(1) s;
-  Hashtbl.replace t.index q.id s
+  Hashtbl.replace t.index q.id s;
+  Metrics.incr t.counters.registered
 
 let remove t (s : state) =
   Segment_interval_tree.delete t.tree ~id:s.q.id;
   Hashtbl.remove t.index s.q.id
 
 let terminate t id =
-  match Hashtbl.find_opt t.index id with Some s -> remove t s | None -> raise Not_found
+  match Hashtbl.find_opt t.index id with
+  | Some s ->
+      remove t s;
+      Metrics.incr t.counters.terminated
+  | None -> raise Not_found
 
 let process t e =
   validate_elem ~dim:2 e;
+  Metrics.incr t.counters.elements;
   let matured = ref [] in
   Segment_interval_tree.iter_stab t.tree ~x:e.value.(0) ~y:e.value.(1) (fun _id s ->
+      Metrics.incr t.counters.scan_updates;
       s.got <- s.got + e.weight;
       if s.got >= s.q.threshold then matured := s :: !matured);
-  List.iter (remove t) !matured;
+  List.iter
+    (fun s ->
+      remove t s;
+      Metrics.incr t.counters.matured)
+    !matured;
   Engine.sort_matured (List.map (fun s -> s.q.id) !matured)
 
 let is_alive t id = Hashtbl.mem t.index id
@@ -37,6 +58,8 @@ let progress t id =
   match Hashtbl.find_opt t.index id with Some s -> s.got | None -> raise Not_found
 
 let alive_count t = Hashtbl.length t.index
+
+let metrics t = Engine.Counters.snapshot t.counters ~alive:(alive_count t)
 
 let engine t =
   {
@@ -47,6 +70,7 @@ let engine t =
     terminate = terminate t;
     process = process t;
     alive = (fun () -> alive_count t);
+    metrics = (fun () -> metrics t);
   }
 
 let make () = engine (create ())

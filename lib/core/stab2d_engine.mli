@@ -21,6 +21,10 @@ val progress : t -> int -> int
 
 val alive_count : t -> int
 
+val metrics : t -> Engine.Metrics.snapshot
+(** Uniform metric snapshot; [scan_updates_total] counts stabbed-query
+    weight bumps. *)
+
 val engine : t -> Engine.t
 (** Package as a uniform {!Engine.t} named ["seg-intv"]. *)
 

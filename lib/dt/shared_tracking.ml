@@ -33,6 +33,11 @@ type t = {
   mutable next_id : int;
   mutable live : int;
   mutable signals : int;
+  mutable heap_ops : int; (* heap push/remove/fix operations *)
+  mutable registered : int;
+  mutable matured_n : int;
+  mutable cancelled : int;
+  mutable increments : int;
 }
 
 (* ---- intrusive sigma heap on cells ---- *)
@@ -102,6 +107,11 @@ let create ~counters =
     next_id = 0;
     live = 0;
     signals = 0;
+    heap_ops = 0;
+    registered = 0;
+    matured_n = 0;
+    cancelled = 0;
+    increments = 0;
   }
 
 let counters t = Array.length t.cells
@@ -113,9 +123,11 @@ let counter_value t i =
 let accumulated (inst : instance) =
   Array.fold_left (fun acc e -> acc + (e.cell.value - e.offset)) 0 inst.edges
 
-let set_deadline e = if e.pos >= 0 then heap_fix e.cell e else heap_push e.cell e
+let set_deadline t e =
+  t.heap_ops <- t.heap_ops + 1;
+  if e.pos >= 0 then heap_fix e.cell e else heap_push e.cell e
 
-let start_phase (inst : instance) remaining =
+let start_phase t (inst : instance) remaining =
   assert (remaining >= 1);
   let h = Array.length inst.edges in
   if remaining <= 6 * h then begin
@@ -125,7 +137,7 @@ let start_phase (inst : instance) remaining =
       (fun e ->
         e.cbar <- e.cell.value;
         e.sigma <- e.cell.value + 1;
-        set_deadline e)
+        set_deadline t e)
       inst.edges
   end
   else begin
@@ -136,7 +148,7 @@ let start_phase (inst : instance) remaining =
       (fun e ->
         e.cbar <- e.cell.value;
         e.sigma <- e.cbar + inst.lambda;
-        set_deadline e)
+        set_deadline t e)
       inst.edges
   end
 
@@ -171,29 +183,38 @@ let register t ~watch ~threshold =
            let cell = t.cells.(i) in
            { owner = inst; cell; offset = cell.value; cbar = 0; sigma = 0; pos = -1 })
          watch);
-  start_phase inst threshold;
+  start_phase t inst threshold;
   t.live <- t.live + 1;
+  t.registered <- t.registered + 1;
   inst
 
-let detach inst =
-  Array.iter (fun e -> if e.pos >= 0 then heap_remove e.cell e) inst.edges
+let detach t inst =
+  Array.iter
+    (fun e ->
+      if e.pos >= 0 then begin
+        t.heap_ops <- t.heap_ops + 1;
+        heap_remove e.cell e
+      end)
+    inst.edges
 
 let cancel t inst =
   if inst.status <> Live then invalid_arg "Shared_tracking.cancel: instance not live";
-  detach inst;
+  detach t inst;
   inst.status <- Cancelled;
+  t.cancelled <- t.cancelled + 1;
   t.live <- t.live - 1
 
 let mature t inst acc =
-  detach inst;
+  detach t inst;
   inst.status <- Mature;
+  t.matured_n <- t.matured_n + 1;
   t.live <- t.live - 1;
   acc := inst :: !acc
 
 let end_round t inst acc =
   let w = accumulated inst in
   let remaining = inst.threshold - w in
-  if remaining <= 0 then mature t inst acc else start_phase inst remaining
+  if remaining <= 0 then mature t inst acc else start_phase t inst remaining
 
 let fire t edge acc =
   let inst = edge.owner in
@@ -205,7 +226,7 @@ let fire t edge acc =
     if inst.wknown >= inst.threshold then mature t inst acc
     else begin
       edge.sigma <- c.value + 1;
-      set_deadline edge
+      set_deadline t edge
     end
   end
   else begin
@@ -218,7 +239,7 @@ let fire t edge acc =
     else begin
       edge.cbar <- edge.cbar + (k * inst.lambda);
       edge.sigma <- edge.cbar + inst.lambda;
-      set_deadline edge
+      set_deadline t edge
     end
   end
 
@@ -227,11 +248,13 @@ let increment t i ~by =
   if by < 1 then invalid_arg "Shared_tracking.increment: by < 1";
   let c = t.cells.(i) in
   c.value <- c.value + by;
+  t.increments <- t.increments + 1;
   let acc = ref [] in
   let rec drain () =
     if c.len > 0 then begin
       let edge = c.data.(0) in
       if edge.sigma <= c.value then begin
+        t.heap_ops <- t.heap_ops + 1;
         heap_remove c edge;
         fire t edge acc;
         drain ()
@@ -257,4 +280,18 @@ let fanout inst = Array.length inst.edges
 
 let signals t = t.signals
 
+let heap_ops t = t.heap_ops
+
 let live_count t = t.live
+
+let metrics t : Rts_obs.Metrics.snapshot =
+  Rts_obs.Metrics.of_assoc
+    [
+      ("increments_total", Rts_obs.Metrics.Counter t.increments);
+      ("registered_total", Rts_obs.Metrics.Counter t.registered);
+      ("cancelled_total", Rts_obs.Metrics.Counter t.cancelled);
+      ("matured_total", Rts_obs.Metrics.Counter t.matured_n);
+      ("dt_signals_total", Rts_obs.Metrics.Counter t.signals);
+      ("dt_heap_ops_total", Rts_obs.Metrics.Counter t.heap_ops);
+      ("live", Rts_obs.Metrics.Gauge (float_of_int t.live));
+    ]

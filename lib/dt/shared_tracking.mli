@@ -67,4 +67,15 @@ val signals : t -> int
     the DT message count; tests hold it to the O(sum h_q log tau_q)
     budget. *)
 
+val heap_ops : t -> int
+(** Total deadline-heap operations (push / remove / fix) performed so far
+    — the other half of the protocol's work profile: every signal costs
+    O(log) through here, every quiet increment costs none. *)
+
 val live_count : t -> int
+
+val metrics : t -> Rts_obs.Metrics.snapshot
+(** Uniform metric snapshot: [increments_total], [registered_total],
+    [cancelled_total], [matured_total], [dt_signals_total],
+    [dt_heap_ops_total] counters and the [live] gauge — same naming
+    conventions as {!Rts_core.Engine.t.metrics}. *)

@@ -1,0 +1,235 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let int n = Num (float_of_int n)
+
+(* ---------------- printing ---------------- *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let number_str x =
+  if not (Float.is_finite x) then invalid_arg "Json.to_string: non-finite number";
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else
+    (* shortest representation that round-trips *)
+    let s = Printf.sprintf "%.15g" x in
+    if float_of_string s = x then s else Printf.sprintf "%.17g" x
+
+let to_buffer ?(indent = 0) buf v =
+  let nl level =
+    if indent > 0 then begin
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (indent * level) ' ')
+    end
+  in
+  let rec go level = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num x -> Buffer.add_string buf (number_str x)
+    | Str s -> escape_string buf s
+    | List [] -> Buffer.add_string buf "[]"
+    | List items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            nl (level + 1);
+            go (level + 1) item)
+          items;
+        nl level;
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj kvs ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, item) ->
+            if i > 0 then Buffer.add_char buf ',';
+            nl (level + 1);
+            escape_string buf k;
+            Buffer.add_char buf ':';
+            if indent > 0 then Buffer.add_char buf ' ';
+            go (level + 1) item)
+          kvs;
+        nl level;
+        Buffer.add_char buf '}'
+  in
+  go 0 v
+
+let to_string ?indent v =
+  let buf = Buffer.create 256 in
+  to_buffer ?indent buf v;
+  Buffer.contents buf
+
+let to_channel ?indent oc v = output_string oc (to_string ?indent v)
+
+(* ---------------- parsing ---------------- *)
+
+exception Parse_error of string
+
+let fail pos fmt = Printf.ksprintf (fun s -> raise (Parse_error (Printf.sprintf "at %d: %s" pos s))) fmt
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> fail c.pos "expected %C, got %C" ch x
+  | None -> fail c.pos "expected %C, got end of input" ch
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail c.pos "bad literal"
+
+let parse_string_body c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail c.pos "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | Some '"' -> advance c; Buffer.add_char buf '"'; go ()
+        | Some '\\' -> advance c; Buffer.add_char buf '\\'; go ()
+        | Some '/' -> advance c; Buffer.add_char buf '/'; go ()
+        | Some 'n' -> advance c; Buffer.add_char buf '\n'; go ()
+        | Some 't' -> advance c; Buffer.add_char buf '\t'; go ()
+        | Some 'r' -> advance c; Buffer.add_char buf '\r'; go ()
+        | Some 'b' -> advance c; Buffer.add_char buf '\b'; go ()
+        | Some 'f' -> advance c; Buffer.add_char buf '\012'; go ()
+        | Some 'u' ->
+            advance c;
+            if c.pos + 4 > String.length c.src then fail c.pos "bad \\u escape";
+            let hex = String.sub c.src c.pos 4 in
+            let code = try int_of_string ("0x" ^ hex) with _ -> fail c.pos "bad \\u escape" in
+            c.pos <- c.pos + 4;
+            (* ASCII only; anything else is replaced — our own output never
+               emits non-ASCII escapes *)
+            Buffer.add_char buf (if code < 0x80 then Char.chr code else '?');
+            go ()
+        | _ -> fail c.pos "bad escape")
+    | Some ch ->
+        advance c;
+        Buffer.add_char buf ch;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek c with Some ch -> is_num_char ch | None -> false) do
+    advance c
+  done;
+  let s = String.sub c.src start (c.pos - start) in
+  match float_of_string_opt s with
+  | Some x -> Num x
+  | None -> fail start "bad number %S" s
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c.pos "unexpected end of input"
+  | Some 'n' -> literal c "null" Null
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some '"' -> Str (parse_string_body c)
+  | Some '[' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some ']' then begin
+        advance c;
+        List []
+      end
+      else begin
+        let items = ref [ parse_value c ] in
+        skip_ws c;
+        while peek c = Some ',' do
+          advance c;
+          items := parse_value c :: !items;
+          skip_ws c
+        done;
+        expect c ']';
+        List (List.rev !items)
+      end
+  | Some '{' ->
+      advance c;
+      skip_ws c;
+      if peek c = Some '}' then begin
+        advance c;
+        Obj []
+      end
+      else begin
+        let pair () =
+          skip_ws c;
+          let k = parse_string_body c in
+          skip_ws c;
+          expect c ':';
+          let v = parse_value c in
+          (k, v)
+        in
+        let kvs = ref [ pair () ] in
+        skip_ws c;
+        while peek c = Some ',' do
+          advance c;
+          kvs := pair () :: !kvs;
+          skip_ws c
+        done;
+        expect c '}';
+        Obj (List.rev !kvs)
+      end
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> fail c.pos "unexpected %C" ch
+
+let of_string s =
+  let c = { src = s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then fail c.pos "trailing garbage";
+  v
+
+let member k = function
+  | Obj kvs -> List.assoc_opt k kvs
+  | _ -> None
+
+let get_num = function Num x -> Some x | _ -> None
+
+let get_str = function Str s -> Some s | _ -> None

@@ -1,0 +1,42 @@
+(** Minimal JSON tree, printer and parser — no external dependencies.
+
+    Exists so the benchmark harness can emit machine-readable
+    [BENCH_*.json] trajectories and so `make check` can validate them,
+    without pulling yojson into the build. Numbers are stored as [float];
+    integers round-trip exactly up to 2^53, far beyond any counter this
+    repository produces. The parser is strict enough for our own output
+    (and for CI validation) but is not a general-purpose validator —
+    it accepts a superset of JSON numbers ([inf] is rejected on print). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val int : int -> t
+(** [int n] = [Num (float_of_int n)]. *)
+
+val to_string : ?indent:int -> t -> string
+(** Render. [indent] > 0 pretty-prints with that many spaces per level
+    (default 0 = compact). Raises [Invalid_argument] on non-finite
+    numbers — JSON has no representation for them, and silently writing
+    [null] would corrupt the benchmark trajectory. *)
+
+val to_channel : ?indent:int -> out_channel -> t -> unit
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parse one JSON value (trailing whitespace allowed, trailing garbage
+    rejected). Raises {!Parse_error} with a character offset. *)
+
+val member : string -> t -> t option
+(** [member k (Obj kvs)] = value bound to [k], if any; [None] on
+    non-objects. *)
+
+val get_num : t -> float option
+
+val get_str : t -> string option

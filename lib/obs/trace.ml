@@ -1,0 +1,30 @@
+module Timer = Rts_util.Timer
+
+let src = Logs.Src.create "rts.trace" ~doc:"RTS span timing"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type span = {
+  name : string;
+  t0 : float;
+  histogram : Metrics.histogram option;
+  mutable elapsed : float option; (* set once finished *)
+}
+
+let start ?histogram name = { name; t0 = Timer.now (); histogram; elapsed = None }
+
+let finish s =
+  match s.elapsed with
+  | Some dt -> dt
+  | None ->
+      let dt = Timer.now () -. s.t0 in
+      s.elapsed <- Some dt;
+      Log.debug (fun m -> m "%s: %.1f us" s.name (dt *. 1e6));
+      (match s.histogram with Some h -> Metrics.observe h (dt *. 1e6) | None -> ());
+      dt
+
+let with_span ?histogram name f =
+  let s = start ?histogram name in
+  Fun.protect ~finally:(fun () -> ignore (finish s)) f
+
+let timed = Timer.time

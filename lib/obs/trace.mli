@@ -1,0 +1,29 @@
+(** Lightweight span timing on top of {!Rts_util.Timer}, reporting
+    through [Logs] (src ["rts.trace"], level [Debug]) and optionally
+    into a {!Metrics.histogram} of microsecond observations.
+
+    Intended for coarse phases — batch registration, a bench figure, a
+    replay — not for per-element hot paths (a [Timer.now] pair per
+    element would dominate the engines' own work; the per-chunk timing
+    of {!Rts_workload.Scenario} is the hot-path mechanism). *)
+
+val src : Logs.src
+
+type span
+
+val start : ?histogram:Metrics.histogram -> string -> span
+(** Begin a span. If [histogram] is given, {!finish} also records the
+    duration (in microseconds) there. *)
+
+val finish : span -> float
+(** End the span: logs ["<name>: <t> us"] at [Debug] on {!src}, feeds
+    the histogram if any, and returns elapsed seconds. Idempotent —
+    a second [finish] returns the first duration without re-logging. *)
+
+val with_span : ?histogram:Metrics.histogram -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] = start/finish around [f ()]; the span is
+    finished even if [f] raises. *)
+
+val timed : (unit -> 'a) -> 'a * float
+(** Re-export of {!Rts_util.Timer.time} so observability users need only
+    this module. *)

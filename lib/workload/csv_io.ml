@@ -10,11 +10,26 @@ let is_skippable line =
 
 let fields line = String.split_on_char ',' line |> List.map String.trim
 
+(* Bound fields admit +-inf (open-ended rectangles) but never NaN: a NaN
+   bound would slip past [Types.validate_query]'s [<] comparisons and
+   poison every engine's tree ordering downstream. *)
 let float_field ~line_no name s =
   match s with
   | "-inf" -> neg_infinity
   | "inf" | "+inf" -> infinity
-  | _ -> ( try float_of_string s with Failure _ -> fail "line %d: bad %s: %S" line_no name s)
+  | _ -> (
+      match float_of_string_opt s with
+      | Some x when Float.is_nan x -> fail "line %d: %s is NaN: %S" line_no name s
+      | Some x -> x
+      | None -> fail "line %d: bad %s: %S" line_no name s)
+
+(* Element coordinates must be finite: an infinite coordinate is not a
+   point in the data space, and NaN breaks rectangle containment. *)
+let finite_field ~line_no name s =
+  match float_of_string_opt s with
+  | Some x when Float.is_finite x -> x
+  | Some _ -> fail "line %d: %s is not finite: %S" line_no name s
+  | None -> fail "line %d: bad %s: %S" line_no name s
 
 let int_field ~line_no name s =
   try int_of_string s with Failure _ -> fail "line %d: bad %s: %S" line_no name s
@@ -48,13 +63,27 @@ let parse_element ~dim ~line_no line =
   if n <> dim && n <> dim + 1 then
     fail "line %d: expected %d coordinates [+ weight], got %d fields" line_no dim n;
   let arr = Array.of_list fs in
-  let value = Array.init dim (fun k -> float_field ~line_no "coordinate" arr.(k)) in
+  let value = Array.init dim (fun k -> finite_field ~line_no "coordinate" arr.(k)) in
   let weight = if n = dim + 1 then int_field ~line_no "weight" arr.(dim) else 1 in
   if weight < 1 then fail "line %d: weight < 1" line_no;
   { Types.value; weight }
 
+(* Shortest decimal string that round-trips to exactly [x]. The old "%g"
+   kept only 6 significant digits, so record->replay of generated
+   workloads (coordinates on [0, 1e5] with ~17 significant digits) was
+   NOT bit-identical, despite Replay's documented guarantee. "%.15g"
+   suffices for most values and keeps human-friendly output ("0.1", not
+   "0.1000000000000000056"); 16 then 17 digits cover the rest ("%.17g"
+   round-trips every finite double by IEEE-754). *)
 let float_str x =
-  if x = infinity then "inf" else if x = neg_infinity then "-inf" else Printf.sprintf "%g" x
+  if x = infinity then "inf"
+  else if x = neg_infinity then "-inf"
+  else
+    let s15 = Printf.sprintf "%.15g" x in
+    if float_of_string s15 = x then s15
+    else
+      let s16 = Printf.sprintf "%.16g" x in
+      if float_of_string s16 = x then s16 else Printf.sprintf "%.17g" x
 
 let query_to_line (q : Types.query) =
   let buf = Buffer.create 64 in

@@ -21,12 +21,18 @@ val parse_query : dim:int -> closed:bool -> line_no:int -> string -> Types.query
     (infinitesimal trick); otherwise rectangles are half-open as written. *)
 
 val parse_element : dim:int -> line_no:int -> string -> Types.elem
+(** Parse one element line. Coordinates must be finite (NaN and +-inf are
+    {!Parse_error}s naming the line); bounds in {!parse_query} admit
+    [-inf]/[inf] but reject NaN. *)
 
 val query_to_line : Types.query -> string
 (** Inverse of {!parse_query} with [closed:false] (bounds emitted
-    verbatim). *)
+    verbatim). Floats are printed with shortest round-trip precision, so
+    [parse_query (query_to_line q) = q] holds bit-exactly — the
+    foundation of {!Replay}'s bit-identical record/replay guarantee. *)
 
 val element_to_line : Types.elem -> string
+(** Inverse of {!parse_element}; same bit-exact round-trip guarantee. *)
 
 val read_queries : dim:int -> closed:bool -> in_channel -> Types.query list
 (** Read a whole query sheet; skips comments; raises {!Parse_error}. *)

@@ -2,6 +2,7 @@ open Rts_core
 module Prng = Rts_util.Prng
 module Timer = Rts_util.Timer
 module Handle_heap = Rts_structures.Handle_heap
+module Metrics = Rts_obs.Metrics
 
 type mode =
   | Static
@@ -35,7 +36,13 @@ let default =
     chunk = 2048;
   }
 
-type trace_point = { ops_done : int; elements_done : int; alive : int; avg_us : float }
+type trace_point = {
+  ops_done : int;
+  elements_done : int;
+  alive : int;
+  avg_us : float;
+  metrics : Metrics.snapshot;
+}
 
 type result = {
   engine_name : string;
@@ -48,6 +55,7 @@ type result = {
   ops : int;
   trace : trace_point array;
   maturity_log : (int * int) list;
+  final_metrics : Metrics.snapshot;
 }
 
 (* Mutable driver state shared by all modes. *)
@@ -124,7 +132,7 @@ let run_terminations d now on_departure =
   in
   loop ()
 
-let run cfg factory =
+let run_gen ~capture_metrics cfg factory =
   if cfg.dim < 1 then invalid_arg "Scenario.run: dim < 1";
   if cfg.chunk < 1 then invalid_arg "Scenario.run: chunk < 1";
   let gen =
@@ -156,6 +164,20 @@ let run cfg factory =
   let initial = List.filteri (fun i _ -> i < cfg.initial_queries) d.query_buffer in
   d.query_buffer <- [];
   let trace = ref [] in
+  (* Per-window metric deltas (untimed): snapshot the engine's uniform
+     metrics outside the timed region and diff against the previous
+     window, so each trace point carries exactly the counter activity of
+     its chunk. *)
+  let last_snap = ref (if capture_metrics then engine.metrics () else Metrics.empty) in
+  let metrics_delta () =
+    if capture_metrics then begin
+      let now_snap = engine.metrics () in
+      let delta = Metrics.diff ~before:!last_snap ~after:now_snap in
+      last_snap := now_snap;
+      delta
+    end
+    else Metrics.empty
+  in
   let t0 = Timer.now () in
   (* One-shot batch registration: for the DT engine this is the paper's
      "construct the structure at the beginning of the stream". *)
@@ -176,6 +198,7 @@ let run cfg factory =
           elements_done = 0;
           alive = Hashtbl.length d.alive;
           avg_us = init_seconds *. 1e6 /. float_of_int (max 1 d.ops);
+          metrics = metrics_delta ();
         };
       ];
   let total = ref init_seconds in
@@ -239,6 +262,7 @@ let run cfg factory =
         elements_done = d.elements;
         alive = Hashtbl.length d.alive;
         avg_us = dt *. 1e6 /. float_of_int (max 1 chunk_ops);
+        metrics = metrics_delta ();
       }
       :: !trace;
     if cfg.mode = Static && Hashtbl.length d.alive = 0 then continue := false
@@ -254,7 +278,12 @@ let run cfg factory =
     ops = d.ops;
     trace = Array.of_list (List.rev !trace);
     maturity_log = List.rev d.maturities;
+    final_metrics = engine.metrics ();
   }
+
+let run cfg factory = run_gen ~capture_metrics:false cfg factory
+
+let run_traced cfg factory = run_gen ~capture_metrics:true cfg factory
 
 let pp_result ppf r =
   Format.fprintf ppf

@@ -51,6 +51,10 @@ type trace_point = {
   elements_done : int;
   alive : int;  (** alive queries at the end of this chunk *)
   avg_us : float;  (** mean wall-clock microseconds per operation *)
+  metrics : Rts_obs.Metrics.snapshot;
+      (** per-window delta of the engine's uniform metrics — captured
+          {e outside} the timed region by {!run_traced}; empty under
+          {!run} *)
 }
 
 type result = {
@@ -66,11 +70,20 @@ type result = {
   maturity_log : (int * int) list;
       (** (timestamp, query id) of every maturity, ascending timestamp —
           the ground truth used by the cross-engine equivalence tests *)
+  final_metrics : Rts_obs.Metrics.snapshot;
+      (** the engine's uniform metric totals at the end of the run
+          (always captured — one snapshot, O(#metrics)) *)
 }
 
 val run : config -> (dim:int -> Engine.t) -> result
 (** Run one scenario on a freshly made engine. The factory receives
     [config.dim]. *)
+
+val run_traced : config -> (dim:int -> Engine.t) -> result
+(** Like {!run}, but additionally snapshots the engine's metrics around
+    every timing chunk (in the untimed bookkeeping region) and attaches
+    the per-window {!Rts_obs.Metrics.diff} to each {!trace_point} — the
+    cost trajectory behind [BENCH_*.json]. *)
 
 val pp_result : Format.formatter -> result -> unit
 (** One summary line: name, totals, mean per-op cost. *)

@@ -62,6 +62,129 @@ let test_errors () =
   expect_parse_error (fun () -> Csv_io.parse_element ~dim:1 ~line_no:3 "1.0,0");
   expect_parse_error (fun () -> Csv_io.parse_element ~dim:1 ~line_no:3 "oops")
 
+(* A NaN bound or a non-finite element coordinate must be rejected with a
+   Parse_error naming the offending line, not silently admitted (a NaN
+   bound slips past validate_query's [<] checks and poisons every engine's
+   tree ordering downstream). *)
+let contains_substring ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let expect_parse_error_naming_line ~line_no f =
+  match f () with
+  | exception Csv_io.Parse_error msg ->
+      let tag = Printf.sprintf "line %d" line_no in
+      Alcotest.(check bool)
+        (Printf.sprintf "%S names %S" msg tag)
+        true
+        (contains_substring ~needle:tag msg)
+  | _ -> Alcotest.fail "expected Parse_error"
+
+let test_nan_and_nonfinite_rejected () =
+  (* NaN bounds, any spelling float_of_string accepts *)
+  List.iter
+    (fun bad ->
+      expect_parse_error_naming_line ~line_no:7 (fun () ->
+          Csv_io.parse_query ~dim:1 ~closed:false ~line_no:7
+            (Printf.sprintf "1,10,%s,1" bad));
+      expect_parse_error_naming_line ~line_no:7 (fun () ->
+          Csv_io.parse_query ~dim:1 ~closed:false ~line_no:7 (Printf.sprintf "1,10,0,%s" bad)))
+    [ "nan"; "-nan"; "NaN" ];
+  (* ...but infinite bounds stay legal (open-ended rectangles) *)
+  ignore (Csv_io.parse_query ~dim:1 ~closed:false ~line_no:1 "1,10,-inf,inf");
+  (* element coordinates must be finite: no NaN, no +-inf *)
+  List.iter
+    (fun bad ->
+      expect_parse_error_naming_line ~line_no:9 (fun () ->
+          Csv_io.parse_element ~dim:1 ~line_no:9 bad);
+      expect_parse_error_naming_line ~line_no:9 (fun () ->
+          Csv_io.parse_element ~dim:2 ~line_no:9 (Printf.sprintf "1.0,%s" bad));
+      expect_parse_error_naming_line ~line_no:9 (fun () ->
+          Csv_io.parse_element ~dim:1 ~line_no:9 (Printf.sprintf "%s,3" bad)))
+    [ "nan"; "inf"; "+inf"; "-inf"; "infinity" ]
+
+(* Full-precision floats that "%g" (6 significant digits) mangles: these
+   are the regression witnesses for the lossy round-trip that broke
+   Replay's bit-identical record/replay guarantee. *)
+let test_full_precision_roundtrip () =
+  List.iter
+    (fun x ->
+      let e = { Types.value = [| x |]; weight = 1 } in
+      let parsed = Csv_io.parse_element ~dim:1 ~line_no:1 (Csv_io.element_to_line e) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%h survives print->parse bit-exactly" x)
+        true
+        (Int64.bits_of_float parsed.Types.value.(0) = Int64.bits_of_float x))
+    [
+      0.1 +. 0.2 (* 0.30000000000000004 *);
+      1. /. 3.;
+      86413.60392054954 (* a Generator-style coordinate on [0, 1e5] *);
+      Float.min_float;
+      Float.max_float;
+      4.9e-324 (* smallest subnormal *);
+      -0.;
+      1.2345678901234567e-8;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: print->parse is the identity, bit-exactly, for arbitrary
+   queries (including open-ended +-inf bounds) and elements. This is the
+   property Replay's record/replay guarantee rests on; it fails on the
+   old "%g" printer. *)
+
+let finite_float_gen st =
+  (* Uniform over bit patterns => exercises subnormals, huge magnitudes
+     and every mantissa shape, not just round decimals. *)
+  let rec go () =
+    let x = Int64.float_of_bits (QCheck.Gen.ui64 st) in
+    if Float.is_finite x then x else go ()
+  in
+  go ()
+
+let elem_arb dim =
+  QCheck.make
+    ~print:(fun e -> Csv_io.element_to_line e)
+    QCheck.Gen.(
+      map2
+        (fun value weight -> { Types.value; weight })
+        (array_repeat dim finite_float_gen) (int_range 1 1_000_000))
+
+let bound_pair_gen st =
+  let lo = if QCheck.Gen.bool st then neg_infinity else finite_float_gen st in
+  let hi = if QCheck.Gen.bool st then infinity else finite_float_gen st in
+  if lo < hi then (lo, hi) else if hi < lo then (hi, lo) else (lo, Float.succ lo)
+
+let query_arb dim =
+  QCheck.make ~print:Csv_io.query_to_line
+    QCheck.Gen.(
+      map3
+        (fun id threshold pairs -> { Types.id; threshold; rect = Types.rect_make pairs })
+        (int_range 0 1_000_000) (int_range 1 1_000_000_000)
+        (array_repeat dim bound_pair_gen))
+
+let float_bits_equal a b = Int64.bits_of_float a = Int64.bits_of_float b
+
+let prop_element_roundtrip dim =
+  QCheck.Test.make ~count:2000
+    ~name:(Printf.sprintf "element %dD print->parse bit-exact" dim)
+    (elem_arb dim)
+    (fun e ->
+      let parsed = Csv_io.parse_element ~dim ~line_no:1 (Csv_io.element_to_line e) in
+      parsed.Types.weight = e.Types.weight
+      && Array.for_all2 float_bits_equal parsed.Types.value e.Types.value)
+
+let prop_query_roundtrip dim =
+  QCheck.Test.make ~count:2000
+    ~name:(Printf.sprintf "query %dD print->parse bit-exact (incl. +-inf bounds)" dim)
+    (query_arb dim)
+    (fun q ->
+      let parsed = Csv_io.parse_query ~dim ~closed:false ~line_no:1 (Csv_io.query_to_line q) in
+      parsed.Types.id = q.Types.id
+      && parsed.Types.threshold = q.Types.threshold
+      && Array.for_all2 float_bits_equal parsed.Types.rect.lo q.Types.rect.lo
+      && Array.for_all2 float_bits_equal parsed.Types.rect.hi q.Types.rect.hi)
+
 let with_string_channel s f =
   let file = Filename.temp_file "rts_csv" ".csv" in
   let oc = open_out file in
@@ -95,11 +218,11 @@ let test_generator_roundtrip_stream () =
     let e = Generator.element gen in
     let parsed = Csv_io.parse_element ~dim:2 ~line_no:1 (Csv_io.element_to_line e) in
     Alcotest.(check int) "weight" e.Types.weight parsed.Types.weight;
-    (* %g prints ~6 significant digits; values must survive to that level *)
+    (* shortest round-trip printing: coordinates survive bit-exactly *)
     Array.iteri
       (fun k x ->
-        Alcotest.(check bool) "coordinate close" true
-          (abs_float (x -. parsed.Types.value.(k)) < 1e-1))
+        Alcotest.(check bool) "coordinate bit-exact" true
+          (Int64.bits_of_float x = Int64.bits_of_float parsed.Types.value.(k)))
       e.Types.value
   done
 
@@ -115,8 +238,17 @@ let () =
           Alcotest.test_case "closed flag" `Quick test_closed_flag;
           Alcotest.test_case "skippable lines" `Quick test_skippable;
           Alcotest.test_case "parse errors name the line" `Quick test_errors;
+          Alcotest.test_case "NaN / non-finite rejected" `Quick test_nan_and_nonfinite_rejected;
+          Alcotest.test_case "full-precision roundtrip" `Quick test_full_precision_roundtrip;
           Alcotest.test_case "read_queries" `Quick test_read_queries;
           Alcotest.test_case "fold_elements" `Quick test_fold_elements;
           Alcotest.test_case "generator stream roundtrip" `Quick test_generator_roundtrip_stream;
+        ] );
+      ( "property",
+        [
+          QCheck_alcotest.to_alcotest (prop_element_roundtrip 1);
+          QCheck_alcotest.to_alcotest (prop_element_roundtrip 2);
+          QCheck_alcotest.to_alcotest (prop_query_roundtrip 1);
+          QCheck_alcotest.to_alcotest (prop_query_roundtrip 2);
         ] );
     ]

@@ -239,6 +239,23 @@ let test_restore_validation () =
         (Dt_engine.restore ~dim:1
            [ (q ~id:1 ~threshold:5 (0., 1.), 0); (q ~id:1 ~threshold:5 (2., 3.), 0) ]))
 
+let test_restore_edge_cases () =
+  (* Empty snapshot: a valid, empty engine that still works afterwards. *)
+  let t = Dt_engine.restore ~dim:1 [] in
+  Alcotest.(check int) "empty restore: nothing alive" 0 (Dt_engine.alive_count t);
+  Alcotest.(check (list int)) "empty restore: process is a no-op" [] (Dt_engine.process t (elem1 0.5 3));
+  Dt_engine.register t (q ~id:7 ~threshold:2 (0., 1.));
+  Alcotest.(check int) "empty restore: can still register" 1 (Dt_engine.alive_count t);
+  (* consumed = threshold - 1: the query is one unit of weight from
+     maturity, so the very next matching unit-weight element fires it. *)
+  let t = Dt_engine.restore ~dim:1 [ (q ~id:3 ~threshold:10 (0., 1.), 9) ] in
+  Alcotest.(check (list int)) "miss does not fire" [] (Dt_engine.process t (elem1 5. 1));
+  Alcotest.(check (list int)) "one more unit matures" [ 3 ] (Dt_engine.process t (elem1 0.5 1));
+  Alcotest.(check int) "gone after maturity" 0 (Dt_engine.alive_count t);
+  (* consumed = 0 is legal (a fresh query), threshold - 1 is the max. *)
+  let t = Dt_engine.restore ~dim:1 [ (q ~id:1 ~threshold:1 (0., 1.), 0) ] in
+  Alcotest.(check (list int)) "threshold 1, consumed 0" [ 1 ] (Dt_engine.process t (elem1 0.5 1))
+
 let prop_dynamic_churn =
   (* Random register/terminate/process churn; internal invariants must hold
      and alive bookkeeping must match a driver-side model. *)
@@ -293,6 +310,7 @@ let () =
           Alcotest.test_case "space per query logarithmic" `Quick test_space_entries_linear_in_m;
           Alcotest.test_case "engine snapshot/restore" `Quick test_snapshot_restore_engine_level;
           Alcotest.test_case "restore validation" `Quick test_restore_validation;
+          Alcotest.test_case "restore edge cases" `Quick test_restore_edge_cases;
         ] );
       ("property", [ QCheck_alcotest.to_alcotest prop_dynamic_churn ]);
     ]

@@ -1,0 +1,242 @@
+(* Rts_obs: the unified metrics/observability layer.
+
+   Three layers of checks:
+   1. Metrics registry semantics (counters/gauges/histograms, snapshot,
+      diff, merge, monotonicity law) and rendering (JSON round-trip
+      through our own parser, Prometheus text shape).
+   2. Engine-agnostic laws: every engine's [metrics ()] snapshot uses the
+      uniform names and its counters are monotone across process calls,
+      with [elements_total]/[registered_total] matching the driver's own
+      bookkeeping.
+   3. DT specifics: the engine's metric snapshot agrees with the raw
+      [Endpoint_tree.stats] telemetry it is derived from. *)
+
+open Rts_core
+module Metrics = Rts_obs.Metrics
+module Json = Rts_obs.Json
+
+(* ---------------- 1. registry semantics ---------------- *)
+
+let test_counter_basics () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "ops_total" in
+  Alcotest.(check int) "starts at 0" 0 (Metrics.value c);
+  Metrics.incr c;
+  Metrics.add c 41;
+  Alcotest.(check int) "42" 42 (Metrics.value c);
+  let c' = Metrics.counter reg "ops_total" in
+  Metrics.incr c';
+  Alcotest.(check int) "get-or-create aliases" 43 (Metrics.value c);
+  Alcotest.check_raises "negative add rejected"
+    (Invalid_argument "Metrics.add: negative delta") (fun () -> Metrics.add c (-1));
+  Alcotest.check_raises "kind clash rejected"
+    (Invalid_argument "Metrics: \"ops_total\" already registered as a counter") (fun () ->
+      ignore (Metrics.gauge reg "ops_total"))
+
+let test_gauge_and_histogram () =
+  let reg = Metrics.create () in
+  let g = Metrics.gauge reg "alive" in
+  Metrics.set g 7.;
+  Metrics.set g 3.;
+  Alcotest.(check (float 0.)) "gauge holds last value" 3. (Metrics.gauge_value g);
+  let h = Metrics.histogram ~buckets:[| 1.; 10.; 100. |] reg "lat_us" in
+  List.iter (Metrics.observe h) [ 0.5; 5.; 50.; 500. ];
+  match Metrics.get (Metrics.snapshot reg) "lat_us" with
+  | Some (Metrics.Histogram s) ->
+      Alcotest.(check int) "count" 4 s.Metrics.count;
+      Alcotest.(check (float 1e-9)) "sum" 555.5 s.Metrics.sum;
+      (* explicit bounds plus the implicit +inf overflow bucket *)
+      Alcotest.(check (list int)) "cumulative buckets" [ 1; 2; 3; 4 ]
+        (Array.to_list (Array.map snd s.Metrics.buckets))
+  | _ -> Alcotest.fail "histogram missing from snapshot"
+
+let test_snapshot_diff_merge () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "n_total" in
+  let g = Metrics.gauge reg "level" in
+  Metrics.add c 10;
+  Metrics.set g 1.;
+  let before = Metrics.snapshot reg in
+  Metrics.add c 5;
+  Metrics.set g 9.;
+  let after = Metrics.snapshot reg in
+  let d = Metrics.diff ~before ~after in
+  Alcotest.(check int) "counter delta" 5 (Metrics.counter_value d "n_total");
+  (match Metrics.get d "level" with
+  | Some (Metrics.Gauge v) -> Alcotest.(check (float 0.)) "gauge takes after" 9. v
+  | _ -> Alcotest.fail "gauge missing from diff");
+  Alcotest.(check bool) "monotone" true (Metrics.is_monotone ~before ~after);
+  Alcotest.(check bool) "reverse not monotone" false (Metrics.is_monotone ~before:after ~after:before);
+  let m = Metrics.merge before d in
+  Alcotest.(check int) "merge restores total" 15 (Metrics.counter_value m "n_total");
+  Alcotest.(check int) "absent counter reads 0" 0 (Metrics.counter_value d "nope_total")
+
+let test_json_roundtrip () =
+  (* Render a snapshot to JSON, print it with our printer, parse it back
+     with our parser: the values must survive. This exercises exactly the
+     pipeline `bench --json` -> `make check` validation uses. *)
+  let reg = Metrics.create () in
+  Metrics.add (Metrics.counter reg "a_total") 123456789;
+  Metrics.set (Metrics.gauge reg "g") 2.5;
+  Metrics.observe (Metrics.histogram reg "h_us") 42.;
+  let j = Metrics.to_json (Metrics.snapshot reg) in
+  let s = Json.to_string ~indent:2 j in
+  let j' = Json.of_string s in
+  (match Option.bind (Json.member "a_total" j') Json.get_num with
+  | Some v -> Alcotest.(check (float 0.)) "counter through JSON" 123456789. v
+  | None -> Alcotest.fail "a_total missing");
+  (match Option.bind (Json.member "g" j') Json.get_num with
+  | Some v -> Alcotest.(check (float 0.)) "gauge through JSON" 2.5 v
+  | None -> Alcotest.fail "g missing");
+  match Option.bind (Json.member "h_us" j') (Json.member "count") with
+  | Some (Json.Num 1.) -> ()
+  | _ -> Alcotest.fail "histogram count missing"
+
+let test_json_parser_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | exception Json.Parse_error _ -> ()
+      | _ -> Alcotest.fail (Printf.sprintf "accepted %S" s))
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ]
+
+let test_prometheus_shape () =
+  let reg = Metrics.create () in
+  Metrics.add (Metrics.counter reg "sig_total") 3;
+  Metrics.set (Metrics.gauge reg "alive") 2.;
+  let text = Metrics.to_prometheus ~prefix:"rts_" (Metrics.snapshot reg) in
+  let has needle =
+    let n = String.length needle and h = String.length text in
+    let rec go i = i + n <= h && (String.sub text i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "TYPE line" true (has "# TYPE rts_sig_total counter");
+  Alcotest.(check bool) "sample" true (has "rts_sig_total 3");
+  Alcotest.(check bool) "gauge sample" true (has "rts_alive 2")
+
+(* ---------------- 2. engine-agnostic laws ---------------- *)
+
+let engines : (string * (dim:int -> Engine.t)) list =
+  [
+    ("dt", fun ~dim -> Dt_engine.make ~dim);
+    ("dt-eager", fun ~dim -> Dt_engine.make_eager ~dim);
+    ("baseline", fun ~dim -> Baseline_engine.make ~dim);
+    ("interval-tree", fun ~dim:_ -> Stab1d_engine.make ());
+    ("r-tree", fun ~dim -> Rtree_engine.make ~dim);
+  ]
+
+let q ~id ~threshold (lo, hi) =
+  { Types.id; rect = Types.rect_make [| (lo, hi) |]; threshold }
+
+let elem1 x w = { Types.value = [| x |]; weight = w }
+
+let drive (e : Engine.t) rng steps =
+  let open Rts_util in
+  for _ = 1 to steps do
+    ignore (e.Engine.process (elem1 (float_of_int (Prng.int rng 30)) (1 + Prng.int rng 3)))
+  done
+
+let test_engine_metrics_uniform_and_monotone () =
+  List.iter
+    (fun (name, factory) ->
+      let e = factory ~dim:1 in
+      let rng = Rts_util.Prng.create ~seed:17 in
+      e.Engine.register_batch
+        (List.init 50 (fun id ->
+             let a = float_of_int (Rts_util.Prng.int rng 25) in
+             q ~id ~threshold:(20 + Rts_util.Prng.int rng 80) (a, a +. 4.)));
+      let check_names snap =
+        List.iter
+          (fun metric ->
+            Alcotest.(check bool)
+              (Printf.sprintf "%s exposes %s" name metric)
+              true
+              (Metrics.get snap metric <> None))
+          [ "elements_total"; "registered_total"; "terminated_total"; "matured_total"; "alive" ]
+      in
+      let snap0 = e.Engine.metrics () in
+      check_names snap0;
+      Alcotest.(check int)
+        (name ^ ": registered_total after batch")
+        50
+        (Metrics.counter_value snap0 "registered_total");
+      let prev = ref snap0 in
+      for window = 1 to 5 do
+        drive e rng 100;
+        let snap = e.Engine.metrics () in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: counters monotone (window %d)" name window)
+          true
+          (Metrics.is_monotone ~before:!prev ~after:snap);
+        prev := snap
+      done;
+      let final = !prev in
+      Alcotest.(check int)
+        (name ^ ": elements_total = driver count")
+        500
+        (Metrics.counter_value final "elements_total");
+      (* alive gauge matches the engine's own alive () *)
+      (match Metrics.get final "alive" with
+      | Some (Metrics.Gauge v) ->
+          Alcotest.(check int) (name ^ ": alive gauge") (e.Engine.alive ()) (int_of_float v)
+      | _ -> Alcotest.fail (name ^ ": alive gauge missing"));
+      (* conservation: everything registered is alive, matured or terminated *)
+      Alcotest.(check int)
+        (name ^ ": registered = alive + matured + terminated")
+        (Metrics.counter_value final "registered_total")
+        (e.Engine.alive ()
+        + Metrics.counter_value final "matured_total"
+        + Metrics.counter_value final "terminated_total"))
+    engines
+
+(* ---------------- 3. DT metrics agree with raw telemetry ---------------- *)
+
+let test_dt_metrics_agree_with_stats () =
+  let t = Dt_engine.create ~dim:1 () in
+  let rng = Rts_util.Prng.create ~seed:23 in
+  Dt_engine.register_batch t
+    (List.init 120 (fun id ->
+         let a = float_of_int (Rts_util.Prng.int rng 20) in
+         q ~id ~threshold:(30 + Rts_util.Prng.int rng 120) (a, a +. 3.)));
+  for _ = 1 to 800 do
+    ignore (Dt_engine.process t (elem1 (float_of_int (Rts_util.Prng.int rng 25)) (1 + Rts_util.Prng.int rng 4)))
+  done;
+  let e = Dt_engine.engine t in
+  let snap = e.Engine.metrics () in
+  let st = Dt_engine.stats t in
+  Alcotest.(check int) "signals" st.Endpoint_tree.signals
+    (Metrics.counter_value snap "dt_signals_total");
+  Alcotest.(check int) "round ends" st.Endpoint_tree.round_ends
+    (Metrics.counter_value snap "dt_round_ends_total");
+  Alcotest.(check int) "heap ops" st.Endpoint_tree.heap_ops
+    (Metrics.counter_value snap "dt_heap_ops_total");
+  Alcotest.(check int) "node updates" st.Endpoint_tree.node_updates
+    (Metrics.counter_value snap "dt_node_updates_total");
+  Alcotest.(check int) "rebuilds" (Dt_engine.rebuild_count t)
+    (Metrics.counter_value snap "rebuilds_total");
+  (match Metrics.get snap "trees" with
+  | Some (Metrics.Gauge v) ->
+      Alcotest.(check int) "trees gauge" (Dt_engine.tree_count t) (int_of_float v)
+  | _ -> Alcotest.fail "trees gauge missing");
+  Alcotest.(check bool) "did real DT work" true
+    (Metrics.counter_value snap "dt_signals_total" > 0)
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "gauge + histogram" `Quick test_gauge_and_histogram;
+          Alcotest.test_case "snapshot / diff / merge" `Quick test_snapshot_diff_merge;
+          Alcotest.test_case "JSON round-trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "JSON parser rejects garbage" `Quick test_json_parser_rejects_garbage;
+          Alcotest.test_case "prometheus text shape" `Quick test_prometheus_shape;
+        ] );
+      ( "engines",
+        [
+          Alcotest.test_case "uniform names + monotone counters" `Quick
+            test_engine_metrics_uniform_and_monotone;
+          Alcotest.test_case "dt snapshot = raw telemetry" `Quick test_dt_metrics_agree_with_stats;
+        ] );
+    ]

@@ -1,0 +1,96 @@
+(* validate_bench: CI gate over the machine-readable benchmark output.
+
+   Usage: validate_bench BENCH_fig4.json [BENCH_fig6.json ...]
+
+   For every file: parse it with Rts_obs.Json (the same dependency-free
+   parser the repository ships), check the document shape the bench
+   promises (figure, params, runs with engine/total_seconds/trace), and
+   enforce the paper's telemetry claim: whenever a run carries a DT
+   message count, it must not exceed its analytic O(h log tau) budget
+   (the bench emits both, plus a precomputed [dt_budget_ok] verdict that
+   must agree). Exit 0 iff every file passes; problems go to stderr. *)
+
+module Json = Rts_obs.Json
+
+let errors = ref 0
+
+let err fmt = Printf.ksprintf (fun s -> incr errors; Printf.eprintf "validate-bench: %s\n" s) fmt
+
+let mem k j = Json.member k j
+
+let num k j = Option.bind (mem k j) Json.get_num
+
+let str k j = Option.bind (mem k j) Json.get_str
+
+let require_num ~file ~where k j =
+  match num k j with
+  | Some v when Float.is_finite v -> Some v
+  | Some _ -> err "%s: %s: %S is not finite" file where k; None
+  | None -> err "%s: %s: missing number %S" file where k; None
+
+let check_run ~file i run =
+  let where = Printf.sprintf "runs[%d]" i in
+  (match str "engine" run with
+  | Some _ -> ()
+  | None -> err "%s: %s: missing string \"engine\"" file where);
+  ignore (require_num ~file ~where "total_seconds" run);
+  ignore (require_num ~file ~where "per_op_us" run);
+  ignore (require_num ~file ~where "elements" run);
+  (match mem "metrics" run with
+  | Some (Json.Obj _) -> ()
+  | _ -> err "%s: %s: missing \"metrics\" object" file where);
+  (match mem "trace" run with
+  | Some (Json.List pts) ->
+      List.iteri
+        (fun j pt ->
+          let pwhere = Printf.sprintf "%s.trace[%d]" where j in
+          ignore (require_num ~file ~where:pwhere "elements" pt);
+          ignore (require_num ~file ~where:pwhere "avg_us" pt))
+        pts
+  | _ -> err "%s: %s: missing \"trace\" array" file where);
+  (* The paper's budget: if the run reports DT messages, they must fit. *)
+  match (num "dt_messages" run, num "dt_message_budget" run) with
+  | Some messages, Some budget ->
+      if messages > budget then
+        err "%s: %s (%s): dt_messages %.0f exceeds O(h log tau) budget %.0f" file where
+          (Option.value ~default:"?" (str "engine" run))
+          messages budget;
+      (match mem "dt_budget_ok" run with
+      | Some (Json.Bool ok) ->
+          if ok <> (messages <= budget) then
+            err "%s: %s: dt_budget_ok disagrees with the numbers" file where
+      | _ -> err "%s: %s: dt_messages present but dt_budget_ok missing" file where)
+  | Some _, None -> err "%s: %s: dt_messages without dt_message_budget" file where
+  | None, _ -> ()
+
+let check_file file =
+  match In_channel.with_open_text file In_channel.input_all with
+  | exception Sys_error msg -> err "%s" msg
+  | contents -> (
+      match Json.of_string contents with
+      | exception Json.Parse_error msg -> err "%s: malformed JSON: %s" file msg
+      | doc ->
+          (match str "figure" doc with
+          | Some _ -> ()
+          | None -> err "%s: missing string \"figure\"" file);
+          (match mem "params" doc with
+          | Some (Json.Obj _) -> ()
+          | _ -> err "%s: missing \"params\" object" file);
+          (match mem "runs" doc with
+          | Some (Json.List []) -> err "%s: \"runs\" is empty" file
+          | Some (Json.List runs) ->
+              List.iteri (fun i run -> check_run ~file i run) runs;
+              Printf.printf "validate-bench: %s: %d runs ok\n" file (List.length runs)
+          | _ -> err "%s: missing \"runs\" array" file))
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    prerr_endline "usage: validate_bench BENCH_<fig>.json ...";
+    exit 2
+  end;
+  List.iter check_file files;
+  if !errors > 0 then begin
+    Printf.eprintf "validate-bench: %d problem(s)\n" !errors;
+    exit 1
+  end
