@@ -1,9 +1,11 @@
 (* rts-cli: command-line front end for the RTS library.
 
-   Three subcommands compose into a small streaming pipeline:
+   Subcommands compose into a small streaming pipeline:
 
      rts-cli generate --dim 1 --count 100000        # synthetic stream to stdout
      rts-cli run --queries alerts.csv               # stream on stdin, alerts out
+     rts-cli run --queries alerts.csv --wal state/  # same, crash-recoverable
+     rts-cli recover state/                         # inspect/restore after a crash
      rts-cli demo --mode fixed-load --engine dt     # run a paper scenario
 
    File formats (CSV, '#' comments allowed):
@@ -12,11 +14,36 @@
 
 open Rts_core
 open Rts_workload
+open Rts_resilience
 open Cmdliner
 
 (* ---------------- shared helpers ---------------- *)
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Failure s)) fmt
+
+(* Operational errors become one-line stderr messages with distinct exit
+   codes instead of OCaml backtraces; scripts can branch on the code. *)
+let exit_failure = 1
+let exit_parse_error = 2
+let exit_replay_error = 3
+let exit_not_found = 4
+let exit_invalid = 5
+let exit_corrupt = 6
+let exit_io = 7
+
+let protect f =
+  let err code fmt = Printf.ksprintf (fun s -> Printf.eprintf "rts-cli: %s\n%!" s; code) fmt in
+  try f () with
+  | Csv_io.Parse_error msg -> err exit_parse_error "parse error: %s" msg
+  | Replay.Engine_error { op_index; line_no; exn } ->
+      err exit_replay_error "replay failed at op %d (line %d): %s" op_index line_no
+        (Printexc.to_string exn)
+  | Not_found -> err exit_not_found "not found: no alive query with that id"
+  | Invalid_argument msg -> err exit_invalid "invalid argument: %s" msg
+  | Checkpoint.Corrupt msg -> err exit_corrupt "corrupt durable state: %s" msg
+  | Sys_error msg -> err exit_io "%s" msg
+  | Unix.Unix_error (e, fn, arg) -> err exit_io "%s: %s (%s)" fn (Unix.error_message e) arg
+  | Failure msg -> err exit_failure "%s" msg
 
 let engine_conv =
   let parse = function
@@ -80,15 +107,44 @@ let print_stats stats snapshot =
 
 (* ---------------- run ---------------- *)
 
-let run_cmd engine_kind dim closed queries_file quiet stats =
-  let engine = make_engine engine_kind ~dim in
-  let ic = open_in queries_file in
-  let queries =
-    Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Csv_io.read_queries ~dim ~closed ic)
+let run_cmd engine_kind dim closed queries_file quiet stats wal_dir checkpoint_every fsync_every
+    =
+  protect @@ fun () ->
+  let make ~dim = make_engine engine_kind ~dim in
+  (* With --wal, the run is crash-recoverable: recover whatever durable
+     state the directory already holds (fresh directory = fresh engine),
+     then wrap the engine so every op is WAL-logged and periodically
+     checkpointed. *)
+  let engine, handle, resuming =
+    match wal_dir with
+    | None -> (make ~dim, None, false)
+    | Some path ->
+        let dir = Io.fs_dir path in
+        let engine, report = Recovery.recover ~dim ~make ~dir () in
+        if report.Recovery.ops_total > 0 then
+          Format.eprintf "rts-cli: recovered durable state from %s@.%a@." path Recovery.pp_report
+            report;
+        let config = { Durable.default with checkpoint_every; fsync_every } in
+        let wrapped, h = Durable.wrap ~config ~report ~dir engine in
+        (wrapped, Some h, report.Recovery.ops_total > 0)
   in
-  engine.Engine.register_batch queries;
+  (if resuming then
+     (if queries_file <> None then
+        Printf.eprintf "rts-cli: resuming; query file ignored (queries live in the WAL)\n%!")
+   else
+     match queries_file with
+     | None -> fail "missing --queries (required unless resuming from --wal state)"
+     | Some qf ->
+         let ic = open_in qf in
+         let queries =
+           Fun.protect
+             ~finally:(fun () -> close_in ic)
+             (fun () -> Csv_io.read_queries ~dim ~closed ic)
+         in
+         engine.Engine.register_batch queries);
   Printf.eprintf "rts-cli: engine=%s dim=%d queries=%d; reading elements from stdin\n%!"
-    engine.Engine.name dim (List.length queries);
+    engine.Engine.name dim
+    (engine.Engine.alive ());
   let alerts, elements =
     Csv_io.fold_elements ~dim
       (fun ~elt ~line_no (alerts, _) ->
@@ -99,14 +155,30 @@ let run_cmd engine_kind dim closed queries_file quiet stats =
         (alerts + List.length matured, line_no))
       (0, 0) stdin
   in
+  Option.iter Durable.close handle;
   Printf.eprintf "rts-cli: %d elements, %d alerts, %d queries still live\n%!" elements alerts
     (engine.Engine.alive ());
   print_stats stats (engine.Engine.metrics ());
   0
 
+(* ---------------- recover ---------------- *)
+
+let recover_cmd engine_kind dim wal_dir stats =
+  protect @@ fun () ->
+  if not (Sys.file_exists wal_dir) then fail "no such directory: %s" wal_dir;
+  let dir = Io.fs_dir wal_dir in
+  let make ~dim = make_engine engine_kind ~dim in
+  let engine, report = Recovery.recover ~dim ~make ~dir () in
+  Format.printf "%a@." Recovery.pp_report report;
+  Printf.printf "alive queries after recovery: %d\n%!" (engine.Engine.alive ());
+  print_stats stats
+    (Rts_obs.Metrics.merge (engine.Engine.metrics ()) (Recovery.metrics report));
+  0
+
 (* ---------------- generate ---------------- *)
 
 let generate_cmd dim seed count unit_weights =
+  protect @@ fun () ->
   let gen = Generator.create ~dim ~seed ~unit_weights () in
   for _ = 1 to count do
     print_endline (Csv_io.element_to_line (Generator.element gen))
@@ -114,6 +186,7 @@ let generate_cmd dim seed count unit_weights =
   0
 
 let genqueries_cmd dim seed count tau =
+  protect @@ fun () ->
   let gen = Generator.create ~dim ~seed () in
   for id = 0 to count - 1 do
     print_endline (Csv_io.query_to_line (Generator.query gen ~id ~threshold:tau))
@@ -123,6 +196,7 @@ let genqueries_cmd dim seed count tau =
 (* ---------------- record / replay ---------------- *)
 
 let replay_cmd engine_kind dim quiet stats =
+  protect @@ fun () ->
   let engine = make_engine engine_kind ~dim in
   let outcome = Replay.replay ~dim engine stdin in
   if not quiet then
@@ -157,6 +231,7 @@ let scenario_mode mode n p_ins =
   | `Fixed_load -> Scenario.Fixed_load
 
 let record_cmd dim seed m tau n mode p_ins =
+  protect @@ fun () ->
   (* Run a paper scenario against the baseline engine, recording the exact
      op stream to stdout for later replay against any engine. *)
   let cfg =
@@ -179,6 +254,7 @@ let record_cmd dim seed m tau n mode p_ins =
   0
 
 let demo_cmd engine_kind dim seed m tau n mode p_ins stats =
+  protect @@ fun () ->
   let mode = scenario_mode mode n p_ins in
   let cfg =
     {
@@ -208,13 +284,47 @@ let demo_cmd engine_kind dim seed m tau n mode p_ins stats =
 
 let run_term =
   let queries_file =
-    Arg.(required & opt (some file) None & info [ "queries" ] ~docv:"FILE" ~doc:"Query CSV file.")
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "queries" ] ~docv:"FILE"
+          ~doc:"Query CSV file (required unless resuming from --wal state).")
   in
   let closed =
     Arg.(value & flag & info [ "closed" ] ~doc:"Treat query upper bounds as inclusive.")
   in
   let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-alert output.") in
-  Term.(const run_cmd $ engine_arg $ dim_arg $ closed $ queries_file $ quiet $ stats_arg)
+  let wal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "wal" ] ~docv:"DIR"
+          ~doc:
+            "Durability directory: append every op to a checksummed write-ahead log and \
+             checkpoint periodically. If $(docv) already holds state from a crashed run, \
+             recover it and resume.")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int Durable.default.Durable.checkpoint_every
+      & info [ "checkpoint-every" ] ~docv:"N" ~doc:"Ops between checkpoints (with --wal).")
+  in
+  let fsync_every =
+    Arg.(
+      value & opt int Durable.default.Durable.fsync_every
+      & info [ "fsync-every" ] ~docv:"N"
+          ~doc:"WAL records per fsync (with --wal); >1 trades a wider crash window for \
+                throughput.")
+  in
+  Term.(
+    const run_cmd $ engine_arg $ dim_arg $ closed $ queries_file $ quiet $ stats_arg $ wal
+    $ checkpoint_every $ fsync_every)
+
+let recover_term =
+  let wal_dir =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc:"Durability directory.")
+  in
+  Term.(const recover_cmd $ engine_arg $ dim_arg $ wal_dir $ stats_arg)
 
 let generate_term =
   let count =
@@ -265,6 +375,12 @@ let () =
   let cmds =
     [
       Cmd.v (Cmd.info "run" ~doc:"Register queries from a file; stream elements from stdin.") run_term;
+      Cmd.v
+        (Cmd.info "recover"
+           ~doc:
+             "Restore an engine from a --wal directory (newest valid checkpoint + WAL suffix) \
+              and print the recovery report.")
+        recover_term;
       Cmd.v (Cmd.info "generate" ~doc:"Emit a synthetic element stream (paper Section 8).") generate_term;
       Cmd.v (Cmd.info "genqueries" ~doc:"Emit a synthetic query file (paper Section 8).") genqueries_term;
       Cmd.v (Cmd.info "demo" ~doc:"Run a paper scenario end to end and print its trace.") demo_term;

@@ -46,6 +46,9 @@ let progress t id =
 
 let alive_count t = Hashtbl.length t.alive
 
+let alive_snapshot t =
+  Hashtbl.fold (fun _ s acc -> (s.q, s.got) :: acc) t.alive [] |> Engine.sort_snapshot
+
 let metrics t = Engine.Counters.snapshot t.counters ~alive:(alive_count t)
 
 let engine t =
@@ -57,6 +60,7 @@ let engine t =
     terminate = terminate t;
     process = process t;
     alive = (fun () -> alive_count t);
+    alive_snapshot = (fun () -> alive_snapshot t);
     metrics = (fun () -> metrics t);
   }
 

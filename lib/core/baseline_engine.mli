@@ -23,6 +23,10 @@ val progress : t -> int -> int
 
 val alive_count : t -> int
 
+val alive_snapshot : t -> (query * int) list
+(** [(q, W)] per alive query, ascending id — the checkpointable state
+    (see {!Engine.t.alive_snapshot}). *)
+
 val metrics : t -> Engine.Metrics.snapshot
 (** Uniform metric snapshot (see {!Engine.t.metrics}); [scan_updates_total]
     counts per-query probes that hit — the O(nm) term itself. *)

@@ -303,6 +303,7 @@ let engine t =
     terminate = terminate t;
     process = process t;
     alive = (fun () -> alive_count t);
+    alive_snapshot = (fun () -> alive_snapshot t);
     metrics = (fun () -> metrics t);
   }
 

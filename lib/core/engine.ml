@@ -9,10 +9,14 @@ type t = {
   terminate : int -> unit;
   process : elem -> int list;
   alive : unit -> int;
+  alive_snapshot : unit -> (query * int) list;
   metrics : unit -> Metrics.snapshot;
 }
 
 let sort_matured ids = List.sort compare ids
+
+let sort_snapshot entries =
+  List.sort (fun ((a : query), _) ((b : query), _) -> compare a.id b.id) entries
 
 let batch_of_register register queries = List.iter register queries
 

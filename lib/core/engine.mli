@@ -32,6 +32,15 @@ type t = {
           element matured, in ascending id order (deterministic across
           engines so traces can be compared verbatim). *)
   alive : unit -> int;  (** Number of currently alive queries. *)
+  alive_snapshot : unit -> (query * int) list;
+      (** [(q, W)] for every alive query in ascending id order: the query
+          as originally registered and the exact weight it has accumulated
+          since registration. This is the engine's checkpointable state —
+          maturity behaviour is fully determined by it, so registering
+          each [q] with threshold [q.threshold - W] into a fresh engine
+          (what [Rts_resilience.Recovery] does, and what
+          {!Dt_engine.restore} implements natively) continues the run
+          bit-identically. Cost is O(alive); not a hot-path call. *)
   metrics : unit -> Metrics.snapshot;
       (** Uniform observability surface (DESIGN.md, "Observability").
           Every engine answers at least [elements_total],
@@ -50,6 +59,10 @@ val sort_matured : int list -> int list
 
 val batch_of_register : (query -> unit) -> query list -> unit
 (** Default [register_batch]: iterate [register]. *)
+
+val sort_snapshot : (query * int) list -> (query * int) list
+(** Ascending id order — the normalization every [alive_snapshot]
+    implementation applies so snapshots are comparable verbatim. *)
 
 val no_metrics : unit -> Metrics.snapshot
 (** The empty snapshot — for wrapper engines (e.g. recording proxies)

@@ -21,6 +21,9 @@ val progress : t -> int -> int
 
 val alive_count : t -> int
 
+val alive_snapshot : t -> (query * int) list
+(** [(q, W)] per alive query, ascending id (see {!Engine.t.alive_snapshot}). *)
+
 val metrics : t -> Engine.Metrics.snapshot
 (** Uniform metric snapshot; [scan_updates_total] counts stabbed-query
     weight bumps. *)

@@ -54,6 +54,9 @@ let progress t id =
 
 let alive_count t = Hashtbl.length t.index
 
+let alive_snapshot t =
+  Hashtbl.fold (fun _ s acc -> (s.q, s.got) :: acc) t.index [] |> Engine.sort_snapshot
+
 let metrics t = Engine.Counters.snapshot t.counters ~alive:(alive_count t)
 
 let engine t =
@@ -65,6 +68,7 @@ let engine t =
     terminate = terminate t;
     process = process t;
     alive = (fun () -> alive_count t);
+    alive_snapshot = (fun () -> alive_snapshot t);
     metrics = (fun () -> metrics t);
   }
 

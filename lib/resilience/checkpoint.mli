@@ -1,0 +1,63 @@
+(** Atomic, generation-numbered, self-checksummed engine snapshots.
+
+    A checkpoint captures {!Rts_core.Engine.t.alive_snapshot} — every
+    alive query with its exact accumulated weight — together with the
+    position in the op stream it reflects, so {!Recovery} can restore
+    the engine and replay only the WAL suffix past it.
+
+    File format ([checkpoint-<gen>.ckpt], text):
+
+    {v
+    RTSCKPT,1,<gen>,<dim>,<ops>,<elements>,<count>,<crc32-hex8>
+    <consumed>,<id>,<threshold>,<lo1>,<hi1>[,...]
+    ...                                       (count lines)
+    v}
+
+    The CRC covers the header fields themselves (everything before the
+    CRC field, newline-joined with the payload) and every byte after the
+    header line, and [count] pins the number of entries, so truncation,
+    bit rot and short reads — in the metadata as much as the entries —
+    all surface as {!Corrupt}. Publication is atomic ({!Io.dir.write_atomic}:
+    write temp, fsync, rename): a crash mid-checkpoint leaves the
+    previous generation untouched and at worst a stray [*.tmp] that
+    {!prune} sweeps. Generations only ever increase; older ones are kept
+    as fallbacks until pruned. *)
+
+open Rts_core
+
+exception Corrupt of string
+(** The named checkpoint file is missing, truncated, checksum-damaged,
+    or semantically invalid (bad counts, duplicate ids, consumed weight
+    out of range). Recovery treats this as "skip to the next older
+    generation", never as data. *)
+
+type meta = {
+  gen : int;  (** Generation number (monotone per directory). *)
+  dim : int;
+  ops : int;  (** Ops (R/T/E) reflected in this snapshot. *)
+  elements : int;  (** Element ops among them — the maturity-ordinal base. *)
+  count : int;  (** Alive queries recorded. *)
+}
+
+val filename : int -> string
+(** [filename gen] = ["checkpoint-<gen padded to 10>.ckpt"]. *)
+
+val parse_filename : string -> int option
+(** Inverse of {!filename}; [None] for anything else (including temp
+    files), so stray files in the directory are ignored. *)
+
+val write :
+  dir:Io.dir -> gen:int -> dim:int -> ops:int -> elements:int ->
+  (Types.query * int) list -> string
+(** Serialize and atomically publish one generation; returns the file
+    name. Entries are [(q, consumed)] as produced by [alive_snapshot]. *)
+
+val load : dir:Io.dir -> string -> meta * (Types.query * int) list
+(** Read back and fully validate one checkpoint file. Raises {!Corrupt}. *)
+
+val generations : dir:Io.dir -> (int * string) list
+(** All checkpoint generations present, newest first. *)
+
+val prune : dir:Io.dir -> keep:int -> unit
+(** Delete all but the newest [keep] generations (and any leftover
+    [*.tmp] from an interrupted atomic write). [keep >= 1]. *)

@@ -1,0 +1,130 @@
+open Rts_core
+open Rts_workload
+module Metrics = Rts_obs.Metrics
+
+type config = { fsync_every : int; checkpoint_every : int; keep : int }
+
+let default = { fsync_every = 1; checkpoint_every = 1024; keep = 2 }
+
+type handle = {
+  dir : Io.dir;
+  cfg : config;
+  wal : Wal.writer;
+  inner : Engine.t;
+  mutable ops : int;  (** durable-stream op ordinal of the last applied op *)
+  mutable elements : int;
+  mutable last_checkpoint_ops : int;
+  mutable next_gen : int;
+  mutable checkpoints : int;
+}
+
+let count_elements ops =
+  List.fold_left (fun n op -> match op with Replay.Element _ -> n + 1 | _ -> n) 0 ops
+
+let checkpoint_now h =
+  Wal.sync h.wal;
+  ignore
+    (Checkpoint.write ~dir:h.dir ~gen:h.next_gen ~dim:h.inner.Engine.dim ~ops:h.ops
+       ~elements:h.elements
+       (h.inner.Engine.alive_snapshot ()));
+  h.checkpoints <- h.checkpoints + 1;
+  h.next_gen <- h.next_gen + 1;
+  h.last_checkpoint_ops <- h.ops;
+  Checkpoint.prune ~dir:h.dir ~keep:h.cfg.keep
+
+let maybe_checkpoint h =
+  if h.ops - h.last_checkpoint_ops >= h.cfg.checkpoint_every then checkpoint_now h
+
+(* Apply-then-log: the engine validates first, so a rejected op raises
+   before anything reaches the WAL. Crash between apply and append
+   merely shortens the durable prefix by one op — the producer re-feeds
+   it after recovery, which is the same at-least-once window any
+   crash already opens. *)
+let log_no_checkpoint h op =
+  Wal.append h.wal op;
+  h.ops <- h.ops + 1;
+  match op with Replay.Element _ -> h.elements <- h.elements + 1 | _ -> ()
+
+let log h op =
+  log_no_checkpoint h op;
+  maybe_checkpoint h
+
+let durability_metrics h =
+  Metrics.of_assoc
+    [
+      ("wal_records_total", Metrics.Counter (Wal.appended h.wal));
+      ("wal_fsyncs_total", Metrics.Counter (Wal.fsyncs h.wal));
+      ("checkpoints_total", Metrics.Counter h.checkpoints);
+      ("checkpoint_last_gen", Metrics.Gauge (float_of_int (h.next_gen - 1)));
+    ]
+
+let wrap ?(config = default) ?report ~dir (engine : Engine.t) =
+  if config.fsync_every < 1 then invalid_arg "Durable.wrap: fsync_every < 1";
+  if config.checkpoint_every < 1 then invalid_arg "Durable.wrap: checkpoint_every < 1";
+  if config.keep < 1 then invalid_arg "Durable.wrap: keep < 1";
+  let wal =
+    Wal.writer ~fsync_every:config.fsync_every ~dim:engine.Engine.dim ~dir ()
+  in
+  let ops, elements =
+    match report with
+    | Some (r : Recovery.report) -> (r.ops_total, r.elements_total)
+    | None ->
+        let existing = Wal.existing wal in
+        (existing.Wal.records, count_elements existing.Wal.ops)
+  in
+  let next_gen =
+    match Checkpoint.generations ~dir with (g, _) :: _ -> g + 1 | [] -> 0
+  in
+  let h =
+    {
+      dir;
+      cfg = config;
+      wal;
+      inner = engine;
+      ops;
+      elements;
+      last_checkpoint_ops = ops;
+      next_gen;
+      checkpoints = 0;
+    }
+  in
+  let recovery_metrics =
+    match report with Some r -> Recovery.metrics r | None -> Metrics.empty
+  in
+  let wrapped =
+    {
+      engine with
+      Engine.register =
+        (fun q ->
+          engine.Engine.register q;
+          log h (Replay.Register q));
+      register_batch =
+        (fun qs ->
+          engine.Engine.register_batch qs;
+          (* Log the whole batch before considering a checkpoint: a
+             checkpoint taken mid-batch would describe engine state the
+             op count does not cover, and replaying the rest of the
+             batch over it would re-register live ids. *)
+          List.iter (fun q -> log_no_checkpoint h (Replay.Register q)) qs;
+          maybe_checkpoint h);
+      terminate =
+        (fun id ->
+          engine.Engine.terminate id;
+          log h (Replay.Terminate id));
+      process =
+        (fun e ->
+          let matured = engine.Engine.process e in
+          log h (Replay.Element e);
+          matured);
+      metrics =
+        (fun () ->
+          Metrics.merge
+            (Metrics.merge (engine.Engine.metrics ()) (durability_metrics h))
+            recovery_metrics);
+    }
+  in
+  (wrapped, h)
+
+let sync h = Wal.sync h.wal
+
+let close h = Wal.close h.wal

@@ -1,0 +1,59 @@
+(** Make any {!Rts_core.Engine.t} crash-recoverable.
+
+    [wrap ~dir engine] returns an engine with identical maturity
+    behaviour that additionally:
+
+    - appends every op (REGISTER / TERMINATE / element) to the
+      checksummed {!Wal} in [dir] — {e after} applying it, so an op the
+      engine rejects (duplicate id, bad query) never pollutes the log
+      and can never poison a future recovery;
+    - every [checkpoint_every] ops, fsyncs the WAL and atomically
+      publishes a {!Checkpoint} generation built from the engine's
+      [alive_snapshot], then prunes generations beyond [keep];
+    - folds the durability counters ([wal_records_total],
+      [wal_fsyncs_total], [checkpoints_total]) — and, when a
+      {!Recovery.report} is supplied, the [recovery_*] metrics — into
+      the engine's [metrics] snapshot.
+
+    Crash contract: if the process dies at any moment, [Recovery.recover
+    ~dir] yields an engine equal to this one as of some durable prefix
+    of the applied ops (all synced ops; never more than applied), and
+    its report names that position so the producer resumes exactly
+    there. The fault-injection suite asserts the resulting maturity log
+    is bit-identical to an uninterrupted run for {e every} crash point.
+
+    Restarting over a non-empty [dir]: recover first and wrap the
+    recovered engine ([wrap ~report]) — wrapping a {e fresh} engine over
+    an old WAL would diverge from the log. The WAL writer continues
+    after the intact prefix (amputating any torn tail); checkpoint
+    generations continue above the highest present. *)
+
+open Rts_core
+
+type config = {
+  fsync_every : int;  (** WAL fsync batching (default 1 — every op). *)
+  checkpoint_every : int;  (** Ops between checkpoints (default 1024). *)
+  keep : int;  (** Checkpoint generations retained (default 2). *)
+}
+
+val default : config
+
+type handle
+(** Owner's control surface for the wrapped engine's durability state. *)
+
+val wrap :
+  ?config:config -> ?report:Recovery.report -> dir:Io.dir -> Engine.t -> Engine.t * handle
+(** See module doc. [report] (from the {!Recovery.recover} that produced
+    [engine]) both positions the op/element ordinals and seeds the
+    [recovery_*] metrics. Raises [Invalid_argument] on a nonsensical
+    config. *)
+
+val sync : handle -> unit
+(** Force the WAL durable now, regardless of batching. *)
+
+val checkpoint_now : handle -> unit
+(** Publish a checkpoint immediately (also syncs the WAL first). *)
+
+val close : handle -> unit
+(** Sync and release the WAL file handle. Further ops on the wrapped
+    engine raise [Invalid_argument]. *)

@@ -1,0 +1,66 @@
+(** Deterministic, PRNG-seeded fault injection at the {!Io} seam.
+
+    {!wrap} interposes on a {!Io.dir} and models the failure physics a
+    durability layer must survive:
+
+    - {b crash-at-op-k}: the [crash_at_append]-th append call raises
+      {!Crash}; every later operation through the wrapper also raises —
+      the process is "dead". What survives on the underlying dir is
+      exactly what a kernel would have persisted;
+    - {b lost unsynced tail}: appended-but-unsynced bytes are held in a
+      pending buffer and only reach the underlying dir on [sync]. At
+      crash time a {!Rts_util.Prng}-chosen {e prefix} of the pending
+      bytes (plus, with [torn], a prefix of the in-flight record)
+      survives — so the WAL tail can end mid-record;
+    - {b bit flips}: with [bit_flip], one PRNG-chosen bit of the
+      surviving unsynced tail is inverted — a {e corrupt} (not merely
+      truncated) tail;
+    - {b crash-at-checkpoint}: the [crash_at_atomic]-th
+      [write_atomic] call crashes either just before or just after the
+      rename (PRNG coin) — the checkpoint either never existed or fully
+      landed, never half of it.
+
+    Everything is driven by the caller's [Prng.t], so a failing
+    crash/recovery case replays exactly from its seed.
+
+    Helpers {!flip_random_bit} and {!truncate_random} damage files at
+    rest (media corruption, short reads) to exercise checksum
+    validation and generation fallback. *)
+
+exception Crash of string
+(** The simulated machine died. Test harnesses catch this, then run
+    {!Recovery.recover} against the underlying (surviving) dir. *)
+
+type plan = {
+  crash_at_append : int;
+      (** 1-based count of {!Io.file.append} calls (across all files
+          opened through the wrapper) at which to crash; the WAL issues
+          one append per record, so this is crash-at-op-k. [max_int]
+          (see {!no_crash}) never fires. *)
+  torn : bool;
+      (** Allow a prefix of the in-flight record to survive the crash. *)
+  bit_flip : bool;
+      (** Corrupt one bit of the surviving unsynced tail (if any). *)
+  crash_at_atomic : int option;
+      (** 1-based count of [write_atomic] calls at which to crash
+          (before or after publication, PRNG coin). *)
+}
+
+val no_crash : plan
+(** [{ crash_at_append = max_int; torn = false; bit_flip = false;
+      crash_at_atomic = None }] — a transparent wrapper. *)
+
+val wrap : rng:Rts_util.Prng.t -> plan -> Io.dir -> Io.dir
+(** Interpose the fault model on [dir]. The wrapper is single-use: once
+    crashed it stays crashed. *)
+
+val crashed : Io.dir -> bool
+(** Whether a {!wrap}ped dir has crashed ([false] for foreign dirs). *)
+
+val flip_random_bit : rng:Rts_util.Prng.t -> Io.dir -> string -> bool
+(** Invert one random bit of an existing file (media corruption).
+    [false] if the file is missing or empty. *)
+
+val truncate_random : rng:Rts_util.Prng.t -> Io.dir -> string -> bool
+(** Keep only a random proper prefix of an existing file (short read /
+    lost pages). [false] if missing or empty. *)

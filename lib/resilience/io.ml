@@ -1,0 +1,131 @@
+type file = {
+  append : string -> unit;
+  sync : unit -> unit;
+  close : unit -> unit;
+}
+
+type dir = {
+  open_append : string -> file;
+  read_file : string -> string option;
+  write_atomic : string -> string -> unit;
+  list_files : unit -> string list;
+  remove_file : string -> unit;
+  truncate_file : string -> int -> unit;
+}
+
+(* ---------------- filesystem backend ---------------- *)
+
+let check_name name =
+  if name = "" || String.contains name '/' then
+    invalid_arg (Printf.sprintf "Io: bad file name %S (must be a simple name)" name)
+
+let rec mkdir_p path =
+  if path <> "" && path <> "/" && path <> "." && not (Sys.file_exists path) then begin
+    mkdir_p (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write_all fd s =
+  let n = String.length s in
+  let pos = ref 0 in
+  while !pos < n do
+    pos := !pos + Unix.write_substring fd s !pos (n - !pos)
+  done
+
+(* Best effort: persist the rename itself. Not all platforms allow
+   fsync on a directory fd; failure to do so only widens the crash
+   window, it never corrupts state, so errors are swallowed. *)
+let fsync_dir path =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+
+let fs_dir root =
+  mkdir_p root;
+  let path name =
+    check_name name;
+    Filename.concat root name
+  in
+  let open_append name =
+    let fd = Unix.openfile (path name) [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+    {
+      append = (fun s -> write_all fd s);
+      sync = (fun () -> Unix.fsync fd);
+      close = (fun () -> Unix.close fd);
+    }
+  in
+  let read_file name =
+    let p = path name in
+    if not (Sys.file_exists p) then None
+    else begin
+      let ic = open_in_bin p in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Some (really_input_string ic (in_channel_length ic)))
+    end
+  in
+  let write_atomic name contents =
+    let tmp = path (name ^ ".tmp") in
+    let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        write_all fd contents;
+        Unix.fsync fd);
+    Sys.rename tmp (path name);
+    fsync_dir root
+  in
+  let list_files () =
+    Sys.readdir root |> Array.to_list
+    |> List.filter (fun n -> not (Sys.is_directory (Filename.concat root n)))
+  in
+  let remove_file name =
+    let p = path name in
+    if Sys.file_exists p then Sys.remove p
+  in
+  let truncate_file name len =
+    let p = path name in
+    if Sys.file_exists p then Unix.truncate p len
+  in
+  { open_append; read_file; write_atomic; list_files; remove_file; truncate_file }
+
+(* ---------------- in-memory backend ---------------- *)
+
+let mem_dir () =
+  let store : (string, Buffer.t) Hashtbl.t = Hashtbl.create 8 in
+  let buffer name =
+    check_name name;
+    match Hashtbl.find_opt store name with
+    | Some b -> b
+    | None ->
+        let b = Buffer.create 256 in
+        Hashtbl.replace store name b;
+        b
+  in
+  let open_append name =
+    let b = buffer name in
+    { append = (fun s -> Buffer.add_string b s); sync = (fun () -> ()); close = (fun () -> ()) }
+  in
+  let read_file name =
+    check_name name;
+    Option.map Buffer.contents (Hashtbl.find_opt store name)
+  in
+  let write_atomic name contents =
+    let b = buffer name in
+    Buffer.clear b;
+    Buffer.add_string b contents
+  in
+  let list_files () = Hashtbl.fold (fun name _ acc -> name :: acc) store [] in
+  let remove_file name =
+    check_name name;
+    Hashtbl.remove store name
+  in
+  let truncate_file name len =
+    check_name name;
+    match Hashtbl.find_opt store name with
+    | Some b when len < Buffer.length b -> Buffer.truncate b (max 0 len)
+    | _ -> ()
+  in
+  { open_append; read_file; write_atomic; list_files; remove_file; truncate_file }

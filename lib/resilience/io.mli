@@ -1,0 +1,53 @@
+(** Storage abstraction under the durability layer.
+
+    {!Wal}, {!Checkpoint} and {!Recovery} never touch the filesystem
+    directly — they speak to a {!dir}, a record of closures over a flat
+    namespace of files. Two implementations ship:
+
+    - {!fs_dir}: a real directory (POSIX, [Unix.fsync]-backed, atomic
+      temp-then-rename publication);
+    - {!mem_dir}: an in-process store with identical semantics, used by
+      the test suite so thousands of crash/recovery cycles run without
+      disk traffic.
+
+    The indirection is also the fault-injection seam: {!Fault.wrap}
+    interposes on a [dir] to model crashes, torn writes and bit flips
+    deterministically — same injector over both backends. *)
+
+type file = {
+  append : string -> unit;  (** Append bytes at the end of the file. *)
+  sync : unit -> unit;  (** Make all appended bytes durable ([fsync]). *)
+  close : unit -> unit;
+}
+(** An append-only handle. Appended data is only guaranteed durable
+    after [sync] returns — the contract the WAL's fsync batching and the
+    fault injector's lost-tail model are built on. *)
+
+type dir = {
+  open_append : string -> file;
+      (** Open (creating if absent) a file for appending. *)
+  read_file : string -> string option;
+      (** Whole contents, [None] if the file does not exist. *)
+  write_atomic : string -> string -> unit;
+      (** Publish a complete file atomically: readers (and crash
+          recovery) see either the previous version, nothing, or the
+          full new contents — never a prefix. Implemented as
+          write-temp, fsync, rename. *)
+  list_files : unit -> string list;
+      (** Plain files in the directory, unordered. *)
+  remove_file : string -> unit;  (** No-op if absent. *)
+  truncate_file : string -> int -> unit;
+      (** [truncate_file name len] drops everything past byte [len] —
+          how a WAL writer amputates a torn tail before appending. *)
+}
+
+val fs_dir : string -> dir
+(** [fs_dir path] roots a [dir] at [path], creating the directory (and
+    parents) if needed. File names must be simple names (no ['/']);
+    [Invalid_argument] otherwise. I/O failures raise [Sys_error] or
+    [Unix.Unix_error]. *)
+
+val mem_dir : unit -> dir
+(** A fresh, empty in-memory store. [sync] is a no-op (everything
+    "durable" immediately); pair with {!Fault.wrap} to model the gap
+    between appended and durable. *)

@@ -1,0 +1,119 @@
+module Crc32 = Rts_util.Crc32
+open Rts_workload
+
+let default_file = "wal.log"
+
+(* A single frame is at most a few hundred bytes (one op line); cap the
+   length field so a corrupt header cannot make the scanner treat the
+   rest of the file as one giant pending record. *)
+let max_payload = 1_000_000
+
+let frame op =
+  let payload = Replay.op_to_line op in
+  Printf.sprintf "%d,%s,%s\n" (String.length payload) (Crc32.to_hex (Crc32.string payload)) payload
+
+type scanned = {
+  ops : Replay.op list;
+  records : int;
+  valid_bytes : int;
+  bytes_discarded : int;
+}
+
+let is_digit = function '0' .. '9' -> true | _ -> false
+
+(* Parse one record starting at [pos]; [Some (op, next_pos)] or [None]
+   if the bytes from [pos] are not an intact record. *)
+let parse_record ~dim ~record_no data pos =
+  let n = String.length data in
+  match String.index_from_opt data pos ',' with
+  | None -> None
+  | Some c1 ->
+      let len_digits = c1 - pos in
+      if len_digits < 1 || len_digits > 7 then None
+      else if not (String.for_all is_digit (String.sub data pos len_digits)) then None
+      else
+        let len = int_of_string (String.sub data pos len_digits) in
+        if len > max_payload then None
+        else
+          let crc_end = c1 + 9 in
+          if crc_end >= n || data.[crc_end] <> ',' then None
+          else
+            match Crc32.of_hex (String.sub data (c1 + 1) 8) with
+            | None -> None
+            | Some crc ->
+                let pstart = crc_end + 1 in
+                (* payload plus its '\n' terminator must fit *)
+                if pstart + len >= n then None
+                else if data.[pstart + len] <> '\n' then None
+                else
+                  let payload = String.sub data pstart len in
+                  if Crc32.string payload <> crc then None
+                  else (
+                    match Replay.parse_op ~dim ~line_no:record_no payload with
+                    | op -> Some (op, pstart + len + 1)
+                    | exception Csv_io.Parse_error _ -> None)
+
+let scan_string ~dim data =
+  let n = String.length data in
+  let ops = ref [] and records = ref 0 in
+  let pos = ref 0 and stop = ref false in
+  while (not !stop) && !pos < n do
+    match parse_record ~dim ~record_no:(!records + 1) data !pos with
+    | Some (op, next) ->
+        ops := op :: !ops;
+        incr records;
+        pos := next
+    | None -> stop := true
+  done;
+  { ops = List.rev !ops; records = !records; valid_bytes = !pos; bytes_discarded = n - !pos }
+
+let scan ~dim ~dir ?(file = default_file) () =
+  match dir.Io.read_file file with
+  | None -> { ops = []; records = 0; valid_bytes = 0; bytes_discarded = 0 }
+  | Some data -> scan_string ~dim data
+
+type writer = {
+  file : Io.file;
+  existing : scanned;
+  fsync_every : int;
+  mutable appended : int;
+  mutable since_sync : int;
+  mutable fsyncs : int;
+  mutable closed : bool;
+}
+
+let writer ?(fsync_every = 1) ?(file = default_file) ~dim ~dir () =
+  if fsync_every < 1 then invalid_arg "Wal.writer: fsync_every < 1";
+  let existing = scan ~dim ~dir ~file () in
+  (* Amputate a torn tail before appending: a record appended after
+     garbage would be unreachable to the scanner forever. *)
+  if existing.bytes_discarded > 0 then dir.Io.truncate_file file existing.valid_bytes;
+  let file = dir.Io.open_append file in
+  { file; existing; fsync_every; appended = 0; since_sync = 0; fsyncs = 0; closed = false }
+
+let existing w = w.existing
+
+let sync w =
+  if w.since_sync > 0 then begin
+    w.file.Io.sync ();
+    w.fsyncs <- w.fsyncs + 1;
+    w.since_sync <- 0
+  end
+
+let append w op =
+  if w.closed then invalid_arg "Wal.append: writer is closed";
+  w.file.Io.append (frame op);
+  w.appended <- w.appended + 1;
+  w.since_sync <- w.since_sync + 1;
+  if w.since_sync >= w.fsync_every then sync w
+
+let close w =
+  if not w.closed then begin
+    sync w;
+    w.closed <- true;
+    w.file.Io.close ()
+  end
+
+let records w = w.existing.records + w.appended
+let appended w = w.appended
+let fsyncs w = w.fsyncs

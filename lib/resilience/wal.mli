@@ -1,0 +1,79 @@
+(** Checksummed, append-only write-ahead log of engine operations.
+
+    Record framing (one record per applied op, text so a trace stays
+    [grep]-able):
+
+    {v
+    <len>,<crc32-hex8>,<payload>\n
+    v}
+
+    where [payload] is {!Rts_workload.Replay.op_to_line} (R/T/E lines),
+    [len] its byte length, and the CRC-32 covers the payload. The frame
+    makes the log self-validating: {!scan_string} accepts the longest
+    prefix of intact records and reports everything after the first
+    violation — bad length, bad checksum, missing terminator, truncated
+    payload, unparsable op — as a {e torn tail}. A torn or corrupt final
+    record is therefore dropped, not fatal: exactly the state a crash
+    mid-append (or a lost unsynced page) leaves behind. Because every
+    record is covered by its own CRC, a bit flip cannot turn one valid
+    record into a different valid one — corruption only ever shortens
+    the trusted prefix, never rewrites history.
+
+    Durability: {!append} buffers in the OS via {!Io.file.append};
+    records become crash-proof when the writer fsyncs — every
+    [fsync_every] records, or explicitly via {!sync} (the {!Durable}
+    wrapper syncs before each checkpoint so the checkpoint never claims
+    ops the log could lose). *)
+
+open Rts_workload
+
+val default_file : string
+(** ["wal.log"]. *)
+
+val frame : Replay.op -> string
+(** One framed record including the trailing newline. *)
+
+type scanned = {
+  ops : Replay.op list;  (** The intact prefix, in append order. *)
+  records : int;  (** [List.length ops]. *)
+  valid_bytes : int;  (** Byte length of the intact prefix. *)
+  bytes_discarded : int;  (** Torn-tail bytes after the intact prefix. *)
+}
+
+val scan_string : dim:int -> string -> scanned
+(** Parse a raw log image. Total: never raises on any input. *)
+
+val scan : dim:int -> dir:Io.dir -> ?file:string -> unit -> scanned
+(** {!scan_string} over [file] (default {!default_file}) in [dir]; an
+    absent file is an empty log. *)
+
+type writer
+
+val writer : ?fsync_every:int -> ?file:string -> dim:int -> dir:Io.dir -> unit -> writer
+(** Open (or create) the log for appending. An existing file is scanned
+    first and any torn tail is truncated away, so new records always
+    extend the intact prefix — appending after garbage would otherwise
+    hide them from every future {!scan}. [fsync_every] (default 1: sync
+    every record, the safe end of the spectrum) batches fsyncs for
+    throughput at the price of a wider lost-suffix window on crash. *)
+
+val existing : writer -> scanned
+(** What the opening scan found (before any {!append} by this writer). *)
+
+val append : writer -> Replay.op -> unit
+(** Frame and append one record; fsyncs if the batch is due. *)
+
+val sync : writer -> unit
+(** Force outstanding records durable now. No-op if none are pending. *)
+
+val close : writer -> unit
+(** {!sync}, then release the handle. *)
+
+val records : writer -> int
+(** Total valid records in the log: pre-existing plus appended. *)
+
+val appended : writer -> int
+(** Records appended through this writer. *)
+
+val fsyncs : writer -> int
+(** Fsyncs issued by this writer (feeds [wal_fsyncs_total]). *)

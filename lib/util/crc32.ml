@@ -1,0 +1,41 @@
+type t = int32
+
+(* Reflected table for polynomial 0xEDB88320 (the bit-reversed IEEE
+   802.3 polynomial) — the same table zlib builds in crc32.c. *)
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           c :=
+             if Int32.logand !c 1l <> 0l then
+               Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+             else Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let substring ?(crc = 0l) s ~pos ~len =
+  if pos < 0 || len < 0 || pos > String.length s - len then
+    invalid_arg "Crc32.substring: out of bounds";
+  let table = Lazy.force table in
+  (* Standard incremental form: pre- and post-condition the register with
+     a bitwise complement so that chunked and one-shot checksums agree. *)
+  let c = ref (Int32.lognot crc) in
+  for i = pos to pos + len - 1 do
+    let idx = Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code s.[i]))) 0xffl) in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.lognot !c
+
+let string ?crc s = substring ?crc s ~pos:0 ~len:(String.length s)
+
+let to_hex c = Printf.sprintf "%08lx" c
+
+let is_hex_digit = function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false
+
+let of_hex s =
+  if String.length s <> 8 || not (String.for_all is_hex_digit s) then None
+  else
+    (* 8 hex digits always fit the unsigned int32 range; go through int64
+       to avoid the signed int32 literal overflow on values >= 0x80000000. *)
+    Some (Int64.to_int32 (Int64.of_string ("0x" ^ s)))

@@ -6,7 +6,13 @@
     (or [+inf]).
 
     - query line:   [id,threshold,lo1,hi1[,lo2,hi2,...]]
-    - element line: [v1[,v2,...][,weight]]   (weight defaults to 1) *)
+    - element line: [v1[,v2,...][,weight]]   (weight defaults to 1)
+
+    Robustness: every field is trimmed of surrounding whitespace, so
+    CRLF line endings (files produced on Windows and read through
+    [input_line], which strips only the ['\n']) and trailing whitespace
+    parse identically to clean Unix input — asserted by regression tests
+    with ["\r\n"] fixtures. *)
 
 open Rts_core
 

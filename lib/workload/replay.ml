@@ -13,6 +13,12 @@ let op_to_line = function
 let fail fmt = Printf.ksprintf (fun s -> raise (Csv_io.Parse_error s)) fmt
 
 let parse_op ~dim ~line_no line =
+  (* Tolerate foreign line endings and stray whitespace: a trace recorded
+     on Windows arrives here with a trailing '\r' (input_line only strips
+     the '\n'), and hand-edited traces often carry indentation. The field
+     parsers already trim per-field; the op tag check must see a trimmed
+     line too. *)
+  let line = String.trim line in
   match String.index_opt line ',' with
   | Some i when i = 1 -> (
       let rest = String.sub line 2 (String.length line - 2) in
@@ -57,6 +63,26 @@ type outcome = {
   maturities : (int * int) list;
 }
 
+exception Engine_error of { op_index : int; line_no : int; exn : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Engine_error { op_index; line_no; exn } ->
+        Some
+          (Printf.sprintf "replay failed at op %d (line %d): %s" op_index line_no
+             (Printexc.to_string exn))
+    | _ -> None)
+
+(* Engine errors surfacing mid-replay (duplicate id, Not_found terminate,
+   invalid query...) are wrapped with their position: a recovery report —
+   or a human staring at a 10M-line trace — needs the op ordinal, not a
+   bare [Not_found]. Parse errors already carry their line and pass
+   through untouched. *)
+let wrap_engine_errors ~op_index ~line_no f =
+  try f () with
+  | (Csv_io.Parse_error _ | Engine_error _) as e -> raise e
+  | exn -> raise (Engine_error { op_index; line_no; exn })
+
 let apply (engine : Engine.t) (elements, registered, terminated, maturities) op =
   match op with
   | Register q ->
@@ -79,14 +105,28 @@ let finish (elements, registered, terminated, maturities) =
 let replay ~dim engine ic =
   let state = ref (0, 0, 0, []) in
   let line_no = ref 0 in
+  let op_index = ref 0 in
   (try
      while true do
        let line = input_line ic in
        incr line_no;
-       if not (Csv_io.is_skippable line) then
-         state := apply engine !state (parse_op ~dim ~line_no:!line_no line)
+       if not (Csv_io.is_skippable line) then begin
+         let op = parse_op ~dim ~line_no:!line_no line in
+         incr op_index;
+         state :=
+           wrap_engine_errors ~op_index:!op_index ~line_no:!line_no (fun () ->
+               apply engine !state op)
+       end
      done
    with End_of_file -> ());
   finish !state
 
-let replay_ops engine ops = finish (List.fold_left (apply engine) (0, 0, 0, []) ops)
+let replay_ops engine ops =
+  let state = ref (0, 0, 0, []) in
+  List.iteri
+    (fun i op ->
+      let op_index = i + 1 in
+      state :=
+        wrap_engine_errors ~op_index ~line_no:op_index (fun () -> apply engine !state op))
+    ops;
+  finish !state

@@ -25,7 +25,17 @@ type op =
 val op_to_line : op -> string
 
 val parse_op : dim:int -> line_no:int -> string -> op
-(** Raises {!Csv_io.Parse_error} on malformed input. *)
+(** Raises {!Csv_io.Parse_error} on malformed input. Surrounding
+    whitespace — including the trailing ['\r'] of a CRLF-terminated
+    trace — is ignored. *)
+
+exception Engine_error of { op_index : int; line_no : int; exn : exn }
+(** An engine error (duplicate id, [Not_found] terminate, ...) that
+    surfaced while applying op number [op_index] (1-based, counting all
+    ops) read from line [line_no]. Raised by {!replay} and
+    {!replay_ops} ([line_no = op_index] there) instead of the bare
+    [exn], so recovery reports and operators get the position. A
+    printer is registered with [Printexc]. *)
 
 val recording : sink:(op -> unit) -> Engine.t -> Engine.t
 (** [recording ~sink engine] behaves exactly like [engine] but reports
@@ -46,7 +56,9 @@ type outcome = {
 
 val replay : dim:int -> Engine.t -> in_channel -> outcome
 (** Feed a recorded trace to an engine. Raises {!Csv_io.Parse_error} on
-    malformed input; engine errors (duplicate ids etc.) propagate. *)
+    malformed input; engine errors (duplicate ids etc.) are re-raised as
+    {!Engine_error} carrying the op ordinal and line number. *)
 
 val replay_ops : Engine.t -> op list -> outcome
-(** In-memory variant of {!replay}. *)
+(** In-memory variant of {!replay}; {!Engine_error.line_no} equals the
+    op index. *)

@@ -211,6 +211,33 @@ let test_fold_elements () =
   in
   Alcotest.(check int) "weights summed" 6 total
 
+let test_crlf_files () =
+  (* Traces exported from Windows tooling arrive CRLF-terminated; every
+     reader must treat the trailing '\r' (and stray indentation) as
+     whitespace, not data. *)
+  let sheet = "# alert sheet\r\n1,100,0,10\r\n\r\n  2,200,5,15  \r\n# comment\r\n" in
+  let queries =
+    with_string_channel sheet (fun ic -> Csv_io.read_queries ~dim:1 ~closed:false ic)
+  in
+  Alcotest.(check (list int)) "CRLF query sheet parses" [ 1; 2 ]
+    (List.map (fun (q : Types.query) -> q.id) queries);
+  Alcotest.(check (list int)) "bounds unaffected by CR" [ 10; 15 ]
+    (List.map (fun (q : Types.query) -> int_of_float q.rect.Types.hi.(0)) queries);
+  let stream = "1.0,3\r\n# skip\r\n2.0\r\n3.0,2\r\n" in
+  let total =
+    with_string_channel stream (fun ic ->
+        Csv_io.fold_elements ~dim:1 (fun ~elt ~line_no:_ acc -> acc + elt.Types.weight) 0 ic)
+  in
+  Alcotest.(check int) "CRLF element stream parses" 6 total
+
+let test_crlf_lines () =
+  let q = Csv_io.parse_query ~dim:1 ~closed:false ~line_no:1 "7,50,0,10\r" in
+  Alcotest.(check int) "query line with trailing CR" 7 q.Types.id;
+  let e = Csv_io.parse_element ~dim:2 ~line_no:1 "  1.5,2.5,4\r" in
+  Alcotest.(check int) "element line with CR + indent" 4 e.Types.weight;
+  Alcotest.(check bool) "CR-only line is skippable" true (Csv_io.is_skippable "\r");
+  Alcotest.(check bool) "comment with CR is skippable" true (Csv_io.is_skippable "# x\r")
+
 let test_generator_roundtrip_stream () =
   (* Stream generated by Generator must parse back identically. *)
   let gen = Generator.create ~dim:2 ~seed:5 () in
@@ -242,6 +269,8 @@ let () =
           Alcotest.test_case "full-precision roundtrip" `Quick test_full_precision_roundtrip;
           Alcotest.test_case "read_queries" `Quick test_read_queries;
           Alcotest.test_case "fold_elements" `Quick test_fold_elements;
+          Alcotest.test_case "CRLF files parse" `Quick test_crlf_files;
+          Alcotest.test_case "CRLF lines parse" `Quick test_crlf_lines;
           Alcotest.test_case "generator stream roundtrip" `Quick test_generator_roundtrip_stream;
         ] );
       ( "property",

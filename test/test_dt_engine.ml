@@ -289,6 +289,37 @@ let prop_dynamic_churn =
       done;
       !ok)
 
+let prop_restore_continuation =
+  (* The checkpointing contract the durability layer builds on: cut a
+     random churn run at a random point, restore [alive_snapshot] into a
+     fresh engine (lazy or eager), and the continuation is bit-identical
+     element by element. *)
+  QCheck.Test.make ~count:60 ~name:"restore (alive_snapshot t) continues bit-identically"
+    QCheck.(triple small_int (int_range 20 300) bool)
+    (fun (seed, steps, eager) ->
+      let rng = Prng.create ~seed in
+      let t = Dt_engine.create ~dim:1 () in
+      let next = ref 0 in
+      let step () =
+        if Prng.bernoulli rng 0.3 || !next = 0 then begin
+          let a = float_of_int (Prng.int rng 20) in
+          Dt_engine.register t
+            (q ~id:!next ~threshold:(1 + Prng.int rng 50)
+               (a, a +. 1. +. float_of_int (Prng.int rng 10)));
+          incr next
+        end;
+        ignore (Dt_engine.process t (elem1 (float_of_int (Prng.int rng 25)) (1 + Prng.int rng 6)))
+      in
+      let cut = Prng.int rng steps in
+      for _ = 1 to cut do step () done;
+      let t' = Dt_engine.restore ~eager ~dim:1 (Dt_engine.alive_snapshot t) in
+      let ok = ref (Dt_engine.alive_count t = Dt_engine.alive_count t') in
+      for _ = cut + 1 to steps do
+        let e = elem1 (float_of_int (Prng.int rng 25)) (1 + Prng.int rng 6) in
+        if Dt_engine.process t e <> Dt_engine.process t' e then ok := false
+      done;
+      !ok)
+
 let () =
   Alcotest.run "dt_engine"
     [
@@ -312,5 +343,9 @@ let () =
           Alcotest.test_case "restore validation" `Quick test_restore_validation;
           Alcotest.test_case "restore edge cases" `Quick test_restore_edge_cases;
         ] );
-      ("property", [ QCheck_alcotest.to_alcotest prop_dynamic_churn ]);
+      ( "property",
+        [
+          QCheck_alcotest.to_alcotest prop_dynamic_churn;
+          QCheck_alcotest.to_alcotest prop_restore_continuation;
+        ] );
     ]

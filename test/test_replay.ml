@@ -70,6 +70,50 @@ let test_replay_ops_outcome () =
   Alcotest.(check int) "terminated" 1 o.Replay.terminated;
   Alcotest.(check (list (pair int int))) "maturity log" [ (3, 1) ] o.Replay.maturities
 
+let test_parse_op_tolerates_whitespace () =
+  (* Trailing '\r' (CRLF traces) and stray indentation are whitespace,
+     not data — regression for the durability layer, whose WAL payloads
+     must parse back regardless of how the trace was transported. *)
+  List.iter
+    (fun (label, line, expected) ->
+      Alcotest.(check bool) label true (Replay.parse_op ~dim:1 ~line_no:1 line = expected))
+    [
+      ("trailing CR", "T,42\r", Replay.Terminate 42);
+      ("surrounding spaces", "  R,1,5,0,10  ", Replay.Register (q ~id:1 ~threshold:5 (0., 10.)));
+      ("tab indent + CR", "\tE,7.25,9\r", Replay.Element { Types.value = [| 7.25 |]; weight = 9 });
+    ]
+
+let test_engine_errors_carry_position () =
+  (* Engine rejections surface as Engine_error with the op ordinal, not
+     as the bare exception — recovery reports depend on the position. *)
+  let ops =
+    [
+      Replay.Register (q ~id:1 ~threshold:3 (0., 10.));
+      Replay.Element { Types.value = [| 5. |]; weight = 1 };
+      Replay.Terminate 99 (* never registered *);
+    ]
+  in
+  (match Replay.replay_ops (Baseline_engine.make ~dim:1) ops with
+  | exception Replay.Engine_error { op_index; line_no; exn } ->
+      Alcotest.(check int) "op index" 3 op_index;
+      Alcotest.(check int) "line_no = op index for replay_ops" 3 line_no;
+      Alcotest.(check bool) "inner exn preserved" true (exn = Not_found)
+  | _ -> Alcotest.fail "terminate of unknown id should raise Engine_error");
+  let dup =
+    [
+      Replay.Register (q ~id:1 ~threshold:3 (0., 10.));
+      Replay.Register (q ~id:1 ~threshold:3 (0., 10.));
+    ]
+  in
+  (match Replay.replay_ops (Dt_engine.make ~dim:1) dup with
+  | exception Replay.Engine_error { op_index = 2; exn = Invalid_argument _; _ } -> ()
+  | exception e -> Alcotest.fail ("wrong exception: " ^ Printexc.to_string e)
+  | _ -> Alcotest.fail "duplicate register should raise Engine_error");
+  (* parse errors must NOT be wrapped — they already carry a line number *)
+  match Replay.parse_op ~dim:1 ~line_no:3 "X,junk" with
+  | exception Csv_io.Parse_error _ -> ()
+  | _ -> Alcotest.fail "junk should be a Parse_error"
+
 (* Building valid terminate ops requires knowing maturities; simplest is to
    record from a live engine. *)
 let recorded_trace seed steps =
@@ -135,6 +179,10 @@ let () =
         [
           Alcotest.test_case "op line roundtrip" `Quick test_op_line_roundtrip;
           Alcotest.test_case "parse errors" `Quick test_parse_errors;
+          Alcotest.test_case "whitespace and CRLF tolerated" `Quick
+            test_parse_op_tolerates_whitespace;
+          Alcotest.test_case "engine errors carry position" `Quick
+            test_engine_errors_carry_position;
           Alcotest.test_case "recording wrapper" `Quick test_recording_wrapper;
           Alcotest.test_case "replay_ops outcome" `Quick test_replay_ops_outcome;
           Alcotest.test_case "recorded trace replays identically" `Quick

@@ -1,0 +1,632 @@
+(* Resilience layer: CRC-32 vectors, WAL torn-tail semantics, atomic
+   checkpoint validation, recovery positioning — and the crash-equivalence
+   property at the heart of the PR: for EVERY crash point (including torn
+   writes, bit-flipped tails, crashes mid-checkpoint, and a corrupted
+   newest checkpoint at rest), recovery plus continuation reproduces the
+   uninterrupted run's maturity log bit for bit. *)
+
+open Rts_core
+open Rts_workload
+open Rts_resilience
+module Prng = Rts_util.Prng
+module Crc32 = Rts_util.Crc32
+module Metrics = Rts_obs.Metrics
+
+let q ~id ~threshold (lo, hi) = { Types.id; rect = Types.interval lo hi; threshold }
+let e v w = { Types.value = [| v |]; weight = w }
+
+let rec drop n = function
+  | rest when n <= 0 -> rest
+  | [] -> []
+  | _ :: rest -> drop (n - 1) rest
+
+(* ------------------------------------------------------------------ *)
+(* Crc32                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_crc32_vectors () =
+  Alcotest.(check string) "canonical zlib vector" "cbf43926"
+    (Crc32.to_hex (Crc32.string "123456789"));
+  Alcotest.(check string) "empty string" "00000000" (Crc32.to_hex (Crc32.string ""));
+  Alcotest.(check bool) "incremental = whole" true
+    (Crc32.string ~crc:(Crc32.string "12345") "6789" = Crc32.string "123456789");
+  let s = "the quick brown fox" in
+  Alcotest.(check bool) "substring = sub" true
+    (Crc32.substring s ~pos:4 ~len:5 = Crc32.string (String.sub s 4 5))
+
+let test_crc32_hex () =
+  let c = Crc32.string "abc" in
+  Alcotest.(check (option string)) "roundtrip" (Some (Crc32.to_hex c))
+    (Option.map Crc32.to_hex (Crc32.of_hex (Crc32.to_hex c)));
+  Alcotest.(check bool) "uppercase accepted" true
+    (Crc32.of_hex "CBF43926" = Some (Crc32.string "123456789"));
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) ("rejects " ^ s) true (Crc32.of_hex s = None))
+    [ "cbf4392"; "cbf439261"; "zzzzzzzz"; ""; "cbf4 926" ]
+
+(* ------------------------------------------------------------------ *)
+(* Wal                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sample_ops =
+  [
+    Replay.Register (q ~id:1 ~threshold:3 (0., 10.));
+    Replay.Element (e 5. 2);
+    Replay.Register (q ~id:2 ~threshold:2 (0., 4.));
+    Replay.Terminate 2;
+    Replay.Element (e 1. 1);
+  ]
+
+let test_wal_roundtrip () =
+  let dir = Io.mem_dir () in
+  let w = Wal.writer ~dim:1 ~dir () in
+  List.iter (Wal.append w) sample_ops;
+  Wal.close w;
+  let s = Wal.scan ~dim:1 ~dir () in
+  Alcotest.(check int) "records" 5 s.Wal.records;
+  Alcotest.(check int) "no discard" 0 s.Wal.bytes_discarded;
+  Alcotest.(check bool) "ops identical" true (s.Wal.ops = sample_ops)
+
+let test_wal_torn_tail () =
+  let image = String.concat "" (List.map Wal.frame sample_ops) in
+  (* cut mid-way through the final record *)
+  let torn = String.sub image 0 (String.length image - 4) in
+  let s = Wal.scan_string ~dim:1 torn in
+  Alcotest.(check int) "prefix records" 4 s.Wal.records;
+  Alcotest.(check bool) "discarded tail" true (s.Wal.bytes_discarded > 0);
+  Alcotest.(check int) "accounting" (String.length torn)
+    (s.Wal.valid_bytes + s.Wal.bytes_discarded);
+  Alcotest.(check bool) "ops = prefix" true
+    (s.Wal.ops = List.filteri (fun i _ -> i < 4) sample_ops)
+
+let test_wal_bit_flip_stops_scan () =
+  let image = String.concat "" (List.map Wal.frame sample_ops) in
+  let frames = List.map Wal.frame sample_ops in
+  (* flip a bit inside the third record's payload *)
+  let off =
+    String.length (List.nth frames 0) + String.length (List.nth frames 1) + 8
+  in
+  let b = Bytes.of_string image in
+  Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0x10));
+  let s = Wal.scan_string ~dim:1 (Bytes.to_string b) in
+  Alcotest.(check bool) "scan stops at the damaged record" true (s.Wal.records <= 2);
+  Alcotest.(check bool) "tail reported" true (s.Wal.bytes_discarded > 0)
+
+let test_wal_scan_garbage_and_empty () =
+  let s = Wal.scan_string ~dim:1 "complete garbage\nmore garbage" in
+  Alcotest.(check int) "garbage: no records" 0 s.Wal.records;
+  Alcotest.(check bool) "garbage: all discarded" true (s.Wal.bytes_discarded > 0);
+  let s = Wal.scan_string ~dim:1 "" in
+  Alcotest.(check int) "empty: no records" 0 s.Wal.records;
+  let dir = Io.mem_dir () in
+  let s = Wal.scan ~dim:1 ~dir () in
+  Alcotest.(check int) "absent file: no records" 0 s.Wal.records
+
+let test_wal_writer_truncates_torn_tail_on_open () =
+  let dir = Io.mem_dir () in
+  let w = Wal.writer ~dim:1 ~dir () in
+  List.iter (Wal.append w) (List.filteri (fun i _ -> i < 3) sample_ops);
+  Wal.close w;
+  (* simulate a crash that left half a record behind *)
+  let f = dir.Io.open_append Wal.default_file in
+  f.Io.append "17,deadbeef,E,0.5";
+  f.Io.close ();
+  let w = Wal.writer ~dim:1 ~dir () in
+  let ex = Wal.existing w in
+  Alcotest.(check int) "opening scan sees intact prefix" 3 ex.Wal.records;
+  Alcotest.(check bool) "opening scan reports the tail" true (ex.Wal.bytes_discarded > 0);
+  List.iter (Wal.append w) (drop 3 sample_ops);
+  Wal.close w;
+  let s = Wal.scan ~dim:1 ~dir () in
+  Alcotest.(check int) "tail amputated, appends extend the prefix" 5 s.Wal.records;
+  Alcotest.(check bool) "full trace back" true (s.Wal.ops = sample_ops);
+  Alcotest.(check int) "nothing left over" 0 s.Wal.bytes_discarded
+
+(* ------------------------------------------------------------------ *)
+(* Checkpoint                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let sample_entries =
+  [ (q ~id:1 ~threshold:7 (0., 10.), 4); (q ~id:5 ~threshold:2 (3., 4.5), 0) ]
+
+let test_checkpoint_roundtrip () =
+  let dir = Io.mem_dir () in
+  let name = Checkpoint.write ~dir ~gen:3 ~dim:1 ~ops:10 ~elements:7 sample_entries in
+  Alcotest.(check string) "file name" (Checkpoint.filename 3) name;
+  let meta, entries = Checkpoint.load ~dir name in
+  Alcotest.(check int) "gen" 3 meta.Checkpoint.gen;
+  Alcotest.(check int) "dim" 1 meta.Checkpoint.dim;
+  Alcotest.(check int) "ops" 10 meta.Checkpoint.ops;
+  Alcotest.(check int) "elements" 7 meta.Checkpoint.elements;
+  Alcotest.(check int) "count" 2 meta.Checkpoint.count;
+  Alcotest.(check bool) "entries identical" true (entries = sample_entries);
+  let meta', entries' = Checkpoint.load ~dir (Checkpoint.filename 3) in
+  Alcotest.(check bool) "load is stable" true (meta' = meta && entries' = entries)
+
+let expect_corrupt label f =
+  match f () with
+  | exception Checkpoint.Corrupt _ -> ()
+  | _ -> Alcotest.fail (label ^ ": should raise Corrupt")
+
+(* No single-bit flip anywhere in the file — header metadata included —
+   may yield a DIFFERENT valid checkpoint. This is what the
+   header-covering CRC buys: a flipped [ops] digit can no longer
+   masquerade as a valid checkpoint at the wrong position. (The one
+   benign flip: the case bit of a hex letter in the CRC field itself,
+   which parses to the same value — the loaded state is bit-identical,
+   so it is allowed to succeed.) *)
+let test_checkpoint_detects_every_bit_flip () =
+  let dir = Io.mem_dir () in
+  let name = Checkpoint.write ~dir ~gen:0 ~dim:1 ~ops:10 ~elements:7 sample_entries in
+  let image = Option.get (dir.Io.read_file name) in
+  let original = Checkpoint.load ~dir name in
+  for byte = 0 to String.length image - 1 do
+    for bit = 0 to 7 do
+      let b = Bytes.of_string image in
+      Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl bit)));
+      let d = Io.mem_dir () in
+      d.Io.write_atomic name (Bytes.to_string b);
+      match Checkpoint.load ~dir:d name with
+      | exception Checkpoint.Corrupt _ -> ()
+      | loaded ->
+          if loaded <> original then
+            Alcotest.failf "bit %d of byte %d: flip yielded a different valid checkpoint"
+              bit byte
+    done
+  done
+
+let test_checkpoint_detects_every_truncation () =
+  let dir = Io.mem_dir () in
+  let name = Checkpoint.write ~dir ~gen:0 ~dim:1 ~ops:10 ~elements:7 sample_entries in
+  let image = Option.get (dir.Io.read_file name) in
+  for len = 0 to String.length image - 1 do
+    let d = Io.mem_dir () in
+    d.Io.write_atomic name (String.sub image 0 len);
+    expect_corrupt (Printf.sprintf "truncated to %d bytes" len) (fun () ->
+        Checkpoint.load ~dir:d name)
+  done
+
+let test_checkpoint_semantic_validation () =
+  let dir = Io.mem_dir () in
+  expect_corrupt "missing file" (fun () -> Checkpoint.load ~dir "nope.ckpt");
+  (* consumed >= threshold is nonsense: the query would already have matured *)
+  let name =
+    Checkpoint.write ~dir ~gen:0 ~dim:1 ~ops:1 ~elements:0
+      [ (q ~id:1 ~threshold:3 (0., 1.), 3) ]
+  in
+  expect_corrupt "consumed >= threshold" (fun () -> Checkpoint.load ~dir name);
+  let name =
+    Checkpoint.write ~dir ~gen:1 ~dim:1 ~ops:2 ~elements:0
+      [ (q ~id:1 ~threshold:3 (0., 1.), 0); (q ~id:1 ~threshold:5 (0., 2.), 1) ]
+  in
+  expect_corrupt "duplicate id" (fun () -> Checkpoint.load ~dir name)
+
+let test_checkpoint_generations_and_prune () =
+  let dir = Io.mem_dir () in
+  List.iter
+    (fun g -> ignore (Checkpoint.write ~dir ~gen:g ~dim:1 ~ops:g ~elements:0 []))
+    [ 0; 1; 2; 3; 4 ];
+  let f = dir.Io.open_append "checkpoint-leftover.tmp" in
+  f.Io.append "interrupted atomic write";
+  f.Io.close ();
+  Alcotest.(check (list int)) "newest first" [ 4; 3; 2; 1; 0 ]
+    (List.map fst (Checkpoint.generations ~dir));
+  Checkpoint.prune ~dir ~keep:2;
+  Alcotest.(check (list int)) "kept newest two" [ 4; 3 ]
+    (List.map fst (Checkpoint.generations ~dir));
+  Alcotest.(check bool) "tmp swept" true
+    (not (List.mem "checkpoint-leftover.tmp" (dir.Io.list_files ())))
+
+(* ------------------------------------------------------------------ *)
+(* Recovery (hand-built cases)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let make_baseline ~dim = Baseline_engine.make ~dim
+let make_dt ~dim = Dt_engine.make ~dim
+
+let test_recover_empty_dir () =
+  let dir = Io.mem_dir () in
+  let engine, r = Recovery.recover ~dim:1 ~make:make_baseline ~dir () in
+  Alcotest.(check int) "no queries" 0 (engine.Engine.alive ());
+  Alcotest.(check bool) "no checkpoint" true (r.Recovery.checkpoint_gen = None);
+  Alcotest.(check int) "nothing durable" 0 r.Recovery.ops_total;
+  Alcotest.(check int) "no maturities" 0 (List.length r.Recovery.maturities)
+
+(* register q1(thr 4); E w2; E miss; [checkpoint @ ops 3, elements 2];
+   E w2 -> matures q1 at global element ordinal 3. *)
+let populated_dir () =
+  let dir = Io.mem_dir () in
+  let cfg = { Durable.fsync_every = 1; checkpoint_every = 3; keep = 2 } in
+  let durable, h = Durable.wrap ~config:cfg ~dir (Baseline_engine.make ~dim:1) in
+  durable.Engine.register (q ~id:1 ~threshold:4 (0., 10.));
+  ignore (durable.Engine.process (e 5. 2));
+  ignore (durable.Engine.process (e 20. 9));
+  let matured = durable.Engine.process (e 5. 2) in
+  Alcotest.(check (list int)) "q1 matured live" [ 1 ] matured;
+  Durable.close h;
+  dir
+
+let test_recover_checkpoint_plus_wal_suffix () =
+  let dir = populated_dir () in
+  let engine, r = Recovery.recover ~dim:1 ~make:make_dt ~dir () in
+  Alcotest.(check bool) "restored from gen 0" true (r.Recovery.checkpoint_gen = Some 0);
+  Alcotest.(check int) "checkpoint ops" 3 r.Recovery.checkpoint_ops;
+  Alcotest.(check int) "checkpoint elements" 2 r.Recovery.checkpoint_elements;
+  Alcotest.(check int) "wal records" 4 r.Recovery.wal_records;
+  Alcotest.(check int) "replayed past checkpoint" 1 r.Recovery.ops_replayed;
+  Alcotest.(check int) "durable ops" 4 r.Recovery.ops_total;
+  Alcotest.(check int) "durable elements" 3 r.Recovery.elements_total;
+  Alcotest.(check (list (pair int int))) "maturity re-fired at global ordinal" [ (3, 1) ]
+    r.Recovery.maturities;
+  Alcotest.(check int) "q1 gone" 0 (engine.Engine.alive ())
+
+let test_recover_skips_corrupt_newest_checkpoint () =
+  let dir = populated_dir () in
+  let rng = Prng.create ~seed:99 in
+  (match Checkpoint.generations ~dir with
+  | (_, name) :: _ -> Alcotest.(check bool) "flipped" true (Fault.flip_random_bit ~rng dir name)
+  | [] -> Alcotest.fail "expected a checkpoint");
+  let engine, r = Recovery.recover ~dim:1 ~make:make_baseline ~dir () in
+  Alcotest.(check int) "corrupt generation skipped" 1 r.Recovery.generations_skipped;
+  Alcotest.(check bool) "fell back to scratch" true (r.Recovery.checkpoint_gen = None);
+  Alcotest.(check int) "full WAL replayed" 4 r.Recovery.ops_replayed;
+  Alcotest.(check (list (pair int int))) "same maturity log from scratch" [ (3, 1) ]
+    r.Recovery.maturities;
+  Alcotest.(check int) "q1 gone" 0 (engine.Engine.alive ())
+
+let test_recover_dim_mismatch () =
+  let dir = Io.mem_dir () in
+  ignore (Checkpoint.write ~dir ~gen:0 ~dim:2 ~ops:0 ~elements:0 []);
+  match Recovery.recover ~dim:1 ~make:make_baseline ~dir () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "dimension mismatch should raise"
+
+let test_recovery_metrics () =
+  let dir = populated_dir () in
+  let _, r = Recovery.recover ~dim:1 ~make:make_baseline ~dir () in
+  let m = Recovery.metrics r in
+  Alcotest.(check int) "ops replayed" 1 (Metrics.counter_value m "recovery_ops_replayed");
+  Alcotest.(check int) "bytes discarded" 0 (Metrics.counter_value m "recovery_bytes_discarded");
+  Alcotest.(check int) "generations skipped" 0
+    (Metrics.counter_value m "recovery_generations_skipped");
+  Alcotest.(check bool) "gen gauge" true
+    (Metrics.get m "recovery_checkpoint_gen" = Some (Metrics.Gauge 0.))
+
+(* ------------------------------------------------------------------ *)
+(* Durable wrapper                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Building valid terminate ops requires knowing maturities; record from
+   a live engine (same recipe as test_replay). *)
+let trace seed steps =
+  let log = ref [] in
+  let engine =
+    Replay.recording ~sink:(fun op -> log := op :: !log) (Baseline_engine.make ~dim:1)
+  in
+  let rng = Prng.create ~seed in
+  let alive = ref [] and next = ref 0 in
+  for _ = 1 to steps do
+    if Prng.bernoulli rng 0.2 || !alive = [] then begin
+      let a = float_of_int (Prng.int rng 20) in
+      engine.Engine.register
+        (q ~id:!next ~threshold:(1 + Prng.int rng 40)
+           (a, a +. 1. +. float_of_int (Prng.int rng 10)));
+      alive := !next :: !alive;
+      incr next
+    end;
+    if !alive <> [] && Prng.bernoulli rng 0.05 then begin
+      let v = List.nth !alive (Prng.int rng (List.length !alive)) in
+      engine.Engine.terminate v;
+      alive := List.filter (fun i -> i <> v) !alive
+    end;
+    let matured =
+      engine.Engine.process
+        { Types.value = [| float_of_int (Prng.int rng 25) |]; weight = 1 + Prng.int rng 5 }
+    in
+    alive := List.filter (fun i -> not (List.mem i matured)) !alive
+  done;
+  List.rev !log
+
+let test_durable_is_transparent () =
+  let ops = trace 7 400 in
+  let reference = Replay.replay_ops (Baseline_engine.make ~dim:1) ops in
+  let dir = Io.mem_dir () in
+  let cfg = { Durable.fsync_every = 4; checkpoint_every = 64; keep = 2 } in
+  let durable, h = Durable.wrap ~config:cfg ~dir (Dt_engine.make ~dim:1) in
+  let o = Replay.replay_ops durable ops in
+  Alcotest.(check (list (pair int int))) "maturity log unchanged"
+    reference.Replay.maturities o.Replay.maturities;
+  let m = durable.Engine.metrics () in
+  Alcotest.(check int) "every op logged" (List.length ops)
+    (Metrics.counter_value m "wal_records_total");
+  Alcotest.(check bool) "checkpoints taken" true
+    (Metrics.counter_value m "checkpoints_total" >= List.length ops / 64);
+  Alcotest.(check bool) "fsyncs batched" true
+    (Metrics.counter_value m "wal_fsyncs_total" < List.length ops);
+  Durable.close h;
+  let s = Wal.scan ~dim:1 ~dir () in
+  Alcotest.(check int) "all records durable after close" (List.length ops) s.Wal.records;
+  Alcotest.(check bool) "log is the trace" true (s.Wal.ops = ops)
+
+let test_durable_register_batch_checkpoint_boundary () =
+  (* A checkpoint may only cover op counts at batch boundaries: taking
+     one mid-batch would replay the batch's tail over already-live ids. *)
+  let dir = Io.mem_dir () in
+  let cfg = { Durable.fsync_every = 1; checkpoint_every = 2; keep = 4 } in
+  let durable, h = Durable.wrap ~config:cfg ~dir (Baseline_engine.make ~dim:1) in
+  durable.Engine.register_batch
+    (List.map (fun id -> q ~id ~threshold:5 (0., 10.)) [ 1; 2; 3; 4; 5 ]);
+  Alcotest.(check int) "one checkpoint for the whole batch" 1
+    (Metrics.counter_value (durable.Engine.metrics ()) "checkpoints_total");
+  Durable.close h;
+  let engine, r = Recovery.recover ~dim:1 ~make:make_baseline ~dir () in
+  Alcotest.(check int) "checkpoint covers the full batch" 5 r.Recovery.checkpoint_ops;
+  Alcotest.(check int) "all five alive" 5 (engine.Engine.alive ());
+  Alcotest.(check int) "nothing replayed twice" 0 r.Recovery.ops_replayed
+
+let test_durable_bad_config () =
+  let dir = Io.mem_dir () in
+  let bad cfg =
+    match Durable.wrap ~config:cfg ~dir (Baseline_engine.make ~dim:1) with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail "bad config should raise"
+  in
+  bad { Durable.fsync_every = 0; checkpoint_every = 1; keep = 1 };
+  bad { Durable.fsync_every = 1; checkpoint_every = 0; keep = 1 };
+  bad { Durable.fsync_every = 1; checkpoint_every = 1; keep = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Crash equivalence                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Feed ops one by one, collecting (global element ordinal, id)
+   maturities, stopping silently at the simulated Crash. Returns the log
+   and the number of elements whose processing COMPLETED (an op killed
+   mid-flight never returns its maturities to the caller, exactly like a
+   real producer). *)
+let feed engine ops ~base =
+  let log = ref [] and elems = ref base in
+  (try
+     List.iter
+       (fun op ->
+         match op with
+         | Replay.Element el ->
+             let matured = engine.Engine.process el in
+             incr elems;
+             List.iter (fun id -> log := (!elems, id) :: !log) matured
+         | Replay.Register qq -> engine.Engine.register qq
+         | Replay.Terminate id -> engine.Engine.terminate id)
+       ops
+   with Fault.Crash _ -> ());
+  (List.rev !log, !elems)
+
+type crash_case = {
+  trace_seed : int;
+  fault_seed : int;
+  nops : int;
+  crash_at : int;
+  torn : bool;
+  bit_flip : bool;
+  crash_at_atomic : int option;
+  damage_checkpoint : bool;
+  checkpoint_every : int;
+  fsync_every : int;
+  engine : string; (* "baseline" | "dt" *)
+}
+
+let pp_case c =
+  Printf.sprintf
+    "trace_seed=%d fault_seed=%d nops=%d crash_at=%d torn=%b bit_flip=%b atomic=%s \
+     damage_ckpt=%b ckpt_every=%d fsync_every=%d engine=%s"
+    c.trace_seed c.fault_seed c.nops c.crash_at c.torn c.bit_flip
+    (match c.crash_at_atomic with None -> "-" | Some k -> string_of_int k)
+    c.damage_checkpoint c.checkpoint_every c.fsync_every c.engine
+
+(* The property. One full crash/recovery/continuation cycle:
+
+   1. run the trace through a Durable engine over a fault-injected
+      mem_dir until the simulated machine dies;
+   2. check the pre-crash live maturity log matched the reference;
+   3. optionally flip a random bit of the newest checkpoint at rest;
+   4. recover from what survived;
+   5. resume the trace from [report.ops_total + 1] through a fresh
+      Durable wrapper over the same store;
+   6. the replayed + continued maturity log must equal the reference
+      log restricted to ordinals past the restored checkpoint. *)
+let run_crash_case c =
+  let make = if c.engine = "dt" then make_dt else make_baseline in
+  let ops = trace c.trace_seed c.nops in
+  let reference = Replay.replay_ops (Baseline_engine.make ~dim:1) ops in
+  let store = Io.mem_dir () in
+  let rng = Prng.create ~seed:c.fault_seed in
+  let fdir =
+    Fault.wrap ~rng
+      {
+        Fault.crash_at_append = c.crash_at;
+        torn = c.torn;
+        bit_flip = c.bit_flip;
+        crash_at_atomic = c.crash_at_atomic;
+      }
+      store
+  in
+  let cfg =
+    { Durable.fsync_every = c.fsync_every; checkpoint_every = c.checkpoint_every; keep = 2 }
+  in
+  let durable, _h = Durable.wrap ~config:cfg ~dir:fdir (make ~dim:1) in
+  let pre_log, pre_elems = feed durable ops ~base:0 in
+  let expected_pre =
+    List.filter (fun (o, _) -> o <= pre_elems) reference.Replay.maturities
+  in
+  if pre_log <> expected_pre then
+    Alcotest.failf "%s: pre-crash log diverged from reference" (pp_case c);
+  if c.damage_checkpoint then
+    (match Checkpoint.generations ~dir:store with
+    | (_, name) :: _ -> ignore (Fault.flip_random_bit ~rng store name)
+    | [] -> ());
+  let engine2, report = Recovery.recover ~dim:1 ~make ~dir:store () in
+  let durable2, h2 = Durable.wrap ~config:cfg ~report ~dir:store engine2 in
+  let suffix = drop report.Recovery.ops_total ops in
+  let cont_log, _ = feed durable2 suffix ~base:report.Recovery.elements_total in
+  Durable.close h2;
+  let expected =
+    List.filter
+      (fun (o, _) -> o > report.Recovery.checkpoint_elements)
+      reference.Replay.maturities
+  in
+  let got = report.Recovery.maturities @ cont_log in
+  if got <> expected then
+    Alcotest.failf "%s: recovered log diverged (expected %d maturities, got %d)" (pp_case c)
+      (List.length expected) (List.length got);
+  report
+
+(* Exhaustive sweep: crash at EVERY append boundary of the trace, for
+   each fixed seed, cycling torn/bit-flip so all damage shapes appear at
+   many positions. Seeds are overridable via RTS_FAULT_SEEDS (used by
+   `make check-fault` to pin the CI set). *)
+let fault_seeds () =
+  match Sys.getenv_opt "RTS_FAULT_SEEDS" with
+  | Some s ->
+      String.split_on_char ',' s
+      |> List.filter_map (fun x -> int_of_string_opt (String.trim x))
+  | None -> [ 11; 23; 47 ]
+
+let test_crash_equivalence_exhaustive () =
+  let nops = 60 in
+  List.iter
+    (fun seed ->
+      let total = List.length (trace seed nops) in
+      for crash_at = 1 to total + 1 do
+        ignore
+          (run_crash_case
+             {
+               trace_seed = seed;
+               fault_seed = (seed * 7919) + crash_at;
+               nops;
+               crash_at;
+               torn = crash_at mod 2 = 0;
+               bit_flip = crash_at mod 3 = 0;
+               crash_at_atomic = None;
+               damage_checkpoint = crash_at mod 5 = 0;
+               checkpoint_every = 7;
+               fsync_every = 3;
+               engine = (if crash_at mod 2 = 0 then "dt" else "baseline");
+             })
+      done)
+    (fault_seeds ())
+
+let test_crash_during_checkpoint_publication () =
+  (* Die inside write_atomic: the checkpoint either never existed or
+     fully landed — recovery must cope with both (the PRNG coin picks). *)
+  List.iter
+    (fun (fault_seed, atomic_k) ->
+      let r =
+        run_crash_case
+          {
+            trace_seed = 23;
+            fault_seed;
+            nops = 60;
+            crash_at = max_int;
+            torn = false;
+            bit_flip = false;
+            crash_at_atomic = Some atomic_k;
+            damage_checkpoint = false;
+            checkpoint_every = 7;
+            fsync_every = 1;
+            engine = "dt";
+          }
+      in
+      ignore r)
+    [ (1, 1); (2, 1); (3, 2); (4, 2); (5, 3); (6, 3); (7, 4); (8, 4) ]
+
+let prop_crash_equivalence =
+  let case_gen =
+    QCheck.Gen.(
+      let* trace_seed = int_bound 1_000_000 in
+      let* fault_seed = int_bound 1_000_000 in
+      let* nops = int_range 10 120 in
+      let* crash_frac = float_bound_inclusive 1.3 in
+      let* torn = bool in
+      let* bit_flip = bool in
+      let* atomic = opt (int_range 1 6) in
+      let* damage_checkpoint = bool in
+      let* checkpoint_every = int_range 1 25 in
+      let* fsync_every = int_range 1 8 in
+      let+ engine = oneofl [ "baseline"; "dt" ] in
+      (* crash point scaled to the trace length; > length means the run
+         completes and only the unsynced tail is at risk *)
+      let crash_at = max 1 (int_of_float (crash_frac *. float_of_int (2 * nops))) in
+      {
+        trace_seed;
+        fault_seed;
+        nops;
+        crash_at;
+        torn;
+        bit_flip;
+        crash_at_atomic = atomic;
+        damage_checkpoint;
+        checkpoint_every;
+        fsync_every;
+        engine;
+      })
+  in
+  QCheck.Test.make ~count:80 ~name:"crash equivalence (randomized)"
+    (QCheck.make ~print:pp_case case_gen)
+    (fun c ->
+      ignore (run_crash_case c);
+      true)
+
+let () =
+  Alcotest.run "resilience"
+    [
+      ( "crc32",
+        [
+          Alcotest.test_case "known vectors" `Quick test_crc32_vectors;
+          Alcotest.test_case "hex round-trip" `Quick test_crc32_hex;
+        ] );
+      ( "wal",
+        [
+          Alcotest.test_case "write/scan round-trip" `Quick test_wal_roundtrip;
+          Alcotest.test_case "torn tail dropped" `Quick test_wal_torn_tail;
+          Alcotest.test_case "bit flip stops the scan" `Quick test_wal_bit_flip_stops_scan;
+          Alcotest.test_case "garbage and empty logs" `Quick test_wal_scan_garbage_and_empty;
+          Alcotest.test_case "writer amputates torn tail on open" `Quick
+            test_wal_writer_truncates_torn_tail_on_open;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "write/load round-trip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "every single-bit flip detected" `Quick
+            test_checkpoint_detects_every_bit_flip;
+          Alcotest.test_case "every truncation detected" `Quick
+            test_checkpoint_detects_every_truncation;
+          Alcotest.test_case "semantic validation" `Quick test_checkpoint_semantic_validation;
+          Alcotest.test_case "generations and prune" `Quick
+            test_checkpoint_generations_and_prune;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "empty dir" `Quick test_recover_empty_dir;
+          Alcotest.test_case "checkpoint + WAL suffix" `Quick
+            test_recover_checkpoint_plus_wal_suffix;
+          Alcotest.test_case "corrupt newest checkpoint fallback" `Quick
+            test_recover_skips_corrupt_newest_checkpoint;
+          Alcotest.test_case "dimension mismatch" `Quick test_recover_dim_mismatch;
+          Alcotest.test_case "metrics" `Quick test_recovery_metrics;
+        ] );
+      ( "durable",
+        [
+          Alcotest.test_case "wrapper is transparent" `Quick test_durable_is_transparent;
+          Alcotest.test_case "register_batch vs checkpoint boundary" `Quick
+            test_durable_register_batch_checkpoint_boundary;
+          Alcotest.test_case "bad config rejected" `Quick test_durable_bad_config;
+        ] );
+      ( "crash-equivalence",
+        [
+          Alcotest.test_case "exhaustive over every crash point" `Slow
+            test_crash_equivalence_exhaustive;
+          Alcotest.test_case "crash during checkpoint publication" `Quick
+            test_crash_during_checkpoint_publication;
+          QCheck_alcotest.to_alcotest prop_crash_equivalence;
+        ] );
+    ]

@@ -194,6 +194,77 @@ let test_restore_rejects_garbage () =
   Alcotest.check_raises "bad header" (Invalid_argument "Rts.restore: bad snapshot header")
     (fun () -> ignore (Rts.restore "not a snapshot"))
 
+let test_restore_rejects_corrupt () =
+  (* Damage a VALID snapshot in targeted ways; restore must refuse each. *)
+  let m = Rts.create ~dim:2 () in
+  ignore (Rts.subscribe m ~label:"a" (Rts.box [| (0., 1.); (2., 3.) |]) ~threshold:5);
+  let snap = Rts.snapshot m in
+  let lines = String.split_on_char '\n' snap in
+  let header = List.hd lines and body = List.tl lines in
+  let reject label s =
+    match Rts.restore s with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (label ^ ": corrupt snapshot accepted")
+  in
+  reject "zero dim" (String.concat "\n" ("rts-snapshot 1 dim 0" :: body));
+  reject "dim mismatch drops bounds"
+    (String.concat "\n" ("rts-snapshot 1 dim 3" :: body));
+  reject "label field torn off"
+    (String.concat "\n"
+       (header
+       :: List.map
+            (fun l ->
+              match String.index_opt l '"' with
+              | Some i -> String.sub l 0 i
+              | None -> l)
+            body));
+  reject "garbage line injected" (String.concat "\n" (header :: "1 2" :: body))
+
+let prop_snapshot_roundtrip =
+  (* Randomized version of the divergence-free test: random
+     subscribe/cancel/feed churn, snapshot at a random cut, continue the
+     original and the restored monitor in lockstep — matured id sets must
+     agree at every step. *)
+  QCheck.Test.make ~count:40 ~name:"snapshot/restore continues bit-identically"
+    QCheck.(pair small_int (int_range 20 250))
+    (fun (seed, steps) ->
+      let rng = Prng.create ~seed in
+      let m = Rts.create ~dim:1 () in
+      let live = ref [] in
+      let step_churn () =
+        if Prng.bernoulli rng 0.25 || !live = [] then begin
+          let lo = float_of_int (Prng.int rng 20) in
+          let s =
+            Rts.subscribe m
+              (Rts.interval ~lo ~hi:(lo +. 1. +. float_of_int (Prng.int rng 10)))
+              ~threshold:(1 + Prng.int rng 60)
+          in
+          live := s :: !live
+        end;
+        if !live <> [] && Prng.bernoulli rng 0.05 then begin
+          let s = List.nth !live (Prng.int rng (List.length !live)) in
+          Rts.cancel m s;
+          live := List.filter (fun x -> Rts.id x <> Rts.id s) !live
+        end;
+        let matured =
+          Rts.feed m ~weight:(1 + Prng.int rng 5) [| float_of_int (Prng.int rng 30) |]
+        in
+        let ids = List.map Rts.id matured in
+        live := List.filter (fun x -> not (List.mem (Rts.id x) ids)) !live
+      in
+      let cut = Prng.int rng steps in
+      for _ = 1 to cut do step_churn () done;
+      let m' = Rts.restore (Rts.snapshot m) in
+      let ok = ref (Rts.live_count m = Rts.live_count m') in
+      for _ = cut + 1 to steps do
+        let x = [| float_of_int (Prng.int rng 30) |] in
+        let w = 1 + Prng.int rng 5 in
+        let o = List.sort compare (List.map Rts.id (Rts.feed m ~weight:w x)) in
+        let r = List.sort compare (List.map Rts.id (Rts.feed m' ~weight:w x)) in
+        if o <> r then ok := false
+      done;
+      !ok)
+
 let test_register_batch_equivalence () =
   (* Engine.register_batch must behave exactly like sequential register. *)
   let open Rts_core in
@@ -262,6 +333,8 @@ let () =
           Alcotest.test_case "divergence-free continuation" `Quick test_snapshot_divergence_free;
           Alcotest.test_case "empty snapshot" `Quick test_snapshot_empty;
           Alcotest.test_case "rejects garbage" `Quick test_restore_rejects_garbage;
+          Alcotest.test_case "rejects corrupt snapshots" `Quick test_restore_rejects_corrupt;
+          QCheck_alcotest.to_alcotest prop_snapshot_roundtrip;
         ] );
       ( "register_batch",
         [
