@@ -5,8 +5,11 @@ SMOKE_SCALE ?= 0.05
 # Pinned seeds for the deterministic crash-equivalence sweep; override
 # with RTS_FAULT_SEEDS=a,b,c to explore other trajectories.
 RTS_FAULT_SEEDS ?= 11,23,47
+# Pinned seeds for the networked-DT equivalence sweep (drop/dup/reorder
+# fault trajectories); override with RTS_NET_SEEDS=a,b,c.
+RTS_NET_SEEDS ?= 7,19,101
 
-.PHONY: all build test bench-smoke check check-fault clean
+.PHONY: all build test bench-smoke check check-fault check-net clean
 
 all: build
 
@@ -31,6 +34,17 @@ bench-smoke: build
 check-fault: build
 	RTS_FAULT_SEEDS=$(RTS_FAULT_SEEDS) $(DUNE) exec test/test_resilience.exe
 	@echo "check-fault: OK"
+
+# Networked-DT suite on its own: zero-fault parity, maturity-ordinal
+# equivalence under lossy/reordering/duplicating links, the exhaustive
+# drop-of-every-envelope-kind sweep and degradation behaviour, for the
+# pinned seeds; then a bench net --json smoke whose net_* fields are
+# re-validated. CI runs this as a separate job.
+check-net: build
+	RTS_NET_SEEDS=$(RTS_NET_SEEDS) $(DUNE) exec test/test_net.exe
+	$(DUNE) exec bench/main.exe -- net --scale $(SMOKE_SCALE) --json > /dev/null
+	$(DUNE) exec tools/validate_bench.exe BENCH_net.json
+	@echo "check-net: OK"
 
 check: build test bench-smoke
 	@echo "check: OK"

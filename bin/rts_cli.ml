@@ -99,6 +99,34 @@ let stats_arg =
   in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
+(* ---- networked shadow validation (--net-faults) ---- *)
+
+let net_fault_conv =
+  let parse s =
+    match Rts_net.Net_fault.parse s with Ok sp -> Ok sp | Error m -> Error (`Msg m)
+  in
+  let print ppf sp = Format.pp_print_string ppf (Rts_net.Net_fault.to_string sp) in
+  Arg.conv (parse, print)
+
+let net_faults_arg =
+  let doc =
+    "Run a networked distributed-tracking shadow next to the engine: one protocol \
+     instance per query over $(b,--net-sites) simulated participants, with this \
+     fault spec injected on every link (e.g. \
+     'drop=0.2,dup=0.1,reorder=0.3,delay=1-4'; '' = lossless). The run aborts if \
+     the networked protocol ever matures a query on a different element than the \
+     engine."
+  in
+  Arg.(value & opt (some net_fault_conv) None & info [ "net-faults" ] ~docv:"SPEC" ~doc)
+
+let net_seed_arg =
+  let doc = "PRNG seed for the shadow's fault trajectories." in
+  Arg.(value & opt int 1 & info [ "net-seed" ] ~docv:"N" ~doc)
+
+let net_sites_arg =
+  let doc = "Participants per networked shadow instance." in
+  Arg.(value & opt int 4 & info [ "net-sites" ] ~docv:"H" ~doc)
+
 (* With --stats, dump the engine's uniform metric snapshot on stderr so it
    never mixes with the alert/CSV stream on stdout. *)
 let print_stats stats snapshot =
@@ -108,8 +136,10 @@ let print_stats stats snapshot =
 (* ---------------- run ---------------- *)
 
 let run_cmd engine_kind dim closed queries_file quiet stats wal_dir checkpoint_every fsync_every
-    =
+    net_faults net_seed net_sites =
   protect @@ fun () ->
+  if net_faults <> None && wal_dir <> None then
+    fail "--net-faults cannot be combined with --wal (the shadow is not recoverable)";
   let make ~dim = make_engine engine_kind ~dim in
   (* With --wal, the run is crash-recoverable: recover whatever durable
      state the directory already holds (fresh directory = fresh engine),
@@ -127,6 +157,20 @@ let run_cmd engine_kind dim closed queries_file quiet stats wal_dir checkpoint_e
         let config = { Durable.default with checkpoint_every; fsync_every } in
         let wrapped, h = Durable.wrap ~config ~report ~dir engine in
         (wrapped, Some h, report.Recovery.ops_total > 0)
+  in
+  (* With --net-faults, mirror every op into a per-query networked DT
+     shadow and abort on any maturity divergence. *)
+  let shadow = ref None in
+  let engine =
+    match net_faults with
+    | None -> engine
+    | Some faults ->
+        let config =
+          { Rts_netcheck.Net_shadow.default with sites = net_sites; faults; seed = net_seed }
+        in
+        let s = Rts_netcheck.Net_shadow.create ~config ~dim () in
+        shadow := Some s;
+        Rts_netcheck.Net_shadow.wrap s engine
   in
   (if resuming then
      (if queries_file <> None then
@@ -158,6 +202,18 @@ let run_cmd engine_kind dim closed queries_file quiet stats wal_dir checkpoint_e
   Option.iter Durable.close handle;
   Printf.eprintf "rts-cli: %d elements, %d alerts, %d queries still live\n%!" elements alerts
     (engine.Engine.alive ());
+  (match !shadow with
+  | None -> ()
+  | Some s ->
+      let module Sh = Rts_netcheck.Net_shadow in
+      Printf.eprintf
+        "rts-cli: net shadow never matured early: %d instances over %d sites, %d \
+         protocol messages (%d useful <= bound %d: %b), %d retransmits, %d degraded \
+         sites, %d late maturities (degraded links), never-early %b\n\
+         %!"
+        (Sh.registered s) net_sites (Sh.messages s) (Sh.useful_messages s) (Sh.message_bound_total s)
+        (Sh.bound_ok s) (Sh.retransmits s) (Sh.degraded_sites s) (Sh.late_maturities s)
+        (Sh.never_early_ok s));
   print_stats stats (engine.Engine.metrics ());
   0
 
@@ -318,7 +374,7 @@ let run_term =
   in
   Term.(
     const run_cmd $ engine_arg $ dim_arg $ closed $ queries_file $ quiet $ stats_arg $ wal
-    $ checkpoint_every $ fsync_every)
+    $ checkpoint_every $ fsync_every $ net_faults_arg $ net_seed_arg $ net_sites_arg)
 
 let recover_term =
   let wal_dir =

@@ -1,110 +1,396 @@
-type mode =
-  | Rounds (* slack-based rounds while remaining tau > 6h *)
-  | Direct (* endgame: every counter change is forwarded *)
+module Envelope = Rts_net.Envelope
 
-type t = {
-  h : int;
-  tau : int;
-  counters : int array; (* c_i: ground-truth participant counters *)
-  cbar : int array; (* counter value acknowledged to the coordinator *)
-  mutable mode : mode;
-  mutable lambda : int;
-  mutable signals : int; (* signals received in the current round *)
-  mutable known : int; (* Direct mode: coordinator's exact view of the sum *)
-  mutable mature : bool;
-  mutable messages : int;
-  mutable rounds : int;
-}
+(* ------------------------------------------------------------------ *)
+(* Pure protocol state machine.                                        *)
+(*                                                                     *)
+(* The coordinator and the h participants are modelled as one          *)
+(* immutable ensemble state; [step] consumes exactly one event (a      *)
+(* delivered envelope, a local increment, a local drain continuation,  *)
+(* or a transport degradation signal) and returns the successor state  *)
+(* plus the transmissions it caused. Policy (when to signal, when to   *)
+(* end a round, when maturity holds) lives here; *mechanism* (whether  *)
+(* a Transmit is a synchronous function call or a lossy datagram with  *)
+(* acks and retries) lives entirely in the driver — see the classic    *)
+(* synchronous API below and Net_tracking for the lossy one.           *)
+(* ------------------------------------------------------------------ *)
 
-let total t = Array.fold_left ( + ) 0 t.counters
+module Machine = struct
+  type site_mode =
+    | Rounds_mode of { lambda : int; round : int }
+    | Await_slack of { round : int } (* replied to Round_end; next slack has this round *)
+    | Direct_mode
 
-let is_mature t = t.mature
+  type site = { counter : int; cbar : int; smode : site_mode; sent_in_round : int }
 
-let messages t = t.messages
+  type co_phase = Co_rounds | Co_direct
 
-let rounds t = t.rounds
+  type co = {
+    round : int;
+    phase : co_phase;
+    lambda : int;
+    known : int array; (* per-site collected lower bound (exact for direct/degraded) *)
+    sigs : int array; (* current-round signals per (non-degraded) site *)
+    signals_round : int;
+    deg : bool array;
+    collecting : bool;
+    pending : bool array; (* collection replies still awaited *)
+  }
 
-(* Begin a round (or the direct endgame) given the remaining threshold.
-   Also used for the very first round. Synchronizes cbar with the precise
-   counters, which in the message accounting corresponds to the collection
-   the coordinator just performed. *)
-let start_phase t remaining =
-  assert (remaining > 0);
-  Array.blit t.counters 0 t.cbar 0 t.h;
-  if remaining <= 6 * t.h then begin
-    t.mode <- Direct;
-    t.known <- total t;
-    (* one broadcast telling participants to switch to direct forwarding *)
-    t.messages <- t.messages + t.h
-  end
-  else begin
-    t.mode <- Rounds;
-    t.lambda <- remaining / (2 * t.h);
-    assert (t.lambda >= 3);
-    t.signals <- 0;
-    (* slack broadcast *)
-    t.messages <- t.messages + t.h
-  end
+  type state = {
+    h : int;
+    tau : int;
+    sites : site array;
+    co : co;
+    mature : bool;
+    rounds_done : int;
+    stale : int;
+  }
 
-let end_round t =
-  (* Round-end announcement + collection of all precise counters. *)
-  t.messages <- t.messages + (2 * t.h);
-  t.rounds <- t.rounds + 1;
-  let sum = total t in
-  if sum >= t.tau then t.mature <- true else start_phase t (t.tau - sum)
+  type event =
+    | Increment of { site : int; by : int }
+    | Deliver of { src : Envelope.node; dst : Envelope.node; payload : Envelope.payload }
+    | Drain of int
+    | Degrade of int
+
+  type action =
+    | Transmit of { src : Envelope.node; dst : Envelope.node; payload : Envelope.payload }
+    | Local of event
+
+  (* ---- accessors ---- *)
+
+  let h st = st.h
+  let tau st = st.tau
+  let is_mature st = st.mature
+  let rounds st = st.rounds_done
+  let stale st = st.stale
+  let total st = Array.fold_left (fun acc s -> acc + s.counter) 0 st.sites
+  let counter st i = st.sites.(i).counter
+  let degraded_count st = Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 st.co.deg
+  let is_degraded st i = st.co.deg.(i)
+
+  (* The coordinator's lower bound on the counter sum: collected values
+     plus slack credit for this round's signals. Never exceeds [total]
+     (never-early), asserted by the test suite as an invariant. *)
+  let estimate st =
+    let c = st.co in
+    let acc = ref 0 in
+    for i = 0 to st.h - 1 do
+      acc := !acc + c.known.(i);
+      if c.phase = Co_rounds && not c.deg.(i) then acc := !acc + (c.sigs.(i) * c.lambda)
+    done;
+    !acc
+
+  (* ---- copy-on-write helpers ---- *)
+
+  let set_site st i s =
+    let sites = Array.copy st.sites in
+    sites.(i) <- s;
+    { st with sites }
+
+  let copy_co c =
+    {
+      c with
+      known = Array.copy c.known;
+      sigs = Array.copy c.sigs;
+      deg = Array.copy c.deg;
+      pending = Array.copy c.pending;
+    }
+
+  (* ---- transmissions ---- *)
+
+  let to_site i payload = Transmit { src = Envelope.Coordinator; dst = Envelope.Site i; payload }
+
+  let to_co i payload = Transmit { src = Envelope.Site i; dst = Envelope.Coordinator; payload }
+
+  let broadcast st ~skip_degraded payload =
+    let acc = ref [] in
+    for i = st.h - 1 downto 0 do
+      if not (skip_degraded && st.co.deg.(i)) then acc := to_site i payload :: !acc
+    done;
+    !acc
+
+  (* ---- coordinator phase transitions ---- *)
+
+  (* Begin a phase for [remaining > 0] threshold units: a fresh slack
+     round while remaining > 6h, the direct endgame otherwise. Mirrors
+     the reference pseudo-code's start_phase exactly. *)
+  let start_phase st remaining =
+    assert (remaining > 0);
+    let c = copy_co st.co in
+    let round = c.round + 1 in
+    if remaining <= 6 * st.h then begin
+      Array.fill c.sigs 0 st.h 0;
+      let c =
+        { c with round; phase = Co_direct; lambda = 0; signals_round = 0; collecting = false }
+      in
+      ({ st with co = c }, broadcast st ~skip_degraded:true (Envelope.Slack_broadcast { round; lambda = 0 }))
+    end
+    else begin
+      let lambda = remaining / (2 * st.h) in
+      assert (lambda >= 3);
+      Array.fill c.sigs 0 st.h 0;
+      let c = { c with round; phase = Co_rounds; lambda; signals_round = 0; collecting = false } in
+      ({ st with co = c }, broadcast st ~skip_degraded:true (Envelope.Slack_broadcast { round; lambda }))
+    end
+
+  let mature st = ({ st with mature = true }, [])
+
+  let maybe_mature st = if estimate st >= st.tau then mature st else (st, [])
+
+  let finish_collection st =
+    let sum = Array.fold_left ( + ) 0 st.co.known in
+    let st = { st with rounds_done = st.rounds_done + 1 } in
+    if sum >= st.tau then mature st else start_phase st (st.tau - sum)
+
+  (* ---- site-side handlers ---- *)
+
+  let site_round s =
+    match s.smode with
+    | Rounds_mode { round; _ } -> round
+    | Await_slack { round } -> round
+    | Direct_mode -> max_int
+
+  let drop_stale st = ({ st with stale = st.stale + 1 }, [])
+
+  let step_drain st i =
+    if st.mature then (st, [])
+    else
+      let s = st.sites.(i) in
+      match s.smode with
+      | Direct_mode ->
+          if s.counter > s.cbar then
+            ( set_site st i { s with cbar = s.counter },
+              [ to_co i (Envelope.Counter_report { round = -1; value = s.counter }) ] )
+          else (st, [])
+      | Rounds_mode { lambda; round } ->
+          (* One signal per step plus a local continuation: under the
+             synchronous driver the coordinator's reaction (possibly a
+             whole round end) interleaves between two signals, exactly
+             as in the reference protocol; under a real network the
+             continuation runs immediately and the site bursts all due
+             signals. The h-signal cap bounds the burst: the coordinator
+             ends the round at the h-th signal anyway, so anything
+             beyond a site's h-th would be stale by construction. *)
+          if s.counter - s.cbar >= lambda && s.sent_in_round < st.h then
+            ( set_site st i
+                { s with cbar = s.cbar + lambda; sent_in_round = s.sent_in_round + 1 },
+              [ to_co i (Envelope.Signal { round }); Local (Drain i) ] )
+          else (st, [])
+      | Await_slack _ -> (st, [])
+
+  let site_deliver st i payload =
+    let s = st.sites.(i) in
+    match payload with
+    | Envelope.Slack_broadcast { round; lambda } ->
+        if round < site_round s || s.smode = Direct_mode then drop_stale st
+        else if lambda = 0 then
+          (set_site st i { s with smode = Direct_mode }, [ Local (Drain i) ])
+        else
+          ( set_site st i { s with smode = Rounds_mode { lambda; round }; sent_in_round = 0 },
+            [ Local (Drain i) ] )
+    | Envelope.Round_end { round } -> (
+        match s.smode with
+        | Rounds_mode { round = r; _ } when r = round ->
+            ( set_site st i
+                { s with cbar = s.counter; smode = Await_slack { round = round + 1 } },
+              [ to_co i (Envelope.Counter_report { round; value = s.counter }) ] )
+        | _ -> drop_stale st)
+    | Envelope.Collect_request { direct } ->
+        let smode = if direct then Direct_mode else s.smode in
+        ( set_site st i { s with cbar = s.counter; smode },
+          [ to_co i (Envelope.Counter_report { round = -1; value = s.counter }) ] )
+    | Envelope.Signal _ | Envelope.Counter_report _ | Envelope.Ack _ -> drop_stale st
+
+  (* ---- coordinator-side handlers ---- *)
+
+  let end_round st =
+    let c = copy_co st.co in
+    let ending = c.round in
+    for i = 0 to st.h - 1 do
+      c.pending.(i) <- not c.deg.(i)
+    done;
+    let c = { c with collecting = true } in
+    ({ st with co = c }, broadcast st ~skip_degraded:true (Envelope.Round_end { round = ending }))
+
+  let co_deliver st i payload =
+    if st.mature then (st, [])
+    else
+      let c = st.co in
+      match payload with
+      | Envelope.Signal { round } ->
+          if c.phase <> Co_rounds || c.collecting || round <> c.round || c.deg.(i) then
+            drop_stale st
+          else begin
+            let nc = copy_co c in
+            nc.sigs.(i) <- nc.sigs.(i) + 1;
+            let nc = { nc with signals_round = nc.signals_round + 1 } in
+            let st = { st with co = nc } in
+            if nc.signals_round >= st.h then end_round st else maybe_mature st
+          end
+      | Envelope.Counter_report { round = _; value } ->
+          let nc = copy_co c in
+          nc.known.(i) <- max nc.known.(i) value;
+          if c.collecting && c.pending.(i) then begin
+            nc.pending.(i) <- false;
+            (* The exact report subsumes this round's signal credit —
+               zero it so [estimate] never double-counts the surplus
+               those signals represented. *)
+            nc.sigs.(i) <- 0;
+            let st = { st with co = nc } in
+            if Array.exists (fun p -> p) nc.pending then (st, []) else finish_collection st
+          end
+          else maybe_mature { st with co = nc }
+      | Envelope.Slack_broadcast _ | Envelope.Round_end _ | Envelope.Collect_request _
+      | Envelope.Ack _ ->
+          drop_stale st
+
+  let step_degrade st i =
+    if st.mature || st.co.deg.(i) then (st, [])
+    else begin
+      let c = copy_co st.co in
+      (* Convert this round's signal credit into collected lower bound,
+         then stop counting the site's signals: its link now carries
+         exact per-update reports instead. *)
+      (if c.phase = Co_rounds then c.known.(i) <- max c.known.(i) (c.known.(i) + (c.sigs.(i) * c.lambda)));
+      let signals_round = c.signals_round - c.sigs.(i) in
+      c.sigs.(i) <- 0;
+      c.deg.(i) <- true;
+      let was_pending = c.collecting && c.pending.(i) in
+      c.pending.(i) <- false;
+      let c = { c with signals_round } in
+      let st = { st with co = c } in
+      let switch = to_site i (Envelope.Collect_request { direct = true }) in
+      if was_pending && not (Array.exists (fun p -> p) c.pending) then begin
+        let st, acts = finish_collection st in
+        (st, switch :: acts)
+      end
+      else
+        let st, acts = maybe_mature st in
+        (st, switch :: acts)
+    end
+
+  (* ---- entry points ---- *)
+
+  let init ~h ~tau =
+    let co =
+      {
+        round = -1;
+        phase = Co_rounds;
+        lambda = 0;
+        known = Array.make h 0;
+        sigs = Array.make h 0;
+        signals_round = 0;
+        deg = Array.make h false;
+        collecting = false;
+        pending = Array.make h false;
+      }
+    in
+    let site = { counter = 0; cbar = 0; smode = Await_slack { round = 0 }; sent_in_round = 0 } in
+    let st =
+      {
+        h;
+        tau;
+        sites = Array.make h site;
+        co;
+        mature = false;
+        rounds_done = 0;
+        stale = 0;
+      }
+    in
+    start_phase st tau
+
+  let step st event =
+    match event with
+    | Increment { site = i; by } ->
+        let s = st.sites.(i) in
+        (set_site st i { s with counter = s.counter + by }, [ Local (Drain i) ])
+    | Drain i -> step_drain st i
+    | Degrade i -> step_degrade st i
+    | Deliver { src; dst; payload } -> (
+        match (dst, src) with
+        | Envelope.Site i, Envelope.Coordinator -> site_deliver st i payload
+        | Envelope.Coordinator, Envelope.Site i -> co_deliver st i payload
+        | _ -> drop_stale st)
+
+  let pp_phase ppf st =
+    Format.pp_print_string ppf
+      (match st.co.phase with Co_rounds -> "rounds" | Co_direct -> "direct")
+end
+
+(* ------------------------------------------------------------------ *)
+(* Classic synchronous API: the zero-fault instantiation.              *)
+(*                                                                     *)
+(* Transmissions are delivered depth-first, immediately and in order — *)
+(* a function call. This reproduces the reference protocol exactly:    *)
+(* after a site's k-th signal the coordinator's whole reaction         *)
+(* (including a round end, collection and the next slack broadcast)    *)
+(* completes before the site's drain continuation resumes, which is    *)
+(* precisely the "…unless q has announced the end of this round" rule  *)
+(* of Section 7.                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type t = { mutable st : Machine.state; mutable messages : int }
+
+let rec exec t actions =
+  List.iter
+    (fun action ->
+      match action with
+      | Machine.Transmit { src; dst; payload } ->
+          t.messages <- t.messages + 1;
+          let st, acts = Machine.step t.st (Machine.Deliver { src; dst; payload }) in
+          t.st <- st;
+          exec t acts
+      | Machine.Local ev ->
+          let st, acts = Machine.step t.st ev in
+          t.st <- st;
+          exec t acts)
+    actions
 
 let create ~h ~tau =
   if h < 1 then invalid_arg "Distributed_tracking.create: h < 1";
   if tau < 1 then invalid_arg "Distributed_tracking.create: tau < 1";
-  let t =
-    {
-      h;
-      tau;
-      counters = Array.make h 0;
-      cbar = Array.make h 0;
-      mode = Rounds;
-      lambda = 0;
-      signals = 0;
-      known = 0;
-      mature = false;
-      messages = 0;
-      rounds = 0;
-    }
-  in
-  start_phase t tau;
+  let st, acts = Machine.init ~h ~tau in
+  let t = { st; messages = 0 } in
+  exec t acts;
   t
 
+let total t = Machine.total t.st
+
+let is_mature t = Machine.is_mature t.st
+
+let messages t = t.messages
+
+let rounds t = Machine.rounds t.st
+
+let state t = t.st
+
+let describe t =
+  Format.asprintf "h=%d, tau=%d, total=%d, rounds=%d, mode=%a, messages=%d" (Machine.h t.st)
+    (Machine.tau t.st) (Machine.total t.st) (Machine.rounds t.st) Machine.pp_phase t.st
+    t.messages
+
+let check_increment t ~site ~by =
+  if Machine.is_mature t.st then
+    invalid_arg
+      (Printf.sprintf
+         "Distributed_tracking.increment: instance already mature (site=%d, by=%d, %s)" site by
+         (describe t));
+  if site < 0 || site >= Machine.h t.st then
+    invalid_arg
+      (Printf.sprintf
+         "Distributed_tracking.increment: bad site %d (valid sites are 0..%d, %s)" site
+         (Machine.h t.st - 1) (describe t));
+  if by <= 0 then
+    invalid_arg
+      (Printf.sprintf "Distributed_tracking.increment: by <= 0 (by=%d, site=%d, %s)" by site
+         (describe t))
+
 let increment t ~site ~by =
-  if t.mature then invalid_arg "Distributed_tracking.increment: already mature";
-  if site < 0 || site >= t.h then invalid_arg "Distributed_tracking.increment: bad site";
-  if by <= 0 then invalid_arg "Distributed_tracking.increment: by <= 0";
-  t.counters.(site) <- t.counters.(site) + by;
-  (match t.mode with
-  | Direct ->
-      (* Forward the change; coordinator's view becomes exact again. *)
-      t.messages <- t.messages + 1;
-      t.known <- t.known + by;
-      t.cbar.(site) <- t.counters.(site);
-      if t.known >= t.tau then t.mature <- true
-  | Rounds ->
-      (* Send signals one by one; the coordinator stops the round at the
-         h-th, so a large increment never floods more than a round's worth
-         of messages (Section 7, step 2: "...unless q has announced the end
-         of this round"). Leftover surplus is absorbed by the collection
-         performed at round end. *)
-      let continue = ref true in
-      while !continue && t.counters.(site) - t.cbar.(site) >= t.lambda do
-        t.cbar.(site) <- t.cbar.(site) + t.lambda;
-        t.messages <- t.messages + 1;
-        t.signals <- t.signals + 1;
-        if t.signals >= t.h then begin
-          end_round t;
-          (* end_round either matured or reset cbar to the exact counters,
-             so the surplus loop is finished either way. *)
-          continue := false
-        end
-      done);
-  t.mature
+  check_increment t ~site ~by;
+  let st, acts = Machine.step t.st (Machine.Increment { site; by }) in
+  t.st <- st;
+  exec t acts;
+  Machine.is_mature t.st
 
 let message_bound ~h ~tau =
   (* Each round costs at most 4h messages (slack broadcast + at most h

@@ -16,10 +16,78 @@
     collects all exact counters, deducts them from [tau], and starts the next
     round. Once [tau <= 6h] every counter change is forwarded directly.
 
-    This module simulates all sites on one machine with explicit message
-    accounting. The RTS core inlines the same logic across shared
-    endpoint-tree nodes; the test suite cross-checks the core against this
-    reference and validates the message bound. *)
+    The protocol itself lives in {!Machine}: a pure state machine
+    [step : state -> event -> state * action list] over the typed
+    envelopes of {!Rts_net.Envelope}, with no opinion about how a
+    [Transmit] reaches its destination. The classic API below is the
+    {e zero-fault instantiation}: transmissions delivered depth-first as
+    synchronous calls, reproducing the reference pseudo-code's message
+    counts exactly. {!Net_tracking} runs the same machine over a lossy
+    {!Rts_net.Reliable} transport instead. The test suite cross-checks
+    the RTS core against this reference and validates the message
+    bound. *)
+
+(** The pure protocol state machine shared by every transport. *)
+module Machine : sig
+  type state
+
+  type event =
+    | Increment of { site : int; by : int }
+        (** The application raised [site]'s counter by [by > 0]. *)
+    | Deliver of {
+        src : Rts_net.Envelope.node;
+        dst : Rts_net.Envelope.node;
+        payload : Rts_net.Envelope.payload;
+      }  (** The transport delivered one envelope to [dst]. *)
+    | Drain of int
+        (** Local continuation at a site: emit the next due signal or
+            direct report. Free — not a network message. *)
+    | Degrade of int
+        (** The transport's loss budget for this site's link is spent:
+            resynchronize it and switch it to direct forwarding. *)
+
+  type action =
+    | Transmit of {
+        src : Rts_net.Envelope.node;
+        dst : Rts_net.Envelope.node;
+        payload : Rts_net.Envelope.payload;
+      }  (** Hand one envelope to the transport. *)
+    | Local of event  (** Feed this event back to the machine, free. *)
+
+  val init : h:int -> tau:int -> state * action list
+  (** Fresh ensemble plus the initial slack (or direct-mode) broadcast.
+      Preconditions [h >= 1], [tau >= 1] are the {e caller's} job. *)
+
+  val step : state -> event -> state * action list
+  (** One event, one successor state, the transmissions it caused.
+      Events touch only the state of the node they address; stale
+      envelopes (old rounds, post-maturity traffic) are counted and
+      dropped, so the machine tolerates reordered and delayed delivery
+      as long as each link delivers exactly-once in FIFO order (what
+      {!Rts_net.Reliable} guarantees). *)
+
+  val is_mature : state -> bool
+
+  val total : state -> int
+  (** Ground-truth counter sum (what the simulator can see). *)
+
+  val estimate : state -> int
+  (** The coordinator's lower bound on the sum — collected values plus
+      slack credit for this round's signals. The never-early invariant
+      [estimate state <= total state] holds in every reachable state;
+      maturity is declared exactly when it reaches [tau]. *)
+
+  val h : state -> int
+  val tau : state -> int
+  val counter : state -> int -> int
+  val rounds : state -> int
+  val stale : state -> int
+  (** Envelopes dropped as stale/out-of-round so far. *)
+
+  val degraded_count : state -> int
+  val is_degraded : state -> int -> bool
+  val pp_phase : Format.formatter -> state -> unit
+end
 
 type t
 
@@ -33,7 +101,8 @@ val increment : t -> site:int -> by:int -> bool
     (use [by:1] for the unweighted protocol) and runs all induced protocol
     steps. Returns [true] exactly when this increment makes the instance
     mature. Raises [Invalid_argument] on a dead instance, a bad site index,
-    or [by <= 0]. *)
+    or [by <= 0] — the message names the offending site, the argument, and
+    the instance state ([h], [tau], totals, round and mode). *)
 
 val is_mature : t -> bool
 
@@ -47,6 +116,13 @@ val messages : t -> int
 
 val rounds : t -> int
 (** Number of completed rounds (i.e. slack halvings) so far. *)
+
+val state : t -> Machine.state
+(** The underlying machine state (read-only view, e.g. for invariant
+    checks such as [Machine.estimate <= Machine.total]). *)
+
+val describe : t -> string
+(** One-line instance summary used in error messages and diagnostics. *)
 
 val message_bound : h:int -> tau:int -> int
 (** A concrete instantiation of the [O(h log tau)] guarantee:

@@ -1,0 +1,143 @@
+module Machine = Distributed_tracking.Machine
+module Envelope = Rts_net.Envelope
+module Vclock = Rts_net.Vclock
+module Net_fault = Rts_net.Net_fault
+module Network = Rts_net.Network
+module Reliable = Rts_net.Reliable
+module Metrics = Rts_obs.Metrics
+
+type config = {
+  faults : Net_fault.spec;
+  seed : int;
+  reliable : Reliable.config;
+  max_steps : int;
+}
+
+let default =
+  {
+    faults = Net_fault.none;
+    seed = 0x4e455431;
+    reliable = Reliable.default;
+    max_steps = 10_000_000;
+  }
+
+type t = {
+  config : config;
+  clock : Vclock.t;
+  mutable st : Machine.state;
+  mutable fabric : Reliable.t option; (* tied after create; always Some in use *)
+  mutable deliveries : int; (* envelopes handed to the machine *)
+}
+
+let fabric t = Option.get t.fabric
+
+(* Run the machine one event forward, sending Transmit actions through the
+   reliable fabric and executing Local actions immediately (they are free
+   continuations at one node, not network traffic). *)
+let rec apply t event =
+  let st, actions = Machine.step t.st event in
+  t.st <- st;
+  List.iter
+    (fun action ->
+      match action with
+      | Machine.Transmit { src; dst; payload } ->
+          Reliable.send (fabric t) ~src ~dst payload
+      | Machine.Local ev -> apply t ev)
+    actions
+
+let create ?(config = default) ~h ~tau () =
+  if h < 1 then invalid_arg "Net_tracking.create: h < 1";
+  if tau < 1 then invalid_arg "Net_tracking.create: tau < 1";
+  (match Net_fault.validate config.faults with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg (Printf.sprintf "Net_tracking.create: %s" msg));
+  let clock = Vclock.create () in
+  let rng = Rts_util.Prng.create ~seed:config.seed in
+  let tref = ref None in
+  let me () = Option.get !tref in
+  let deliver (env : Envelope.t) =
+    let t = me () in
+    t.deliveries <- t.deliveries + 1;
+    apply t (Machine.Deliver { src = env.src; dst = env.dst; payload = env.payload })
+  in
+  let on_degrade site = apply (me ()) (Machine.Degrade site) in
+  let fabric =
+    Reliable.create ~config:config.reliable ~clock ~rng ~spec:config.faults
+      ~deliver ~on_degrade ()
+  in
+  let st, actions = Machine.init ~h ~tau in
+  let t = { config; clock; st; fabric = Some fabric; deliveries = 0 } in
+  tref := Some t;
+  List.iter
+    (fun action ->
+      match action with
+      | Machine.Transmit { src; dst; payload } ->
+          Reliable.send fabric ~src ~dst payload
+      | Machine.Local ev -> apply t ev)
+    actions;
+  Vclock.run_until_idle ~max_steps:config.max_steps clock;
+  t
+
+let is_mature t = Machine.is_mature t.st
+
+let describe t =
+  Format.asprintf "h=%d, tau=%d, total=%d, rounds=%d, mode=%a, sends=%d"
+    (Machine.h t.st) (Machine.tau t.st) (Machine.total t.st)
+    (Machine.rounds t.st) Machine.pp_phase t.st
+    (Reliable.protocol_sends (fabric t))
+
+let increment t ~site ~by =
+  if is_mature t then
+    invalid_arg
+      (Printf.sprintf
+         "Net_tracking.increment: instance already mature (site=%d, by=%d, %s)"
+         site by (describe t));
+  if site < 0 || site >= Machine.h t.st then
+    invalid_arg
+      (Printf.sprintf
+         "Net_tracking.increment: bad site %d (valid sites are 0..%d, %s)" site
+         (Machine.h t.st - 1) (describe t));
+  if by <= 0 then
+    invalid_arg
+      (Printf.sprintf "Net_tracking.increment: by <= 0 (by=%d, site=%d, %s)" by
+         site (describe t));
+  apply t (Machine.Increment { site; by });
+  Vclock.run_until_idle ~max_steps:t.config.max_steps t.clock;
+  is_mature t
+
+let total t = Machine.total t.st
+
+let estimate t = Machine.estimate t.st
+
+let rounds t = Machine.rounds t.st
+
+let state t = t.st
+
+let messages t = Reliable.protocol_sends (fabric t)
+
+let deliveries t = t.deliveries
+
+let stale t = Machine.stale t.st
+
+let useful_messages t = t.deliveries - Machine.stale t.st
+
+let retransmits t = Reliable.retransmits (fabric t)
+
+let degraded_sites t = Reliable.degraded_sites (fabric t)
+
+let is_degraded t site = Reliable.is_degraded (fabric t) site
+
+let clock t = t.clock
+
+let metrics t =
+  Metrics.merge
+    (Reliable.metrics (fabric t))
+    (Metrics.of_assoc
+       [
+         ("net_machine_deliveries_total", Metrics.Counter t.deliveries);
+         ("net_stale_total", Metrics.Counter (Machine.stale t.st));
+         ("net_useful_messages_total", Metrics.Counter (useful_messages t));
+         ("net_rounds_total", Metrics.Counter (Machine.rounds t.st));
+         ( "net_mature",
+           Metrics.Gauge (if Machine.is_mature t.st then 1.0 else 0.0) );
+       ])

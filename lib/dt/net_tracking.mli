@@ -1,0 +1,91 @@
+(** {!Distributed_tracking.Machine} run over the lossy, retrying
+    {!Rts_net.Reliable} transport — the networked instantiation of the
+    DT protocol.
+
+    Each {!increment} feeds one [Increment] event to the machine and then
+    drains the virtual clock to quiescence ([Vclock.run_until_idle]): all
+    scheduled deliveries, retransmissions and acks settle before the call
+    returns. Under any fault spec accepted by {!Rts_net.Net_fault.validate}
+    (drop rates < 1, partitions transient) the reliability layer delivers
+    every protocol message exactly once per link in FIFO order, so at each
+    quiescence point the coordinator has absorbed exactly the same signal
+    and report traffic as the zero-fault run — hence the {e maturity
+    ordinal} (which increment trips the threshold) is identical to the
+    classic synchronous {!Distributed_tracking} instance, as long as no
+    site degrades. With degradation the guarantee weakens to never-early
+    detection plus eventual maturity.
+
+    Message accounting: {!messages} counts unique protocol sends (first
+    transmissions — the figure held against
+    {!Distributed_tracking.message_bound} plus degradation overhead);
+    retransmits, acks and fault-injected duplicates are excluded.
+    {!useful_messages} = deliveries minus stale drops: reorder-tolerant
+    protocol work, equal to the classic instance's [messages] in
+    non-degraded executions. *)
+
+type config = {
+  faults : Rts_net.Net_fault.spec;  (** Fault schedule for the link fabric. *)
+  seed : int;  (** PRNG seed for fault decisions (deterministic replay). *)
+  reliable : Rts_net.Reliable.config;  (** Retry/backoff/degradation knobs. *)
+  max_steps : int;
+      (** Safety valve for [run_until_idle]; exceeded only by buggy specs. *)
+}
+
+val default : config
+(** Zero faults, seed [0x4e455431], {!Rts_net.Reliable.default},
+    10M step cap. *)
+
+type t
+
+val create : ?config:config -> h:int -> tau:int -> unit -> t
+(** Build the instance, run the machine's initial broadcast through the
+    fabric and drain to quiescence. Raises [Invalid_argument] on [h < 1],
+    [tau < 1] or a fault spec rejected by {!Rts_net.Net_fault.validate}
+    (such specs could not guarantee quiescence). *)
+
+val increment : t -> site:int -> by:int -> bool
+(** Apply one increment, drain the network to quiescence, and report
+    whether the instance is now mature. Same argument validation (and
+    diagnostic style) as {!Distributed_tracking.increment}. *)
+
+val is_mature : t -> bool
+
+val total : t -> int
+(** Ground-truth counter sum. *)
+
+val estimate : t -> int
+(** Coordinator's lower bound; [estimate t <= total t] always. *)
+
+val rounds : t -> int
+
+val state : t -> Distributed_tracking.Machine.state
+
+val messages : t -> int
+(** Unique protocol sends (excluding retransmits/acks/fault duplicates). *)
+
+val deliveries : t -> int
+(** Envelopes handed to the machine by the reliability layer. At
+    quiescence this equals {!messages} — the accounting identity the
+    tests assert. *)
+
+val stale : t -> int
+(** Deliveries the machine discarded as out-of-round/post-maturity. *)
+
+val useful_messages : t -> int
+(** [deliveries - stale]: protocol-meaningful traffic, the figure compared
+    against the zero-fault run and {!Distributed_tracking.message_bound}. *)
+
+val retransmits : t -> int
+
+val degraded_sites : t -> int
+
+val is_degraded : t -> int -> bool
+
+val clock : t -> Rts_net.Vclock.t
+
+val describe : t -> string
+
+val metrics : t -> Rts_obs.Metrics.snapshot
+(** {!Rts_net.Reliable.metrics} plus [net_machine_deliveries_total],
+    [net_stale_total], [net_useful_messages_total], [net_rounds_total]
+    and the [net_mature] gauge. *)

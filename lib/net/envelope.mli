@@ -1,0 +1,56 @@
+(** Typed message envelopes of the distributed-tracking wire protocol.
+
+    The grammar (DESIGN.md, "Networked tracking") covers both the
+    protocol of Cormode, Muthukrishnan & Yi and the reliability layer on
+    top of it:
+
+    - [Slack_broadcast {round; lambda}] — coordinator -> site: start
+      round [round] with slack [lambda]; [lambda = 0] orders the site to
+      switch to direct per-update forwarding (endgame, or a degraded
+      site).
+    - [Signal {round}] — site -> coordinator: my counter accumulated one
+      more slack [lambda] within [round].
+    - [Round_end {round}] — coordinator -> site: round [round] is over;
+      report your exact counter.
+    - [Collect_request {direct}] — coordinator -> site: out-of-band
+      resynchronization (used when a site's link degrades); with
+      [direct] the site also switches to per-update forwarding.
+    - [Counter_report {round; value}] — site -> coordinator: my exact
+      counter is [value]. [round >= 0] tags a round-end collection
+      reply; [round = -1] tags a direct-mode / resync report.
+    - [Ack {ack}] — transport-level acknowledgement of sequence number
+      [ack]; consumed by {!Reliable}, never seen by the protocol.
+
+    Every envelope carries a per-directed-link sequence number [seq]
+    assigned by the reliability layer (0 for raw/ack sends). *)
+
+type node = Coordinator | Site of int
+
+type payload =
+  | Slack_broadcast of { round : int; lambda : int }
+  | Signal of { round : int }
+  | Round_end of { round : int }
+  | Collect_request of { direct : bool }
+  | Counter_report of { round : int; value : int }
+  | Ack of { ack : int }
+
+type t = { src : node; dst : node; seq : int; payload : payload }
+
+val node_id : node -> int
+(** [-1] for the coordinator, the site index otherwise. *)
+
+val site_of : t -> int
+(** The participant endpoint of the (star-topology) link this envelope
+    travels on. Raises [Invalid_argument] on a co->co message. *)
+
+val kind : payload -> string
+(** Stable short name of the payload constructor ("slack", "signal",
+    "round_end", "collect", "report", "ack") — used by metrics and by
+    the {!Net_fault} kind-targeted drop directive. *)
+
+val kinds : string list
+(** All kind names, in declaration order. *)
+
+val pp_node : Format.formatter -> node -> unit
+val pp_payload : Format.formatter -> payload -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,169 @@
+type spec = {
+  drop : float;
+  duplicate : float;
+  reorder : float;
+  delay_min : int;
+  delay_max : int;
+  reorder_spread : int;
+  partitions : (int * int * int) list;
+  flaky : (int * float) list;
+  kind_drop : (string * int) list;
+}
+
+let none =
+  {
+    drop = 0.;
+    duplicate = 0.;
+    reorder = 0.;
+    delay_min = 1;
+    delay_max = 1;
+    reorder_spread = 8;
+    partitions = [];
+    flaky = [];
+    kind_drop = [];
+  }
+
+(* ---- validation ---- *)
+
+let validate s =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  if not (s.drop >= 0. && s.drop < 1.) then
+    err "drop rate %g out of [0,1) (1.0 would never quiesce)" s.drop
+  else if not (s.duplicate >= 0. && s.duplicate <= 1.) then
+    err "dup rate %g out of [0,1]" s.duplicate
+  else if not (s.reorder >= 0. && s.reorder <= 1.) then
+    err "reorder rate %g out of [0,1]" s.reorder
+  else if s.delay_min < 1 || s.delay_max < s.delay_min then
+    err "delay window %d-%d invalid (need 1 <= min <= max)" s.delay_min s.delay_max
+  else if s.reorder_spread < 1 then err "reorder spread %d < 1" s.reorder_spread
+  else
+    let rec check_flaky = function
+      | [] -> Ok s
+      | (site, extra) :: rest ->
+          if site < 0 then err "flaky site %d < 0" site
+          else if not (extra >= 0. && s.drop +. extra < 1.) then
+            err "flaky site %d: drop %g + extra %g not < 1 (would never quiesce)" site s.drop
+              extra
+          else check_flaky rest
+    in
+    let rec check_parts = function
+      | [] -> check_flaky s.flaky
+      | (site, from_t, until_t) :: rest ->
+          if site < 0 then err "partition site %d < 0" site
+          else if from_t < 0 || until_t < from_t then
+            err "partition window %d-%d invalid" from_t until_t
+          else check_parts rest
+    in
+    let rec check_kinds = function
+      | [] -> check_parts s.partitions
+      | (k, n) :: rest ->
+          if not (List.mem k Envelope.kinds) then
+            err "kdrop: unknown envelope kind %S (valid: %s)" k
+              (String.concat ", " Envelope.kinds)
+          else if n < 1 then err "kdrop %s: count %d < 1" k n
+          else check_kinds rest
+    in
+    check_kinds s.kind_drop
+
+(* ---- parser ----
+
+   Comma-separated directives:
+     drop=0.1 dup=0.05 reorder=0.2 delay=1-4 spread=8
+     partition=SITE@FROM-UNTIL   (repeatable; transient — must heal)
+     flaky=SITE:EXTRA_DROP       (repeatable)
+     kdrop=KIND:N                (repeatable; drop the first N sends of KIND)
+   The empty string is the zero-fault spec. *)
+
+let parse str =
+  let ( let* ) = Result.bind in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let float_of k v =
+    match float_of_string_opt v with Some f -> Ok f | None -> err "%s: not a number: %S" k v
+  in
+  let int_of k v =
+    match int_of_string_opt v with Some i -> Ok i | None -> err "%s: not an integer: %S" k v
+  in
+  let split2 c s =
+    match String.index_opt s c with
+    | Some i -> Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+    | None -> None
+  in
+  let directive acc item =
+    let* acc = acc in
+    match split2 '=' (String.trim item) with
+    | None -> err "malformed directive %S (expected key=value)" item
+    | Some (k, v) -> (
+        match k with
+        | "drop" ->
+            let* f = float_of k v in
+            Ok { acc with drop = f }
+        | "dup" | "duplicate" ->
+            let* f = float_of k v in
+            Ok { acc with duplicate = f }
+        | "reorder" ->
+            let* f = float_of k v in
+            Ok { acc with reorder = f }
+        | "spread" ->
+            let* i = int_of k v in
+            Ok { acc with reorder_spread = i }
+        | "delay" -> (
+            match split2 '-' v with
+            | Some (lo, hi) ->
+                let* lo = int_of k lo in
+                let* hi = int_of k hi in
+                Ok { acc with delay_min = lo; delay_max = hi }
+            | None ->
+                let* d = int_of k v in
+                Ok { acc with delay_min = d; delay_max = d })
+        | "partition" -> (
+            match split2 '@' v with
+            | Some (site, window) -> (
+                let* site = int_of k site in
+                match split2 '-' window with
+                | Some (ft, ut) ->
+                    let* ft = int_of k ft in
+                    let* ut = int_of k ut in
+                    Ok { acc with partitions = (site, ft, ut) :: acc.partitions }
+                | None -> err "partition window %S (expected FROM-UNTIL)" window)
+            | None ->
+                err
+                  "partition=%s needs a heal window (SITE@FROM-UNTIL); permanent partitions \
+                   never quiesce"
+                  v)
+        | "flaky" -> (
+            match split2 ':' v with
+            | Some (site, extra) ->
+                let* site = int_of k site in
+                let* extra = float_of k extra in
+                Ok { acc with flaky = (site, extra) :: acc.flaky }
+            | None -> err "flaky=%s (expected SITE:EXTRA_DROP)" v)
+        | "kdrop" -> (
+            match split2 ':' v with
+            | Some (kind, n) ->
+                let* n = int_of k n in
+                Ok { acc with kind_drop = (kind, n) :: acc.kind_drop }
+            | None -> err "kdrop=%s (expected KIND:N)" v)
+        | _ -> err "unknown directive %S" k)
+  in
+  let items = String.split_on_char ',' str |> List.filter (fun s -> String.trim s <> "") in
+  let* spec = List.fold_left directive (Ok none) items in
+  validate spec
+
+let to_string s =
+  let b = Buffer.create 64 in
+  let add fmt = Printf.ksprintf (fun x -> if Buffer.length b > 0 then Buffer.add_char b ','; Buffer.add_string b x) fmt in
+  if s.drop > 0. then add "drop=%g" s.drop;
+  if s.duplicate > 0. then add "dup=%g" s.duplicate;
+  if s.reorder > 0. then add "reorder=%g" s.reorder;
+  if s.delay_min <> 1 || s.delay_max <> 1 then add "delay=%d-%d" s.delay_min s.delay_max;
+  if s.reorder_spread <> none.reorder_spread then add "spread=%d" s.reorder_spread;
+  List.iter (fun (site, ft, ut) -> add "partition=%d@%d-%d" site ft ut) (List.rev s.partitions);
+  List.iter (fun (site, extra) -> add "flaky=%d:%g" site extra) (List.rev s.flaky);
+  List.iter (fun (k, n) -> add "kdrop=%s:%d" k n) (List.rev s.kind_drop);
+  Buffer.contents b
+
+let partitioned s ~site ~now =
+  List.exists (fun (p, ft, ut) -> p = site && now >= ft && now <= ut) s.partitions
+
+let drop_rate s ~site =
+  List.fold_left (fun acc (p, extra) -> if p = site then acc +. extra else acc) s.drop s.flaky

@@ -1,0 +1,105 @@
+(* Deterministic discrete-event virtual clock: a binary min-heap of
+   (time, tie)-ordered thunks. The tie is a monotonically increasing
+   insertion id, so two events scheduled for the same tick always run in
+   scheduling order — no dependence on heap internals leaks into
+   behaviour, which is what makes whole network runs replayable from a
+   seed. *)
+
+type timer = { time : int; tie : int; mutable cancelled : bool; fn : unit -> unit }
+
+type t = {
+  mutable heap : timer array;
+  mutable len : int;
+  mutable now : int;
+  mutable next_tie : int;
+  mutable live : int; (* scheduled and not yet cancelled/run *)
+}
+
+let create () = { heap = [||]; len = 0; now = 0; next_tie = 0; live = 0 }
+
+let now t = t.now
+
+let pending t = t.live
+
+let before a b = a.time < b.time || (a.time = b.time && a.tie < b.tie)
+
+let swap t i j =
+  let a = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- a
+
+let rec up t i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(p) then begin
+      swap t i p;
+      up t p
+    end
+  end
+
+let rec down t i =
+  let l = (2 * i) + 1 in
+  if l < t.len then begin
+    let r = l + 1 in
+    let s = if r < t.len && before t.heap.(r) t.heap.(l) then r else l in
+    if before t.heap.(s) t.heap.(i) then begin
+      swap t i s;
+      down t s
+    end
+  end
+
+let schedule t ~delay fn =
+  if delay < 0 then invalid_arg "Vclock.schedule: negative delay";
+  let cell = { time = t.now + delay; tie = t.next_tie; cancelled = false; fn } in
+  t.next_tie <- t.next_tie + 1;
+  let cap = Array.length t.heap in
+  if t.len >= cap then begin
+    let nheap = Array.make (max 16 (2 * cap)) cell in
+    Array.blit t.heap 0 nheap 0 t.len;
+    t.heap <- nheap
+  end;
+  t.heap.(t.len) <- cell;
+  t.len <- t.len + 1;
+  up t (t.len - 1);
+  t.live <- t.live + 1;
+  cell
+
+let cancel t cell =
+  if not cell.cancelled then begin
+    cell.cancelled <- true;
+    t.live <- t.live - 1
+  end
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let cell = t.heap.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.heap.(0) <- t.heap.(t.len);
+      down t 0
+    end;
+    Some cell
+  end
+
+(* Run the next non-cancelled event. Returns false when the queue is
+   drained. *)
+let rec run_next t =
+  match pop t with
+  | None -> false
+  | Some cell when cell.cancelled -> run_next t
+  | Some cell ->
+      t.live <- t.live - 1;
+      t.now <- max t.now cell.time;
+      cell.fn ();
+      true
+
+let run_until_idle ?(max_steps = 10_000_000) t =
+  let steps = ref 0 in
+  while run_next t do
+    incr steps;
+    if !steps > max_steps then
+      failwith
+        (Printf.sprintf "Vclock.run_until_idle: exceeded %d steps (non-quiescent network?)"
+           max_steps)
+  done

@@ -1,0 +1,36 @@
+(** Deterministic discrete-event virtual clock.
+
+    Simulated channels and retransmission timers all share one clock;
+    events scheduled for the same tick run in scheduling order (a
+    monotone tie-breaker), so a whole network run is a pure function of
+    the fault plan and the PRNG seed — the property every replayable
+    qcheck counterexample rests on. *)
+
+type t
+
+type timer
+
+val create : unit -> t
+
+val now : t -> int
+(** Current virtual time (starts at 0; advances only through
+    {!run_next} / {!run_until_idle}). *)
+
+val schedule : t -> delay:int -> (unit -> unit) -> timer
+(** Schedule a thunk [delay >= 0] ticks from now. Raises
+    [Invalid_argument] on a negative delay. *)
+
+val cancel : t -> timer -> unit
+(** Cancel a scheduled thunk; idempotent. Cancelled cells are skipped
+    (and reclaimed) lazily. *)
+
+val pending : t -> int
+(** Number of scheduled, not-yet-cancelled, not-yet-run events. *)
+
+val run_next : t -> bool
+(** Advance to and run the next live event; [false] when idle. *)
+
+val run_until_idle : ?max_steps:int -> t -> unit
+(** Drain the clock to quiescence. Raises [Failure] after [max_steps]
+    events (default 10M) — the safety valve against fault plans that can
+    never deliver (e.g. a permanent partition). *)

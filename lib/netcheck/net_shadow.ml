@@ -1,0 +1,267 @@
+module Types = Rts_core.Types
+module Engine = Rts_core.Engine
+module Dt = Rts_dt.Distributed_tracking
+module Net_tracking = Rts_dt.Net_tracking
+module Net_fault = Rts_net.Net_fault
+module Reliable = Rts_net.Reliable
+module Metrics = Rts_obs.Metrics
+
+type config = {
+  sites : int;
+  faults : Net_fault.spec;
+  seed : int;
+  reliable : Reliable.config;
+}
+
+let default =
+  {
+    sites = 4;
+    faults = Net_fault.none;
+    seed = 0x534841;
+    reliable = Reliable.default;
+  }
+
+(* Totals folded in when an instance retires (matures or terminates), so
+   aggregate accounting survives instance teardown. *)
+type totals = {
+  mutable messages : int;
+  mutable deliveries : int;
+  mutable stale : int;
+  mutable retransmits : int;
+  mutable degraded : int;
+  mutable bound : int;
+}
+
+type t = {
+  config : config;
+  dim : int;
+  live : (int, Types.query * Net_tracking.t) Hashtbl.t;
+  lagging : (int, unit) Hashtbl.t;
+      (* ids the engine already matured but whose degraded shadow instance
+         has not yet detected (never-early, eventually-late semantics) *)
+  retired : totals;
+  mutable elements : int;
+  mutable registered : int;
+  mutable matured : int;
+  mutable terminated : int;
+  mutable late : int; (* degraded instances that matured after the engine *)
+  mutable never_early : bool; (* sticky: estimate <= total at every check *)
+  mutable mismatches : int; (* engine/shadow maturity-set divergences *)
+}
+
+let create ?(config = default) ~dim () =
+  if config.sites < 1 then invalid_arg "Net_shadow.create: sites < 1";
+  (match Net_fault.validate config.faults with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg (Printf.sprintf "Net_shadow.create: %s" msg));
+  {
+    config;
+    dim;
+    live = Hashtbl.create 64;
+    lagging = Hashtbl.create 4;
+    retired = { messages = 0; deliveries = 0; stale = 0; retransmits = 0; degraded = 0; bound = 0 };
+    elements = 0;
+    registered = 0;
+    matured = 0;
+    terminated = 0;
+    late = 0;
+    never_early = true;
+    mismatches = 0;
+  }
+
+(* Every instance replays its own fault trajectory: mix the query id into
+   the spec seed so trajectories are independent but reproducible. *)
+let instance_seed t id = t.config.seed lxor ((id + 1) * 0x9e3779b9)
+
+let register t (q : Types.query) =
+  Types.validate_query ~dim:t.dim q;
+  if Hashtbl.mem t.live q.id then
+    invalid_arg (Printf.sprintf "Net_shadow.register: duplicate alive id %d" q.id);
+  let nt =
+    Net_tracking.create
+      ~config:
+        {
+          Net_tracking.faults = t.config.faults;
+          seed = instance_seed t q.id;
+          reliable = t.config.reliable;
+          max_steps = Net_tracking.default.Net_tracking.max_steps;
+        }
+      ~h:t.config.sites ~tau:q.threshold ()
+  in
+  Hashtbl.replace t.live q.id (q, nt);
+  t.registered <- t.registered + 1
+
+let register_batch t qs = List.iter (register t) qs
+
+let retire t nt =
+  let r = t.retired in
+  r.messages <- r.messages + Net_tracking.messages nt;
+  r.deliveries <- r.deliveries + Net_tracking.deliveries nt;
+  r.stale <- r.stale + Net_tracking.stale nt;
+  r.retransmits <- r.retransmits + Net_tracking.retransmits nt;
+  r.degraded <- r.degraded + Net_tracking.degraded_sites nt;
+  r.bound <-
+    r.bound
+    + Dt.message_bound ~h:t.config.sites
+        ~tau:(Rts_dt.Distributed_tracking.Machine.tau (Net_tracking.state nt))
+
+let terminate t id =
+  match Hashtbl.find_opt t.live id with
+  | None -> raise Not_found
+  | Some (_, nt) ->
+      retire t nt;
+      Hashtbl.remove t.live id;
+      t.terminated <- t.terminated + 1
+
+let process t (elem : Types.elem) =
+  Types.validate_elem ~dim:t.dim elem;
+  (* Deterministic site assignment: round-robin over the element ordinal,
+     identical for every query, so cross-engine comparisons see the same
+     distributed schedule. *)
+  let site = t.elements mod t.config.sites in
+  t.elements <- t.elements + 1;
+  let matured = ref [] in
+  Hashtbl.iter
+    (fun id ((q : Types.query), nt) ->
+      if Types.rect_contains q.rect elem.value then begin
+        let m = Net_tracking.increment nt ~site ~by:elem.weight in
+        if Net_tracking.estimate nt > Net_tracking.total nt then t.never_early <- false;
+        if m then matured := id :: !matured
+      end)
+    t.live;
+  let matured = Engine.sort_matured !matured in
+  List.iter
+    (fun id ->
+      let _, nt = Hashtbl.find t.live id in
+      retire t nt;
+      Hashtbl.remove t.live id;
+      t.matured <- t.matured + 1)
+    matured;
+  matured
+
+let live t = Hashtbl.length t.live
+
+let elements t = t.elements
+
+let registered t = t.registered
+
+let fold_live t f init =
+  Hashtbl.fold (fun _ (_, nt) acc -> f acc nt) t.live init
+
+let messages t = fold_live t (fun acc nt -> acc + Net_tracking.messages nt) t.retired.messages
+
+let deliveries t = fold_live t (fun acc nt -> acc + Net_tracking.deliveries nt) t.retired.deliveries
+
+let stale t = fold_live t (fun acc nt -> acc + Net_tracking.stale nt) t.retired.stale
+
+let useful_messages t = deliveries t - stale t
+
+let retransmits t =
+  fold_live t (fun acc nt -> acc + Net_tracking.retransmits nt) t.retired.retransmits
+
+let degraded_sites t =
+  fold_live t (fun acc nt -> acc + Net_tracking.degraded_sites nt) t.retired.degraded
+
+let message_bound_total t =
+  fold_live t
+    (fun acc nt ->
+      acc
+      + Dt.message_bound ~h:t.config.sites
+          ~tau:(Rts_dt.Distributed_tracking.Machine.tau (Net_tracking.state nt)))
+    t.retired.bound
+
+let never_early_ok t = t.never_early
+
+let mismatches t = t.mismatches
+
+let late_maturities t = t.late
+
+let bound_ok t =
+  (* The O(h log tau) budget is only claimed for non-degraded executions:
+     a degraded site legitimately pays per-update messages. *)
+  degraded_sites t > 0 || useful_messages t <= message_bound_total t
+
+let metrics t =
+  Metrics.of_assoc
+    [
+      ("net_shadow_sites", Metrics.Gauge (float_of_int t.config.sites));
+      ("net_shadow_instances_total", Metrics.Counter t.registered);
+      ("net_shadow_matured_total", Metrics.Counter t.matured);
+      ("net_shadow_terminated_total", Metrics.Counter t.terminated);
+      ("net_messages_total", Metrics.Counter (messages t));
+      ("net_deliveries_total", Metrics.Counter (deliveries t));
+      ("net_stale_total", Metrics.Counter (stale t));
+      ("net_useful_messages_total", Metrics.Counter (useful_messages t));
+      ("net_retransmits_total", Metrics.Counter (retransmits t));
+      ("net_message_bound_total", Metrics.Counter (message_bound_total t));
+      ("net_degraded_sites", Metrics.Gauge (float_of_int (degraded_sites t)));
+      ("net_never_early", Metrics.Gauge (if t.never_early then 1.0 else 0.0));
+      ("net_late_maturities_total", Metrics.Counter t.late);
+      ("net_ordinal_mismatches_total", Metrics.Counter t.mismatches);
+    ]
+
+let wrap t (engine : Engine.t) =
+  let ids_str ids = String.concat ";" (List.map string_of_int ids) in
+  let diverge fmt =
+    Printf.ksprintf
+      (fun s ->
+        t.mismatches <- t.mismatches + 1;
+        failwith (Printf.sprintf "net shadow divergence at element %d: %s" t.elements s))
+      fmt
+  in
+  (* The engine is exact ground truth. A non-degraded shadow instance must
+     mature on exactly the same element. A degraded instance trades
+     exactness for liveness: it must never mature EARLIER than the engine
+     (never-early), but may detect late — park it in [lagging] and let it
+     catch up on later elements. *)
+  let check ids shadow_ids =
+    List.iter
+      (fun id ->
+        if not (List.mem id ids) then
+          if Hashtbl.mem t.lagging id then begin
+            Hashtbl.remove t.lagging id;
+            t.late <- t.late + 1
+          end
+          else
+            diverge "networked shadow matured %d before the engine (engine matured [%s])"
+              id (ids_str ids))
+      shadow_ids;
+    List.iter
+      (fun id ->
+        if not (List.mem id shadow_ids) then
+          match Hashtbl.find_opt t.live id with
+          | Some (_, nt) when Net_tracking.degraded_sites nt > 0 ->
+              (* Degraded link: detection may lag; keep the instance live
+                 and wait for its (never-early) late maturity. *)
+              Hashtbl.replace t.lagging id ()
+          | Some _ ->
+              diverge
+                "engine matured %d but the non-degraded networked shadow did not (shadow \
+                 matured [%s])"
+                id (ids_str shadow_ids)
+          | None -> diverge "engine matured %d unknown to the networked shadow" id)
+      ids
+  in
+  {
+    engine with
+    Engine.name = engine.Engine.name ^ "+net-shadow";
+    register =
+      (fun q ->
+        engine.Engine.register q;
+        register t q);
+    register_batch =
+      (fun qs ->
+        engine.Engine.register_batch qs;
+        register_batch t qs);
+    terminate =
+      (fun id ->
+        engine.Engine.terminate id;
+        terminate t id);
+    process =
+      (fun elem ->
+        let ids = engine.Engine.process elem in
+        let shadow_ids = process t elem in
+        check ids shadow_ids;
+        ids);
+    metrics = (fun () -> Metrics.merge (engine.Engine.metrics ()) (metrics t));
+  }

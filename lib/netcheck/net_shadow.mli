@@ -1,0 +1,94 @@
+(** Networked shadow validation: run one {!Rts_dt.Net_tracking} instance
+    per registered query over a faulty simulated network, next to any
+    {!Rts_core.Engine}, and check that the networked protocol matures
+    each query on exactly the same stream element as the engine.
+
+    Elements are assigned to the [sites] participants round-robin over
+    the global element ordinal — the same deterministic distributed
+    schedule for every query and every engine, so the maturity logs are
+    comparable verbatim. Each instance replays an independent,
+    reproducible fault trajectory (the spec seed mixed with the query
+    id).
+
+    Accounting survives query churn: when an instance retires (matures
+    or is terminated) its message/bound totals fold into the shadow's
+    running totals, so {!useful_messages}, {!message_bound_total} and
+    friends cover the whole run. *)
+
+type config = {
+  sites : int;  (** Participants [h] per networked instance, >= 1. *)
+  faults : Rts_net.Net_fault.spec;
+  seed : int;  (** Base PRNG seed; mixed with each query id. *)
+  reliable : Rts_net.Reliable.config;
+}
+
+val default : config
+(** 4 sites, zero faults, {!Rts_net.Reliable.default}. *)
+
+type t
+
+val create : ?config:config -> dim:int -> unit -> t
+(** Raises [Invalid_argument] on [sites < 1] or an invalid fault spec. *)
+
+val register : t -> Rts_core.Types.query -> unit
+val register_batch : t -> Rts_core.Types.query list -> unit
+
+val terminate : t -> int -> unit
+(** Raises [Not_found] if the id is not alive in the shadow. *)
+
+val process : t -> Rts_core.Types.elem -> int list
+(** Feed one element to every watching instance (weight-preserving);
+    returns matured ids ascending, removing them — the same contract as
+    {!Rts_core.Engine.t.process}. *)
+
+val live : t -> int
+val elements : t -> int
+
+val registered : t -> int
+(** Instances ever registered (live + retired). *)
+
+val messages : t -> int
+(** Unique protocol sends across all instances, live and retired. *)
+
+val deliveries : t -> int
+val stale : t -> int
+
+val useful_messages : t -> int
+(** [deliveries - stale], the figure held against
+    {!message_bound_total}. *)
+
+val retransmits : t -> int
+val degraded_sites : t -> int
+
+val message_bound_total : t -> int
+(** Sum of {!Rts_dt.Distributed_tracking.message_bound} over every
+    instance ever registered. *)
+
+val never_early_ok : t -> bool
+(** Sticky invariant: the coordinator estimate never exceeded ground
+    truth on any instance at any check point. *)
+
+val bound_ok : t -> bool
+(** [useful_messages <= message_bound_total], or degradation occurred
+    (degraded links legitimately trade the bound for per-update
+    traffic). *)
+
+val mismatches : t -> int
+(** Engine/shadow maturity-set divergences observed by {!wrap}. *)
+
+val late_maturities : t -> int
+(** Degraded instances that matured after the engine did — allowed by the
+    graceful-degradation contract (never early, eventually detected). *)
+
+val metrics : t -> Rts_obs.Metrics.snapshot
+(** [net_shadow_*] and [net_*] totals plus the [net_never_early] and
+    [net_degraded_sites] gauges. *)
+
+val wrap : t -> Rts_core.Engine.t -> Rts_core.Engine.t
+(** Shadowing proxy: forwards every op to the engine and mirrors it into
+    the shadow. [process] raises [Failure] (after counting the mismatch)
+    if a non-degraded instance matures on a different element than the
+    engine, or if any instance matures {e before} the engine. Degraded
+    instances may detect late: they are parked until their (never-early)
+    maturity arrives and counted in {!late_maturities}. [metrics] returns
+    the engine's snapshot merged with the shadow's. *)

@@ -150,20 +150,99 @@ let test_small_tau_direct () =
   Alcotest.(check (option int)) "exact" (Some tau) (drive t schedule);
   Alcotest.(check int) "no rounds" 0 (Dt.rounds t)
 
+(* Raise [f], expect [Invalid_argument msg], return [msg]. *)
+let capture_invalid name f =
+  match f () with
+  | exception Invalid_argument msg -> msg
+  | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+
+let contains_sub msg sub =
+  let n = String.length msg and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let check_mentions name msg subs =
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s mentions %S in %S" name sub msg)
+        true (contains_sub msg sub))
+    subs
+
 let test_invalid_args () =
   Alcotest.check_raises "h=0" (Invalid_argument "Distributed_tracking.create: h < 1") (fun () ->
       ignore (Dt.create ~h:0 ~tau:5));
   Alcotest.check_raises "tau=0" (Invalid_argument "Distributed_tracking.create: tau < 1")
     (fun () -> ignore (Dt.create ~h:3 ~tau:0));
+  (* The increment diagnostics must name the offending site/argument and
+     carry the full instance state (h, tau, totals, round, mode). *)
   let t = Dt.create ~h:3 ~tau:5 in
-  Alcotest.check_raises "bad site" (Invalid_argument "Distributed_tracking.increment: bad site")
-    (fun () -> ignore (Dt.increment t ~site:3 ~by:1));
-  Alcotest.check_raises "bad weight" (Invalid_argument "Distributed_tracking.increment: by <= 0")
-    (fun () -> ignore (Dt.increment t ~site:0 ~by:0));
-  ignore (Dt.increment t ~site:0 ~by:5);
-  Alcotest.check_raises "dead instance"
-    (Invalid_argument "Distributed_tracking.increment: already mature") (fun () ->
-      ignore (Dt.increment t ~site:0 ~by:1))
+  let msg =
+    capture_invalid "bad site" (fun () -> ignore (Dt.increment t ~site:3 ~by:1))
+  in
+  check_mentions "bad site" msg
+    [ "bad site 3"; "valid sites are 0..2"; "h=3"; "tau=5"; "total=0"; "mode=" ];
+  let msg =
+    capture_invalid "negative site" (fun () -> ignore (Dt.increment t ~site:(-1) ~by:1))
+  in
+  check_mentions "negative site" msg [ "bad site -1"; "valid sites are 0..2" ];
+  let msg =
+    capture_invalid "bad weight" (fun () -> ignore (Dt.increment t ~site:0 ~by:0))
+  in
+  check_mentions "bad weight" msg [ "by <= 0"; "by=0"; "site=0"; "h=3" ];
+  let msg =
+    capture_invalid "negative weight" (fun () -> ignore (Dt.increment t ~site:2 ~by:(-7)))
+  in
+  check_mentions "negative weight" msg [ "by=-7"; "site=2" ];
+  ignore (Dt.increment t ~site:0 ~by:3);
+  ignore (Dt.increment t ~site:1 ~by:2);
+  let msg =
+    capture_invalid "dead instance" (fun () -> ignore (Dt.increment t ~site:0 ~by:1))
+  in
+  check_mentions "dead instance" msg
+    [ "already mature"; "site=0"; "by=1"; "total=5"; "tau=5" ];
+  (* State reported in the message reflects the live instance, not the
+     creation-time snapshot: drive an instance mid-way and check total. *)
+  let t2 = Dt.create ~h:4 ~tau:1_000 in
+  for _ = 1 to 10 do
+    ignore (Dt.increment t2 ~site:1 ~by:7)
+  done;
+  let msg =
+    capture_invalid "live state" (fun () -> ignore (Dt.increment t2 ~site:9 ~by:1))
+  in
+  check_mentions "live state" msg [ "bad site 9"; "total=70"; "tau=1000" ]
+
+(* Satellite: adversarial-scheduler message-bound property. The two
+   scheduler extremes — all weight on one site vs perfect round-robin —
+   plus random mixtures, all must respect [message_bound], and [rounds]
+   must be monotone non-decreasing along any single execution. *)
+let prop_message_bound_adversarial =
+  QCheck.Test.make ~count:200 ~name:"message bound under adversarial schedulers"
+    QCheck.(
+      quad (int_range 0 2) (int_range 1 24) (int_range 1 200_000) small_int)
+    (fun (mode, h, tau, seed) ->
+      let rng = Prng.create ~seed in
+      let t = Dt.create ~h ~tau in
+      let bound = Dt.message_bound ~h ~tau in
+      let i = ref 0 in
+      let prev_rounds = ref (Dt.rounds t) in
+      let ok = ref true in
+      while not (Dt.is_mature t) do
+        let site =
+          match mode with
+          | 0 -> 0 (* single hot site *)
+          | 1 -> !i mod h (* strict round-robin *)
+          | _ -> Prng.int rng h
+        in
+        let by = if mode = 2 then 1 + Prng.int rng 40 else 1 in
+        ignore (Dt.increment t ~site ~by);
+        incr i;
+        let r = Dt.rounds t in
+        if r < !prev_rounds then ok := false;
+        prev_rounds := r;
+        if Dt.messages t > bound then ok := false
+      done;
+      !ok && Dt.messages t <= bound)
 
 let prop_exactness =
   QCheck.Test.make ~count:300 ~name:"maturity = first crossing (random schedules)"
@@ -200,5 +279,9 @@ let () =
           Alcotest.test_case "small tau direct mode" `Quick test_small_tau_direct;
           Alcotest.test_case "invalid arguments" `Quick test_invalid_args;
         ] );
-      ("property", [ QCheck_alcotest.to_alcotest prop_exactness ]);
+      ( "property",
+        [
+          QCheck_alcotest.to_alcotest prop_exactness;
+          QCheck_alcotest.to_alcotest prop_message_bound_adversarial;
+        ] );
     ]

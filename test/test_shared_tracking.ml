@@ -173,6 +173,103 @@ let test_huge_weight_overshoot () =
   Alcotest.(check bool) "immediate maturity" true
     (List.length matured = 1 && St.is_mature a)
 
+(* Interleaved register/cancel while network faults are active: every
+   shared-tracking instance is cross-checked against two dedicated DT
+   instances — a classic synchronous one and a networked one running
+   over a lossy (drop/dup/reorder) transport. All three must mature on
+   the same shared increment. *)
+let test_interleaved_churn_under_faults () =
+  let module Dt = Rts_dt.Distributed_tracking in
+  let module Nt = Rts_dt.Net_tracking in
+  let module Net_fault = Rts_net.Net_fault in
+  (* [List.find_index] only exists from OCaml 5.1; CI also builds 4.14. *)
+  let find_index p l =
+    let rec go i = function
+      | [] -> None
+      | x :: rest -> if p x then Some i else go (i + 1) rest
+    in
+    go 0 l
+  in
+  let faults =
+    {
+      Net_fault.none with
+      Net_fault.drop = 0.25;
+      duplicate = 0.15;
+      reorder = 0.3;
+      delay_max = 4;
+    }
+  in
+  List.iter
+    (fun seed ->
+      let rng = Prng.create ~seed in
+      let counters = 6 in
+      let t = St.create ~counters in
+      (* (st_inst, watch, classic, networked) for each live instance *)
+      let shadows = ref [] in
+      let next_id = ref 0 in
+      let register () =
+        let h = 1 + Prng.int rng 4 in
+        let all = Array.init counters (fun i -> i) in
+        Prng.shuffle rng all;
+        let watch = Array.to_list (Array.sub all 0 h) in
+        let threshold = 20 + Prng.int rng 400 in
+        let inst = St.register t ~watch ~threshold in
+        let classic = Dt.create ~h ~tau:threshold in
+        let net =
+          Nt.create
+            ~config:{ Nt.default with Nt.faults; seed = seed + !next_id }
+            ~h ~tau:threshold ()
+        in
+        incr next_id;
+        shadows := (inst, watch, classic, net) :: !shadows
+      in
+      for _ = 1 to 4 do register () done;
+      for step = 1 to 600 do
+        (* Interleave registrations and cancellations with the stream. *)
+        if Prng.bernoulli rng 0.10 then register ();
+        (if Prng.bernoulli rng 0.05 then
+           match !shadows with
+           | (inst, _, _, _) :: rest when St.is_live inst ->
+               St.cancel t inst;
+               shadows := rest
+           | _ -> ());
+        let c = Prng.int rng counters in
+        let by = 1 + Prng.int rng 8 in
+        let matured = St.increment t c ~by in
+        shadows :=
+          List.filter
+            (fun (inst, watch, classic, net) ->
+              match find_index (fun w -> w = c) watch with
+              | None -> true
+              | Some site ->
+                  let m_classic = Dt.increment classic ~site ~by in
+                  let m_net = Nt.increment net ~site ~by in
+                  let m_shared = List.exists (fun m -> m == inst) matured in
+                  Alcotest.(check bool)
+                    (Printf.sprintf
+                       "step %d seed %d: shared/classic/net agree (%b/%b/%b)" step seed
+                       m_shared m_classic m_net)
+                    true
+                    (m_shared = m_classic && m_classic = m_net);
+                  Alcotest.(check bool)
+                    (Printf.sprintf "step %d: net never early" step)
+                    true
+                    (Nt.estimate net <= Nt.total net);
+                  not m_shared)
+            !shadows
+      done;
+      (* Surviving triples agree on accumulated progress too. *)
+      List.iter
+        (fun (inst, _, classic, net) ->
+          if St.is_live inst then begin
+            Alcotest.(check int) "classic total = shared progress" (St.progress t inst)
+              (Dt.total classic);
+            Alcotest.(check int) "net total = shared progress" (St.progress t inst)
+              (Nt.total net)
+          end)
+        !shadows)
+    [ 3; 11; 42 ]
+
 let prop_exactness =
   QCheck.Test.make ~count:100 ~name:"random instances over shared counters are exact"
     QCheck.(triple small_int (int_range 1 12) (int_range 1 400))
@@ -227,6 +324,8 @@ let () =
           Alcotest.test_case "quiet increments are cheap" `Quick test_increment_cheap_when_quiet;
           Alcotest.test_case "cancel mid-round" `Quick test_cancel_mid_round;
           Alcotest.test_case "huge weight overshoot" `Quick test_huge_weight_overshoot;
+          Alcotest.test_case "interleaved churn under net faults" `Quick
+            test_interleaved_churn_under_faults;
         ] );
       ("property", [ QCheck_alcotest.to_alcotest prop_exactness ]);
     ]

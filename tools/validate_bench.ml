@@ -49,7 +49,7 @@ let check_run ~file i run =
         pts
   | _ -> err "%s: %s: missing \"trace\" array" file where);
   (* The paper's budget: if the run reports DT messages, they must fit. *)
-  match (num "dt_messages" run, num "dt_message_budget" run) with
+  (match (num "dt_messages" run, num "dt_message_budget" run) with
   | Some messages, Some budget ->
       if messages > budget then
         err "%s: %s (%s): dt_messages %.0f exceeds O(h log tau) budget %.0f" file where
@@ -61,6 +61,38 @@ let check_run ~file i run =
             err "%s: %s: dt_budget_ok disagrees with the numbers" file where
       | _ -> err "%s: %s: dt_messages present but dt_budget_ok missing" file where)
   | Some _, None -> err "%s: %s: dt_messages without dt_message_budget" file where
+  | None, _ -> ());
+  (* Networked runs (bench `net`): the useful-message count must fit the
+     same analytic budget unless the fault spec degraded links, the
+     never-early invariant is unconditional, and the maturity ordinals of
+     the faulty run must match the zero-fault reference. *)
+  match (num "net_useful_messages" run, num "net_message_bound" run) with
+  | Some useful, Some bound ->
+      let degraded = Option.value ~default:0.0 (num "net_degraded_sites" run) in
+      if useful > bound && degraded <= 0.0 then
+        err "%s: %s (%s): net_useful_messages %.0f exceeds bound %.0f with no degraded sites"
+          file where
+          (Option.value ~default:"?" (str "net_spec_name" run))
+          useful bound;
+      (match mem "net_bound_ok" run with
+      | Some (Json.Bool ok) ->
+          if ok <> (degraded > 0.0 || useful <= bound) then
+            err "%s: %s: net_bound_ok disagrees with the numbers" file where
+      | _ -> err "%s: %s: net_useful_messages present but net_bound_ok missing" file where);
+      (match mem "net_never_early" run with
+      | Some (Json.Bool true) -> ()
+      | Some (Json.Bool false) -> err "%s: %s: net_never_early is false" file where
+      | _ -> err "%s: %s: net run missing net_never_early" file where);
+      (match mem "net_ordinal_match" run with
+      | Some (Json.Bool true) -> ()
+      | Some (Json.Bool false) -> err "%s: %s: net_ordinal_match is false" file where
+      | _ -> err "%s: %s: net run missing net_ordinal_match" file where);
+      ignore (require_num ~file ~where "net_messages" run);
+      ignore (require_num ~file ~where "net_retransmits" run);
+      (match str "net_spec" run with
+      | Some _ -> ()
+      | None -> err "%s: %s: net run missing string \"net_spec\"" file where)
+  | Some _, None -> err "%s: %s: net_useful_messages without net_message_bound" file where
   | None, _ -> ()
 
 let check_file file =
