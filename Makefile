@@ -9,7 +9,7 @@ RTS_FAULT_SEEDS ?= 11,23,47
 # fault trajectories); override with RTS_NET_SEEDS=a,b,c.
 RTS_NET_SEEDS ?= 7,19,101
 
-.PHONY: all build test bench-smoke check check-fault check-net clean
+.PHONY: all build test bench-smoke bench-perf check check-fault check-net clean
 
 all: build
 
@@ -26,6 +26,14 @@ bench-smoke: build
 	$(DUNE) exec bench/main.exe -- fig4 --scale $(SMOKE_SCALE) --json > /dev/null
 	$(DUNE) exec bench/main.exe -- fig6 --scale $(SMOKE_SCALE) --json > /dev/null
 	$(DUNE) exec tools/validate_bench.exe BENCH_fig4.json BENCH_fig6.json
+
+# Perf smoke: run the batched-ingestion benchmark at the smoke scale
+# (deterministic work counters for a pinned seed), then hold the
+# BENCH_perf.json output to the checked-in budgets. Wall clock is
+# reported but NOT gated -- only work-counter regressions fail the job.
+bench-perf: build
+	$(DUNE) exec bench/main.exe -- perf --scale $(SMOKE_SCALE) --reps 3 --json > /dev/null
+	$(DUNE) exec tools/validate_bench.exe -- --perf-budgets tools/perf_budgets.json BENCH_perf.json
 
 # Fault-injection suite on its own: crash the durable engine at every op
 # boundary (torn writes, bit flips, corrupt checkpoints) for the pinned

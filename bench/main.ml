@@ -94,18 +94,20 @@ type params = {
   scale : float;
   seed : int;
   json : bool; (* also write a BENCH_<fig>.json trajectory *)
+  reps : int; (* timed repetitions per configuration; the median is reported *)
   m : int; (* paper: 1M *)
   tau : int; (* paper: 20M *)
   n_dynamic : int; (* paper: 3M *)
   horizon : int; (* paper: 2M *)
 }
 
-let params_of ~scale ~seed ~json =
+let params_of ~scale ~seed ~json ~reps =
   let s x = max 1 (int_of_float (float_of_int x *. scale)) in
   {
     scale;
     seed;
     json;
+    reps = max 1 reps;
     m = s 10_000;
     tau = s 200_000;
     n_dynamic = s 30_000;
@@ -147,7 +149,7 @@ let trace_point_json (tp : Scenario.trace_point) =
       ("dt_signals", Json.int (Metrics.counter_value tp.Scenario.metrics "dt_signals_total"));
     ]
 
-let result_json (r : Scenario.result) =
+let result_json ?stability (r : Scenario.result) =
   let fm = r.Scenario.final_metrics in
   let cfg = r.Scenario.config in
   let dt_fields =
@@ -164,6 +166,16 @@ let result_json (r : Scenario.result) =
           ("dt_budget_ok", Json.Bool (messages <= budget));
         ]
     | _ -> []
+  in
+  let stability_fields =
+    match stability with
+    | None -> []
+    | Some (reps, tmin, tmax) ->
+        [
+          ("reps", Json.int reps);
+          ("total_seconds_min", Json.Num tmin);
+          ("total_seconds_max", Json.Num tmax);
+        ]
   in
   Json.Obj
     ([
@@ -183,13 +195,36 @@ let result_json (r : Scenario.result) =
        ("metrics", Metrics.to_json fm);
        ("trace", Json.List (Array.to_list (Array.map trace_point_json r.Scenario.trace)));
      ]
-    @ dt_fields)
+    @ stability_fields @ dt_fields)
 
 let runs_acc : Json.t list ref = ref []
 
+(* Warmup + median-of-k: every timed configuration first does a short
+   warmup run (same workload, truncated to a few chunks) to page in code
+   and warm the allocator, then [p.reps] full repetitions on fresh
+   engines. The median run is reported; min/max of the repetitions'
+   wall-clock land in the JSON so a noisy machine is visible instead of
+   silently distorting one number. Work counters are deterministic given
+   the seed, so any repetition's metrics describe all of them. *)
+let warmup_cfg (cfg : Scenario.config) =
+  { cfg with Scenario.max_elements = min cfg.Scenario.max_elements (4 * cfg.Scenario.chunk) }
+
+let measure ~traced p cfg factory =
+  ignore (Scenario.run (warmup_cfg cfg) factory);
+  let k = max 1 p.reps in
+  let runs =
+    List.init k (fun _ -> (if traced then Scenario.run_traced else Scenario.run) cfg factory)
+  in
+  let arr = Array.of_list runs in
+  Array.sort
+    (fun (a : Scenario.result) b -> compare a.Scenario.total_seconds b.Scenario.total_seconds)
+    arr;
+  let median = arr.(Array.length arr / 2) in
+  (median, (k, arr.(0).Scenario.total_seconds, arr.(Array.length arr - 1).Scenario.total_seconds))
+
 let run_one p cfg factory =
-  let r = (if p.json then Scenario.run_traced else Scenario.run) cfg factory in
-  if p.json then runs_acc := result_json r :: !runs_acc;
+  let r, stability = measure ~traced:p.json p cfg factory in
+  if p.json then runs_acc := result_json ~stability r :: !runs_acc;
   r
 
 let emit_json p figure =
@@ -580,6 +615,195 @@ let micro p =
   pf "@."
 
 (* ---------------------------------------------------------------- *)
+(* Perf: batched ingestion vs element-at-a-time, with deterministic  *)
+(* work counters. Static fig6-scale geometry (m, tau, n as fig6; no  *)
+(* terminations, static registration) so every batch size sees the   *)
+(* bit-identical element stream and the counters are comparable: a   *)
+(* speedup that comes with MORE node updates or heap ops is not an   *)
+(* optimization, and CI gates on the counters, not the clock.        *)
+
+let perf_counter_names =
+  [ "dt_node_updates_total"; "dt_heap_ops_total"; "dt_signals_total"; "scan_updates_total" ]
+
+let perf p =
+  header
+    (Printf.sprintf
+       "Perf: batched ingestion (batch 1/64/1024, 1D static, m=%d, tau=%d, n=%d) — \
+        wall-clock per op + deterministic work counters"
+       p.m p.tau p.n_dynamic);
+  let batches = [ 1; 64; 1024 ] in
+  let cfg =
+    {
+      Scenario.default with
+      Scenario.seed = p.seed;
+      dim = 1;
+      initial_queries = p.m;
+      tau = p.tau;
+      with_terminations = false;
+      mode = Scenario.Static;
+      max_elements = p.n_dynamic;
+      chunk = max 1024 (p.n_dynamic / 16);
+    }
+  in
+  pf "@[<h>%-14s %6s %12s %10s %14s %12s@]@." "engine" "batch" "per_op_us" "seconds"
+    "node_updates" "heap_ops";
+  let runs = ref [] in
+  let per_op = Hashtbl.create 16 in
+  let counters = Hashtbl.create 16 in
+  List.iter
+    (fun (name, factory) ->
+      List.iter
+        (fun b ->
+          let bcfg = { cfg with Scenario.batch = b } in
+          let r, stability = measure ~traced:true p bcfg factory in
+          let fm = r.Scenario.final_metrics in
+          let c k = Metrics.counter_value fm k in
+          let us = r.Scenario.total_seconds *. 1e6 /. float_of_int (max 1 r.Scenario.ops) in
+          Hashtbl.replace per_op (name, b) us;
+          Hashtbl.replace counters (name, b) (List.map (fun k -> (k, c k)) perf_counter_names);
+          pf "@[<h>%-14s %6d %12.3f %10.3f %14d %12d@]@." name b us r.Scenario.total_seconds
+            (c "dt_node_updates_total") (c "dt_heap_ops_total");
+          let run =
+            match result_json ~stability r with
+            | Json.Obj fields -> Json.Obj (fields @ [ ("batch", Json.int b) ])
+            | j -> j
+          in
+          runs := run :: !runs)
+        batches)
+    engines_1d;
+  (* The acceptance comparison: DT at batch 1024 vs batch 1. *)
+  let dt1 = Hashtbl.find per_op ("dt", 1) and dt1024 = Hashtbl.find per_op ("dt", 1024) in
+  let speedup = dt1 /. dt1024 in
+  let counters_of b = Hashtbl.find counters ("dt", b) in
+  let counter_regression =
+    List.exists2
+      (fun (k1, v1) (k2, v1024) ->
+        assert (k1 = k2);
+        k1 <> "scan_updates_total" && v1024 > v1)
+      (counters_of 1) (counters_of 1024)
+  in
+  pf "@.DT per-op: %.3f us at batch 1 -> %.3f us at batch 1024 (%.2fx); work counters %s.@."
+    dt1 dt1024 speedup
+    (if counter_regression then "REGRESSED (batch does more protocol work!)" else "no increase");
+  (* ---- Bechamel micro rows: descent, heap/signal path, batch sizes. *)
+  let micro_rows =
+    let mm = max 1 (p.m / 10) in
+    let mk_engine threshold (factory : dim:int -> Engine.t) =
+      let gen = Generator.create ~dim:1 ~seed:p.seed () in
+      let engine = factory ~dim:1 in
+      for id = 0 to mm - 1 do
+        engine.Engine.register (Generator.query gen ~id ~threshold)
+      done;
+      (engine, gen)
+    in
+    let mk_batch_test name (factory : dim:int -> Engine.t) b =
+      let engine, gen = mk_engine max_int factory in
+      let pool = Array.init 64 (fun _ -> Array.init b (fun _ -> Generator.element gen)) in
+      let i = ref 0 in
+      ( b,
+        Bechamel.Test.make
+          ~name:(Printf.sprintf "%s/batch%d" name b)
+          (Bechamel.Staged.stage (fun () ->
+               incr i;
+               ignore (engine.Engine.feed_batch pool.(!i land 63)))) )
+    in
+    let mk_descent_test () =
+      (* max_int thresholds: slack deadlines sit at infinity, so the loop
+         body is the pure root-to-leaf descent + counter increments. *)
+      let engine, gen = mk_engine max_int (fun ~dim -> Dt_engine.make ~dim) in
+      let elems = Array.init 4096 (fun _ -> Generator.element gen) in
+      let i = ref 0 in
+      ( 1,
+        Bechamel.Test.make ~name:"dt/descent"
+          (Bechamel.Staged.stage (fun () ->
+               incr i;
+               ignore (engine.Engine.process elems.(!i land 4095)))) )
+    in
+    let mk_heap_test () =
+      (* Finite tau: the DT slack machinery runs — heap pops, re-pushes,
+         round ends — without queries maturing inside the bechamel quota. *)
+      let engine, gen = mk_engine (max 2 p.tau) (fun ~dim -> Dt_engine.make ~dim) in
+      let elems = Array.init 4096 (fun _ -> Generator.element gen) in
+      let i = ref 0 in
+      ( 1,
+        Bechamel.Test.make ~name:"dt/heap"
+          (Bechamel.Staged.stage (fun () ->
+               incr i;
+               ignore (engine.Engine.process elems.(!i land 4095)))) )
+    in
+    let tests =
+      (mk_descent_test () :: mk_heap_test ()
+      :: List.concat_map
+           (fun (name, f) -> List.map (fun b -> mk_batch_test name f b) batches)
+           engines_1d)
+    in
+    let divisors =
+      List.map (fun (b, t) -> (Bechamel.Test.Elt.name (List.hd (Bechamel.Test.elements t)), b)) tests
+    in
+    let open Bechamel in
+    let bcfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+    let raw =
+      Benchmark.all bcfg
+        [ Toolkit.Instance.monotonic_clock ]
+        (Test.make_grouped ~name:"perf" (List.map snd tests))
+    in
+    let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+    let res = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+    let rows = Hashtbl.fold (fun name o acc -> (name, o) :: acc) res [] in
+    pf "@.@[<h>%-28s %14s %10s@]@." "micro" "ns/element" "r^2";
+    List.filter_map
+      (fun (name, o) ->
+        let est = match Analyze.OLS.estimates o with Some (e :: _) -> e | _ -> nan in
+        let r2 = match Analyze.OLS.r_square o with Some r -> r | None -> nan in
+        let div =
+          List.fold_left
+            (fun acc (n, b) -> if n = name || "perf/" ^ n = name then b else acc)
+            1 divisors
+        in
+        let per_elem = est /. float_of_int div in
+        pf "@[<h>%-28s %14.1f %10.4f@]@." name per_elem r2;
+        if Float.is_finite per_elem then
+          Some
+            (Json.Obj
+               [
+                 ("name", Json.Str name);
+                 ("ns_per_element", Json.Num per_elem);
+                 ("r_square", Json.Num r2);
+               ])
+        else None)
+      (List.sort compare rows)
+  in
+  if p.json then begin
+    let doc =
+      Json.Obj
+        [
+          ("figure", Json.Str "perf");
+          ( "params",
+            Json.Obj
+              [
+                ("scale", Json.Num p.scale);
+                ("seed", Json.int p.seed);
+                ("reps", Json.int p.reps);
+                ("m", Json.int p.m);
+                ("tau", Json.int p.tau);
+                ("n", Json.int p.n_dynamic);
+                ("batches", Json.List (List.map Json.int batches));
+              ] );
+          ("runs", Json.List (List.rev !runs));
+          ("micro", Json.List micro_rows);
+          ("dt_speedup_1024_vs_1", Json.Num speedup);
+          ("dt_counters_no_increase", Json.Bool (not counter_regression));
+        ]
+    in
+    let oc = open_out "BENCH_perf.json" in
+    Json.to_channel ~indent:2 oc doc;
+    output_char oc '\n';
+    close_out oc;
+    Printf.eprintf "rts-bench: wrote BENCH_perf.json (%d runs)\n%!" (List.length !runs)
+  end;
+  pf "@."
+
+(* ---------------------------------------------------------------- *)
 (* Extra: ablation — DT slack rounds vs eager signalling, plus the   *)
 (* internal telemetry behind the O(h log tau) analysis.              *)
 
@@ -640,10 +864,18 @@ let json_arg =
   in
   Arg.(value & flag & info [ "json" ] ~doc)
 
-let with_params f scale seed json = f (params_of ~scale ~seed ~json)
+let reps_arg =
+  let doc =
+    "Timed repetitions per configuration; the median run is reported and min/max land in \
+     the JSON. Warmup (a truncated run) always precedes the timed repetitions."
+  in
+  Arg.(value & opt int 3 & info [ "reps" ] ~docv:"K" ~doc)
+
+let with_params f scale seed json reps = f (params_of ~scale ~seed ~json ~reps)
 
 let cmd name doc f =
-  Cmd.v (Cmd.info name ~doc) Term.(const (with_params f) $ scale_arg $ seed_arg $ json_arg)
+  Cmd.v (Cmd.info name ~doc)
+    Term.(const (with_params f) $ scale_arg $ seed_arg $ json_arg $ reps_arg)
 
 let all_figs p =
   fig3 p;
@@ -657,9 +889,11 @@ let all_figs p =
   robust p;
   net p;
   micro p;
+  perf p;
   ablation p
 
-let default_term = Term.(const (with_params all_figs) $ scale_arg $ seed_arg $ json_arg)
+let default_term =
+  Term.(const (with_params all_figs) $ scale_arg $ seed_arg $ json_arg $ reps_arg)
 
 let () =
   let info =
@@ -681,6 +915,7 @@ let () =
       cmd "robust" "Non-uniform element distributions (Zipf, clustered)" robust;
       cmd "net" "Networked DT over faulty links: equivalence + message accounting" net;
       cmd "micro" "Bechamel steady-state per-element microbenchmark" micro;
+      cmd "perf" "Batched ingestion vs element-at-a-time: wall clock + work counters" perf;
       cmd "ablation" "DT slack rounds vs eager signalling" ablation;
       cmd "all" "Everything (default)" all_figs;
     ]

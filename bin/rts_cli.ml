@@ -136,10 +136,11 @@ let print_stats stats snapshot =
 (* ---------------- run ---------------- *)
 
 let run_cmd engine_kind dim closed queries_file quiet stats wal_dir checkpoint_every fsync_every
-    net_faults net_seed net_sites =
+    net_faults net_seed net_sites batch =
   protect @@ fun () ->
   if net_faults <> None && wal_dir <> None then
     fail "--net-faults cannot be combined with --wal (the shadow is not recoverable)";
+  if batch < 1 then fail "--batch must be >= 1";
   let make ~dim = make_engine engine_kind ~dim in
   (* With --wal, the run is crash-recoverable: recover whatever durable
      state the directory already holds (fresh directory = fresh engine),
@@ -190,14 +191,47 @@ let run_cmd engine_kind dim closed queries_file quiet stats wal_dir checkpoint_e
     engine.Engine.name dim
     (engine.Engine.alive ());
   let alerts, elements =
-    Csv_io.fold_elements ~dim
-      (fun ~elt ~line_no (alerts, _) ->
-        let matured = engine.Engine.process elt in
-        List.iter
-          (fun id -> if not quiet then Printf.printf "ALERT\t%d\t%d\n%!" line_no id)
-          matured;
-        (alerts + List.length matured, line_no))
-      (0, 0) stdin
+    if batch <= 1 then
+      Csv_io.fold_elements ~dim
+        (fun ~elt ~line_no (alerts, _) ->
+          let matured = engine.Engine.process elt in
+          List.iter
+            (fun id -> if not quiet then Printf.printf "ALERT\t%d\t%d\n%!" line_no id)
+            matured;
+          (alerts + List.length matured, line_no))
+        (0, 0) stdin
+    else begin
+      (* Batched ingestion: buffer [batch] elements, then one
+         [feed_batch] call. Alerts are attributed to the line number of
+         the last element of their batch — the batch is the unit of
+         arrival, so that is the earliest point the alert exists. *)
+      let buf = ref [] in
+      let blen = ref 0 in
+      let alerts = ref 0 in
+      let flush line_no =
+        if !blen > 0 then begin
+          let arr = Array.of_list (List.rev !buf) in
+          buf := [];
+          blen := 0;
+          let matured = engine.Engine.feed_batch arr in
+          List.iter
+            (fun id -> if not quiet then Printf.printf "ALERT\t%d\t%d\n%!" line_no id)
+            matured;
+          alerts := !alerts + List.length matured
+        end
+      in
+      let last_line =
+        Csv_io.fold_elements ~dim
+          (fun ~elt ~line_no _ ->
+            buf := elt :: !buf;
+            incr blen;
+            if !blen >= batch then flush line_no;
+            line_no)
+          0 stdin
+      in
+      flush last_line;
+      (!alerts, last_line)
+    end
   in
   Option.iter Durable.close handle;
   Printf.eprintf "rts-cli: %d elements, %d alerts, %d queries still live\n%!" elements alerts
@@ -372,9 +406,18 @@ let run_term =
           ~doc:"WAL records per fsync (with --wal); >1 trades a wider crash window for \
                 throughput.")
   in
+  let batch =
+    Arg.(
+      value & opt int 1
+      & info [ "batch" ] ~docv:"N"
+          ~doc:
+            "Ingest stdin elements in batches of $(docv) through the engine's batched \
+             path (default 1 = element at a time). Same alerts; alerts are attributed \
+             to the last line of their batch.")
+  in
   Term.(
     const run_cmd $ engine_arg $ dim_arg $ closed $ queries_file $ quiet $ stats_arg $ wal
-    $ checkpoint_every $ fsync_every $ net_faults_arg $ net_seed_arg $ net_sites_arg)
+    $ checkpoint_every $ fsync_every $ net_faults_arg $ net_seed_arg $ net_sites_arg $ batch)
 
 let recover_term =
   let wal_dir =

@@ -39,6 +39,42 @@ let process t e =
     !matured;
   Engine.sort_matured !matured
 
+(* Batched scan: flip the loop nest. One pass over the alive table, and per
+   query a tight early-exit walk of the element array — the query stops
+   scanning the moment it matures, exactly as it would have been removed
+   mid-batch by the sequential path. [scan_updates], the matured set and
+   every survivor's [got] are identical to feeding the elements one at a
+   time; iterating queries outermost touches each [state] record once per
+   batch instead of once per element. *)
+let feed_batch t elems =
+  Array.iter (fun e -> validate_elem ~dim:t.dims e) elems;
+  let n = Array.length elems in
+  Metrics.add t.counters.elements n;
+  let matured = ref [] in
+  Hashtbl.iter
+    (fun id s ->
+      let i = ref 0 in
+      let dead = ref false in
+      while (not !dead) && !i < n do
+        let e = elems.(!i) in
+        if rect_contains s.q.rect e.value then begin
+          Metrics.incr t.counters.scan_updates;
+          s.got <- s.got + e.weight;
+          if s.got >= s.q.threshold then begin
+            matured := id :: !matured;
+            dead := true
+          end
+        end;
+        incr i
+      done)
+    t.alive;
+  List.iter
+    (fun id ->
+      Hashtbl.remove t.alive id;
+      Metrics.incr t.counters.matured)
+    !matured;
+  Engine.sort_matured !matured
+
 let is_alive t id = Hashtbl.mem t.alive id
 
 let progress t id =
@@ -59,6 +95,7 @@ let engine t =
     register_batch = Engine.batch_of_register (register t);
     terminate = terminate t;
     process = process t;
+    feed_batch = feed_batch t;
     alive = (fun () -> alive_count t);
     alive_snapshot = (fun () -> alive_snapshot t);
     metrics = (fun () -> metrics t);

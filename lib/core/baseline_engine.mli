@@ -16,6 +16,12 @@ val terminate : t -> int -> unit
 
 val process : t -> elem -> int list
 
+val feed_batch : t -> elem array -> int list
+(** Batched scan with the loop nest flipped (queries outermost, early exit
+    at maturity): observably identical to [process]ing the elements one by
+    one — same matured set, survivor weights and [scan_updates_total] —
+    but each query's state is touched once per batch. *)
+
 val is_alive : t -> int -> bool
 
 val progress : t -> int -> int

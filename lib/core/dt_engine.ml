@@ -10,6 +10,10 @@ type t = {
   dims : int;
   eager : bool;
   mutable slots : slot array; (* slots.(i) plays the role of T_{i+1}, capacity 2^i *)
+  mutable live : Endpoint_tree.t array;
+      (* dense cache of the non-empty slots' trees, refreshed whenever a
+         tree is installed or discarded: the per-element path iterates this
+         flat array instead of matching [tree option] per slot per element *)
   location : (int, int) Hashtbl.t; (* alive query id -> slot index *)
   consumed : (int, int) Hashtbl.t; (* alive query id -> weight credited before its current tree *)
   mutable matured_acc : int list; (* maturities reported during the current [process] *)
@@ -30,6 +34,7 @@ let create ?(eager = false) ~dim () =
     dims = dim;
     eager;
     slots = [||];
+    live = [||];
     location = Hashtbl.create 64;
     consumed = Hashtbl.create 64;
     matured_acc = [];
@@ -57,6 +62,13 @@ let ensure_slots t j =
     t.slots <- slots
   end
 
+let refresh_live t =
+  let acc = ref [] in
+  for i = Array.length t.slots - 1 downto 0 do
+    match t.slots.(i).tree with Some tr -> acc := tr :: !acc | None -> ()
+  done;
+  t.live <- Array.of_list !acc
+
 let on_mature_of t qid =
   Hashtbl.remove t.location qid;
   Hashtbl.remove t.consumed qid;
@@ -74,13 +86,15 @@ let install_tree t idx batch =
     (fun ((q : query), remaining) ->
       Hashtbl.replace t.location q.id idx;
       Hashtbl.replace t.consumed q.id (q.threshold - remaining))
-    batch
+    batch;
+  refresh_live t
 
 let discard_slot t slot =
   match slot.tree with
   | Some tr ->
       absorb_stats t.agg (Endpoint_tree.stats tr);
-      slot.tree <- None
+      slot.tree <- None;
+      refresh_live t
   | None -> ()
 
 let register t (q : query) =
@@ -165,19 +179,66 @@ let maybe_rebuild t idx =
         install_tree t idx batch
       end
 
+(* Per-element hot path: iterate the dense [live] cache with a bare for
+   loop (no option match, no closure allocation per element) and skip the
+   maturity epilogue — rebuild probe and sort — entirely on the common
+   no-maturity case. *)
 let process t e =
   t.n_elements <- t.n_elements + 1;
   t.matured_acc <- [];
-  Array.iter
-    (fun slot -> match slot.tree with Some tr -> Endpoint_tree.process tr e | None -> ())
-    t.slots;
-  if t.matured_acc <> [] then
+  let live = t.live in
+  for i = 0 to Array.length live - 1 do
+    Endpoint_tree.process live.(i) e
+  done;
+  if t.matured_acc == [] then []
+  else begin
     for i = 0 to Array.length t.slots - 1 do
       maybe_rebuild t i
     done;
-  let out = Engine.sort_matured t.matured_acc in
-  t.matured_acc <- [];
-  out
+    let out = Engine.sort_matured t.matured_acc in
+    t.matured_acc <- [];
+    out
+  end
+
+(* Batched ingestion (the tentpole): validate the whole batch up front,
+   sort one copy by first coordinate, and drive each live tree through a
+   shared-prefix {!Endpoint_tree.cursor} — a batch of b elements costs one
+   sort plus b short tail-walks per tree instead of b full root-to-leaf
+   descents. Maturities accumulate across the batch; global-rebuild checks
+   run once at the end (rebuilds never change which queries mature or
+   their exact weights, only when migration work happens). The matured
+   set, every survivor's weight, and the post-call [alive_snapshot] equal
+   the sequential [process] results for the same multiset of elements. *)
+let process_batch t elems =
+  let n = Array.length elems in
+  if n = 0 then []
+  else begin
+    t.n_elements <- t.n_elements + n;
+    t.matured_acc <- [];
+    let live = t.live in
+    (if Array.length live = 1 then Endpoint_tree.process_batch live.(0) elems
+     else begin
+       Array.iter (fun e -> validate_elem ~dim:t.dims e) elems;
+       if Array.length live > 1 then begin
+         let sorted = Endpoint_tree.sort_batch elems in
+         Array.iter
+           (fun tr ->
+             let c = Endpoint_tree.cursor tr in
+             Array.iter (fun e -> Endpoint_tree.process_sorted c e) sorted;
+             Endpoint_tree.flush c)
+           live
+       end
+     end);
+    if t.matured_acc == [] then []
+    else begin
+      for i = 0 to Array.length t.slots - 1 do
+        maybe_rebuild t i
+      done;
+      let out = Engine.sort_matured t.matured_acc in
+      t.matured_acc <- [];
+      out
+    end
+  end
 
 let terminate t id =
   match Hashtbl.find_opt t.location id with
@@ -302,6 +363,7 @@ let engine t =
     register_batch = register_batch t;
     terminate = terminate t;
     process = process t;
+    feed_batch = process_batch t;
     alive = (fun () -> alive_count t);
     alive_snapshot = (fun () -> alive_snapshot t);
     metrics = (fun () -> metrics t);

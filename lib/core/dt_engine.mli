@@ -45,6 +45,18 @@ val terminate : t -> int -> unit
 val process : t -> elem -> int list
 (** Feed one element; returns the newly matured query ids (ascending). *)
 
+val process_batch : t -> elem array -> int list
+(** Feed a batch of elements arriving at one instant; returns all newly
+    matured query ids (ascending). Validates the whole batch, sorts one
+    copy by first coordinate and drives every live tree through a
+    shared-prefix {!Endpoint_tree.cursor}, so a batch of [b] elements
+    costs one sort plus [b] short tail-walks per tree instead of [b] full
+    descents. Matured set, surviving weights and {!alive_snapshot} are
+    identical to [b] sequential {!process} calls on the same multiset;
+    per-element maturity attribution inside the batch (and the
+    interleaving-sensitive work counters) may differ because elements are
+    reordered and global-rebuild checks run once at batch end. *)
+
 val is_alive : t -> int -> bool
 
 val progress : t -> int -> int

@@ -52,6 +52,57 @@ val process : t -> elem -> unit
     invoking [on_mature] for every query this element matures. The element
     itself is not stored. *)
 
+type cursor
+(** A batched-descent cursor: caches the root-to-leaf path of the previous
+    element so a run of key-sorted elements shares the common prefix of
+    their descents instead of re-descending from the root each time. On a
+    1D tree it additionally {e aggregates} counter increments: a node that
+    stays on the path across many consecutive elements receives one summed
+    bump (and one heap drain) when it leaves the path or at {!flush},
+    instead of one per element. Signal deliveries remain exact ([fire]
+    hands over [c - cbar] in multiples of lambda and re-arms above [c]),
+    and the known weight never exceeds the true weight, so maturities are
+    never reported early; after {!flush} the matured set equals the
+    sequential one. Between elements the tree's counters lag behind the
+    fed weight, so a cursor must be flushed before the tree is observed
+    ({!current_weight}, {!remaining}, snapshots) or mutated through any
+    other entry point. Work counters can only decrease vs. {!process}. *)
+
+val cursor : t -> cursor
+(** Fresh cursor positioned before every key. O(depth) allocation, done
+    once per batch (or reused across batches of one tree). *)
+
+val process_sorted : cursor -> elem -> unit
+(** [process_sorted c e] routes [e] like {!process} but via the cursor's
+    cached path, deferring 1D counter bumps as described above. Requires
+    the first coordinate of successive elements fed to [c] to be
+    non-decreasing; raises [Invalid_argument] otherwise. Elements are
+    validated like {!process}. *)
+
+val flush : cursor -> unit
+(** Apply every pending aggregated counter bump on the cursor's cached
+    path (deepest node first) and run the induced drains, then forget the
+    path. After [flush c] the tree state is exactly as if the whole fed
+    prefix had been processed; the cursor may keep feeding (still
+    non-decreasing) elements afterwards. Idempotent. *)
+
+val sort_batch : elem array -> elem array
+(** Copy of the batch sorted ascending on the first coordinate, using a
+    monomorphic branch-only float comparator (the polymorphic [compare]
+    is an out-of-line call and a sort makes ~2 n log n of them). Shared by
+    {!process_batch} and multi-tree drivers that feed several cursors from
+    one sorted copy. *)
+
+val process_batch : t -> elem array -> unit
+(** [process_batch t elems] validates every element, sorts a copy of the
+    batch by first coordinate, feeds it through one {!cursor} and
+    {!flush}es it. The matured id multiset equals that of calling
+    {!process} on the batch in any order (weights are order-independent
+    within a batch); only the attribution of maturity to individual
+    elements inside the batch coarsens. Work counters never exceed the
+    per-element equivalents — shared descents and aggregated bumps can
+    only remove work. *)
+
 val remove : t -> int -> unit
 (** [remove t id] terminates an alive query: deletes its slack entries from
     all node heaps in O(h log m). The tree keeps its endpoints (Section 5:

@@ -8,12 +8,18 @@ type t = {
   register_batch : query list -> unit;
   terminate : int -> unit;
   process : elem -> int list;
+  feed_batch : elem array -> int list;
   alive : unit -> int;
   alive_snapshot : unit -> (query * int) list;
   metrics : unit -> Metrics.snapshot;
 }
 
 let sort_matured ids = List.sort compare ids
+
+let batch_of_process process elems =
+  let matured = ref [] in
+  Array.iter (fun e -> matured := List.rev_append (process e) !matured) elems;
+  sort_matured !matured
 
 let sort_snapshot entries =
   List.sort (fun ((a : query), _) ((b : query), _) -> compare a.id b.id) entries

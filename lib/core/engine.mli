@@ -31,6 +31,19 @@ type t = {
       (** Feed one stream element; returns the ids of the queries this
           element matured, in ascending id order (deterministic across
           engines so traces can be compared verbatim). *)
+  feed_batch : elem array -> int list;
+      (** Feed many stream elements at one instant; returns the ids of all
+          queries the batch matured, in ascending id order. Semantically
+          the batch is an unordered multiset arriving together: the
+          matured set, every alive query's accumulated weight, and the
+          [alive_snapshot] after the call are identical to feeding the
+          elements one at a time, but an engine may reorder elements
+          {e within} the batch to amortize work — the DT engine sorts by
+          key and shares descent prefixes — so per-element attribution of
+          maturity inside a batch (and, for the DT engine, the exact
+          interleaving-sensitive work counters) may differ from a
+          specific sequential order. [feed_batch [|e|]] and [process e]
+          are exactly equivalent. *)
   alive : unit -> int;  (** Number of currently alive queries. *)
   alive_snapshot : unit -> (query * int) list;
       (** [(q, W)] for every alive query in ascending id order: the query
@@ -59,6 +72,11 @@ val sort_matured : int list -> int list
 
 val batch_of_register : (query -> unit) -> query list -> unit
 (** Default [register_batch]: iterate [register]. *)
+
+val batch_of_process : (elem -> int list) -> elem array -> int list
+(** Default [feed_batch]: iterate [process] in array order, collect and
+    sort the matured ids once. Exactly sequential semantics — wrappers
+    that must observe every element individually use this. *)
 
 val sort_snapshot : (query * int) list -> (query * int) list
 (** Ascending id order — the normalization every [alive_snapshot]

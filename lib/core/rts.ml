@@ -43,8 +43,7 @@ let cancel t s =
   s.sstatus <- `Cancelled;
   Hashtbl.remove t.subs s.sid
 
-let feed_elem t e =
-  let matured_ids = Dt_engine.process t.engine e in
+let settle t matured_ids =
   List.map
     (fun sid ->
       let s = Hashtbl.find t.subs sid in
@@ -55,7 +54,11 @@ let feed_elem t e =
       s)
     matured_ids
 
+let feed_elem t e = settle t (Dt_engine.process t.engine e)
+
 let feed t ?(weight = 1) value = feed_elem t { value; weight }
+
+let feed_batch t elems = settle t (Dt_engine.process_batch t.engine elems)
 
 let status s = s.sstatus
 

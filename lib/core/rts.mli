@@ -63,6 +63,13 @@ val feed : t -> ?weight:int -> float array -> subscription list
 val feed_elem : t -> elem -> subscription list
 (** Like {!feed}, for a prebuilt element. *)
 
+val feed_batch : t -> elem array -> subscription list
+(** Feed a batch of elements arriving at one instant (the high-throughput
+    path — see {!Dt_engine.process_batch}): returns every subscription the
+    batch matured, running their callbacks. The matured set and all
+    surviving progress equal feeding the elements one at a time; maturity
+    is attributed to the batch, not to an individual element inside it. *)
+
 val status : subscription -> [ `Live | `Matured | `Cancelled ]
 
 val label : subscription -> string option

@@ -47,6 +47,29 @@ let process t e =
     !matured;
   Engine.sort_matured (List.map (fun s -> s.q.id) !matured)
 
+(* Batched feed: same per-element stab/update/remove sequence as [process]
+   (element order preserved — removal timing affects later stabs), with
+   the matured ids accumulated across the batch and sorted once. *)
+let feed_batch t elems =
+  let matured = ref [] in
+  Array.iter
+    (fun e ->
+      validate_elem ~dim:1 e;
+      Metrics.incr t.counters.elements;
+      let hit = ref [] in
+      Interval_tree.iter_stab t.tree e.value.(0) (fun _id s ->
+          Metrics.incr t.counters.scan_updates;
+          s.got <- s.got + e.weight;
+          if s.got >= s.q.threshold then hit := s :: !hit);
+      List.iter
+        (fun s ->
+          remove t s;
+          Metrics.incr t.counters.matured;
+          matured := s.q.id :: !matured)
+        !hit)
+    elems;
+  Engine.sort_matured !matured
+
 let is_alive t id = Hashtbl.mem t.index id
 
 let progress t id =
@@ -67,6 +90,7 @@ let engine t =
     register_batch = Engine.batch_of_register (register t);
     terminate = terminate t;
     process = process t;
+    feed_batch = feed_batch t;
     alive = (fun () -> alive_count t);
     alive_snapshot = (fun () -> alive_snapshot t);
     metrics = (fun () -> metrics t);

@@ -242,6 +242,17 @@ let wrap t (engine : Engine.t) =
           | None -> diverge "engine matured %d unknown to the networked shadow" id)
       ids
   in
+  (* The shadow's whole point is per-element cross-checking, so its
+     batched path deliberately degrades to element-at-a-time: the exact
+     engine and the networked shadow must be compared on every element or
+     the never-early/ordinal checks lose their meaning. Verification
+     harness, not a perf path. *)
+  let checked_process elem =
+    let ids = engine.Engine.process elem in
+    let shadow_ids = process t elem in
+    check ids shadow_ids;
+    ids
+  in
   {
     engine with
     Engine.name = engine.Engine.name ^ "+net-shadow";
@@ -257,11 +268,7 @@ let wrap t (engine : Engine.t) =
       (fun id ->
         engine.Engine.terminate id;
         terminate t id);
-    process =
-      (fun elem ->
-        let ids = engine.Engine.process elem in
-        let shadow_ids = process t elem in
-        check ids shadow_ids;
-        ids);
+    process = checked_process;
+    feed_batch = Engine.batch_of_process checked_process;
     metrics = (fun () -> Metrics.merge (engine.Engine.metrics ()) (metrics t));
   }

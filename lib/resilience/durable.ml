@@ -116,6 +116,18 @@ let wrap ?(config = default) ?report ~dir (engine : Engine.t) =
           let matured = engine.Engine.process e in
           log h (Replay.Element e);
           matured);
+      feed_batch =
+        (fun elems ->
+          let matured = engine.Engine.feed_batch elems in
+          (* Same apply-then-log discipline as [register_batch]: append
+             every element before considering a checkpoint, so no
+             checkpoint describes a half-applied batch. A crash inside
+             the append loop widens the at-least-once window to the whole
+             batch — the producer re-feeds from its last acknowledged
+             batch boundary, exactly as it re-feeds a single element. *)
+          Array.iter (fun e -> log_no_checkpoint h (Replay.Element e)) elems;
+          maybe_checkpoint h;
+          matured);
       metrics =
         (fun () ->
           Metrics.merge

@@ -1,6 +1,17 @@
-let now () = Unix.gettimeofday ()
+(* Monotonic time. [Unix.gettimeofday] jumps under NTP slew/step, which
+   let successive BENCH_*.json timings go backwards; the benchmark gate
+   needs a clock that cannot. Bechamel's monotonic clock is a noalloc C
+   stub over CLOCK_MONOTONIC (clock_gettime) returning integer
+   nanoseconds — the same source its own measurements use. *)
+
+let now_ns () = Monotonic_clock.now ()
+
+let ns_to_s = 1e-9
+
+let now () = Int64.to_float (now_ns ()) *. ns_to_s
 
 let time f =
-  let t0 = now () in
+  let t0 = now_ns () in
   let r = f () in
-  (r, now () -. t0)
+  let t1 = now_ns () in
+  (r, Int64.to_float (Int64.sub t1 t0) *. ns_to_s)

@@ -1,11 +1,18 @@
-(** Wall-clock timing for the figure harness.
+(** Monotonic timing for the figure harness.
 
     The paper reports wall-clock per-operation cost; individual operations at
     our scale take well under a microsecond, so callers time *batches* of
-    operations between [now] reads. *)
+    operations between [now] reads. Readings come from [CLOCK_MONOTONIC]
+    (bechamel's noalloc clock stub), so elapsed times can never go negative
+    under NTP adjustment — only differences are meaningful, the epoch is
+    arbitrary (boot time, not 1970). *)
 
 val now : unit -> float
-(** Monotonic-ish wall-clock seconds ([Unix.gettimeofday]). *)
+(** Monotonic seconds since an arbitrary epoch. Use only for differences. *)
+
+val now_ns : unit -> int64
+(** The raw monotonic reading, integer nanoseconds. *)
 
 val time : (unit -> 'a) -> 'a * float
-(** [time f] runs [f ()] and returns its result with elapsed seconds. *)
+(** [time f] runs [f ()] and returns its result with elapsed seconds
+    (non-negative by construction). *)

@@ -51,6 +51,13 @@ let recording ~sink (engine : Engine.t) =
       (fun e ->
         sink (Element e);
         engine.process e);
+    feed_batch =
+      (fun elems ->
+        (* Record the batch as its element ops (the trace format is a flat
+           op stream); replaying the trace sequentially reproduces the same
+           maturities because [feed_batch] is observably order-free. *)
+        Array.iter (fun e -> sink (Element e)) elems;
+        engine.feed_batch elems);
   }
 
 let record_to_channel oc engine =

@@ -20,6 +20,16 @@ type config = {
   mode : mode;
   max_elements : int;
   chunk : int;
+  batch : int;
+      (* elements per ingestion batch inside a timed chunk: 1 = feed
+         element-at-a-time through [process]; > 1 = slice the chunk into
+         [batch]-sized arrays (untimed) and drive [feed_batch].
+         Registrations/terminations due inside a batch window are applied
+         at the batch boundary, before the batch; maturities are
+         attributed to the batch-end timestamp. Static workloads mature
+         the same id multiset at every batch size; dynamic workloads
+         coarsen control-op interleaving, so each batch size is its own
+         (valid) schedule — see scenario.mli. *)
 }
 
 let default =
@@ -34,6 +44,7 @@ let default =
     mode = Static;
     max_elements = 400_000;
     chunk = 2048;
+    batch = 1;
   }
 
 type trace_point = {
@@ -135,6 +146,7 @@ let run_terminations d now on_departure =
 let run_gen ~capture_metrics cfg factory =
   if cfg.dim < 1 then invalid_arg "Scenario.run: dim < 1";
   if cfg.chunk < 1 then invalid_arg "Scenario.run: chunk < 1";
+  if cfg.batch < 1 then invalid_arg "Scenario.run: batch < 1";
   let gen =
     Generator.create ~value_dist:cfg.value_dist ~dim:cfg.dim ~seed:cfg.seed
       ~unit_weights:cfg.unit_weights ()
@@ -224,33 +236,80 @@ let run_gen ~capture_metrics cfg factory =
       | Static | Stochastic _ -> 0
     in
     refill_query_buffer d (expected_inserts + cushion + 8);
+    (* Batched mode: slice the chunk into [batch]-sized element arrays
+       outside the timed region, so the timed loop measures ingestion, not
+       slicing. *)
+    let slices =
+      if cfg.batch <= 1 then [||]
+      else begin
+        let nb = (chunk_len + cfg.batch - 1) / cfg.batch in
+        Array.init nb (fun bi ->
+            let off = bi * cfg.batch in
+            Array.sub elems off (min cfg.batch (chunk_len - off)))
+      end
+    in
     let ops_before = d.ops in
     (* ---- timed chunk ---- *)
     let t0 = Timer.now () in
-    for i = 0 to chunk_len - 1 do
-      let ts = !now + i + 1 in
-      if insertions.(i) then register_query d ts;
-      let departures = ref 0 in
-      if cfg.with_terminations then
-        run_terminations d ts (fun () -> incr departures);
-      let matured = d.engine.process elems.(i) in
-      d.elements <- d.elements + 1;
-      d.ops <- d.ops + 1;
-      List.iter
-        (fun qid ->
-          Hashtbl.remove d.alive qid;
-          d.matured <- d.matured + 1;
-          d.ops <- d.ops + 1;
-          d.maturities <- (ts, qid) :: d.maturities;
-          incr departures)
-        matured;
-      match cfg.mode with
-      | Fixed_load ->
-          for _ = 1 to !departures do
-            register_query d ts
-          done
-      | Static | Stochastic _ -> ()
-    done;
+    if cfg.batch <= 1 then
+      for i = 0 to chunk_len - 1 do
+        let ts = !now + i + 1 in
+        if insertions.(i) then register_query d ts;
+        let departures = ref 0 in
+        if cfg.with_terminations then
+          run_terminations d ts (fun () -> incr departures);
+        let matured = d.engine.process elems.(i) in
+        d.elements <- d.elements + 1;
+        d.ops <- d.ops + 1;
+        List.iter
+          (fun qid ->
+            Hashtbl.remove d.alive qid;
+            d.matured <- d.matured + 1;
+            d.ops <- d.ops + 1;
+            d.maturities <- (ts, qid) :: d.maturities;
+            incr departures)
+          matured;
+        match cfg.mode with
+        | Fixed_load ->
+            for _ = 1 to !departures do
+              register_query d ts
+            done
+        | Static | Stochastic _ -> ()
+      done
+    else
+      Array.iteri
+        (fun bi sub ->
+          let off = bi * cfg.batch in
+          let blen = Array.length sub in
+          let ts_end = !now + off + blen in
+          let departures = ref 0 in
+          (* Registrations/terminations due inside the batch window land at
+             its leading edge, in timestamp order — the batch is "elements
+             arriving at one instant", and control ops sort before it. *)
+          for k = 0 to blen - 1 do
+            let ts = !now + off + k + 1 in
+            if insertions.(off + k) then register_query d ts;
+            if cfg.with_terminations then
+              run_terminations d ts (fun () -> incr departures)
+          done;
+          let matured = d.engine.feed_batch sub in
+          d.elements <- d.elements + blen;
+          d.ops <- d.ops + blen;
+          List.iter
+            (fun qid ->
+              Hashtbl.remove d.alive qid;
+              d.matured <- d.matured + 1;
+              d.ops <- d.ops + 1;
+              d.maturities <- (ts_end, qid) :: d.maturities;
+              incr departures)
+            matured;
+          match cfg.mode with
+          | Fixed_load ->
+              for _ = 1 to !departures do
+                register_query d ts_end
+              done
+          | Static | Stochastic _ -> ())
+        slices;
     let dt = Timer.now () -. t0 in
     (* ---- bookkeeping ---- *)
     total := !total +. dt;

@@ -39,12 +39,28 @@ type config = {
       (** hard cap on stream length; static scenarios also stop when no
           query is left alive *)
   chunk : int;  (** timestamps per timing batch (also trace resolution) *)
+  batch : int;
+      (** ingestion batch size. 1 (default) feeds elements one at a time
+          through [Engine.process]; [b > 1] slices each chunk into
+          [b]-element arrays (outside the timed region) and drives
+          [Engine.feed_batch]. Registrations/terminations whose
+          timestamps fall inside a batch window are applied at its
+          leading edge; maturities are attributed to the batch-end
+          timestamp in [maturity_log]. For static workloads (no control
+          ops after the initial batch) the matured id multiset is
+          unchanged — only timestamps coarsen to batch granularity. When
+          control ops race elements inside a window, coarsening their
+          interleaving legitimately changes outcomes (e.g. a query whose
+          termination deadline falls inside the window no longer sees the
+          window's earlier elements), so different batch sizes are
+          different — individually valid — schedules; all engines agree
+          verbatim on any given one. *)
 }
 
 val default : config
 (** 1D, seed 42, 10_000 static queries, tau = 200_000 (the paper's tau/m
     ratio of 20), weighted, with terminations, max 400_000 elements,
-    chunk 2048. *)
+    chunk 2048, batch 1. *)
 
 type trace_point = {
   ops_done : int;  (** operations completed by the end of this chunk *)

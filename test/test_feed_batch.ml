@@ -1,0 +1,357 @@
+(* Batched ingestion equivalence: [feed_batch] must be observably
+   equivalent to sequential [process] on every engine.
+
+   Observable state = matured id sets at every batch boundary, alive
+   counts, and the exact per-query accumulated weights ([alive_snapshot]).
+   Work counters are compared too: scan-style engines must do exactly the
+   same work (their batch paths only reorder loops), while the DT engine's
+   aggregated cursor may only ever do LESS work (node updates, heap ops)
+   than the per-element path — never more.
+
+   Two layers:
+   - a qcheck property over random streams with random batch cut points
+     and interleaved terminations, for all five engines (+ eager DT);
+   - pinned-seed regression runs through the Scenario driver comparing
+     batch sizes 1/64/1024 per engine and across engines. *)
+
+open Rts_core
+open Rts_workload
+module Prng = Rts_util.Prng
+module Metrics = Rts_obs.Metrics
+
+let engines_for dim =
+  List.concat
+    [
+      [
+        ("baseline", fun () -> Baseline_engine.make ~dim);
+        ("dt", fun () -> Dt_engine.make ~dim);
+        ("dt-eager", fun () -> Dt_engine.make_eager ~dim);
+      ];
+      (if dim <= 3 then [ ("r-tree", fun () -> Rtree_engine.make ~dim) ] else []);
+      (if dim = 1 then [ ("interval-tree", fun () -> Stab1d_engine.make ()) ] else []);
+      (if dim = 2 then [ ("seg-intv", fun () -> Stab2d_engine.make ()) ] else []);
+    ]
+
+let is_dt name = name = "dt" || name = "dt-eager"
+
+(* Counters whose values must match exactly between the sequential and the
+   batched run of the SAME engine. Work counters are excluded for the DT
+   engine (compared separately, with <=); rebuild/trees are
+   timing-sensitive (batch defers rebuild checks to the batch boundary)
+   and excluded as well. *)
+let exact_counters = [ "elements_total"; "registered_total"; "terminated_total"; "matured_total" ]
+
+let dt_work_counters = [ "dt_node_updates_total"; "dt_heap_ops_total" ]
+
+let counter s name = Metrics.counter_value s name
+
+(* ---- one randomized episode -------------------------------------- *)
+
+type episode_cfg = {
+  seed : int;
+  dim : int;
+  m : int; (* initial queries *)
+  domain : int;
+  max_weight : int;
+  max_tau : int;
+  n_elements : int;
+  p_term : float; (* per-boundary probability of terminating one query *)
+}
+
+let gen_query rng ~dim ~domain ~max_tau ~id =
+  let bounds =
+    Array.init dim (fun _ ->
+        let a = float_of_int (Prng.int rng domain) in
+        (a, a +. 1. +. float_of_int (Prng.int rng domain)))
+  in
+  { Types.id; rect = Types.rect_make bounds; threshold = 1 + Prng.int rng max_tau }
+
+let gen_elem rng ~dim ~domain ~max_weight =
+  {
+    Types.value = Array.init dim (fun _ -> float_of_int (Prng.int rng (domain + 4)));
+    weight = 1 + Prng.int rng max_weight;
+  }
+
+(* Cut [n] elements into random segments of length 0..13 (empty batches
+   are legal and must be no-ops). *)
+let gen_cuts rng n =
+  let segs = ref [] and used = ref 0 in
+  while !used < n do
+    let len = min (n - !used) (Prng.int rng 14) in
+    segs := len :: !segs;
+    used := !used + len;
+    if len = 0 && Prng.bernoulli rng 0.7 then used := !used (* keep occasional empties rare *)
+  done;
+  List.rev !segs
+
+let snapshot_str snap =
+  String.concat ";"
+    (List.map
+       (fun ((q : Types.query), w) -> Printf.sprintf "%d:%d" q.id w)
+       snap)
+
+let episode cfg =
+  let rng = Prng.create ~seed:cfg.seed in
+  let queries = Array.init cfg.m (fun id -> gen_query rng ~dim:cfg.dim ~domain:cfg.domain ~max_tau:cfg.max_tau ~id) in
+  let elems =
+    Array.init cfg.n_elements (fun _ -> gen_elem rng ~dim:cfg.dim ~domain:cfg.domain ~max_weight:cfg.max_weight)
+  in
+  let cuts = gen_cuts rng cfg.n_elements in
+  (* Pre-draw the termination choices so both runs see identical streams:
+     at boundary i, optionally terminate the k-th (by position) alive id. *)
+  let term_draws =
+    List.map (fun _ -> if Prng.bernoulli rng cfg.p_term then Some (Prng.int rng 1_000_000) else None) cuts
+  in
+  List.iter
+    (fun (name, make) ->
+      let seq = (make () : Engine.t) and bat = (make () : Engine.t) in
+      seq.register_batch (Array.to_list queries);
+      bat.register_batch (Array.to_list queries);
+      let alive = ref (Array.to_list (Array.map (fun (q : Types.query) -> q.id) queries)) in
+      let off = ref 0 in
+      List.iteri
+        (fun bi (len, draw) ->
+          (* identical termination on both engines *)
+          (match draw with
+          | Some k when !alive <> [] ->
+              let v = List.nth !alive (k mod List.length !alive) in
+              alive := List.filter (fun i -> i <> v) !alive;
+              seq.terminate v;
+              bat.terminate v
+          | _ -> ());
+          let seg = Array.sub elems !off len in
+          off := !off + len;
+          (* sequential reference: process one by one, collect the window *)
+          let seq_matured =
+            Engine.sort_matured
+              (Array.fold_left (fun acc e -> List.rev_append (seq.process e) acc) [] seg)
+          in
+          let bat_matured = bat.feed_batch seg in
+          if seq_matured <> bat_matured then
+            Alcotest.failf "seed %d %s batch %d: matured seq=[%s] batch=[%s]" cfg.seed name bi
+              (String.concat ";" (List.map string_of_int seq_matured))
+              (String.concat ";" (List.map string_of_int bat_matured));
+          alive := List.filter (fun i -> not (List.mem i seq_matured)) !alive;
+          if seq.alive () <> bat.alive () then
+            Alcotest.failf "seed %d %s batch %d: alive seq=%d batch=%d" cfg.seed name bi
+              (seq.alive ()) (bat.alive ());
+          let ss = seq.alive_snapshot () and bs = bat.alive_snapshot () in
+          if snapshot_str ss <> snapshot_str bs then
+            Alcotest.failf "seed %d %s batch %d: snapshot seq=[%s] batch=[%s]" cfg.seed name bi
+              (snapshot_str ss) (snapshot_str bs))
+        (List.combine cuts term_draws);
+      (* ---- work-counter discipline ---- *)
+      let sm = seq.metrics () and bm = bat.metrics () in
+      List.iter
+        (fun c ->
+          if counter sm c <> counter bm c then
+            Alcotest.failf "seed %d %s: counter %s seq=%d batch=%d" cfg.seed name c (counter sm c)
+              (counter bm c))
+        exact_counters;
+      if is_dt name then begin
+        (* Only [dt_node_updates_total <= sequential] is a theorem, and
+           only on an unchanged tree: aggregation merges bumps on the same
+           paths. Deferred rebuild checks (batch boundaries instead of per
+           element) can keep a stale, larger tree alive through a batch;
+           and heap-op/signal counts are order-sensitive (a round that
+           ends earlier under the sorted order halves lambda earlier). The
+           maturity-heavy 1D case for BOTH counters is pinned by the
+           deterministic Scenario regression below and gated in CI by the
+           perf budgets. *)
+        if counter sm "rebuilds_total" = 0 && counter bm "rebuilds_total" = 0 && cfg.dim = 1 then begin
+          let c = "dt_node_updates_total" in
+          if counter bm c > counter sm c then
+            Alcotest.failf "seed %d %s: work counter %s increased: seq=%d batch=%d" cfg.seed name
+              c (counter sm c) (counter bm c)
+        end
+      end
+      else if counter sm "scan_updates_total" <> counter bm "scan_updates_total" then
+        Alcotest.failf "seed %d %s: scan_updates seq=%d batch=%d" cfg.seed name
+          (counter sm "scan_updates_total")
+          (counter bm "scan_updates_total"))
+    (engines_for cfg.dim)
+
+(* ---- qcheck property --------------------------------------------- *)
+
+let cfg_gen =
+  QCheck.Gen.(
+    let* seed = int_range 1 1_000_000 in
+    let* dim = int_range 1 2 in
+    let* m = int_range 1 60 in
+    let* domain = int_range 2 24 in
+    let* max_weight = int_range 1 50 in
+    let* max_tau = int_range 1 600 in
+    let* n_elements = int_range 0 300 in
+    let* p_term = float_bound_inclusive 0.15 in
+    return { seed; dim; m; domain; max_weight; max_tau; n_elements; p_term })
+
+let prop_feed_batch_equivalence =
+  QCheck.Test.make ~count:60
+    ~name:"feed_batch = sequential process (matured sets, weights, counters)"
+    (QCheck.make
+       ~print:(fun c ->
+         Printf.sprintf "seed=%d dim=%d m=%d domain=%d maxw=%d maxtau=%d n=%d pterm=%.2f" c.seed
+           c.dim c.m c.domain c.max_weight c.max_tau c.n_elements c.p_term)
+       cfg_gen)
+    (fun cfg ->
+      episode cfg;
+      true)
+
+(* ---- edge cases --------------------------------------------------- *)
+
+let test_empty_and_singleton () =
+  List.iter
+    (fun dim ->
+      List.iter
+        (fun (name, make) ->
+          let e = (make () : Engine.t) in
+          let rng = Prng.create ~seed:7 in
+          e.register_batch
+            (List.init 5 (fun id -> gen_query rng ~dim ~domain:6 ~max_tau:50 ~id));
+          Alcotest.(check (list int)) (name ^ " empty batch") [] (e.feed_batch [||]);
+          let el = gen_elem rng ~dim ~domain:6 ~max_weight:3 in
+          let twin = (make () : Engine.t) in
+          let rng2 = Prng.create ~seed:7 in
+          twin.register_batch
+            (List.init 5 (fun id -> gen_query rng2 ~dim ~domain:6 ~max_tau:50 ~id));
+          Alcotest.(check (list int))
+            (name ^ " singleton batch = process")
+            (twin.process el) (e.feed_batch [| el |]))
+        (engines_for dim))
+    [ 1; 2 ]
+
+(* ---- pinned-seed Scenario regressions ----------------------------- *)
+
+let ids_of log = List.sort compare (List.map snd log)
+
+let factories_for dim =
+  match dim with
+  | 1 ->
+      [
+        ("baseline", fun ~dim -> Baseline_engine.make ~dim);
+        ("dt", fun ~dim -> Dt_engine.make ~dim);
+        ("interval-tree", fun ~dim:_ -> Stab1d_engine.make ());
+      ]
+  | _ ->
+      [
+        ("baseline", fun ~dim -> Baseline_engine.make ~dim);
+        ("dt", fun ~dim -> Dt_engine.make ~dim);
+        ("seg-intv", fun ~dim:_ -> Stab2d_engine.make ());
+        ("r-tree", fun ~dim -> Rtree_engine.make ~dim);
+      ]
+
+(* Batch-size invariance of the matured id multiset holds for STATIC
+   workloads (all control ops before the stream): elements within a window
+   are an unordered multiset, so only maturity timestamps coarsen. Dynamic
+   modes coarsen registration/termination timing to batch boundaries,
+   which legitimately changes interleaving-sensitive outcomes (a query
+   whose termination deadline falls inside a window is terminated before
+   any of the window's elements) — for those, the invariant is that every
+   ENGINE agrees verbatim on the same batched stream, checked below. *)
+let scenario_static_invariance ~dim ~seed () =
+  let base =
+    {
+      Scenario.default with
+      Scenario.dim;
+      seed;
+      initial_queries = 400;
+      tau = 4_000;
+      mode = Scenario.Static;
+      with_terminations = false;
+      max_elements = 6_000;
+      chunk = 512;
+    }
+  in
+  List.iter
+    (fun (name, factory) ->
+      let r1 = Scenario.run base factory in
+      let r64 = Scenario.run { base with Scenario.batch = 64 } factory in
+      Alcotest.(check (list int))
+        (Printf.sprintf "%s d=%d: batch=64 matures the same ids as batch=1" name dim)
+        (ids_of r1.Scenario.maturity_log)
+        (ids_of r64.Scenario.maturity_log);
+      Alcotest.(check int)
+        (Printf.sprintf "%s d=%d: batch=64 same element count" name dim)
+        r1.Scenario.elements r64.Scenario.elements)
+    (factories_for dim)
+
+(* Dynamic workload: all engines see the identical batched op stream, so
+   their maturity logs — timestamps included — must agree verbatim. *)
+let scenario_cross_engine ~dim ~seed () =
+  let cfg =
+    {
+      Scenario.default with
+      Scenario.dim;
+      seed;
+      initial_queries = 400;
+      tau = 4_000;
+      mode = Scenario.Fixed_load;
+      max_elements = 6_000;
+      chunk = 512;
+      batch = 64;
+    }
+  in
+  let reference = ref None in
+  List.iter
+    (fun (name, factory) ->
+      let r = Scenario.run cfg factory in
+      match !reference with
+      | None -> reference := Some (name, r.Scenario.maturity_log)
+      | Some (ref_name, ref_log) ->
+          Alcotest.(check (list (pair int int)))
+            (Printf.sprintf "%s = %s maturity log at batch=64 (d=%d)" name ref_name dim)
+            ref_log r.Scenario.maturity_log)
+    (factories_for dim)
+
+(* Pinned-seed DT counter regression: deterministic 1D maturity-heavy
+   static run — batching must not increase the protocol work counters
+   (this is the CI acceptance property behind the perf budgets). *)
+let test_dt_counters_pinned () =
+  let base =
+    {
+      Scenario.default with
+      Scenario.dim = 1;
+      seed = 42;
+      initial_queries = 400;
+      tau = 4_000;
+      mode = Scenario.Static;
+      with_terminations = false;
+      max_elements = 12_000;
+      chunk = 1024;
+    }
+  in
+  let r1 = Scenario.run base (fun ~dim -> Dt_engine.make ~dim) in
+  let r256 =
+    Scenario.run { base with Scenario.batch = 256 } (fun ~dim -> Dt_engine.make ~dim)
+  in
+  Alcotest.(check (list int))
+    "dt: batch=256 matures the same ids as batch=1"
+    (ids_of r1.Scenario.maturity_log)
+    (ids_of r256.Scenario.maturity_log);
+  List.iter
+    (fun c ->
+      let seq = Metrics.counter_value r1.Scenario.final_metrics c
+      and bat = Metrics.counter_value r256.Scenario.final_metrics c in
+      if bat > seq then
+        Alcotest.failf "dt pinned: %s increased under batching: seq=%d batch=%d" c seq bat)
+    dt_work_counters
+
+let test_scenario_batches () =
+  scenario_static_invariance ~dim:1 ~seed:2024 ();
+  scenario_static_invariance ~dim:2 ~seed:31 ();
+  scenario_cross_engine ~dim:1 ~seed:2024 ();
+  scenario_cross_engine ~dim:2 ~seed:31 ()
+
+let () =
+  Alcotest.run "feed_batch"
+    [
+      ( "equivalence",
+        [
+          QCheck_alcotest.to_alcotest prop_feed_batch_equivalence;
+          Alcotest.test_case "empty and singleton batches" `Quick test_empty_and_singleton;
+          Alcotest.test_case "scenario: batch sizes and engines agree" `Slow
+            test_scenario_batches;
+          Alcotest.test_case "pinned seed: dt work counters never increase" `Quick
+            test_dt_counters_pinned;
+        ] );
+    ]

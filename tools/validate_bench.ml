@@ -1,6 +1,6 @@
 (* validate_bench: CI gate over the machine-readable benchmark output.
 
-   Usage: validate_bench BENCH_fig4.json [BENCH_fig6.json ...]
+   Usage: validate_bench [--perf-budgets FILE] BENCH_fig4.json [...]
 
    For every file: parse it with Rts_obs.Json (the same dependency-free
    parser the repository ships), check the document shape the bench
@@ -8,7 +8,18 @@
    enforce the paper's telemetry claim: whenever a run carries a DT
    message count, it must not exceed its analytic O(h log tau) budget
    (the bench emits both, plus a precomputed [dt_budget_ok] verdict that
-   must agree). Exit 0 iff every file passes; problems go to stderr. *)
+   must agree). The per-op cost trajectories of fig4/fig6 must advance:
+   trace[].elements strictly increasing. `perf` documents additionally
+   carry repetition stability fields, micro-benchmark rows, and the
+   batched-ingestion verdicts; [dt_counters_no_increase] must be true
+   (batching may never add protocol work).
+
+   With [--perf-budgets FILE], every run of every `perf` document is also
+   held to the checked-in deterministic work-counter budgets, keyed
+   "engine/batch": actual counter <= budget, same scale and seed. Wall
+   clock is deliberately NOT gated — shared CI runners make it noisy —
+   the work counters are the deterministic proxy (DESIGN.md, "Hot path
+   and batching"). Exit 0 iff every file passes; problems go to stderr. *)
 
 module Json = Rts_obs.Json
 
@@ -28,7 +39,12 @@ let require_num ~file ~where k j =
   | Some _ -> err "%s: %s: %S is not finite" file where k; None
   | None -> err "%s: %s: missing number %S" file where k; None
 
-let check_run ~file i run =
+(* Figures whose traces must advance strictly: each timing window covers
+   at least one new element, so a plateau (or regression) in
+   trace[].elements means the bench mis-attributed a window. *)
+let strict_trace_figures = [ "fig4"; "fig6"; "perf" ]
+
+let check_run ~file ~figure ?budgets i run =
   let where = Printf.sprintf "runs[%d]" i in
   (match str "engine" run with
   | Some _ -> ()
@@ -41,13 +57,56 @@ let check_run ~file i run =
   | _ -> err "%s: %s: missing \"metrics\" object" file where);
   (match mem "trace" run with
   | Some (Json.List pts) ->
+      let strict = List.mem figure strict_trace_figures in
+      let prev = ref neg_infinity in
       List.iteri
         (fun j pt ->
           let pwhere = Printf.sprintf "%s.trace[%d]" where j in
-          ignore (require_num ~file ~where:pwhere "elements" pt);
+          (match require_num ~file ~where:pwhere "elements" pt with
+          | Some e ->
+              (* The first point may be the pre-stream registration batch
+                 (elements = 0); after that the count must strictly grow. *)
+              if strict && j > 0 && e <= !prev then
+                err "%s: %s: elements %.0f not strictly greater than previous %.0f" file pwhere e
+                  !prev;
+              prev := e
+          | None -> ());
           ignore (require_num ~file ~where:pwhere "avg_us" pt))
         pts
   | _ -> err "%s: %s: missing \"trace\" array" file where);
+  (* Repetition stability (bench --reps): median must sit inside the
+     observed envelope. *)
+  (match (num "reps" run, num "total_seconds_min" run, num "total_seconds_max" run) with
+  | Some reps, Some tmin, Some tmax ->
+      if reps < 1.0 then err "%s: %s: reps %.0f < 1" file where reps;
+      (match num "total_seconds" run with
+      | Some t when t < tmin -. 1e-12 || t > tmax +. 1e-12 ->
+          err "%s: %s: total_seconds %.6f outside [min=%.6f, max=%.6f]" file where t tmin tmax
+      | _ -> ())
+  | None, None, None -> ()
+  | _ -> err "%s: %s: reps/total_seconds_min/total_seconds_max must appear together" file where);
+  (* Deterministic work-counter budgets (--perf-budgets). *)
+  (match (budgets, str "engine" run, num "batch" run) with
+  | Some budgets, Some engine, Some batch ->
+      let key = Printf.sprintf "%s/%.0f" engine batch in
+      (match mem key budgets with
+      | Some (Json.Obj entries) ->
+          List.iter
+            (fun (counter, budget) ->
+              match (Json.get_num budget, Option.bind (mem "metrics" run) (num counter)) with
+              | Some b, Some actual ->
+                  if actual > b then
+                    err "%s: %s (%s): work counter %s = %.0f exceeds budget %.0f" file where key
+                      counter actual b
+              | Some _, None ->
+                  err "%s: %s (%s): budgeted counter %s missing from run metrics" file where key
+                    counter
+              | None, _ -> err "%s: %s (%s): budget for %s is not a number" file where key counter)
+            entries
+      | Some _ -> err "%s: budgets entry %S is not an object" file key
+      | None -> err "%s: %s: no budgets entry for %S" file where key)
+  | Some _, _, None -> err "%s: %s: perf run missing \"batch\" (needed for budgets)" file where
+  | _ -> ());
   (* The paper's budget: if the run reports DT messages, they must fit. *)
   (match (num "dt_messages" run, num "dt_message_budget" run) with
   | Some messages, Some budget ->
@@ -95,33 +154,107 @@ let check_run ~file i run =
   | Some _, None -> err "%s: %s: net_useful_messages without net_message_bound" file where
   | None, _ -> ()
 
-let check_file file =
+(* perf documents: batched-ingestion shape and verdicts. *)
+let check_perf_doc ~file doc =
+  (match Option.bind (mem "params" doc) (mem "batches") with
+  | Some (Json.List (_ :: _)) -> ()
+  | _ -> err "%s: perf document missing non-empty params.batches" file);
+  (match mem "micro" doc with
+  | Some (Json.List rows) ->
+      List.iteri
+        (fun i row ->
+          let where = Printf.sprintf "micro[%d]" i in
+          (match str "name" row with
+          | Some _ -> ()
+          | None -> err "%s: %s: missing string \"name\"" file where);
+          ignore (require_num ~file ~where "ns_per_element" row))
+        rows
+  | _ -> err "%s: perf document missing \"micro\" array" file);
+  ignore (require_num ~file ~where:"document" "dt_speedup_1024_vs_1" doc);
+  match mem "dt_counters_no_increase" doc with
+  | Some (Json.Bool true) -> ()
+  | Some (Json.Bool false) ->
+      err "%s: dt_counters_no_increase is false — batching added protocol work" file
+  | _ -> err "%s: perf document missing bool \"dt_counters_no_increase\"" file
+
+(* Budgets file: { "scale": s, "seed": n, "budgets": { "engine/batch":
+   { counter: max, ... }, ... } }. Scale and seed must match the perf
+   document's params — counters are deterministic only per (scale, seed). *)
+let load_budgets file =
+  match In_channel.with_open_text file In_channel.input_all with
+  | exception Sys_error msg -> err "%s" msg; None
+  | contents -> (
+      match Json.of_string contents with
+      | exception Json.Parse_error msg -> err "%s: malformed JSON: %s" file msg; None
+      | doc -> (
+          match mem "budgets" doc with
+          | Some (Json.Obj _ as b) -> Some (doc, b)
+          | _ -> err "%s: budgets file missing \"budgets\" object" file; None))
+
+let check_budget_params ~file ~budget_file budget_doc doc =
+  List.iter
+    (fun k ->
+      match (num k budget_doc, Option.bind (mem "params" doc) (num k)) with
+      | Some b, Some p when b <> p ->
+          err "%s: params.%s = %g but %s budgets were generated at %s = %g — regenerate budgets"
+            file k p budget_file k b
+      | None, _ -> err "%s: budgets file missing number %S" budget_file k
+      | _ -> ())
+    [ "scale"; "seed" ]
+
+let check_file ~budgets file =
   match In_channel.with_open_text file In_channel.input_all with
   | exception Sys_error msg -> err "%s" msg
   | contents -> (
       match Json.of_string contents with
       | exception Json.Parse_error msg -> err "%s: malformed JSON: %s" file msg
       | doc ->
-          (match str "figure" doc with
-          | Some _ -> ()
-          | None -> err "%s: missing string \"figure\"" file);
+          let figure =
+            match str "figure" doc with
+            | Some f -> f
+            | None -> err "%s: missing string \"figure\"" file; ""
+          in
           (match mem "params" doc with
           | Some (Json.Obj _) -> ()
           | _ -> err "%s: missing \"params\" object" file);
+          let run_budgets =
+            if figure <> "perf" then None
+            else begin
+              check_perf_doc ~file doc;
+              match budgets with
+              | Some (budget_file, (budget_doc, b)) ->
+                  check_budget_params ~file ~budget_file budget_doc doc;
+                  Some b
+              | None -> None
+            end
+          in
           (match mem "runs" doc with
           | Some (Json.List []) -> err "%s: \"runs\" is empty" file
           | Some (Json.List runs) ->
-              List.iteri (fun i run -> check_run ~file i run) runs;
-              Printf.printf "validate-bench: %s: %d runs ok\n" file (List.length runs)
+              List.iteri (fun i run -> check_run ~file ~figure ?budgets:run_budgets i run) runs;
+              Printf.printf "validate-bench: %s: %d runs ok%s\n" file (List.length runs)
+                (if run_budgets <> None then " (budgets enforced)" else "")
           | _ -> err "%s: missing \"runs\" array" file))
 
 let () =
-  let files = List.tl (Array.to_list Sys.argv) in
+  let budgets = ref None and files = ref [] in
+  let rec parse = function
+    | "--perf-budgets" :: path :: rest ->
+        (match load_budgets path with
+        | Some b -> budgets := Some (path, b)
+        | None -> ());
+        parse rest
+    | [ "--perf-budgets" ] -> prerr_endline "validate-bench: --perf-budgets needs a FILE"; exit 2
+    | f :: rest -> files := f :: !files; parse rest
+    | [] -> ()
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let files = List.rev !files in
   if files = [] then begin
-    prerr_endline "usage: validate_bench BENCH_<fig>.json ...";
+    prerr_endline "usage: validate_bench [--perf-budgets FILE] BENCH_<fig>.json ...";
     exit 2
   end;
-  List.iter check_file files;
+  List.iter (check_file ~budgets:!budgets) files;
   if !errors > 0 then begin
     Printf.eprintf "validate-bench: %d problem(s)\n" !errors;
     exit 1
