@@ -8,13 +8,24 @@ RTS_FAULT_SEEDS ?= 11,23,47
 # Pinned seeds for the networked-DT equivalence sweep (drop/dup/reorder
 # fault trajectories); override with RTS_NET_SEEDS=a,b,c.
 RTS_NET_SEEDS ?= 7,19,101
+# Pinned seeds for the sharded-ingestion equivalence sweep (merged
+# output vs unsharded, all executors); override with RTS_SHARD_SEEDS=a,b,c.
+RTS_SHARD_SEEDS ?= 5,17,91
 
-.PHONY: all build test bench-smoke bench-perf check check-fault check-net clean
+.PHONY: all build lint test bench-smoke bench-perf bench-shard diff-bench \
+        check check-fault check-net check-shard clean
 
 all: build
 
 build:
 	$(DUNE) build @all
+
+# Fast formatting/type gate: builds every module (including ones not yet
+# linked into an executable) without running anything. CI runs this first
+# and fails fast before spending minutes on the test matrix.
+lint:
+	$(DUNE) build @check
+	@echo "lint: OK"
 
 test: build
 	$(DUNE) runtest
@@ -35,6 +46,29 @@ bench-perf: build
 	$(DUNE) exec bench/main.exe -- perf --scale $(SMOKE_SCALE) --reps 3 --json > /dev/null
 	$(DUNE) exec tools/validate_bench.exe -- --perf-budgets tools/perf_budgets.json BENCH_perf.json
 
+# Shard smoke: run the sharded-ingestion benchmark (k = 1/2/4/8 curve,
+# maturity log asserted bit-identical to the unsharded reference inside
+# the bench itself), then hold BENCH_shard.json to the checked-in
+# per-(engine, k) work-counter budgets. Counters are executor-invariant:
+# seq and domains executors do identical work, so the same budgets gate
+# both CI legs. Wall clock (and hence speedup) is informational only --
+# a single-core runner cannot show parallel speedups at all.
+bench-shard: build
+	$(DUNE) exec bench/main.exe -- shard --scale $(SMOKE_SCALE) --reps 3 --json > /dev/null
+	$(DUNE) exec tools/validate_bench.exe -- --shard-budgets tools/shard_budgets.json BENCH_shard.json
+
+# Bench-budget drift report: for every budgeted work counter, print a
+# markdown delta table (budget / actual / headroom / drift) so a counter
+# creeping toward its ceiling is visible long before it trips the gate.
+# Exits 1 if any counter is OVER budget; LOOSE rows (actual < 50% of
+# budget) are informational hints to tighten the budget. Requires
+# BENCH_perf.json and BENCH_shard.json (run bench-perf / bench-shard
+# first, or let this target produce them).
+diff-bench: bench-perf bench-shard
+	$(DUNE) exec tools/diff_bench.exe -- \
+	  --budgets tools/perf_budgets.json BENCH_perf.json \
+	  --budgets tools/shard_budgets.json BENCH_shard.json
+
 # Fault-injection suite on its own: crash the durable engine at every op
 # boundary (torn writes, bit flips, corrupt checkpoints) for the pinned
 # seeds and assert the recovered maturity log is bit-identical to an
@@ -53,6 +87,16 @@ check-net: build
 	$(DUNE) exec bench/main.exe -- net --scale $(SMOKE_SCALE) --json > /dev/null
 	$(DUNE) exec tools/validate_bench.exe BENCH_net.json
 	@echo "check-net: OK"
+
+# Sharded-ingestion suite on its own: rendezvous-hash properties, the
+# executor pool contract, randomized step-by-step equivalence episodes,
+# and the pinned-seed scenario sweep (k in {1,2,4}, every engine, both
+# executors where the toolchain provides Domains) asserting the merged
+# maturity log is verbatim-identical to the unsharded run. CI runs this
+# as a separate job on both the 4.14 (seq) and 5.x (domains) legs.
+check-shard: build
+	RTS_SHARD_SEEDS=$(RTS_SHARD_SEEDS) $(DUNE) exec test/test_shard.exe
+	@echo "check-shard: OK"
 
 check: build test bench-smoke
 	@echo "check: OK"

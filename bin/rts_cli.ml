@@ -99,6 +99,42 @@ let stats_arg =
   in
   Arg.(value & flag & info [ "stats" ] ~doc)
 
+(* ---- sharded ingestion (--shards / --executor) ---- *)
+
+let executor_conv =
+  let parse s =
+    match Rts_shard.Executor.kind_of_string s with Ok k -> Ok k | Error m -> Error (`Msg m)
+  in
+  let print ppf k = Format.pp_print_string ppf (Rts_shard.Executor.kind_to_string k) in
+  Arg.conv (parse, print)
+
+let shards_arg =
+  let doc =
+    "Partition the queries across $(docv) shards (rendezvous hashing on query id), each \
+     running a full engine over the whole element stream. Matured ids, snapshots and the \
+     alert stream are bit-identical to the unsharded run regardless of shard count or \
+     executor."
+  in
+  Arg.(value & opt int 1 & info [ "shards" ] ~docv:"K" ~doc)
+
+let executor_arg =
+  let doc =
+    "Where shard tasks run: 'seq' (inline, always available; the reference semantics) or \
+     'domains' (one OCaml 5 domain per shard; parallel, same output). Implies sharding \
+     even with --shards 1. Default: seq."
+  in
+  Arg.(value & opt (some executor_conv) None & info [ "executor" ] ~docv:"EXEC" ~doc)
+
+(* [sharded_factory kind ~shards ~executor] is [(make, close)]: the engine
+   factory for this invocation — the plain engine when sharding is off,
+   else [Shard.factory] over it — plus a closer that joins any executor
+   domains. Close only after the last engine call (metrics included). *)
+let sharded_factory engine_kind ~shards ~executor =
+  if shards < 1 then fail "--shards must be >= 1";
+  let base ~dim = make_engine engine_kind ~dim in
+  if shards = 1 && executor = None then (base, fun () -> ())
+  else Rts_shard.Shard.factory ?executor ~shards base
+
 (* ---- networked shadow validation (--net-faults) ---- *)
 
 let net_fault_conv =
@@ -136,12 +172,15 @@ let print_stats stats snapshot =
 (* ---------------- run ---------------- *)
 
 let run_cmd engine_kind dim closed queries_file quiet stats wal_dir checkpoint_every fsync_every
-    net_faults net_seed net_sites batch =
+    net_faults net_seed net_sites batch shards executor =
   protect @@ fun () ->
   if net_faults <> None && wal_dir <> None then
     fail "--net-faults cannot be combined with --wal (the shadow is not recoverable)";
   if batch < 1 then fail "--batch must be >= 1";
-  let make ~dim = make_engine engine_kind ~dim in
+  (* Sharding sits innermost: Durable logs ops against the sharded engine
+     (recovery replays the WAL into a fresh sharded engine via the same
+     factory) and the net shadow cross-checks its merged output. *)
+  let make, close_shards = sharded_factory engine_kind ~shards ~executor in
   (* With --wal, the run is crash-recoverable: recover whatever durable
      state the directory already holds (fresh directory = fresh engine),
      then wrap the engine so every op is WAL-logged and periodically
@@ -249,6 +288,7 @@ let run_cmd engine_kind dim closed queries_file quiet stats wal_dir checkpoint_e
         (Sh.bound_ok s) (Sh.retransmits s) (Sh.degraded_sites s) (Sh.late_maturities s)
         (Sh.never_early_ok s));
   print_stats stats (engine.Engine.metrics ());
+  close_shards ();
   0
 
 (* ---------------- recover ---------------- *)
@@ -343,7 +383,7 @@ let record_cmd dim seed m tau n mode p_ins =
     r.Scenario.elements r.Scenario.registered r.Scenario.terminated;
   0
 
-let demo_cmd engine_kind dim seed m tau n mode p_ins stats =
+let demo_cmd engine_kind dim seed m tau n mode p_ins stats shards executor =
   protect @@ fun () ->
   let mode = scenario_mode mode n p_ins in
   let cfg =
@@ -358,7 +398,9 @@ let demo_cmd engine_kind dim seed m tau n mode p_ins stats =
       chunk = max 64 (n / 64);
     }
   in
-  let r = Scenario.run cfg (fun ~dim -> make_engine engine_kind ~dim) in
+  let make, close_shards = sharded_factory engine_kind ~shards ~executor in
+  let r = Scenario.run cfg make in
+  close_shards ();
   Format.printf "%a@." Scenario.pp_result r;
   Format.printf "trace (elements, alive, us/op):@.";
   Array.iteri
@@ -417,7 +459,8 @@ let run_term =
   in
   Term.(
     const run_cmd $ engine_arg $ dim_arg $ closed $ queries_file $ quiet $ stats_arg $ wal
-    $ checkpoint_every $ fsync_every $ net_faults_arg $ net_seed_arg $ net_sites_arg $ batch)
+    $ checkpoint_every $ fsync_every $ net_faults_arg $ net_seed_arg $ net_sites_arg $ batch
+    $ shards_arg $ executor_arg)
 
 let recover_term =
   let wal_dir =
@@ -453,7 +496,9 @@ let demo_term =
   let p_ins =
     Arg.(value & opt float 0.3 & info [ "p-ins" ] ~docv:"P" ~doc:"Stochastic insertion probability.")
   in
-  Term.(const demo_cmd $ engine_arg $ dim_arg $ seed_arg $ m $ tau $ n $ mode $ p_ins $ stats_arg)
+  Term.(
+    const demo_cmd $ engine_arg $ dim_arg $ seed_arg $ m $ tau $ n $ mode $ p_ins $ stats_arg
+    $ shards_arg $ executor_arg)
 
 let record_term =
   let m = Arg.(value & opt int 1_000 & info [ "m" ] ~docv:"M" ~doc:"Initial queries.") in

@@ -160,6 +160,8 @@ let merge a b =
     )
     names
 
+let merge_all snaps = List.fold_left merge empty snaps
+
 let is_monotone ~before ~after =
   List.for_all
     (fun (name, v) ->

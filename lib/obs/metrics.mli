@@ -103,6 +103,12 @@ val merge : snapshot -> snapshot -> snapshot
     operand) — used by the bench to aggregate across engines or runs.
     Raises [Invalid_argument] on a kind mismatch under one name. *)
 
+val merge_all : snapshot list -> snapshot
+(** [merge_all snaps] folds {!merge} left-to-right over [snaps] (so for
+    gauges the {e last} snapshot carrying a name wins) — the shard layer
+    aggregates its per-shard engine snapshots with this, appending its
+    own corrected gauges last. [merge_all [] = empty]. *)
+
 val is_monotone : before:snapshot -> after:snapshot -> bool
 (** Every counter present in both grew or stayed equal — the
     engine-agnostic sanity law asserted by the test suite. *)

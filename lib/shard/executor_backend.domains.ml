@@ -1,0 +1,133 @@
+(* Domain-backed executor (OCaml >= 5.0; selected by dune when
+   runtime_events is present).
+
+   One long-lived Domain per slot, each consuming from its own SPSC
+   mailbox: the coordinator is the single producer, the worker the
+   single consumer. Tasks are plain closures; a per-call countdown
+   latch gives the barrier. Mutex/Condition on both the mailboxes and
+   the latch provide the happens-before edges that make the results
+   (and everything the tasks mutated) visible to the coordinator under
+   the OCaml 5 memory model.
+
+   Domains parked in Condition.wait are blocked outside the OCaml
+   runtime, so an idle pool does not delay stop-the-world collections
+   on the coordinator. *)
+
+let available = true
+
+let parallelism_hint () = Domain.recommended_domain_count ()
+
+type task = Run of (unit -> unit) | Quit
+
+module Mailbox = struct
+  (* SPSC: exactly one producer (the coordinator) and one consumer (the
+     slot's domain). A Queue under a mutex is enough at batch
+     granularity — the mailbox is touched once per dispatched batch,
+     not per element. *)
+  type t = { m : Mutex.t; c : Condition.t; q : task Queue.t }
+
+  let create () = { m = Mutex.create (); c = Condition.create (); q = Queue.create () }
+
+  let put t x =
+    Mutex.lock t.m;
+    Queue.push x t.q;
+    Condition.signal t.c;
+    Mutex.unlock t.m
+
+  let take t =
+    Mutex.lock t.m;
+    while Queue.is_empty t.q do
+      Condition.wait t.c t.m
+    done;
+    let x = Queue.pop t.q in
+    Mutex.unlock t.m;
+    x
+end
+
+module Latch = struct
+  type t = { m : Mutex.t; c : Condition.t; mutable pending : int }
+
+  let create n = { m = Mutex.create (); c = Condition.create (); pending = n }
+
+  let arrive t =
+    Mutex.lock t.m;
+    t.pending <- t.pending - 1;
+    if t.pending = 0 then Condition.broadcast t.c;
+    Mutex.unlock t.m
+
+  let wait t =
+    Mutex.lock t.m;
+    while t.pending > 0 do
+      Condition.wait t.c t.m
+    done;
+    Mutex.unlock t.m
+end
+
+type pool = {
+  mailboxes : Mailbox.t array;
+  domains : unit Domain.t array;
+  mutable closed : bool;
+}
+
+let spawn n =
+  if n < 1 then invalid_arg "Executor_backend.spawn: n < 1";
+  let mailboxes = Array.init n (fun _ -> Mailbox.create ()) in
+  let domains =
+    Array.map
+      (fun mb ->
+        Domain.spawn (fun () ->
+            let rec loop () =
+              match Mailbox.take mb with
+              | Run f ->
+                  f ();
+                  loop ()
+              | Quit -> ()
+            in
+            loop ()))
+      mailboxes
+  in
+  { mailboxes; domains; closed = false }
+
+let check p = if p.closed then invalid_arg "Executor_backend: pool closed"
+
+(* Fan a closure out to a subset of slots, barrier, then re-raise the
+   lowest-slot failure (if any) with its original backtrace. Results and
+   errors live in plain arrays: each cell is written by exactly one
+   worker before it arrives at the latch, and read by the coordinator
+   only after the latch opens. *)
+let exec_slots p slots f =
+  check p;
+  let n = Array.length slots in
+  let results = Array.make n None in
+  let errors = Array.make n None in
+  let latch = Latch.create n in
+  Array.iteri
+    (fun j slot ->
+      Mailbox.put p.mailboxes.(slot)
+        (Run
+           (fun () ->
+             (try results.(j) <- Some (f slot)
+              with e -> errors.(j) <- Some (e, Printexc.get_raw_backtrace ()));
+             Latch.arrive latch)))
+    slots;
+  Latch.wait latch;
+  Array.iter
+    (function
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ())
+    errors;
+  Array.map (function Some r -> r | None -> assert false) results
+
+let exec p f = exec_slots p (Array.init (Array.length p.mailboxes) Fun.id) f
+
+let exec_on p i f =
+  if i < 0 || i >= Array.length p.mailboxes then
+    invalid_arg "Executor_backend.exec_on: slot out of range";
+  (exec_slots p [| i |] (fun _ -> f ())).(0)
+
+let close p =
+  if not p.closed then begin
+    p.closed <- true;
+    Array.iter (fun mb -> Mailbox.put mb Quit) p.mailboxes;
+    Array.iter Domain.join p.domains
+  end

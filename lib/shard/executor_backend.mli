@@ -1,0 +1,41 @@
+(** Build-time-selected execution backend (see lib/shard/dune).
+
+    Two implementations satisfy this signature:
+    - [executor_backend.domains.ml] — one OCaml 5 [Domain] per slot, fed
+      through SPSC mailboxes (selected when the runtime ships
+      [runtime_events], i.e. OCaml >= 5.0);
+    - [executor_backend.seq.ml] — an inline sequential stand-in that
+      keeps the library building on 4.14.
+
+    {!Executor} is the only client; nothing else should touch this
+    module. The contract every implementation must honour: worker slot
+    [i] {e owns} the state its tasks close over — between calls the
+    workers are quiescent, and the end-of-call barrier establishes
+    happens-before in both directions, so the coordinator may freely
+    read that state while no call is in flight. *)
+
+val available : bool
+(** True when {!exec} really fans tasks out over parallel domains. *)
+
+val parallelism_hint : unit -> int
+(** The runtime's recommended domain count (1 on the sequential
+    backend) — recorded by the bench so scaling numbers can be read in
+    context of the hardware that produced them. *)
+
+type pool
+(** [n] worker slots, indexed [0 .. n-1]. *)
+
+val spawn : int -> pool
+
+val exec : pool -> (int -> 'a) -> 'a array
+(** [exec p f] runs [f i] on every slot [i] (concurrently on the
+    domains backend), waits for all of them (barrier), and returns the
+    results in slot order. If tasks raised, the exception of the
+    lowest-numbered failing slot is re-raised on the caller {e after}
+    the barrier — deterministic regardless of domain scheduling. *)
+
+val exec_on : pool -> int -> (unit -> 'a) -> 'a
+(** Run one task on one slot and wait for it; exceptions propagate. *)
+
+val close : pool -> unit
+(** Stop and join the workers. Idempotent. *)

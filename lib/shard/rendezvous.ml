@@ -1,0 +1,36 @@
+(* Highest-random-weight hashing over (query id, shard) pairs.
+
+   Int64 arithmetic keeps the mixing function identical on 32- and
+   64-bit platforms (OCaml's native int is 63-bit on the CI runners but
+   31-bit elsewhere); the constants are the splitmix64 finalizer's. Not
+   a hot path — placement runs per REGISTER/TERMINATE, never per
+   element. *)
+
+let mix64 (z : int64) =
+  let open Int64 in
+  let z = add z 0x9e3779b97f4a7c15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let score ~shard id =
+  (* Decorrelate the shard index from the id with an FNV-prime multiply
+     before mixing, so [score ~shard:s id] and [score ~shard:(s+1) id]
+     share no low-bit structure. *)
+  mix64 (Int64.logxor (Int64.of_int id) (Int64.mul (Int64.of_int (shard + 1)) 0x100000001b3L))
+
+let owner ~shards id =
+  if shards < 1 then invalid_arg "Rendezvous.owner: shards < 1";
+  if shards = 1 then 0
+  else begin
+    let best = ref 0 in
+    let best_score = ref (score ~shard:0 id) in
+    for s = 1 to shards - 1 do
+      let sc = score ~shard:s id in
+      if Int64.unsigned_compare sc !best_score > 0 then begin
+        best := s;
+        best_score := sc
+      end
+    done;
+    !best
+  end

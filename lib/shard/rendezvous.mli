@@ -1,0 +1,22 @@
+(** Rendezvous (highest-random-weight) placement of query ids on shards.
+
+    Every (id, shard) pair gets a pseudo-random 64-bit score from a
+    splitmix64-style finalizer; the id lives on the shard with the
+    highest score. The mapping is
+
+    - {e deterministic}: a pure function of [(id, shards)] — the same on
+      every run, platform and executor, which is what makes the sharded
+      maturity log reproducible;
+    - {e balanced}: scores are i.i.d.-uniform per shard, so [m] ids
+      spread ~[m/k] per shard with binomial concentration;
+    - {e monotone}: growing [shards] from [k] to [k+1] only ever moves
+      ids onto the {e new} shard — ids never reshuffle among surviving
+      shards (the classic HRW property, asserted by the test suite). *)
+
+val score : shard:int -> int -> int64
+(** The raw mixing score — exposed for tests; compare with
+    [Int64.unsigned_compare]. *)
+
+val owner : shards:int -> int -> int
+(** [owner ~shards id] is the shard in [0, shards) that owns [id].
+    Raises [Invalid_argument] if [shards < 1]. *)

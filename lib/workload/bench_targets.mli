@@ -1,0 +1,41 @@
+(** The single registry of benchmark targets.
+
+    Both sides of the bench pipeline consume this table: [bench/main.ml]
+    builds its cmdliner command list (and the [all] sweep) from it, and
+    [tools/validate_bench.ml] uses it to decide which figures exist,
+    which must carry strictly-advancing traces, and how their
+    work-counter budget files are keyed. Before this table existed the
+    figure list was hardcoded in both places, so a new bench target
+    could be added to the bench without the validator ever seeing its
+    output — the registry makes that structurally impossible: the bench
+    asserts at startup that its implementations and this table cover
+    each other exactly, and the validator rejects any
+    [BENCH_<figure>.json] whose figure it does not know. *)
+
+type budget_keying =
+  | No_budgets  (** figure carries no checked-in work-counter budgets *)
+  | By_batch
+      (** budget entries are keyed ["<engine>/<batch>"] — the batched
+          ingestion sweep ([perf], [tools/perf_budgets.json]) *)
+  | By_shards
+      (** budget entries are keyed ["<engine>/k<shards>"] — the shard
+          scaling sweep ([shard], [tools/shard_budgets.json]) *)
+
+type t = {
+  name : string;  (** target name = cmdliner subcommand = JSON "figure" *)
+  doc : string;  (** one-line description (cmdliner [~doc]) *)
+  emits_json : bool;
+      (** writes [BENCH_<name>.json] under [--json]; the only exception
+          is [micro], whose Bechamel output has no stable JSON shape *)
+  strict_trace : bool;
+      (** every run's [trace[].elements] must strictly increase after
+          the first point — the figures whose trajectories CI replots *)
+  budget_keying : budget_keying;
+}
+
+val all : t list
+(** Every target, in the order the default [all] sweep runs them. *)
+
+val names : string list
+
+val find : string -> t option

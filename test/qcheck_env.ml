@@ -1,0 +1,16 @@
+(* Shared helper: scale qcheck case counts from the environment.
+
+   CI's nightly deep sweep runs the same suites with QCHECK_COUNT=2000;
+   the default PR gate keeps each suite's own (fast) default. Invalid or
+   unset values fall back to the suite default, so a stray environment
+   never silently weakens a run to zero cases. *)
+
+let count default =
+  match Sys.getenv_opt "QCHECK_COUNT" with
+  | None | Some "" -> default
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> n
+      | _ ->
+          Printf.eprintf "qcheck_env: ignoring invalid QCHECK_COUNT=%S (using %d)\n%!" s default;
+          default)

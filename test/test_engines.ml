@@ -314,7 +314,7 @@ let test_negative_coordinates () =
 
 (* qcheck: random parameters for the whole simulation. *)
 let prop_equivalence =
-  QCheck.Test.make ~count:25 ~name:"random workloads: dt = baseline"
+  QCheck.Test.make ~count:(Qcheck_env.count 25) ~name:"random workloads: dt = baseline"
     QCheck.(
       quad (int_bound 10_000) (int_range 1 3) (int_range 2 20) (int_range 1 200))
     (fun (seed, dim, domain, max_tau) ->

@@ -186,7 +186,7 @@ let cfg_gen =
     return { seed; dim; m; domain; max_weight; max_tau; n_elements; p_term })
 
 let prop_feed_batch_equivalence =
-  QCheck.Test.make ~count:60
+  QCheck.Test.make ~count:(Qcheck_env.count 60)
     ~name:"feed_batch = sequential process (matured sets, weights, counters)"
     (QCheck.make
        ~print:(fun c ->

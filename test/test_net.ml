@@ -104,7 +104,7 @@ let fault_spec_gen =
       })
 
 let prop_fault_equivalence =
-  QCheck.Test.make ~count:60
+  QCheck.Test.make ~count:(Qcheck_env.count 60)
     ~name:"faulty run = zero-fault run (maturity ordinal, useful messages, bound)"
     QCheck.(
       pair

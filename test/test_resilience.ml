@@ -570,7 +570,7 @@ let prop_crash_equivalence =
         engine;
       })
   in
-  QCheck.Test.make ~count:80 ~name:"crash equivalence (randomized)"
+  QCheck.Test.make ~count:(Qcheck_env.count 80) ~name:"crash equivalence (randomized)"
     (QCheck.make ~print:pp_case case_gen)
     (fun c ->
       ignore (run_crash_case c);

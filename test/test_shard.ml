@@ -1,0 +1,541 @@
+(* Sharded ingestion equivalence: a query-sharded engine must be
+   observably indistinguishable from the unsharded engine it partitions —
+   matured id lists at every step, alive counts, per-query accumulated
+   weights, and (through the Scenario driver) the maturity log verbatim,
+   timestamps included — for every engine, shard count, executor and
+   batch size.
+
+   Layers:
+   - unit tests for the rendezvous placement (range, determinism, rough
+     balance, the k -> k+1 monotonicity that makes growing a deployment
+     cheap) and for the executor contract (slot-ordered results,
+     lowest-slot exception, close semantics) on BOTH backends where
+     available;
+   - a qcheck property driving random episodes (random shard counts,
+     batch cut points, mid-stream registrations and terminations) over
+     every engine, comparing the sharded engine step by step against the
+     unsharded reference;
+   - pinned-seed Scenario regressions (`make check-shard` widens the
+     seed list via RTS_SHARD_SEEDS) asserting maturity-log equality for
+     k in {1,2,4} x executors x batch in {1,64};
+   - wrapper composition: Durable.wrap around a sharded engine recovers
+     into an equivalent sharded engine, and Net_shadow cross-checks a
+     sharded engine without divergence. *)
+
+open Rts_core
+open Rts_workload
+open Rts_resilience
+module Prng = Rts_util.Prng
+module Metrics = Rts_obs.Metrics
+module Shard = Rts_shard.Shard
+module Executor = Rts_shard.Executor
+module Rendezvous = Rts_shard.Rendezvous
+module Net_shadow = Rts_netcheck.Net_shadow
+
+let executors = Executor.Seq :: (if Executor.domains_available then [ Executor.Domains ] else [])
+
+let exec_str = Executor.kind_to_string
+
+(* ---- rendezvous placement ----------------------------------------- *)
+
+let test_rendezvous_range () =
+  List.iter
+    (fun shards ->
+      for id = 0 to 2_000 do
+        let s = Rendezvous.owner ~shards id in
+        if s < 0 || s >= shards then
+          Alcotest.failf "owner ~shards:%d %d = %d out of range" shards id s;
+        Alcotest.(check int)
+          (Printf.sprintf "owner is deterministic (k=%d id=%d)" shards id)
+          s
+          (Rendezvous.owner ~shards id)
+      done)
+    [ 1; 2; 3; 4; 7; 8 ];
+  for id = 0 to 100 do
+    Alcotest.(check int) "single shard owns everything" 0 (Rendezvous.owner ~shards:1 id)
+  done;
+  Alcotest.check_raises "shards=0 rejected" (Invalid_argument "Rendezvous.owner: shards < 1")
+    (fun () -> ignore (Rendezvous.owner ~shards:0 5))
+
+let test_rendezvous_balance () =
+  let n = 10_000 and shards = 8 in
+  let counts = Array.make shards 0 in
+  for id = 0 to n - 1 do
+    let s = Rendezvous.owner ~shards id in
+    counts.(s) <- counts.(s) + 1
+  done;
+  let expected = n / shards in
+  Array.iteri
+    (fun s c ->
+      if c < expected / 2 || c > expected * 2 then
+        Alcotest.failf "shard %d owns %d of %d ids (expected ~%d): hash is badly skewed" s c n
+          expected)
+    counts
+
+(* HRW monotonicity: adding shard k+1 only ever moves ids TO the new
+   shard — an id whose argmax was s <= k keeps it unless the new shard's
+   score beats it. *)
+let test_rendezvous_monotone () =
+  for shards = 1 to 7 do
+    for id = 0 to 3_000 do
+      let before = Rendezvous.owner ~shards id in
+      let after = Rendezvous.owner ~shards:(shards + 1) id in
+      if after <> before && after <> shards then
+        Alcotest.failf "k=%d -> k=%d moved id %d from shard %d to OLD shard %d" shards
+          (shards + 1) id before after
+    done
+  done
+
+(* ---- executor contract -------------------------------------------- *)
+
+let test_executor_basics () =
+  List.iter
+    (fun kind ->
+      let t = Executor.create ~kind ~shards:4 () in
+      Alcotest.(check int) "shards" 4 (Executor.shards t);
+      let r = Executor.run_all t (fun i -> (10 * i) + 1) in
+      Alcotest.(check (array int)) (exec_str kind ^ ": slot-ordered results") [| 1; 11; 21; 31 |] r;
+      Alcotest.(check int) (exec_str kind ^ ": run_on") 42 (Executor.run_on t 2 (fun () -> 42));
+      (* lowest failing slot wins, deterministically *)
+      (try
+         ignore
+           (Executor.run_all t (fun i -> if i >= 1 then raise (Failure (string_of_int i)) else i));
+         Alcotest.fail "expected exception from run_all"
+       with Failure s ->
+         Alcotest.(check string) (exec_str kind ^ ": lowest-slot exception") "1" s);
+      (* the pool survives a task exception *)
+      Alcotest.(check (array int))
+        (exec_str kind ^ ": usable after exception")
+        [| 0; 1; 2; 3 |]
+        (Executor.run_all t (fun i -> i));
+      Executor.close t;
+      Executor.close t (* idempotent *);
+      Alcotest.check_raises (exec_str kind ^ ": run after close") (Invalid_argument "Executor: closed")
+        (fun () -> ignore (Executor.run_all t (fun i -> i))))
+    executors;
+  if not Executor.domains_available then
+    try
+      ignore (Executor.create ~kind:Executor.Domains ~shards:2 ());
+      Alcotest.fail "domains executor should be unavailable"
+    with Invalid_argument _ -> ()
+
+let test_executor_strings () =
+  List.iter
+    (fun kind ->
+      Alcotest.(check bool) "kind_of_string inverts kind_to_string" true
+        (Executor.kind_of_string (exec_str kind) = Ok kind))
+    [ Executor.Seq; Executor.Domains ];
+  Alcotest.(check bool) "par = domains" true
+    (Executor.kind_of_string "par" = Ok Executor.Domains);
+  Alcotest.(check bool) "unknown rejected" true
+    (match Executor.kind_of_string "gpu" with Error _ -> true | Ok _ -> false)
+
+(* ---- engine roster + generators (test_feed_batch idiom) ----------- *)
+
+let engines_for dim =
+  List.concat
+    [
+      [
+        ("baseline", fun () -> Baseline_engine.make ~dim);
+        ("dt", fun () -> Dt_engine.make ~dim);
+        ("dt-eager", fun () -> Dt_engine.make_eager ~dim);
+      ];
+      (if dim <= 3 then [ ("r-tree", fun () -> Rtree_engine.make ~dim) ] else []);
+      (if dim = 1 then [ ("interval-tree", fun () -> Stab1d_engine.make ()) ] else []);
+      (if dim = 2 then [ ("seg-intv", fun () -> Stab2d_engine.make ()) ] else []);
+    ]
+
+let gen_query rng ~dim ~domain ~max_tau ~id =
+  let bounds =
+    Array.init dim (fun _ ->
+        let a = float_of_int (Prng.int rng domain) in
+        (a, a +. 1. +. float_of_int (Prng.int rng domain)))
+  in
+  { Types.id; rect = Types.rect_make bounds; threshold = 1 + Prng.int rng max_tau }
+
+let gen_elem rng ~dim ~domain ~max_weight =
+  {
+    Types.value = Array.init dim (fun _ -> float_of_int (Prng.int rng (domain + 4)));
+    weight = 1 + Prng.int rng max_weight;
+  }
+
+let gen_cuts rng n =
+  let segs = ref [] and used = ref 0 in
+  while !used < n do
+    let len = min (n - !used) (Prng.int rng 14) in
+    segs := len :: !segs;
+    used := !used + len
+  done;
+  List.rev !segs
+
+let snapshot_str snap =
+  String.concat ";" (List.map (fun ((q : Types.query), w) -> Printf.sprintf "%d:%d" q.id w) snap)
+
+let ids_str l = String.concat ";" (List.map string_of_int l)
+
+(* ---- one randomized episode: sharded vs unsharded step by step ---- *)
+
+type episode_cfg = {
+  seed : int;
+  dim : int;
+  shards : int;
+  kind : Executor.kind;
+  m : int;
+  domain : int;
+  max_weight : int;
+  max_tau : int;
+  n_elements : int;
+  p_term : float;
+  p_reg : float; (* per-boundary probability of a mid-stream registration *)
+}
+
+let episode cfg =
+  let rng = Prng.create ~seed:cfg.seed in
+  let queries =
+    Array.init cfg.m (fun id ->
+        gen_query rng ~dim:cfg.dim ~domain:cfg.domain ~max_tau:cfg.max_tau ~id)
+  in
+  let elems =
+    Array.init cfg.n_elements (fun _ ->
+        gen_elem rng ~dim:cfg.dim ~domain:cfg.domain ~max_weight:cfg.max_weight)
+  in
+  let cuts = gen_cuts rng cfg.n_elements in
+  (* Pre-draw per-boundary decisions so every engine sees the identical
+     op stream: maybe terminate one alive query, maybe register a fresh
+     one, and whether to drive this window per-element or batched. *)
+  let draws =
+    List.map
+      (fun _ ->
+        ( (if Prng.bernoulli rng cfg.p_term then Some (Prng.int rng 1_000_000) else None),
+          (if Prng.bernoulli rng cfg.p_reg then
+             Some (gen_query rng ~dim:cfg.dim ~domain:cfg.domain ~max_tau:cfg.max_tau ~id:0)
+           else None),
+          Prng.bernoulli rng 0.5 ))
+      cuts
+  in
+  List.iter
+    (fun (name, make) ->
+      let ctx = Printf.sprintf "seed %d %s k=%d %s" cfg.seed name cfg.shards (exec_str cfg.kind) in
+      let plain = (make () : Engine.t) in
+      let sh = Shard.create ~executor:cfg.kind ~shards:cfg.shards ~dim:cfg.dim (fun ~dim:_ -> make ()) in
+      let sharded = Shard.engine sh in
+      Fun.protect ~finally:(fun () -> Shard.close sh) @@ fun () ->
+      plain.register_batch (Array.to_list queries);
+      sharded.register_batch (Array.to_list queries);
+      let alive = ref (Array.to_list (Array.map (fun (q : Types.query) -> q.id) queries)) in
+      let next_id = ref cfg.m in
+      let off = ref 0 in
+      List.iteri
+        (fun bi (len, (term_draw, reg_draw, batched)) ->
+          (match term_draw with
+          | Some k when !alive <> [] ->
+              let v = List.nth !alive (k mod List.length !alive) in
+              alive := List.filter (fun i -> i <> v) !alive;
+              plain.terminate v;
+              sharded.terminate v
+          | _ -> ());
+          (match reg_draw with
+          | Some q ->
+              let q = { q with Types.id = !next_id } in
+              incr next_id;
+              alive := q.Types.id :: !alive;
+              plain.register q;
+              sharded.register q
+          | None -> ());
+          let seg = Array.sub elems !off len in
+          off := !off + len;
+          let matured_p, matured_s =
+            if batched then (plain.feed_batch seg, sharded.feed_batch seg)
+            else
+              Array.fold_left
+                (fun (ap, as_) e ->
+                  let mp = plain.process e and ms = sharded.process e in
+                  if mp <> ms then
+                    Alcotest.failf "%s batch %d: process matured plain=[%s] sharded=[%s]" ctx bi
+                      (ids_str mp) (ids_str ms);
+                  (List.rev_append mp ap, List.rev_append ms as_))
+                ([], []) seg
+              |> fun (a, b) -> (Engine.sort_matured a, Engine.sort_matured b)
+          in
+          if matured_p <> matured_s then
+            Alcotest.failf "%s batch %d: matured plain=[%s] sharded=[%s]" ctx bi
+              (ids_str matured_p) (ids_str matured_s);
+          alive := List.filter (fun i -> not (List.mem i matured_p)) !alive;
+          if plain.alive () <> sharded.alive () then
+            Alcotest.failf "%s batch %d: alive plain=%d sharded=%d" ctx bi (plain.alive ())
+              (sharded.alive ());
+          let sp = plain.alive_snapshot () and ss = sharded.alive_snapshot () in
+          if snapshot_str sp <> snapshot_str ss then
+            Alcotest.failf "%s batch %d: snapshot plain=[%s] sharded=[%s]" ctx bi (snapshot_str sp)
+              (snapshot_str ss))
+        (List.combine cuts draws);
+      (* Merged lifecycle counters must agree with the unsharded engine
+         (each query registers/matures/terminates on exactly one shard);
+         elements_total is excluded by design — every shard scans the
+         whole stream, the shard layer's own counter holds the stream
+         total. *)
+      let pm = plain.metrics () and sm = sharded.metrics () in
+      List.iter
+        (fun c ->
+          if Metrics.counter_value pm c <> Metrics.counter_value sm c then
+            Alcotest.failf "%s: counter %s plain=%d sharded=%d" ctx c (Metrics.counter_value pm c)
+              (Metrics.counter_value sm c))
+        [ "registered_total"; "matured_total"; "terminated_total" ];
+      if Metrics.counter_value sm "shard_elements_total" <> cfg.n_elements then
+        Alcotest.failf "%s: shard_elements_total=%d, stream had %d" ctx
+          (Metrics.counter_value sm "shard_elements_total")
+          cfg.n_elements)
+    (engines_for cfg.dim)
+
+let cfg_gen =
+  QCheck.Gen.(
+    let* seed = int_range 1 1_000_000 in
+    let* dim = int_range 1 2 in
+    let* shards = int_range 1 5 in
+    let* kind =
+      if Executor.domains_available then
+        map (fun b -> if b then Executor.Domains else Executor.Seq) bool
+      else return Executor.Seq
+    in
+    let* m = int_range 1 50 in
+    let* domain = int_range 2 24 in
+    let* max_weight = int_range 1 50 in
+    let* max_tau = int_range 1 500 in
+    let* n_elements = int_range 0 250 in
+    let* p_term = float_bound_inclusive 0.15 in
+    let* p_reg = float_bound_inclusive 0.2 in
+    return { seed; dim; shards; kind; m; domain; max_weight; max_tau; n_elements; p_term; p_reg })
+
+let prop_shard_equivalence =
+  QCheck.Test.make ~count:(Qcheck_env.count 40)
+    ~name:"sharded engine = unsharded engine (matured, weights, counters)"
+    (QCheck.make
+       ~print:(fun c ->
+         Printf.sprintf "seed=%d dim=%d k=%d exec=%s m=%d domain=%d maxw=%d maxtau=%d n=%d"
+           c.seed c.dim c.shards (exec_str c.kind) c.m c.domain c.max_weight c.max_tau
+           c.n_elements)
+       cfg_gen)
+    (fun cfg ->
+      episode cfg;
+      true)
+
+(* ---- pinned-seed Scenario regressions ------------------------------ *)
+
+(* RTS_SHARD_SEEDS widens the pinned list (same idiom as RTS_FAULT_SEEDS /
+   RTS_NET_SEEDS); `make check-shard` and the CI shard-equivalence job
+   pin it explicitly. *)
+let shard_seeds =
+  match Sys.getenv_opt "RTS_SHARD_SEEDS" with
+  | None | Some "" -> [ 5; 17; 91 ]
+  | Some s ->
+      String.split_on_char ',' s
+      |> List.filter_map (fun x ->
+             match String.trim x with "" -> None | x -> Some (int_of_string x))
+
+let factories_for dim =
+  match dim with
+  | 1 ->
+      [
+        ("baseline", fun ~dim -> Baseline_engine.make ~dim);
+        ("dt", fun ~dim -> Dt_engine.make ~dim);
+        ("interval-tree", fun ~dim:_ -> Stab1d_engine.make ());
+      ]
+  | _ ->
+      [
+        ("baseline", fun ~dim -> Baseline_engine.make ~dim);
+        ("dt", fun ~dim -> Dt_engine.make ~dim);
+        ("seg-intv", fun ~dim:_ -> Stab2d_engine.make ());
+        ("r-tree", fun ~dim -> Rtree_engine.make ~dim);
+      ]
+
+(* The sharded maturity log — timestamps included — must equal the
+   unsharded one verbatim: same ids on the same elements, attributed at
+   the same batch barriers, for every k, executor and batch size. *)
+let scenario_equivalence ~dim ~seed ~batch () =
+  let cfg =
+    {
+      Scenario.default with
+      Scenario.dim;
+      seed;
+      initial_queries = 250;
+      tau = 2_500;
+      mode = Scenario.Stochastic { p_ins = 0.3; horizon = 1_600 };
+      max_elements = 2_400;
+      chunk = 256;
+      batch;
+    }
+  in
+  List.iter
+    (fun (name, base) ->
+      let reference = Scenario.run cfg base in
+      List.iter
+        (fun shards ->
+          List.iter
+            (fun kind ->
+              let make, close_all = Shard.factory ~executor:kind ~shards base in
+              let r = Fun.protect ~finally:close_all (fun () -> Scenario.run cfg make) in
+              Alcotest.(check (list (pair int int)))
+                (Printf.sprintf "%s d=%d seed=%d batch=%d k=%d %s: maturity log verbatim" name
+                   dim seed batch shards (exec_str kind))
+                reference.Scenario.maturity_log r.Scenario.maturity_log;
+              Alcotest.(check int)
+                (Printf.sprintf "%s d=%d seed=%d batch=%d k=%d %s: element count" name dim seed
+                   batch shards (exec_str kind))
+                reference.Scenario.elements r.Scenario.elements)
+            executors)
+        [ 1; 2; 4 ])
+    (factories_for dim)
+
+let test_scenario_pinned () =
+  List.iter
+    (fun seed ->
+      scenario_equivalence ~dim:1 ~seed ~batch:1 ();
+      scenario_equivalence ~dim:1 ~seed ~batch:64 ())
+    shard_seeds;
+  (* one 2D spot check per run (cheaper roster rotation than the full
+     cross product) *)
+  match shard_seeds with
+  | seed :: _ -> scenario_equivalence ~dim:2 ~seed ~batch:64 ()
+  | [] -> ()
+
+(* ---- wrapper composition ------------------------------------------ *)
+
+(* Durable.wrap around Shard.engine: log ops, recover the WAL into a
+   FRESH sharded engine (Shard.factory as ~make), and the recovered
+   engine must continue the stream exactly like an unsharded engine that
+   saw everything. *)
+let test_durable_composition () =
+  let dim = 1 in
+  let rng = Prng.create ~seed:77 in
+  let queries = List.init 40 (fun id -> gen_query rng ~dim ~domain:10 ~max_tau:400 ~id) in
+  let part1 = Array.init 150 (fun _ -> gen_elem rng ~dim ~domain:10 ~max_weight:3) in
+  let part2 = Array.init 150 (fun _ -> gen_elem rng ~dim ~domain:10 ~max_weight:3) in
+  let make, close_all = Shard.factory ~shards:3 (fun ~dim -> Dt_engine.make ~dim) in
+  Fun.protect ~finally:close_all @@ fun () ->
+  let dir = Io.mem_dir () in
+  let wrapped, h = Durable.wrap ~dir (make ~dim) in
+  let plain = (Dt_engine.make ~dim : Engine.t) in
+  wrapped.register_batch queries;
+  plain.register_batch queries;
+  Alcotest.(check (list int))
+    "sharded+durable matures like unsharded (part 1)" (plain.feed_batch part1)
+    (wrapped.feed_batch part1);
+  Durable.close h;
+  (* recover into a fresh sharded engine and continue the stream *)
+  let recovered, _report = Recovery.recover ~dim ~make ~dir () in
+  Alcotest.(check int) "recovered alive count" (plain.alive ()) (recovered.Engine.alive ());
+  Alcotest.(check (list int))
+    "recovered sharded engine continues bit-identically (part 2)" (plain.feed_batch part2)
+    (recovered.Engine.feed_batch part2);
+  Alcotest.(check int) "alive after part 2" (plain.alive ()) (recovered.Engine.alive ())
+
+(* Net_shadow.wrap over a sharded engine: the networked protocol must
+   land every maturity on the same element as the sharded engine (wrap
+   raises on divergence), with zero mismatches on lossless links. *)
+let test_net_shadow_composition () =
+  let dim = 1 in
+  let rng = Prng.create ~seed:31 in
+  let queries = List.init 25 (fun id -> gen_query rng ~dim ~domain:8 ~max_tau:120 ~id) in
+  let elems = Array.init 400 (fun _ -> gen_elem rng ~dim ~domain:8 ~max_weight:3) in
+  let make, close_all = Shard.factory ~shards:2 (fun ~dim -> Dt_engine.make ~dim) in
+  Fun.protect ~finally:close_all @@ fun () ->
+  let shadow = Net_shadow.create ~config:{ Net_shadow.default with seed = 5 } ~dim () in
+  let e = Net_shadow.wrap shadow (make ~dim) in
+  e.Engine.register_batch queries;
+  let matured = ref 0 in
+  Array.iter (fun el -> matured := !matured + List.length (e.Engine.process el)) elems;
+  Alcotest.(check bool) "some queries matured" true (!matured > 0);
+  Alcotest.(check int) "no engine/shadow mismatches" 0 (Net_shadow.mismatches shadow);
+  Alcotest.(check bool) "never early" true (Net_shadow.never_early_ok shadow)
+
+(* ---- shard metrics + lifecycle ------------------------------------ *)
+
+let test_shard_surface () =
+  let rng = Prng.create ~seed:9 in
+  let queries = List.init 30 (fun id -> gen_query rng ~dim:1 ~domain:8 ~max_tau:10_000 ~id) in
+  let elems = Array.init 100 (fun _ -> gen_elem rng ~dim:1 ~domain:8 ~max_weight:2) in
+  List.iter
+    (fun kind ->
+      let sh = Shard.create ~executor:kind ~shards:3 ~dim:1 (fun ~dim -> Dt_engine.make ~dim) in
+      let e = Shard.engine sh in
+      let expected_name =
+        "dt+k3" ^ (match kind with Executor.Domains -> "/domains" | Executor.Seq -> "")
+      in
+      Alcotest.(check string) "engine name" expected_name e.Engine.name;
+      e.Engine.register_batch queries;
+      ignore (e.Engine.feed_batch elems);
+      ignore (e.Engine.process elems.(0));
+      (* placement accessors agree with the hash and with each other *)
+      List.iter
+        (fun (q : Types.query) ->
+          Alcotest.(check int) "owner = rendezvous" (Rendezvous.owner ~shards:3 q.id)
+            (Shard.owner sh q.id))
+        queries;
+      let per = Shard.queries_per_shard sh in
+      Alcotest.(check int) "per-shard alive sums to total" (e.Engine.alive ())
+        (Array.fold_left ( + ) 0 per);
+      Alcotest.(check int) "per_shard_metrics arity" 3
+        (Array.length (Shard.per_shard_metrics sh));
+      let m = e.Engine.metrics () in
+      let c name = Metrics.counter_value m name in
+      Alcotest.(check int) "stream elements counted once" 101 (c "shard_elements_total");
+      Alcotest.(check int) "one stream batch" 1 (c "shard_batches_total");
+      Alcotest.(check int) "registered through the layer" 30 (c "shard_registered_total");
+      (match Metrics.get m "shard_count" with
+      | Some (Metrics.Gauge g) -> Alcotest.(check (float 0.0)) "shard_count gauge" 3.0 g
+      | _ -> Alcotest.fail "shard_count gauge missing");
+      (match Metrics.get m "alive" with
+      | Some (Metrics.Gauge g) ->
+          Alcotest.(check (float 0.0))
+            "alive gauge is the true total"
+            (float_of_int (e.Engine.alive ()))
+            g
+      | _ -> Alcotest.fail "alive gauge missing");
+      (* every shard really scans the whole stream: merged inner
+         elements_total reads k * n by design *)
+      Alcotest.(check int) "merged inner elements_total = k*n" (3 * 101) (c "elements_total");
+      Shard.close sh;
+      Shard.close sh (* idempotent *);
+      Alcotest.check_raises "ops raise after close" (Invalid_argument "Shard: engine is closed")
+        (fun () -> ignore (e.Engine.alive ())))
+    executors
+
+let test_create_validation () =
+  Alcotest.check_raises "shards < 1" (Invalid_argument "Shard.create: shards < 1") (fun () ->
+      ignore (Shard.create ~shards:0 ~dim:1 (fun ~dim -> Baseline_engine.make ~dim)));
+  Alcotest.check_raises "dim < 1" (Invalid_argument "Shard.create: dim < 1") (fun () ->
+      ignore (Shard.create ~shards:2 ~dim:0 (fun ~dim -> Baseline_engine.make ~dim)))
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "rendezvous",
+        [
+          Alcotest.test_case "owner range + determinism" `Quick test_rendezvous_range;
+          Alcotest.test_case "balance" `Quick test_rendezvous_balance;
+          Alcotest.test_case "k -> k+1 moves ids only to the new shard" `Quick
+            test_rendezvous_monotone;
+        ] );
+      ( "executor",
+        [
+          Alcotest.test_case "slot order, exceptions, close" `Quick test_executor_basics;
+          Alcotest.test_case "kind strings" `Quick test_executor_strings;
+        ] );
+      ( "equivalence",
+        [
+          QCheck_alcotest.to_alcotest prop_shard_equivalence;
+          Alcotest.test_case "pinned seeds: maturity log verbatim (k x executor x batch)" `Slow
+            test_scenario_pinned;
+        ] );
+      ( "composition",
+        [
+          Alcotest.test_case "durable wrap + recovery into sharded engine" `Quick
+            test_durable_composition;
+          Alcotest.test_case "net shadow over sharded engine" `Quick test_net_shadow_composition;
+        ] );
+      ( "surface",
+        [
+          Alcotest.test_case "metrics, names, placement, close" `Quick test_shard_surface;
+          Alcotest.test_case "create validation" `Quick test_create_validation;
+        ] );
+    ]

@@ -1,6 +1,7 @@
 (* validate_bench: CI gate over the machine-readable benchmark output.
 
-   Usage: validate_bench [--perf-budgets FILE] BENCH_fig4.json [...]
+   Usage: validate_bench [--perf-budgets FILE] [--shard-budgets FILE]
+            BENCH_fig4.json [...]
 
    For every file: parse it with Rts_obs.Json (the same dependency-free
    parser the repository ships), check the document shape the bench
@@ -8,20 +9,31 @@
    enforce the paper's telemetry claim: whenever a run carries a DT
    message count, it must not exceed its analytic O(h log tau) budget
    (the bench emits both, plus a precomputed [dt_budget_ok] verdict that
-   must agree). The per-op cost trajectories of fig4/fig6 must advance:
-   trace[].elements strictly increasing. `perf` documents additionally
-   carry repetition stability fields, micro-benchmark rows, and the
-   batched-ingestion verdicts; [dt_counters_no_increase] must be true
-   (batching may never add protocol work).
+   must agree).
 
-   With [--perf-budgets FILE], every run of every `perf` document is also
-   held to the checked-in deterministic work-counter budgets, keyed
-   "engine/batch": actual counter <= budget, same scale and seed. Wall
-   clock is deliberately NOT gated — shared CI runners make it noisy —
-   the work counters are the deterministic proxy (DESIGN.md, "Hot path
-   and batching"). Exit 0 iff every file passes; problems go to stderr. *)
+   Which figures exist, which traces must advance strictly, and how a
+   figure's budget file is keyed all come from the {!Bench_targets}
+   registry shared with bench/main.ml — an unknown figure is an error,
+   so a bench target cannot emit output this validator silently skips.
+
+   `perf` documents additionally carry repetition stability fields,
+   micro-benchmark rows, and the batched-ingestion verdicts
+   ([dt_counters_no_increase] must be true). `shard` documents carry the
+   scaling-sweep shape: per-run shard counts, executor and per-shard
+   metric snapshots, plus the [shard_maturity_deterministic] verdict
+   that must be true (the bench aborts before emitting otherwise).
+
+   With [--perf-budgets FILE] / [--shard-budgets FILE], every run of the
+   corresponding document is also held to the checked-in deterministic
+   work-counter budgets — keyed "engine/batch" for perf, "engine/kK" for
+   shard: actual counter <= budget, same scale and seed. Wall clock is
+   deliberately NOT gated — shared CI runners make it noisy (and the
+   shard sweep may run on a single core, where no parallel speedup is
+   physically available) — the work counters are the deterministic
+   proxy. Exit 0 iff every file passes; problems go to stderr. *)
 
 module Json = Rts_obs.Json
+module Bench_targets = Rts_workload.Bench_targets
 
 let errors = ref 0
 
@@ -39,13 +51,24 @@ let require_num ~file ~where k j =
   | Some _ -> err "%s: %s: %S is not finite" file where k; None
   | None -> err "%s: %s: missing number %S" file where k; None
 
-(* Figures whose traces must advance strictly: each timing window covers
-   at least one new element, so a plateau (or regression) in
-   trace[].elements means the bench mis-attributed a window. *)
-let strict_trace_figures = [ "fig4"; "fig6"; "perf" ]
+(* The budget key for one run, per the figure's registry keying. *)
+let budget_key ~file ~where keying run =
+  match (keying : Bench_targets.budget_keying) with
+  | Bench_targets.No_budgets -> None
+  | Bench_targets.By_batch -> (
+      match (str "engine" run, num "batch" run) with
+      | Some engine, Some batch -> Some (Printf.sprintf "%s/%.0f" engine batch)
+      | _, None -> err "%s: %s: run missing \"batch\" (needed for budgets)" file where; None
+      | None, _ -> None)
+  | Bench_targets.By_shards -> (
+      match (str "engine" run, num "shards" run) with
+      | Some engine, Some shards -> Some (Printf.sprintf "%s/k%.0f" engine shards)
+      | _, None -> err "%s: %s: run missing \"shards\" (needed for budgets)" file where; None
+      | None, _ -> None)
 
-let check_run ~file ~figure ?budgets i run =
+let check_run ~file ~figure ~strict ~keying ?budgets i run =
   let where = Printf.sprintf "runs[%d]" i in
+  ignore figure;
   (match str "engine" run with
   | Some _ -> ()
   | None -> err "%s: %s: missing string \"engine\"" file where);
@@ -57,7 +80,6 @@ let check_run ~file ~figure ?budgets i run =
   | _ -> err "%s: %s: missing \"metrics\" object" file where);
   (match mem "trace" run with
   | Some (Json.List pts) ->
-      let strict = List.mem figure strict_trace_figures in
       let prev = ref neg_infinity in
       List.iteri
         (fun j pt ->
@@ -85,28 +107,30 @@ let check_run ~file ~figure ?budgets i run =
       | _ -> ())
   | None, None, None -> ()
   | _ -> err "%s: %s: reps/total_seconds_min/total_seconds_max must appear together" file where);
-  (* Deterministic work-counter budgets (--perf-budgets). *)
-  (match (budgets, str "engine" run, num "batch" run) with
-  | Some budgets, Some engine, Some batch ->
-      let key = Printf.sprintf "%s/%.0f" engine batch in
-      (match mem key budgets with
-      | Some (Json.Obj entries) ->
-          List.iter
-            (fun (counter, budget) ->
-              match (Json.get_num budget, Option.bind (mem "metrics" run) (num counter)) with
-              | Some b, Some actual ->
-                  if actual > b then
-                    err "%s: %s (%s): work counter %s = %.0f exceeds budget %.0f" file where key
-                      counter actual b
-              | Some _, None ->
-                  err "%s: %s (%s): budgeted counter %s missing from run metrics" file where key
-                    counter
-              | None, _ -> err "%s: %s (%s): budget for %s is not a number" file where key counter)
-            entries
-      | Some _ -> err "%s: budgets entry %S is not an object" file key
-      | None -> err "%s: %s: no budgets entry for %S" file where key)
-  | Some _, _, None -> err "%s: %s: perf run missing \"batch\" (needed for budgets)" file where
-  | _ -> ());
+  (* Deterministic work-counter budgets (--perf-budgets/--shard-budgets). *)
+  (match budgets with
+  | None -> ()
+  | Some budgets -> (
+      match budget_key ~file ~where keying run with
+      | None -> ()
+      | Some key -> (
+          match mem key budgets with
+          | Some (Json.Obj entries) ->
+              List.iter
+                (fun (counter, budget) ->
+                  match (Json.get_num budget, Option.bind (mem "metrics" run) (num counter)) with
+                  | Some b, Some actual ->
+                      if actual > b then
+                        err "%s: %s (%s): work counter %s = %.0f exceeds budget %.0f" file where
+                          key counter actual b
+                  | Some _, None ->
+                      err "%s: %s (%s): budgeted counter %s missing from run metrics" file where
+                        key counter
+                  | None, _ ->
+                      err "%s: %s (%s): budget for %s is not a number" file where key counter)
+                entries
+          | Some _ -> err "%s: budgets entry %S is not an object" file key
+          | None -> err "%s: %s: no budgets entry for %S" file where key)));
   (* The paper's budget: if the run reports DT messages, they must fit. *)
   (match (num "dt_messages" run, num "dt_message_budget" run) with
   | Some messages, Some budget ->
@@ -177,9 +201,54 @@ let check_perf_doc ~file doc =
       err "%s: dt_counters_no_increase is false — batching added protocol work" file
   | _ -> err "%s: perf document missing bool \"dt_counters_no_increase\"" file
 
-(* Budgets file: { "scale": s, "seed": n, "budgets": { "engine/batch":
-   { counter: max, ... }, ... } }. Scale and seed must match the perf
-   document's params — counters are deterministic only per (scale, seed). *)
+(* shard documents: scaling-sweep shape and the determinism verdict. The
+   speedup numbers are informational (the recorded params.cores says
+   whether a parallel speedup was even physically available); the merge
+   determinism and the per-run work-counter budgets are the gates. *)
+let check_shard_doc ~file doc =
+  (match Option.bind (mem "params" doc) (mem "ks") with
+  | Some (Json.List (_ :: _)) -> ()
+  | _ -> err "%s: shard document missing non-empty params.ks" file);
+  ignore
+    (match Option.bind (mem "params" doc) (num "cores") with
+    | Some c when c >= 1.0 -> ()
+    | _ -> err "%s: shard document missing params.cores >= 1" file);
+  (match Option.bind (mem "params" doc) (str "executor") with
+  | Some ("seq" | "domains") -> ()
+  | Some e -> err "%s: shard params.executor %S is neither seq nor domains" file e
+  | None -> err "%s: shard document missing params.executor" file);
+  (match mem "shard_speedup_k4_vs_k1" doc with
+  | Some (Json.Obj ((_ :: _) as entries)) ->
+      List.iter
+        (fun (engine, v) ->
+          match Json.get_num v with
+          | Some s when Float.is_finite s && s > 0.0 -> ()
+          | _ -> err "%s: shard_speedup_k4_vs_k1.%s is not a positive number" file engine)
+        entries
+  | _ -> err "%s: shard document missing non-empty \"shard_speedup_k4_vs_k1\" object" file);
+  (match mem "shard_maturity_deterministic" doc with
+  | Some (Json.Bool true) -> ()
+  | Some (Json.Bool false) ->
+      err "%s: shard_maturity_deterministic is false — the merged maturity log diverged" file
+  | _ -> err "%s: shard document missing bool \"shard_maturity_deterministic\"" file);
+  match mem "runs" doc with
+  | Some (Json.List runs) ->
+      List.iteri
+        (fun i run ->
+          let where = Printf.sprintf "runs[%d]" i in
+          ignore (require_num ~file ~where "shards" run);
+          (match str "executor" run with
+          | Some _ -> ()
+          | None -> err "%s: %s: shard run missing string \"executor\"" file where);
+          match mem "per_shard_metrics" run with
+          | Some (Json.List (_ :: _)) -> ()
+          | _ -> err "%s: %s: shard run missing non-empty \"per_shard_metrics\"" file where)
+        runs
+  | _ -> ()
+
+(* Budgets file: { "scale": s, "seed": n, "budgets": { key: { counter:
+   max, ... }, ... } }. Scale and seed must match the document's params —
+   counters are deterministic only per (scale, seed). *)
 let load_budgets file =
   match In_channel.with_open_text file In_channel.input_all with
   | exception Sys_error msg -> err "%s" msg; None
@@ -202,7 +271,7 @@ let check_budget_params ~file ~budget_file budget_doc doc =
       | _ -> ())
     [ "scale"; "seed" ]
 
-let check_file ~budgets file =
+let check_file ~perf_budgets ~shard_budgets file =
   match In_channel.with_open_text file In_channel.input_all with
   | exception Sys_error msg -> err "%s" msg
   | contents -> (
@@ -214,47 +283,76 @@ let check_file ~budgets file =
             | Some f -> f
             | None -> err "%s: missing string \"figure\"" file; ""
           in
+          let target =
+            match Bench_targets.find figure with
+            | Some t ->
+                if not t.Bench_targets.emits_json then
+                  err "%s: figure %S is registered as not JSON-emitting" file figure;
+                Some t
+            | None ->
+                err "%s: unknown figure %S — not in the Bench_targets registry (did you add a \
+                     bench target without registering it?)"
+                  file figure;
+                None
+          in
+          let strict =
+            match target with Some t -> t.Bench_targets.strict_trace | None -> false
+          in
+          let keying =
+            match target with
+            | Some t -> t.Bench_targets.budget_keying
+            | None -> Bench_targets.No_budgets
+          in
           (match mem "params" doc with
           | Some (Json.Obj _) -> ()
           | _ -> err "%s: missing \"params\" object" file);
+          if figure = "perf" then check_perf_doc ~file doc;
+          if figure = "shard" then check_shard_doc ~file doc;
           let run_budgets =
-            if figure <> "perf" then None
-            else begin
-              check_perf_doc ~file doc;
-              match budgets with
+            let pick = function
               | Some (budget_file, (budget_doc, b)) ->
                   check_budget_params ~file ~budget_file budget_doc doc;
                   Some b
               | None -> None
-            end
+            in
+            match keying with
+            | Bench_targets.By_batch -> pick perf_budgets
+            | Bench_targets.By_shards -> pick shard_budgets
+            | Bench_targets.No_budgets -> None
           in
           (match mem "runs" doc with
           | Some (Json.List []) -> err "%s: \"runs\" is empty" file
           | Some (Json.List runs) ->
-              List.iteri (fun i run -> check_run ~file ~figure ?budgets:run_budgets i run) runs;
+              List.iteri
+                (fun i run ->
+                  check_run ~file ~figure ~strict ~keying ?budgets:run_budgets i run)
+                runs;
               Printf.printf "validate-bench: %s: %d runs ok%s\n" file (List.length runs)
                 (if run_budgets <> None then " (budgets enforced)" else "")
           | _ -> err "%s: missing \"runs\" array" file))
 
 let () =
-  let budgets = ref None and files = ref [] in
+  let perf_budgets = ref None and shard_budgets = ref None and files = ref [] in
+  let load into path =
+    match load_budgets path with Some b -> into := Some (path, b) | None -> ()
+  in
   let rec parse = function
-    | "--perf-budgets" :: path :: rest ->
-        (match load_budgets path with
-        | Some b -> budgets := Some (path, b)
-        | None -> ());
-        parse rest
-    | [ "--perf-budgets" ] -> prerr_endline "validate-bench: --perf-budgets needs a FILE"; exit 2
+    | "--perf-budgets" :: path :: rest -> load perf_budgets path; parse rest
+    | "--shard-budgets" :: path :: rest -> load shard_budgets path; parse rest
+    | [ ("--perf-budgets" | "--shard-budgets") ] ->
+        prerr_endline "validate-bench: --perf-budgets/--shard-budgets need a FILE";
+        exit 2
     | f :: rest -> files := f :: !files; parse rest
     | [] -> ()
   in
   parse (List.tl (Array.to_list Sys.argv));
   let files = List.rev !files in
   if files = [] then begin
-    prerr_endline "usage: validate_bench [--perf-budgets FILE] BENCH_<fig>.json ...";
+    prerr_endline
+      "usage: validate_bench [--perf-budgets FILE] [--shard-budgets FILE] BENCH_<fig>.json ...";
     exit 2
   end;
-  List.iter (check_file ~budgets:!budgets) files;
+  List.iter (check_file ~perf_budgets:!perf_budgets ~shard_budgets:!shard_budgets) files;
   if !errors > 0 then begin
     Printf.eprintf "validate-bench: %d problem(s)\n" !errors;
     exit 1
