@@ -2,8 +2,9 @@
 
     - {!Seq}: every task runs inline on the caller, in shard order.
       Always available; the reference semantics.
-    - {!Domains}: one OCaml 5 [Domain] per shard behind SPSC mailboxes;
-      tasks fan out in parallel and join at a barrier. Available only
+    - {!Domains}: one OCaml 5 [Domain] per shard, each draining its own
+      SPSC task ring; tasks fan out in parallel and join at a barrier.
+      Available only
       when the build selected the domains backend
       ({!domains_available}); requesting it elsewhere raises.
 
@@ -42,6 +43,12 @@ val kind : t -> kind
 
 val shards : t -> int
 
+val worker_count : t -> int
+(** Number of worker domains actually executing tasks: [shards] under
+    {!Domains}, [1] under {!Seq} (everything runs inline on the
+    caller). This — not {!parallelism_hint} — is what benches must
+    record as the core count a measurement really used. *)
+
 val run_all : t -> (int -> 'a) -> 'a array
 (** Run [f i] on every shard slot and wait for all (barrier); results in
     slot order. The exception of the lowest-numbered failing slot (if
@@ -51,6 +58,22 @@ val run_all : t -> (int -> 'a) -> 'a array
 val run_on : t -> int -> (unit -> 'a) -> 'a
 (** Run one task on one slot and wait for it; exceptions propagate. *)
 
+val post : t -> int -> (unit -> unit) -> unit
+(** Fire-and-forget: enqueue a task on one slot and return immediately
+    (under {!Seq} the task runs inline). Tasks posted to the same slot
+    run in submission order. A posted task's exception is captured, not
+    raised at the post site: the next {!barrier} re-raises the first
+    failure of the lowest-numbered failing slot. Effects of posted
+    tasks are only guaranteed visible to the caller after a
+    {!barrier}. *)
+
+val barrier : t -> unit
+(** Wait until every task posted so far (on every slot) has finished,
+    then re-raise the first captured exception of the lowest-numbered
+    failing slot, if any (clearing the captured errors). A barrier with
+    nothing posted is a no-op, never a deadlock. *)
+
 val close : t -> unit
-(** Join the workers (if any). Idempotent; subsequent [run_*] calls
-    raise [Invalid_argument]. *)
+(** Quit and join the workers (if any) — all of them, even when a task
+    raised. Idempotent; subsequent [run_*] calls raise
+    [Invalid_argument]. *)

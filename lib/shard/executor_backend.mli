@@ -1,18 +1,19 @@
 (** Build-time-selected execution backend (see lib/shard/dune).
 
     Two implementations satisfy this signature:
-    - [executor_backend.domains.ml] — one OCaml 5 [Domain] per slot, fed
-      through SPSC mailboxes (selected when the runtime ships
-      [runtime_events], i.e. OCaml >= 5.0);
+    - [executor_backend.domains.ml] — one OCaml 5 [Domain] per slot,
+      each draining its own bounded {!Spsc_ring} of tasks (selected
+      when the runtime ships [runtime_events], i.e. OCaml >= 5.0);
     - [executor_backend.seq.ml] — an inline sequential stand-in that
       keeps the library building on 4.14.
 
     {!Executor} is the only client; nothing else should touch this
     module. The contract every implementation must honour: worker slot
-    [i] {e owns} the state its tasks close over — between calls the
-    workers are quiescent, and the end-of-call barrier establishes
-    happens-before in both directions, so the coordinator may freely
-    read that state while no call is in flight. *)
+    [i] {e owns} the state its tasks close over — a slot's tasks run
+    one at a time in submission order, and the end-of-call barrier of
+    {!exec} establishes happens-before in both directions, so the
+    coordinator may freely read that state while no call is in
+    flight. *)
 
 val available : bool
 (** True when {!exec} really fans tasks out over parallel domains. *)
@@ -32,10 +33,26 @@ val exec : pool -> (int -> 'a) -> 'a array
     domains backend), waits for all of them (barrier), and returns the
     results in slot order. If tasks raised, the exception of the
     lowest-numbered failing slot is re-raised on the caller {e after}
-    the barrier — deterministic regardless of domain scheduling. *)
+    the barrier — deterministic regardless of domain scheduling, and
+    never before every dispatched task has finished (a raise during a
+    fan-out must not strand still-running slots). *)
 
 val exec_on : pool -> int -> (unit -> 'a) -> 'a
 (** Run one task on one slot and wait for it; exceptions propagate. *)
 
+val post : pool -> int -> (unit -> unit) -> unit
+(** Fire-and-forget: enqueue a task on one slot and return without
+    waiting. Tasks posted to the same slot run in submission order;
+    there is no cross-slot ordering. The task must not raise — callers
+    ({!Executor.post}) wrap tasks to capture exceptions; as a last
+    line of defence the backend swallows an escaping exception, stashes
+    it, and surfaces it at {!close}, so a raising task can never kill a
+    worker (a dead worker would turn the next barrier or [close] into a
+    deadlock). Visibility of the task's effects is only guaranteed
+    after a subsequent barrier ({!exec}). *)
+
 val close : pool -> unit
-(** Stop and join the workers. Idempotent. *)
+(** Stop and join the workers. Every worker is handed a quit signal and
+    every domain is joined {e before} any exception propagates — a
+    raising task or a failing join cannot leak parked domains.
+    Idempotent. *)

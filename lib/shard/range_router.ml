@@ -1,0 +1,149 @@
+(* Range_router: element partitioning by endpoint subrange.
+
+   [shards - 1] strictly increasing cut points on dimension 0 split the
+   key line into [shards] disjoint half-open subranges
+
+     (-inf, c0) [c0, c1) ... [c_{k-2}, +inf)
+
+   mirroring the endpoint tree's canonical decomposition: subrange [i]
+   owns exactly the values with [i] cuts at or below them. Every stream
+   element has one owner, so routing elements by owner (instead of
+   broadcasting the stream to every shard, as query partitioning must)
+   divides ingestion work by [shards].
+
+   Queries are rects, and a rect's dim-0 interval [lo, hi) may straddle
+   cuts. Policy: a straddling query is *pinned*, not split — it lives
+   whole on the shard owning its low endpoint (deterministic, keeps
+   each query's maturity state in one place so merged logs stay exact)
+   and every subrange it intersects *subscribes* that home shard to its
+   elements. Subscriptions are a [shards x shards] interest matrix of
+   counts: [interest.(s).(h) > 0] means some alive query homed on [h]
+   overlaps subrange [s], so elements owned by [s] are forwarded to [h]
+   as well. Forwarding can over-deliver (shard [h] gets elements no
+   longer matching any of its rects); that is harmless — engines credit
+   only queries whose rect contains the value — and it decays to zero
+   as straddlers mature or terminate and release their subscriptions.
+
+   The router is coordinator-local state: it is mutated only by the
+   thread calling the shard facade, never by worker domains. *)
+
+type span = { home : int; first : int; last : int }
+
+type t = {
+  shards : int;
+  cuts : float array;
+  spans : (int, span) Hashtbl.t; (* alive query id -> placement *)
+  interest : int array array; (* interest.(subrange).(home) = alive straddlers *)
+  mutable straddlers : int;
+}
+
+let validate_cuts ~shards cuts =
+  if Array.length cuts <> shards - 1 then
+    invalid_arg
+      (Printf.sprintf "Range_router: %d shards need %d cut points, got %d" shards (shards - 1)
+         (Array.length cuts));
+  Array.iteri
+    (fun i c ->
+      if Float.is_nan c then invalid_arg "Range_router: cut point is NaN";
+      if i > 0 && not (cuts.(i - 1) < c) then
+        invalid_arg "Range_router: cut points must be strictly increasing")
+    cuts
+
+let create ~shards ~cuts =
+  if shards < 1 then invalid_arg "Range_router.create: shards must be >= 1";
+  validate_cuts ~shards cuts;
+  {
+    shards;
+    cuts = Array.copy cuts;
+    spans = Hashtbl.create 256;
+    interest = Array.init shards (fun _ -> Array.make shards 0);
+    straddlers = 0;
+  }
+
+let shards t = t.shards
+
+let cuts t = Array.copy t.cuts
+
+(* number of cuts <= v, i.e. the subrange owning v *)
+let owner_of_value t v =
+  let lo = ref 0 and hi = ref (Array.length t.cuts) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cuts.(mid) <= v then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* number of cuts < v: the last subrange intersecting an interval that
+   ends (exclusively) at v *)
+let count_lt t v =
+  let lo = ref 0 and hi = ref (Array.length t.cuts) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cuts.(mid) < v then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let span_of_interval t ~lo ~hi =
+  let first = owner_of_value t lo in
+  (* clamp: engines reject degenerate rects themselves, but the router
+     must stay consistent even when asked to place one *)
+  let last = max first (count_lt t hi) in
+  { home = first; first; last }
+
+let register t ~id ~lo ~hi =
+  match Hashtbl.find_opt t.spans id with
+  | Some sp ->
+      (* id already alive: route to where it lives and let the engine
+         report the duplicate; router state is untouched *)
+      sp.home
+  | None ->
+      let sp = span_of_interval t ~lo ~hi in
+      Hashtbl.replace t.spans id sp;
+      if sp.last > sp.first then begin
+        t.straddlers <- t.straddlers + 1;
+        for s = sp.first to sp.last do
+          t.interest.(s).(sp.home) <- t.interest.(s).(sp.home) + 1
+        done
+      end;
+      sp.home
+
+let forget t id =
+  match Hashtbl.find_opt t.spans id with
+  | None -> ()
+  | Some sp ->
+      Hashtbl.remove t.spans id;
+      if sp.last > sp.first then begin
+        t.straddlers <- t.straddlers - 1;
+        for s = sp.first to sp.last do
+          t.interest.(s).(sp.home) <- t.interest.(s).(sp.home) - 1
+        done
+      end
+
+let home t id = Option.map (fun sp -> sp.home) (Hashtbl.find_opt t.spans id)
+
+let straddlers t = t.straddlers
+
+let alive t = Hashtbl.length t.spans
+
+let iter_targets t v f =
+  let s = owner_of_value t v in
+  f ~owner:true s;
+  let row = t.interest.(s) in
+  for h = 0 to t.shards - 1 do
+    if h <> s && row.(h) > 0 then f ~owner:false h
+  done
+
+let targets t v =
+  let acc = ref [] in
+  iter_targets t v (fun ~owner:_ s -> acc := s :: !acc);
+  List.sort compare !acc
+
+let uniform_cuts ~shards ~lo ~hi =
+  if shards < 1 then invalid_arg "Range_router.uniform_cuts: shards must be >= 1";
+  if not (lo < hi) then invalid_arg "Range_router.uniform_cuts: need lo < hi";
+  let w = hi -. lo in
+  let cuts =
+    Array.init (shards - 1) (fun i -> lo +. (w *. float_of_int (i + 1) /. float_of_int shards))
+  in
+  validate_cuts ~shards cuts;
+  cuts

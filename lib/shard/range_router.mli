@@ -1,0 +1,81 @@
+(** Element partitioning by endpoint subrange.
+
+    [shards - 1] strictly increasing cut points split dimension 0 into
+    [shards] disjoint half-open subranges — the endpoint-tree canonical
+    decomposition at the shard granularity. Each stream element has
+    exactly one owning subrange; each alive query is {e pinned} to the
+    shard owning the low endpoint of its dim-0 interval. A query whose
+    interval straddles cuts additionally {e subscribes} its home shard
+    to every subrange it intersects (a [shards x shards] interest
+    matrix), so elements from those subranges are forwarded to the home
+    as long as at least one straddler needs them.
+
+    Invariants maintained for the shard layer:
+    - every element is routed to its owner, plus any interested homes —
+      so a query's home shard sees {e every} element whose dim-0 value
+      lies in the query's interval;
+    - every query lives on exactly one shard, so per-shard maturity
+      logs are disjoint and merge exactly;
+    - over-forwarded elements are harmless: engines credit only queries
+      whose rect contains the value.
+
+    The router is single-threaded coordinator state: never share one
+    across domains. *)
+
+type t
+
+type span = { home : int; first : int; last : int }
+(** Placement of a query interval: it intersects subranges
+    [first..last] and is pinned to [home] (= [first]). *)
+
+val create : shards:int -> cuts:float array -> t
+(** Router over [shards] subranges separated by [cuts]. Raises
+    [Invalid_argument] unless [Array.length cuts = shards - 1] and the
+    cuts are strictly increasing and non-NaN. The array is copied. *)
+
+val uniform_cuts : shards:int -> lo:float -> hi:float -> float array
+(** Evenly spaced cut points over [\[lo, hi)]; the natural choice when
+    the element distribution over the key domain is roughly uniform. *)
+
+val shards : t -> int
+
+val cuts : t -> float array
+(** Copy of the cut points. *)
+
+val owner_of_value : t -> float -> int
+(** Subrange owning a dim-0 value: the number of cuts at or below it.
+    Total — NaN lands in subrange 0 and is left for engine validation
+    to reject. *)
+
+val span_of_interval : t -> lo:float -> hi:float -> span
+(** Placement a query with dim-0 interval [\[lo, hi)] would get,
+    without registering anything. *)
+
+val register : t -> id:int -> lo:float -> hi:float -> int
+(** Place query [id]: record its span, subscribe its home to every
+    subrange it straddles, and return the home shard. Registering an
+    id that is already alive returns its existing home and changes
+    nothing (the engine reports the duplicate). *)
+
+val forget : t -> int -> unit
+(** Release query [id]'s placement and subscriptions (on terminate or
+    maturity). Unknown ids are ignored. *)
+
+val home : t -> int -> int option
+(** Home shard of an alive query, if the router knows it. *)
+
+val iter_targets : t -> float -> (owner:bool -> int -> unit) -> unit
+(** Shards that must ingest an element with the given dim-0 value: the
+    owning subrange first (with [~owner:true]), then every other shard
+    holding at least one subscribed straddler ([~owner:false]). Each
+    shard is visited at most once. *)
+
+val targets : t -> float -> int list
+(** [iter_targets] collected into a sorted list (tests, single-element
+    process paths). *)
+
+val straddlers : t -> int
+(** Alive queries currently straddling at least one cut. *)
+
+val alive : t -> int
+(** Alive queries known to the router. *)

@@ -1,0 +1,65 @@
+(* Bounded single-producer / single-consumer ring.
+
+   The producer (the coordinator) owns [tail], the consumer (a worker)
+   owns [head]; each side mutates only its own index and reads the
+   other's through an [Atomic]. Slot contents are plain writes published
+   by the owning side's [Atomic.set] — the OCaml 5 memory model makes a
+   non-atomic write visible to any reader that observes a later atomic
+   write by the same thread (release/acquire through the index), so the
+   ring is data-race-free without a lock on the hot path. On a pre-5
+   runtime [Atomic] degrades to plain mutation and the ring is just a
+   queue — correct, if pointless, which is exactly what the sequential
+   executor backend needs from it.
+
+   Capacity is rounded up to a power of two so position -> slot is a
+   mask. Indices increase monotonically and never wrap in practice
+   (63-bit ints at task granularity outlive the process).
+
+   Consumers must clear a slot ([None]) before publishing the pop, so a
+   drained ring holds no references: a closure queued once cannot keep
+   its captures alive for the lifetime of the pool. *)
+
+type 'a t = {
+  buf : 'a option array;
+  mask : int;
+  head : int Atomic.t; (* next position to pop; advanced only by the consumer *)
+  tail : int Atomic.t; (* next position to push; advanced only by the producer *)
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Spsc_ring.create: capacity < 1";
+  if capacity > 1 lsl 30 then invalid_arg "Spsc_ring.create: capacity too large";
+  let cap = ref 1 in
+  while !cap < capacity do
+    cap := !cap lsl 1
+  done;
+  { buf = Array.make !cap None; mask = !cap - 1; head = Atomic.make 0; tail = Atomic.make 0 }
+
+let capacity t = t.mask + 1
+
+let length t = max 0 (Atomic.get t.tail - Atomic.get t.head)
+
+let is_empty t = length t = 0
+
+let try_push t x =
+  let tail = Atomic.get t.tail in
+  if tail - Atomic.get t.head > t.mask then false
+  else begin
+    t.buf.(tail land t.mask) <- Some x;
+    (* publish: the slot write above happens-before any pop that sees
+       the new tail *)
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let try_pop t =
+  let head = Atomic.get t.head in
+  if Atomic.get t.tail - head <= 0 then None
+  else begin
+    let i = head land t.mask in
+    let x = t.buf.(i) in
+    (* drop the reference before releasing the slot back to the producer *)
+    t.buf.(i) <- None;
+    Atomic.set t.head (head + 1);
+    x
+  end

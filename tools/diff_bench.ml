@@ -105,7 +105,12 @@ let print_tables ~file ~figure rows clock =
     Printf.printf "|---|---|---:|---:|---:|---:|---|\n";
     List.iter
       (fun r ->
-        let drift_pct = (r.actual -. r.budget) /. r.budget *. 100.0 in
+        let drift_pct =
+          (* a zero budget (e.g. forwarded elements at k=1) admits no
+             relative drift: 0 when met, infinite when exceeded *)
+          if r.budget = 0.0 then if r.actual = 0.0 then 0.0 else infinity
+          else (r.actual -. r.budget) /. r.budget *. 100.0
+        in
         Printf.printf "| %s | %s | %.0f | %.0f | %.0f | %+.1f%% | %s |\n" r.key r.counter r.budget
           r.actual (r.budget -. r.actual) drift_pct (status r))
       rows;

@@ -18,19 +18,24 @@
 
    `perf` documents additionally carry repetition stability fields,
    micro-benchmark rows, and the batched-ingestion verdicts
-   ([dt_counters_no_increase] must be true). `shard` documents carry the
-   scaling-sweep shape: per-run shard counts, executor and per-shard
-   metric snapshots, plus the [shard_maturity_deterministic] verdict
-   that must be true (the bench aborts before emitting otherwise).
+   ([dt_counters_no_increase] must be true). `shard` and `par` documents
+   carry the scaling-sweep shape: per-run shard counts, executor,
+   per-shard metric snapshots and the worker-domain count the run
+   actually used (cores = 1 is only consistent with the seq executor or
+   a single slot), plus the maturity-determinism verdict that must be
+   true (the bench aborts before emitting otherwise). `par` documents
+   must additionally claim >= 2 cores and element partitioning — the
+   bench refuses to emit them elsewhere.
 
    With [--perf-budgets FILE] / [--shard-budgets FILE], every run of the
    corresponding document is also held to the checked-in deterministic
    work-counter budgets — keyed "engine/batch" for perf, "engine/kK" for
-   shard: actual counter <= budget, same scale and seed. Wall clock is
-   deliberately NOT gated — shared CI runners make it noisy (and the
-   shard sweep may run on a single core, where no parallel speedup is
-   physically available) — the work counters are the deterministic
-   proxy. Exit 0 iff every file passes; problems go to stderr. *)
+   shard and par sweeps: actual counter <= budget, same scale and seed.
+   Wall clock is deliberately NOT gated — shared CI runners make it
+   noisy (and the shard sweep may run on a single core, where no
+   parallel speedup is physically available) — the work counters are
+   the deterministic proxy. Exit 0 iff every file passes; problems go
+   to stderr. *)
 
 module Json = Rts_obs.Json
 module Bench_targets = Rts_workload.Bench_targets
@@ -201,50 +206,105 @@ let check_perf_doc ~file doc =
       err "%s: dt_counters_no_increase is false — batching added protocol work" file
   | _ -> err "%s: perf document missing bool \"dt_counters_no_increase\"" file
 
-(* shard documents: scaling-sweep shape and the determinism verdict. The
-   speedup numbers are informational (the recorded params.cores says
-   whether a parallel speedup was even physically available); the merge
-   determinism and the per-run work-counter budgets are the gates. *)
-let check_shard_doc ~file doc =
-  (match Option.bind (mem "params" doc) (mem "ks") with
+(* Per-run shape shared by the sharded sweeps (`shard` and `par`):
+   shard count, executor, per-shard metric snapshots, and an honest
+   core count — every run must record the worker-domain count it
+   actually used, and claiming 1 core is only consistent with the seq
+   executor (everything inline on the caller) or a single slot. *)
+let check_sweep_run ~file ~figure i run =
+  let where = Printf.sprintf "runs[%d]" i in
+  let shards = require_num ~file ~where "shards" run in
+  (match str "executor" run with
+  | Some _ -> ()
+  | None -> err "%s: %s: %s run missing string \"executor\"" file where figure);
+  (match (require_num ~file ~where "cores" run, str "executor" run, shards) with
+  | Some c, Some executor, Some k ->
+      if c < 1.0 then err "%s: %s: cores %.0f < 1" file where c;
+      if c = 1.0 && executor <> "seq" && k > 1.0 then
+        err
+          "%s: %s: cores = 1 but executor = %S with %.0f shards — a parallel executor must \
+           record its true worker-domain count"
+          file where executor k
+  | _ -> ());
+  match mem "per_shard_metrics" run with
   | Some (Json.List (_ :: _)) -> ()
-  | _ -> err "%s: shard document missing non-empty params.ks" file);
-  ignore
-    (match Option.bind (mem "params" doc) (num "cores") with
-    | Some c when c >= 1.0 -> ()
-    | _ -> err "%s: shard document missing params.cores >= 1" file);
-  (match Option.bind (mem "params" doc) (str "executor") with
-  | Some ("seq" | "domains") -> ()
-  | Some e -> err "%s: shard params.executor %S is neither seq nor domains" file e
-  | None -> err "%s: shard document missing params.executor" file);
-  (match mem "shard_speedup_k4_vs_k1" doc with
+  | _ -> err "%s: %s: %s run missing non-empty \"per_shard_metrics\"" file where figure
+
+let check_sweep_runs ~file ~figure doc =
+  match mem "runs" doc with
+  | Some (Json.List runs) -> List.iteri (check_sweep_run ~file ~figure) runs
+  | _ -> ()
+
+let check_speedup_obj ~file doc key =
+  match mem key doc with
   | Some (Json.Obj ((_ :: _) as entries)) ->
       List.iter
         (fun (engine, v) ->
           match Json.get_num v with
           | Some s when Float.is_finite s && s > 0.0 -> ()
-          | _ -> err "%s: shard_speedup_k4_vs_k1.%s is not a positive number" file engine)
+          | _ -> err "%s: %s.%s is not a positive number" file key engine)
         entries
-  | _ -> err "%s: shard document missing non-empty \"shard_speedup_k4_vs_k1\" object" file);
-  (match mem "shard_maturity_deterministic" doc with
+  | _ -> err "%s: document missing non-empty %S object" file key
+
+let check_verdict ~file doc key diverged =
+  match mem key doc with
   | Some (Json.Bool true) -> ()
-  | Some (Json.Bool false) ->
-      err "%s: shard_maturity_deterministic is false — the merged maturity log diverged" file
-  | _ -> err "%s: shard document missing bool \"shard_maturity_deterministic\"" file);
-  match mem "runs" doc with
+  | Some (Json.Bool false) -> err "%s: %s is false — %s" file key diverged
+  | _ -> err "%s: document missing bool %S" file key
+
+(* shard documents: scaling-sweep shape and the determinism verdict. The
+   speedup numbers are informational (the recorded cores say whether a
+   parallel speedup was even physically available); the merge
+   determinism and the per-run work-counter budgets are the gates. *)
+let check_shard_doc ~file doc =
+  (match Option.bind (mem "params" doc) (mem "ks") with
+  | Some (Json.List (_ :: _)) -> ()
+  | _ -> err "%s: shard document missing non-empty params.ks" file);
+  (match Option.bind (mem "params" doc) (num "cores") with
+  | Some c when c >= 1.0 -> ()
+  | _ -> err "%s: shard document missing params.cores >= 1" file);
+  (match Option.bind (mem "params" doc) (str "executor") with
+  | Some ("seq" | "domains") -> ()
+  | Some e -> err "%s: shard params.executor %S is neither seq nor domains" file e
+  | None -> err "%s: shard document missing params.executor" file);
+  check_speedup_obj ~file doc "shard_speedup_k4_vs_k1";
+  check_verdict ~file doc "shard_maturity_deterministic" "the merged maturity log diverged";
+  check_sweep_runs ~file ~figure:"shard" doc
+
+(* par documents: element-partitioned parallel ingestion. The bench
+   refuses to emit this file at all on <2 cores, so a par document
+   claiming fewer is self-contradictory; it always runs the domains
+   executor over element partitioning. *)
+let check_par_doc ~file doc =
+  (match Option.bind (mem "params" doc) (mem "ks") with
+  | Some (Json.List (_ :: _)) -> ()
+  | _ -> err "%s: par document missing non-empty params.ks" file);
+  (match Option.bind (mem "params" doc) (num "cores") with
+  | Some c when c >= 2.0 -> ()
+  | Some c ->
+      err "%s: par params.cores = %.0f but the bench must refuse to emit below 2 cores" file c
+  | None -> err "%s: par document missing params.cores" file);
+  (match Option.bind (mem "params" doc) (str "executor") with
+  | Some "domains" -> ()
+  | Some e -> err "%s: par params.executor %S should be domains" file e
+  | None -> err "%s: par document missing params.executor" file);
+  (match Option.bind (mem "params" doc) (str "partition") with
+  | Some "elements" -> ()
+  | Some pt -> err "%s: par params.partition %S should be elements" file pt
+  | None -> err "%s: par document missing params.partition" file);
+  check_speedup_obj ~file doc "par_speedup_k8_vs_k1";
+  check_verdict ~file doc "par_maturity_deterministic" "the merged maturity log diverged";
+  (match mem "runs" doc with
   | Some (Json.List runs) ->
       List.iteri
         (fun i run ->
-          let where = Printf.sprintf "runs[%d]" i in
-          ignore (require_num ~file ~where "shards" run);
-          (match str "executor" run with
-          | Some _ -> ()
-          | None -> err "%s: %s: shard run missing string \"executor\"" file where);
-          match mem "per_shard_metrics" run with
-          | Some (Json.List (_ :: _)) -> ()
-          | _ -> err "%s: %s: shard run missing non-empty \"per_shard_metrics\"" file where)
+          match str "partition" run with
+          | Some "elements" -> ()
+          | Some pt -> err "%s: runs[%d]: par run partition %S should be elements" file i pt
+          | None -> err "%s: runs[%d]: par run missing string \"partition\"" file i)
         runs
-  | _ -> ()
+  | _ -> ());
+  check_sweep_runs ~file ~figure:"par" doc
 
 (* Budgets file: { "scale": s, "seed": n, "budgets": { key: { counter:
    max, ... }, ... } }. Scale and seed must match the document's params —
@@ -308,6 +368,7 @@ let check_file ~perf_budgets ~shard_budgets file =
           | _ -> err "%s: missing \"params\" object" file);
           if figure = "perf" then check_perf_doc ~file doc;
           if figure = "shard" then check_shard_doc ~file doc;
+          if figure = "par" then check_par_doc ~file doc;
           let run_budgets =
             let pick = function
               | Some (budget_file, (budget_doc, b)) ->
