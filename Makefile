@@ -11,9 +11,13 @@ RTS_NET_SEEDS ?= 7,19,101
 # Pinned seeds for the sharded-ingestion equivalence sweep (merged
 # output vs unsharded, all executors); override with RTS_SHARD_SEEDS=a,b,c.
 RTS_SHARD_SEEDS ?= 5,17,91
+# Pinned seeds for the combined-fault serving soak (simultaneous storage
+# crash/short-write/ENOSPC plans and network drop/dup/reorder, verified
+# against the WAL oracle); override with RTS_SERVE_SEEDS=a,b,c.
+RTS_SERVE_SEEDS ?= 3,13,29
 
 .PHONY: all build lint test bench-smoke bench-perf bench-shard bench-par \
-        diff-bench check check-fault check-net check-shard clean
+        diff-bench check check-fault check-net check-shard check-serve clean
 
 all: build
 
@@ -115,6 +119,18 @@ check-net: build
 check-shard: build
 	RTS_SHARD_SEEDS=$(RTS_SHARD_SEEDS) $(DUNE) exec test/test_shard.exe
 	@echo "check-shard: OK"
+
+# Serving suite on its own: frame codec, typed admission refusals,
+# backpressure, watchdog wedge recovery, and the combined-fault soak
+# (storage faults + net faults at once) for the pinned seeds, asserting
+# the maturity stream every subscriber saw is bit-identical to the WAL
+# oracle — exactly once, never early, across every crash and restart.
+# Then one soak through the real rts-serve binary for an end-to-end
+# smoke. CI runs this as a separate job on both compiler legs.
+check-serve: build
+	RTS_SERVE_SEEDS=$(RTS_SERVE_SEEDS) $(DUNE) exec test/test_serve.exe
+	$(DUNE) exec bin/rts_serve.exe -- soak --seed 3 --quiet
+	@echo "check-serve: OK"
 
 check: build test bench-smoke
 	@echo "check: OK"

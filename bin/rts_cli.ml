@@ -163,6 +163,33 @@ let net_sites_arg =
   let doc = "Participants per networked shadow instance." in
   Arg.(value & opt int 4 & info [ "net-sites" ] ~docv:"H" ~doc)
 
+(* The Reliable transport's timers, exposed so operators can match the
+   retransmission behaviour to the injected fault profile instead of
+   living with the compiled-in defaults. *)
+let net_rto_arg =
+  let default = Rts_net.Reliable.default.Rts_net.Reliable.rto in
+  let doc = "Initial retransmission timeout of the reliability layer, in virtual ticks." in
+  Arg.(value & opt int default & info [ "net-rto" ] ~docv:"TICKS" ~doc)
+
+let net_rto_max_arg =
+  let default = Rts_net.Reliable.default.Rts_net.Reliable.rto_max in
+  let doc = "Retransmission backoff cap (the timeout doubles per attempt up to $(docv))." in
+  Arg.(value & opt int default & info [ "net-rto-max" ] ~docv:"TICKS" ~doc)
+
+let net_degrade_after_arg =
+  let default = Rts_net.Reliable.default.Rts_net.Reliable.degrade_after in
+  let doc =
+    "Loss budget: cumulative retransmits on one site's link beyond which that site is \
+     degraded to direct per-update forwarding."
+  in
+  Arg.(value & opt int default & info [ "net-degrade-after" ] ~docv:"N" ~doc)
+
+let reliable_config ~rto ~rto_max ~degrade_after =
+  if rto < 1 || rto_max < rto || degrade_after < 1 then
+    fail "--net-rto/--net-rto-max/--net-degrade-after must satisfy 1 <= rto <= rto-max, \
+          degrade-after >= 1";
+  { Rts_net.Reliable.rto; rto_max; degrade_after }
+
 (* With --stats, dump the engine's uniform metric snapshot on stderr so it
    never mixes with the alert/CSV stream on stdout. *)
 let print_stats stats snapshot =
@@ -172,7 +199,7 @@ let print_stats stats snapshot =
 (* ---------------- run ---------------- *)
 
 let run_cmd engine_kind dim closed queries_file quiet stats wal_dir checkpoint_every fsync_every
-    net_faults net_seed net_sites batch shards executor =
+    net_faults net_seed net_sites net_rto net_rto_max net_degrade_after batch shards executor =
   protect @@ fun () ->
   if net_faults <> None && wal_dir <> None then
     fail "--net-faults cannot be combined with --wal (the shadow is not recoverable)";
@@ -206,7 +233,14 @@ let run_cmd engine_kind dim closed queries_file quiet stats wal_dir checkpoint_e
     | None -> engine
     | Some faults ->
         let config =
-          { Rts_netcheck.Net_shadow.default with sites = net_sites; faults; seed = net_seed }
+          {
+            Rts_netcheck.Net_shadow.sites = net_sites;
+            faults;
+            seed = net_seed;
+            reliable =
+              reliable_config ~rto:net_rto ~rto_max:net_rto_max
+                ~degrade_after:net_degrade_after;
+          }
         in
         let s = Rts_netcheck.Net_shadow.create ~config ~dim () in
         shadow := Some s;
@@ -459,8 +493,9 @@ let run_term =
   in
   Term.(
     const run_cmd $ engine_arg $ dim_arg $ closed $ queries_file $ quiet $ stats_arg $ wal
-    $ checkpoint_every $ fsync_every $ net_faults_arg $ net_seed_arg $ net_sites_arg $ batch
-    $ shards_arg $ executor_arg)
+    $ checkpoint_every $ fsync_every $ net_faults_arg $ net_seed_arg $ net_sites_arg
+    $ net_rto_arg $ net_rto_max_arg $ net_degrade_after_arg $ batch $ shards_arg
+    $ executor_arg)
 
 let recover_term =
   let wal_dir =

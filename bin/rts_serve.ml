@@ -1,0 +1,338 @@
+(* rts-serve: supervised multi-tenant serving daemon over the RTS
+   engines, plus its combined-fault soak driver.
+
+     rts-serve soak                      # combined crash+net fault soak
+     rts-serve soak --tenants 16 --queries 65536 --elements 200000
+     rts-serve session --wal state/      # one-tenant frame loop on stdin
+
+   The session speaks the wire protocol one frame per line:
+
+     op,main,R,1,500,10,90          # register query 1
+     op,main,E,42,100               # feed one element
+     batch,main,E,42,100;E,17,100   # feed a batch
+     sub,main                       # subscribe to maturity pushes
+     stats                          # metric snapshot
+     shutdown                       # drain, sync, exit                  *)
+
+open Rts_core
+open Cmdliner
+module Frame = Rts_serve.Frame
+module Server = Rts_serve.Server
+module Client = Rts_serve.Client
+module Hub = Rts_serve.Hub
+module Soak = Rts_serve.Soak
+module Io = Rts_resilience.Io
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Failure s)) fmt
+
+let protect f =
+  let err code fmt =
+    Printf.ksprintf
+      (fun s ->
+        Printf.eprintf "rts-serve: %s\n%!" s;
+        code)
+      fmt
+  in
+  try f () with
+  | Failure msg -> err 1 "%s" msg
+  | Invalid_argument msg -> err 5 "invalid argument: %s" msg
+  | Sys_error msg -> err 7 "%s" msg
+
+let engine_conv =
+  let parse = function
+    | "dt" -> Ok `Dt
+    | "dt-eager" -> Ok `Dt_eager
+    | "baseline" -> Ok `Baseline
+    | "interval-tree" -> Ok `Interval_tree
+    | "seg-intv" -> Ok `Seg_intv
+    | "r-tree" -> Ok `Rtree
+    | s -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
+  in
+  let print ppf e =
+    Format.pp_print_string ppf
+      (match e with
+      | `Dt -> "dt"
+      | `Dt_eager -> "dt-eager"
+      | `Baseline -> "baseline"
+      | `Interval_tree -> "interval-tree"
+      | `Seg_intv -> "seg-intv"
+      | `Rtree -> "r-tree")
+  in
+  Arg.conv (parse, print)
+
+let make_engine kind ~dim =
+  match kind with
+  | `Dt -> Dt_engine.make ~dim
+  | `Dt_eager -> Dt_engine.make_eager ~dim
+  | `Baseline -> Baseline_engine.make ~dim
+  | `Interval_tree ->
+      if dim <> 1 then fail "interval-tree engine is 1D only";
+      Stab1d_engine.make ()
+  | `Seg_intv ->
+      if dim <> 2 then fail "seg-intv engine is 2D only";
+      Stab2d_engine.make ()
+  | `Rtree -> Rtree_engine.make ~dim
+
+let engine_arg =
+  let doc = "Engine behind every tenant: dt, dt-eager, baseline, interval-tree, seg-intv, r-tree." in
+  Arg.(value & opt engine_conv `Dt & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+let dim_arg =
+  let doc = "Dimensionality of the data space." in
+  Arg.(value & opt int 2 & info [ "dim" ] ~docv:"D" ~doc)
+
+let seed_arg =
+  let doc = "Master PRNG seed; the whole soak replays from it." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let net_fault_conv =
+  let parse s =
+    match Rts_net.Net_fault.parse s with Ok sp -> Ok sp | Error m -> Error (`Msg m)
+  in
+  let print ppf sp = Format.pp_print_string ppf (Rts_net.Net_fault.to_string sp) in
+  Arg.conv (parse, print)
+
+let reliable_config ~rto ~rto_max ~degrade_after =
+  if rto < 1 || rto_max < rto || degrade_after < 1 then
+    fail "--net-rto/--net-rto-max/--net-degrade-after must satisfy 1 <= rto <= rto-max";
+  { Rts_net.Reliable.rto; rto_max; degrade_after }
+
+let net_rto_arg =
+  let doc = "Initial retransmission timeout of the reliability layer (virtual ticks)." in
+  Arg.(
+    value
+    & opt int Rts_net.Reliable.default.Rts_net.Reliable.rto
+    & info [ "net-rto" ] ~docv:"TICKS" ~doc)
+
+let net_rto_max_arg =
+  let doc = "Retransmission backoff cap." in
+  Arg.(
+    value
+    & opt int Rts_net.Reliable.default.Rts_net.Reliable.rto_max
+    & info [ "net-rto-max" ] ~docv:"TICKS" ~doc)
+
+let net_degrade_after_arg =
+  let doc = "Per-link loss budget before the transport flags the site degraded." in
+  Arg.(
+    value
+    & opt int Rts_net.Reliable.default.Rts_net.Reliable.degrade_after
+    & info [ "net-degrade-after" ] ~docv:"N" ~doc)
+
+(* ---------------- soak ---------------- *)
+
+let soak_cmd engine_kind dim seed tenants queries elements batch threshold churn
+    faulty_incarnations crash_every wedges net_faults net_rto net_rto_max net_degrade_after
+    queue_capacity drain_per_tick fsync_every checkpoint_every wal_lag_limit query_quota
+    shards executor quiet =
+  protect @@ fun () ->
+  let executor =
+    match executor with
+    | None -> None
+    | Some "seq" -> Some Rts_shard.Executor.Seq
+    | Some "domains" -> Some Rts_shard.Executor.Domains
+    | Some s -> fail "unknown --executor %S (seq | domains)" s
+  in
+  let cfg =
+    {
+      Soak.tenants;
+      queries;
+      elements;
+      batch;
+      threshold;
+      churn;
+      dim;
+      seed;
+      faulty_incarnations;
+      crash_every;
+      wedges;
+      net = net_faults;
+      reliable = reliable_config ~rto:net_rto ~rto_max:net_rto_max ~degrade_after:net_degrade_after;
+      server =
+        {
+          Server.default with
+          Server.dim;
+          queue_capacity;
+          drain_per_tick;
+          wal_lag_limit;
+          query_quota;
+          shards;
+          executor;
+          durable =
+            { Rts_resilience.Durable.default with fsync_every; checkpoint_every };
+        };
+    }
+  in
+  let progress = if quiet then fun _ -> () else fun s -> Printf.eprintf "rts-serve: %s\n%!" s in
+  let report = Soak.run ~progress ~make:(fun ~dim -> make_engine engine_kind ~dim) cfg in
+  Format.printf "%a@." Soak.pp_report report;
+  if report.Soak.ok then 0 else 1
+
+let soak_term =
+  let tenants = Arg.(value & opt int 3 & info [ "tenants" ] ~docv:"N" ~doc:"Tenant count.") in
+  let queries =
+    Arg.(value & opt int 40 & info [ "queries" ] ~docv:"M" ~doc:"Initial registrations per tenant.")
+  in
+  let elements =
+    Arg.(value & opt int 600 & info [ "elements" ] ~docv:"N" ~doc:"Stream elements per tenant.")
+  in
+  let batch =
+    Arg.(value & opt int 8 & info [ "batch" ] ~docv:"B" ~doc:"Elements per batch frame.")
+  in
+  let threshold =
+    Arg.(value & opt int 2500 & info [ "threshold" ] ~docv:"TAU" ~doc:"Max maturity threshold.")
+  in
+  let churn =
+    Arg.(
+      value & opt float 0.15
+      & info [ "churn" ] ~docv:"P" ~doc:"Per-chunk terminate+register probability.")
+  in
+  let faulty =
+    Arg.(
+      value & opt int 4
+      & info [ "faulty-incarnations" ] ~docv:"K"
+          ~doc:"Fault-wrapped storage lives per tenant (0 = clean disks).")
+  in
+  let crash_every =
+    Arg.(
+      value & opt int 150
+      & info [ "crash-every" ] ~docv:"N" ~doc:"Mean WAL appends between drawn crash points.")
+  in
+  let wedges =
+    Arg.(value & opt int 2 & info [ "wedges" ] ~docv:"N" ~doc:"Wedge injections during the run.")
+  in
+  let net_faults =
+    Arg.(
+      value
+      & opt net_fault_conv Soak.default.Soak.net
+      & info [ "net-faults" ] ~docv:"SPEC"
+          ~doc:"Network fault spec on every client link (e.g. 'drop=0.2,dup=0.1,reorder=0.3').")
+  in
+  let queue_capacity =
+    Arg.(
+      value & opt int 16
+      & info [ "queue-capacity" ] ~docv:"N" ~doc:"Per-tenant ingest ring capacity.")
+  in
+  let drain =
+    Arg.(
+      value & opt int 6
+      & info [ "drain-per-tick" ] ~docv:"N" ~doc:"Ops applied per drain tick (pacing).")
+  in
+  let fsync_every =
+    Arg.(value & opt int 7 & info [ "fsync-every" ] ~docv:"N" ~doc:"WAL fsync batching.")
+  in
+  let checkpoint_every =
+    Arg.(value & opt int 97 & info [ "checkpoint-every" ] ~docv:"N" ~doc:"Checkpoint cadence.")
+  in
+  let wal_lag =
+    Arg.(
+      value & opt int 512
+      & info [ "wal-lag-limit" ] ~docv:"N" ~doc:"Admission limit on not-yet-durable ops.")
+  in
+  let quota =
+    Arg.(
+      value & opt int 4096
+      & info [ "query-quota" ] ~docv:"N" ~doc:"Per-tenant alive-query quota.")
+  in
+  let shards =
+    Arg.(value & opt int 1 & info [ "shards" ] ~docv:"K" ~doc:"Shards per tenant engine.")
+  in
+  let executor =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "executor" ] ~docv:"KIND" ~doc:"Shard executor: seq or domains.")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress progress lines.") in
+  Term.(
+    const soak_cmd $ engine_arg $ dim_arg $ seed_arg $ tenants $ queries $ elements $ batch
+    $ threshold $ churn $ faulty $ crash_every $ wedges $ net_faults $ net_rto_arg
+    $ net_rto_max_arg $ net_degrade_after_arg $ queue_capacity $ drain $ fsync_every
+    $ checkpoint_every $ wal_lag $ quota $ shards $ executor $ quiet)
+
+let soak_doc = "Combined-fault soak: crash+short-write+ENOSPC storage faults and network faults \
+                under multi-tenant churn, verified bit-identical against the WAL oracle."
+
+(* ---------------- session ---------------- *)
+
+let session_cmd engine_kind dim wal_dir net_rto net_rto_max net_degrade_after =
+  protect @@ fun () ->
+  let reliable =
+    reliable_config ~rto:net_rto ~rto_max:net_rto_max ~degrade_after:net_degrade_after
+  in
+  let provider ~tenant ~incarnation:_ =
+    match wal_dir with
+    | Some root -> Io.fs_dir (Filename.concat root tenant)
+    | None -> Io.mem_dir ()
+  in
+  (* In-memory dirs cannot survive restarts, so each incarnation of a
+     memory-backed tenant starts empty — fine for a live session, which
+     has no fault injection. With --wal, recovery is real: kill the
+     session and re-run it to resume every tenant from disk. *)
+  let hub =
+    Hub.create
+      ~server_config:{ Server.default with Server.dim }
+      ~reliable ~clients:1
+      ~make:(fun ~dim -> make_engine engine_kind ~dim)
+      ~provider ()
+  in
+  let client = Hub.client hub 0 in
+  let print_replies () =
+    List.iter
+      (fun f -> Printf.printf "%s\n%!" (Frame.server_to_string f))
+      (Client.take_transcript client)
+  in
+  Printf.eprintf
+    "rts-serve: session ready (engine=%s dim=%d%s); one frame per line, 'shutdown' to exit\n%!"
+    (match engine_kind with `Dt -> "dt" | _ -> "custom")
+    dim
+    (match wal_dir with Some d -> ", wal=" ^ d | None -> ", in-memory");
+  (try
+     while not (Client.got_bye client) do
+       let line = input_line stdin in
+       if String.trim line <> "" then begin
+         match Frame.client_of_string ~dim line with
+         | Error msg -> Printf.printf "rejected,%S\n%!" msg
+         | Ok frame ->
+             Client.enqueue client frame;
+             Hub.run hub;
+             print_replies ()
+       end
+     done
+   with End_of_file ->
+     if not (Server.is_shutdown (Hub.server hub)) then begin
+       Server.shutdown (Hub.server hub);
+       Hub.run hub;
+       print_replies ()
+     end);
+  0
+
+let session_term =
+  let wal =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "wal" ] ~docv:"DIR"
+          ~doc:
+            "Root directory for per-tenant durable state (subdirectory per tenant). \
+             Re-running with the same root resumes every tenant from its WAL.")
+  in
+  Term.(
+    const session_cmd $ engine_arg $ dim_arg $ wal $ net_rto_arg $ net_rto_max_arg
+    $ net_degrade_after_arg)
+
+let session_doc = "Interactive single-process serving session: wire-protocol frames on stdin, \
+                   replies and maturity pushes on stdout."
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info_main =
+    Cmd.info "rts-serve" ~version:"%%VERSION%%"
+      ~doc:"Supervised multi-tenant range-thresholding daemon and its fault soak harness"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group ~default info_main
+          [
+            Cmd.v (Cmd.info "soak" ~doc:soak_doc) soak_term;
+            Cmd.v (Cmd.info "session" ~doc:session_doc) session_term;
+          ]))

@@ -199,7 +199,8 @@ module Machine = struct
         let smode = if direct then Direct_mode else s.smode in
         ( set_site st i { s with cbar = s.counter; smode },
           [ to_co i (Envelope.Counter_report { round = -1; value = s.counter }) ] )
-    | Envelope.Signal _ | Envelope.Counter_report _ | Envelope.Ack _ -> drop_stale st
+    | Envelope.Signal _ | Envelope.Counter_report _ | Envelope.App _ | Envelope.Ack _ ->
+        drop_stale st
 
   (* ---- coordinator-side handlers ---- *)
 
@@ -241,7 +242,7 @@ module Machine = struct
           end
           else maybe_mature { st with co = nc }
       | Envelope.Slack_broadcast _ | Envelope.Round_end _ | Envelope.Collect_request _
-      | Envelope.Ack _ ->
+      | Envelope.App _ | Envelope.Ack _ ->
           drop_stale st
 
   let step_degrade st i =

@@ -6,6 +6,7 @@ type payload =
   | Round_end of { round : int }
   | Collect_request of { direct : bool }
   | Counter_report of { round : int; value : int }
+  | App of { body : string }
   | Ack of { ack : int }
 
 type t = { src : node; dst : node; seq : int; payload : payload }
@@ -29,9 +30,10 @@ let kind = function
   | Round_end _ -> "round_end"
   | Collect_request _ -> "collect"
   | Counter_report _ -> "report"
+  | App _ -> "app"
   | Ack _ -> "ack"
 
-let kinds = [ "slack"; "signal"; "round_end"; "collect"; "report"; "ack" ]
+let kinds = [ "slack"; "signal"; "round_end"; "collect"; "report"; "app"; "ack" ]
 
 let pp_payload ppf = function
   | Slack_broadcast { round; lambda } ->
@@ -41,6 +43,7 @@ let pp_payload ppf = function
   | Collect_request { direct } -> Format.fprintf ppf "Collect_request{direct=%b}" direct
   | Counter_report { round; value } ->
       Format.fprintf ppf "Counter_report{round=%d;value=%d}" round value
+  | App { body } -> Format.fprintf ppf "App{%S}" body
   | Ack { ack } -> Format.fprintf ppf "Ack{%d}" ack
 
 let pp ppf t =

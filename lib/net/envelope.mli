@@ -18,6 +18,11 @@
     - [Counter_report {round; value}] — site -> coordinator: my exact
       counter is [value]. [round >= 0] tags a round-end collection
       reply; [round = -1] tags a direct-mode / resync report.
+    - [App {body}] — opaque application payload: a frame of a protocol
+      layered {e over} the transport (the [rts-serve] wire protocol,
+      {!Rts_serve.Frame}) that wants Reliable's exactly-once in-order
+      delivery without the DT machine ever seeing it. The DT machine
+      treats a stray [App] as stale and drops it.
     - [Ack {ack}] — transport-level acknowledgement of sequence number
       [ack]; consumed by {!Reliable}, never seen by the protocol.
 
@@ -32,6 +37,7 @@ type payload =
   | Round_end of { round : int }
   | Collect_request of { direct : bool }
   | Counter_report of { round : int; value : int }
+  | App of { body : string }
   | Ack of { ack : int }
 
 type t = { src : node; dst : node; seq : int; payload : payload }
@@ -45,8 +51,8 @@ val site_of : t -> int
 
 val kind : payload -> string
 (** Stable short name of the payload constructor ("slack", "signal",
-    "round_end", "collect", "report", "ack") — used by metrics and by
-    the {!Net_fault} kind-targeted drop directive. *)
+    "round_end", "collect", "report", "app", "ack") — used by metrics
+    and by the {!Net_fault} kind-targeted drop directive. *)
 
 val kinds : string list
 (** All kind names, in declaration order. *)

@@ -7,10 +7,19 @@ type plan = {
   torn : bool;
   bit_flip : bool;
   crash_at_atomic : int option;
+  short_at_append : int option;
+  enospc_at_append : int option;
 }
 
 let no_crash =
-  { crash_at_append = max_int; torn = false; bit_flip = false; crash_at_atomic = None }
+  {
+    crash_at_append = max_int;
+    torn = false;
+    bit_flip = false;
+    crash_at_atomic = None;
+    short_at_append = None;
+    enospc_at_append = None;
+  }
 
 (* Wrapped dirs are tracked so tests can ask whether a given wrapper has
    crashed; physical equality, test-scale lifetimes. *)
@@ -50,7 +59,22 @@ let wrap ~rng plan (dir : Io.dir) =
     let append s =
       alive ();
       incr appends;
-      if !appends = plan.crash_at_append then begin
+      (match plan.enospc_at_append with
+      | Some n when !appends >= n ->
+          (* Disk full: sticky from the n-th append on — every further
+             append fails, but the machine is up and the existing bytes
+             are intact (reads, sync, close all still work). *)
+          raise Io.No_space
+      | _ -> ());
+      if Some !appends = plan.short_at_append then
+        (* Silent short write: only a strict prefix of this record
+           reaches the pending buffer, and nobody is told. If this was
+           the final record the WAL scanner drops the partial frame as a
+           torn tail; if more records follow they land after the
+           garbage and are unreachable to any future scan — exactly why
+           real systems read back or checksum what they wrote. *)
+        Buffer.add_string pending (String.sub s 0 (Prng.int rng (String.length s)))
+      else if !appends = plan.crash_at_append then begin
         (* The kernel may have flushed any prefix of the unsynced bytes
            on its own — survivors are a PRNG-chosen prefix of
            (pending ++ torn part of the in-flight record). *)

@@ -18,7 +18,13 @@
     - {b crash-at-checkpoint}: the [crash_at_atomic]-th
       [write_atomic] call crashes either just before or just after the
       rename (PRNG coin) — the checkpoint either never existed or fully
-      landed, never half of it.
+      landed, never half of it;
+    - {b silent short write} ([short_at_append]): one record is
+      partially persisted with no error raised — the scanner's CRC
+      framing is what catches it later;
+    - {b disk full} ([enospc_at_append]): appends start raising
+      {!Io.No_space} while the machine stays alive — the load-shedding
+      (rather than crash-recovery) failure axis.
 
     Everything is driven by the caller's [Prng.t], so a failing
     crash/recovery case replays exactly from its seed.
@@ -44,11 +50,28 @@ type plan = {
   crash_at_atomic : int option;
       (** 1-based count of [write_atomic] calls at which to crash
           (before or after publication, PRNG coin). *)
+  short_at_append : int option;
+      (** 1-based append count at which to inject a {e silent short
+          write}: only a strict PRNG-chosen prefix of that record is
+          retained, no error is raised, and the process runs on. A
+          short-written {e final} record is indistinguishable from a
+          torn tail and is amputated by the WAL scanner; a short write
+          {e mid}-log makes every later record unreachable (appended
+          after garbage) — the scan's trusted prefix ends before it
+          either way. *)
+  enospc_at_append : int option;
+      (** 1-based append count from which the store is {e full}: that
+          append and every later one raise {!Io.No_space} (sticky, the
+          disk does not un-fill itself); reads, [sync] and [close] keep
+          working and no previously appended byte is harmed. Unlike
+          {!Crash} the machine stays up — the caller decides whether to
+          shed load or fail over to a fresh store. *)
 }
 
 val no_crash : plan
 (** [{ crash_at_append = max_int; torn = false; bit_flip = false;
-      crash_at_atomic = None }] — a transparent wrapper. *)
+      crash_at_atomic = None; short_at_append = None;
+      enospc_at_append = None }] — a transparent wrapper. *)
 
 val wrap : rng:Rts_util.Prng.t -> plan -> Io.dir -> Io.dir
 (** Interpose the fault model on [dir]. The wrapper is single-use: once

@@ -1,3 +1,5 @@
+exception No_space
+
 type file = {
   append : string -> unit;
   sync : unit -> unit;

@@ -14,6 +14,14 @@
     interposes on a [dir] to model crashes, torn writes and bit flips
     deterministically — same injector over both backends. *)
 
+exception No_space
+(** The storage is out of space: an [append] or [write_atomic] could not
+    take the new bytes. The canonical surfacing of [ENOSPC] across both
+    backends — {!Fault.wrap} raises it from its [enospc_at_append]
+    injection point, and callers (the {!Durable} wrapper, the serving
+    layer's supervisor) treat it as a storage fault: the op that hit it
+    was {e not} made durable, the file's existing contents are intact. *)
+
 type file = {
   append : string -> unit;  (** Append bytes at the end of the file. *)
   sync : unit -> unit;  (** Make all appended bytes durable ([fsync]). *)

@@ -1,0 +1,144 @@
+(** The [rts-serve] daemon core: multi-tenant serving over shared
+    engines, with admission control, backpressure and supervision.
+
+    One server multiplexes isolated keyspaces — {e tenants} — over
+    engines built by a shared factory (optionally sharded through
+    {!Rts_shard.Shard.factory}). Each tenant is independently durable:
+    its ops flow through {!Rts_resilience.Durable} into its own
+    {!Rts_resilience.Io.dir}, obtained from the [provider] callback per
+    (tenant, incarnation) — the seam where the soak harness interposes
+    {!Rts_resilience.Fault.wrap} plans.
+
+    {b Robustness model} (DESIGN.md, "Serving & supervision"):
+
+    - {e Admission control} — a frame can be refused with a typed
+      {!Frame.Overloaded} reply: tenant table full; per-tenant alive
+      query quota; WAL lag (ops accepted but not yet durable) over the
+      limit; DT message budget exhausted; storage reported out of
+      space.
+    - {e Backpressure} — admitted ops enter a bounded per-tenant
+      {!Rts_shard.Spsc_ring} and are applied by a paced drain task on
+      the virtual clock; when the ring is full the client gets
+      {!Frame.Retry_after} and resubmits later. A batch is admitted
+      all-or-nothing.
+    - {e Supervision} — a storage fault ({!Rts_resilience.Fault.Crash},
+      {!Rts_resilience.Io.No_space}) or an injected wedge marks the
+      tenant unhealthy; the watchdog restarts it: a fresh incarnation
+      dir, {!Rts_resilience.Recovery.recover}, re-apply of the
+      applied-but-not-durable suffix (tracked in order), then the
+      pending queue — with maturity notifications suppressed up to the
+      already-notified op ordinal, so subscribers see every maturity
+      {e exactly once, never early}, across any number of restarts.
+
+    Ordinal discipline: op ordinals are assigned at {e apply} time and
+    therefore equal WAL record order; element ordinals count applied
+    elements — the same coordinates as
+    {!Rts_workload.Replay.outcome.maturities}, which is what makes the
+    soak oracle (replay the surviving WAL on a fresh engine) directly
+    comparable to the server's own log and to what subscribers saw. *)
+
+open Rts_core
+open Rts_resilience
+module Vclock = Rts_net.Vclock
+
+type config = {
+  dim : int;
+  max_tenants : int;  (** Tenant table size — {!Frame.Tenants} beyond. *)
+  query_quota : int;
+      (** Max alive + queued registrations per tenant ({!Frame.Quota}). *)
+  wal_lag_limit : int;
+      (** Max ops accepted but not yet durable per tenant
+          ({!Frame.Wal_lag}). *)
+  message_budget : int;
+      (** Max DT protocol messages ([dt_signals_total] +
+          [dt_round_ends_total]) per tenant before registrations are
+          refused ({!Frame.Budget}); [<= 0] = unlimited. Only engines
+          exposing those counters (the DT engine) ever trip it. *)
+  queue_capacity : int;  (** Per-tenant ingest ring (rounded up to 2^k). *)
+  drain_per_tick : int;  (** Ops applied per drain step (pacing). *)
+  retry_after : int;  (** Ticks suggested by {!Frame.Retry_after}. *)
+  watchdog_interval : int;  (** Ticks between supervision scans. *)
+  wedge_timeout : int;
+      (** No-progress ticks after which a wedged tenant is restarted. *)
+  max_restarts : int;
+      (** Per-tenant restart ceiling — beyond it the supervisor raises
+          [Failure] (crash loop, a harness bug rather than a fault). *)
+  shards : int;  (** Shards per tenant engine ([1] = unsharded). *)
+  executor : Rts_shard.Executor.kind option;
+      (** Shard executor ([None] = the shard layer's default). *)
+  durable : Durable.config;  (** WAL batching / checkpoint cadence. *)
+}
+
+val default : config
+
+type t
+
+val create :
+  ?config:config ->
+  clock:Vclock.t ->
+  make:(dim:int -> Engine.t) ->
+  provider:(tenant:string -> incarnation:int -> Io.dir) ->
+  send:(dst:int -> Frame.server -> unit) ->
+  unit ->
+  t
+(** [send ~dst frame] transmits a reply or push toward client site
+    [dst]; [provider] yields the storage dir for each tenant life
+    (incarnation 0 = first). Raises [Invalid_argument] on a nonsensical
+    config. *)
+
+val handle : t -> src:int -> Frame.client -> unit
+(** Process one client frame; every frame gets exactly one reply via
+    [send] (plus any asynchronous {!Frame.Matured} pushes). Never
+    raises on malformed-but-typed input — errors become
+    {!Frame.Rejected} replies. *)
+
+(* ---- introspection (test and soak surface) ---- *)
+
+val tenant_names : t -> string list
+(** In first-contact order. *)
+
+val accepted_ops : t -> string -> int
+(** Ops admitted into the tenant's queue (registration admission +
+    ring room both passed). 0 for unknown tenants, here and below. *)
+
+val applied_ops : t -> string -> int
+val rejected_ops : t -> string -> int
+
+val queue_depth : t -> string -> int
+(** Accepted but not yet applied (ring + re-apply backlog). *)
+
+val restarts : t -> string -> int
+val incarnation : t -> string -> int
+
+val maturity_log : t -> string -> (int * int) list
+(** [(element ordinal, query id)], ascending — the server's own record
+    of every maturity it attributed, across restarts. *)
+
+val crashes : t -> int
+
+val healthy : t -> bool
+(** Every tenant serving, nothing queued, nothing wedged. *)
+
+val is_shutdown : t -> bool
+
+val metrics : t -> Rts_obs.Metrics.snapshot
+(** The [serve_*] counters: accepted/applied/rejected/matured ops,
+    retries, per-reason overload counts, crashes, restarts, wedges,
+    tenant gauge. *)
+
+(* ---- control ---- *)
+
+val inject_wedge : t -> string -> unit
+(** Test hook: freeze the tenant's drain (a stuck worker that holds its
+    state but makes no progress). The watchdog detects the stall after
+    [wedge_timeout] ticks without progress and restarts the tenant.
+    Raises [Invalid_argument] for an unknown tenant. *)
+
+val sync_all : t -> unit
+(** Force every serving tenant's WAL durable now (storage faults during
+    the sync crash that tenant, to be supervised as usual). *)
+
+val shutdown : t -> unit
+(** Drain every queue to empty — restarting crashed tenants inline as
+    needed — then sync, close and release every tenant's storage and
+    executor. Idempotent. Further frames are {!Frame.Rejected}. *)

@@ -443,6 +443,7 @@ let run_crash_case c =
   let fdir =
     Fault.wrap ~rng
       {
+        Fault.no_crash with
         Fault.crash_at_append = c.crash_at;
         torn = c.torn;
         bit_flip = c.bit_flip;
@@ -539,6 +540,133 @@ let test_crash_during_checkpoint_publication () =
       ignore r)
     [ (1, 1); (2, 1); (3, 2); (4, 2); (5, 3); (6, 3); (7, 4); (8, 4) ]
 
+(* ------------------------------------------------------------------ *)
+(* Silent short writes & disk full                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_short_write_final_record_amputated () =
+  (* A silently short-written FINAL record is indistinguishable from a
+     torn tail: the scanner amputates it and recovery resumes one op
+     earlier. No error is ever raised at write time — that is the point. *)
+  let store = Io.mem_dir () in
+  let rng = Prng.create ~seed:42 in
+  let fdir =
+    Fault.wrap ~rng
+      { Fault.no_crash with Fault.short_at_append = Some (List.length sample_ops) }
+      store
+  in
+  let w = Wal.writer ~dim:1 ~dir:fdir () in
+  List.iter (Wal.append w) sample_ops;
+  Wal.close w;
+  (* the writer believes all five landed *)
+  Alcotest.(check int) "writer counted every append" 5 (Wal.appended w);
+  let s = Wal.scan ~dim:1 ~dir:store () in
+  Alcotest.(check int) "scanner amputates the short final record" 4 s.Wal.records;
+  Alcotest.(check bool) "surviving ops are the prefix" true
+    (s.Wal.ops = List.filteri (fun i _ -> i < 4) sample_ops)
+
+let test_short_write_mid_log_ends_trusted_prefix () =
+  (* A short write MID-log leaves garbage in the middle of the file:
+     every later (perfectly intact) record is appended after it and is
+     unreachable — the scan's trusted prefix ends before the damage. *)
+  let store = Io.mem_dir () in
+  let rng = Prng.create ~seed:3 in
+  let fdir =
+    Fault.wrap ~rng { Fault.no_crash with Fault.short_at_append = Some 3 } store
+  in
+  let w = Wal.writer ~dim:1 ~dir:fdir () in
+  List.iter (Wal.append w) sample_ops;
+  Wal.close w;
+  let s = Wal.scan ~dim:1 ~dir:store () in
+  Alcotest.(check int) "trusted prefix ends before the short record" 2 s.Wal.records;
+  Alcotest.(check bool) "everything after the damage is discarded" true
+    (s.Wal.bytes_discarded > 0);
+  Alcotest.(check bool) "ops are the intact prefix" true
+    (s.Wal.ops = List.filteri (fun i _ -> i < 2) sample_ops)
+
+let test_short_write_then_crash_equivalence () =
+  (* The combined-fault shape the serving soak leans on: a record is
+     silently short-written, and the machine crashes shortly after.
+     Recovery lands on the trusted prefix and the continuation (re-fed
+     from [ops_total + 1], as any producer holding its unacknowledged
+     tail would) reproduces the reference maturity log bit for bit.
+     Checkpoints are disabled here: a checkpoint covering a short-written
+     record bridges the hole and desynchronizes WAL record indices from
+     op ordinals — callers that checkpoint must read-back-verify the WAL
+     first, which is precisely what [Rts_serve.Server] does. *)
+  List.iter
+    (fun (fault_seed, crash_at) ->
+      let ops = trace 23 60 in
+      let reference = Replay.replay_ops (Baseline_engine.make ~dim:1) ops in
+      let store = Io.mem_dir () in
+      let rng = Prng.create ~seed:fault_seed in
+      let fdir =
+        Fault.wrap ~rng
+          {
+            Fault.no_crash with
+            Fault.crash_at_append = crash_at;
+            torn = true;
+            short_at_append = Some (crash_at - 1);
+          }
+          store
+      in
+      let cfg = { Durable.fsync_every = 3; checkpoint_every = 100_000; keep = 2 } in
+      let durable, _h = Durable.wrap ~config:cfg ~dir:fdir (make_dt ~dim:1) in
+      let _pre = feed durable ops ~base:0 in
+      let engine2, report = Recovery.recover ~dim:1 ~make:make_dt ~dir:store () in
+      let durable2, h2 = Durable.wrap ~config:cfg ~report ~dir:store engine2 in
+      let suffix = drop report.Recovery.ops_total ops in
+      let cont_log, _ = feed durable2 suffix ~base:report.Recovery.elements_total in
+      Durable.close h2;
+      if report.Recovery.maturities @ cont_log <> reference.Replay.maturities then
+        Alcotest.failf "seed=%d crash_at=%d: log diverged after short write + crash"
+          fault_seed crash_at)
+    [ (101, 10); (102, 17); (103, 25); (104, 33); (105, 41) ]
+
+let test_enospc_sticky_and_failover () =
+  let ops = trace 31 40 in
+  let reference = Replay.replay_ops (Baseline_engine.make ~dim:1) ops in
+  let store = Io.mem_dir () in
+  let rng = Prng.create ~seed:7 in
+  let k = 25 in
+  let fdir =
+    Fault.wrap ~rng { Fault.no_crash with Fault.enospc_at_append = Some k } store
+  in
+  let cfg = { Durable.fsync_every = 2; checkpoint_every = 100_000; keep = 2 } in
+  let durable, h = Durable.wrap ~config:cfg ~dir:fdir (make_baseline ~dim:1) in
+  let completed = ref 0 in
+  (try
+     List.iter
+       (fun op ->
+         (match op with
+         | Replay.Element el -> ignore (durable.Engine.process el)
+         | Replay.Register qq -> durable.Engine.register qq
+         | Replay.Terminate id -> durable.Engine.terminate id);
+         incr completed)
+       ops
+   with Io.No_space -> ());
+  Alcotest.(check int) "the k-th logged op hits the full disk" (k - 1) !completed;
+  (match durable.Engine.process (e 1. 1) with
+  | exception Io.No_space -> ()
+  | _ -> Alcotest.fail "ENOSPC must be sticky: later appends must raise too");
+  (* the machine is alive: sync and close still work, nothing already
+     appended is harmed *)
+  Durable.close h;
+  let s = Wal.scan ~dim:1 ~dir:store () in
+  Alcotest.(check int) "every pre-ENOSPC record is durable" (k - 1) s.Wal.records;
+  (* fail over: recover from the full store, continue on a fresh one *)
+  let engine2, report = Recovery.recover ~dim:1 ~make:make_baseline ~dir:store () in
+  Alcotest.(check int) "recovery resumes at the shed op" (k - 1)
+    report.Recovery.ops_total;
+  let fresh = Io.mem_dir () in
+  let durable2, h2 = Durable.wrap ~config:cfg ~dir:fresh engine2 in
+  let suffix = drop report.Recovery.ops_total ops in
+  let cont_log, _ = feed durable2 suffix ~base:report.Recovery.elements_total in
+  Durable.close h2;
+  Alcotest.(check (list (pair int int))) "maturity log identical across failover"
+    reference.Replay.maturities
+    (report.Recovery.maturities @ cont_log)
+
 let prop_crash_equivalence =
   let case_gen =
     QCheck.Gen.(
@@ -628,5 +756,16 @@ let () =
           Alcotest.test_case "crash during checkpoint publication" `Quick
             test_crash_during_checkpoint_publication;
           QCheck_alcotest.to_alcotest prop_crash_equivalence;
+        ] );
+      ( "short-write-enospc",
+        [
+          Alcotest.test_case "short final record amputated" `Quick
+            test_short_write_final_record_amputated;
+          Alcotest.test_case "short mid-log ends the trusted prefix" `Quick
+            test_short_write_mid_log_ends_trusted_prefix;
+          Alcotest.test_case "short write + crash equivalence" `Quick
+            test_short_write_then_crash_equivalence;
+          Alcotest.test_case "ENOSPC sticky, survivable, failover" `Quick
+            test_enospc_sticky_and_failover;
         ] );
     ]
