@@ -15,9 +15,14 @@ RTS_SHARD_SEEDS ?= 5,17,91
 # crash/short-write/ENOSPC plans and network drop/dup/reorder, verified
 # against the WAL oracle); override with RTS_SERVE_SEEDS=a,b,c.
 RTS_SERVE_SEEDS ?= 3,13,29
+# Pinned seeds for the replicated-serving failover soak (primary kill /
+# wedge under combined storage+network faults, promoted log verified
+# against the fault-free oracle); override with RTS_REPLICA_SEEDS=a,b,c.
+RTS_REPLICA_SEEDS ?= 2,11,23
 
 .PHONY: all build lint test bench-smoke bench-perf bench-shard bench-par \
-        diff-bench check check-fault check-net check-shard check-serve clean
+        diff-bench check check-fault check-net check-shard check-serve \
+        check-replica clean
 
 all: build
 
@@ -131,6 +136,22 @@ check-serve: build
 	RTS_SERVE_SEEDS=$(RTS_SERVE_SEEDS) $(DUNE) exec test/test_serve.exe
 	$(DUNE) exec bin/rts_serve.exe -- soak --seed 3 --quiet
 	@echo "check-serve: OK"
+
+# Replicated-serving suite on its own: rep codec, clean replication,
+# kill/wedge failover with zombie fencing, and the pinned-seed replica
+# soak — the promoted node's merged maturity log (archived segments +
+# surviving chain) must be bit-identical to the fault-free oracle, with
+# WAL disk bounded by segment pruning below the replication ack floor.
+# Then two failover soaks through the real rts-serve binary under
+# aggressive segment rotation (the rotation stress leg). CI runs this
+# as a separate job on both compiler legs.
+check-replica: build
+	RTS_REPLICA_SEEDS=$(RTS_REPLICA_SEEDS) $(DUNE) exec test/test_replica.exe
+	$(DUNE) exec bin/rts_serve.exe -- failover-soak --seed 3 \
+	  --segment-records 16 --checkpoint-every 43 --quiet
+	$(DUNE) exec bin/rts_serve.exe -- failover-soak --seed 7 --scenario wedge \
+	  --segment-records 16 --quiet
+	@echo "check-replica: OK"
 
 check: build test bench-smoke
 	@echo "check: OK"

@@ -184,11 +184,20 @@ let net_degrade_after_arg =
   in
   Arg.(value & opt int default & info [ "net-degrade-after" ] ~docv:"N" ~doc)
 
-let reliable_config ~rto ~rto_max ~degrade_after =
+let net_rto_jitter_arg =
+  let doc =
+    "Deterministic retransmission-backoff jitter: each retry delay d is drawn from [d, \
+     d*(1+$(docv))] using the seeded PRNG, so links do not retry in lockstep after a \
+     partition heals. 0 disables jitter."
+  in
+  Arg.(value & opt float 0.0 & info [ "net-rto-jitter" ] ~docv:"FRAC" ~doc)
+
+let reliable_config ~rto ~rto_max ~degrade_after ~jitter =
   if rto < 1 || rto_max < rto || degrade_after < 1 then
     fail "--net-rto/--net-rto-max/--net-degrade-after must satisfy 1 <= rto <= rto-max, \
           degrade-after >= 1";
-  { Rts_net.Reliable.rto; rto_max; degrade_after }
+  if jitter < 0. then fail "--net-rto-jitter must be >= 0";
+  { Rts_net.Reliable.rto; rto_max; degrade_after; jitter }
 
 (* With --stats, dump the engine's uniform metric snapshot on stderr so it
    never mixes with the alert/CSV stream on stdout. *)
@@ -199,7 +208,8 @@ let print_stats stats snapshot =
 (* ---------------- run ---------------- *)
 
 let run_cmd engine_kind dim closed queries_file quiet stats wal_dir checkpoint_every fsync_every
-    net_faults net_seed net_sites net_rto net_rto_max net_degrade_after batch shards executor =
+    net_faults net_seed net_sites net_rto net_rto_max net_degrade_after net_rto_jitter batch
+    shards executor =
   protect @@ fun () ->
   if net_faults <> None && wal_dir <> None then
     fail "--net-faults cannot be combined with --wal (the shadow is not recoverable)";
@@ -239,7 +249,7 @@ let run_cmd engine_kind dim closed queries_file quiet stats wal_dir checkpoint_e
             seed = net_seed;
             reliable =
               reliable_config ~rto:net_rto ~rto_max:net_rto_max
-                ~degrade_after:net_degrade_after;
+                ~degrade_after:net_degrade_after ~jitter:net_rto_jitter;
           }
         in
         let s = Rts_netcheck.Net_shadow.create ~config ~dim () in
@@ -494,8 +504,8 @@ let run_term =
   Term.(
     const run_cmd $ engine_arg $ dim_arg $ closed $ queries_file $ quiet $ stats_arg $ wal
     $ checkpoint_every $ fsync_every $ net_faults_arg $ net_seed_arg $ net_sites_arg
-    $ net_rto_arg $ net_rto_max_arg $ net_degrade_after_arg $ batch $ shards_arg
-    $ executor_arg)
+    $ net_rto_arg $ net_rto_max_arg $ net_degrade_after_arg $ net_rto_jitter_arg $ batch
+    $ shards_arg $ executor_arg)
 
 let recover_term =
   let wal_dir =

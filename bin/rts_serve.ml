@@ -3,6 +3,7 @@
 
      rts-serve soak                      # combined crash+net fault soak
      rts-serve soak --tenants 16 --queries 65536 --elements 200000
+     rts-serve failover-soak --scenario wedge   # replicated serving + failover
      rts-serve session --wal state/      # one-tenant frame loop on stdin
 
    The session speaks the wire protocol one frame per line:
@@ -21,6 +22,8 @@ module Server = Rts_serve.Server
 module Client = Rts_serve.Client
 module Hub = Rts_serve.Hub
 module Soak = Rts_serve.Soak
+module Cluster = Rts_replica.Cluster
+module Rsoak = Rts_replica.Rsoak
 module Io = Rts_resilience.Io
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Failure s)) fmt
@@ -92,10 +95,11 @@ let net_fault_conv =
   let print ppf sp = Format.pp_print_string ppf (Rts_net.Net_fault.to_string sp) in
   Arg.conv (parse, print)
 
-let reliable_config ~rto ~rto_max ~degrade_after =
+let reliable_config ~rto ~rto_max ~degrade_after ~jitter =
   if rto < 1 || rto_max < rto || degrade_after < 1 then
     fail "--net-rto/--net-rto-max/--net-degrade-after must satisfy 1 <= rto <= rto-max";
-  { Rts_net.Reliable.rto; rto_max; degrade_after }
+  if jitter < 0. then fail "--net-rto-jitter must be >= 0";
+  { Rts_net.Reliable.rto; rto_max; degrade_after; jitter }
 
 let net_rto_arg =
   let doc = "Initial retransmission timeout of the reliability layer (virtual ticks)." in
@@ -118,12 +122,20 @@ let net_degrade_after_arg =
     & opt int Rts_net.Reliable.default.Rts_net.Reliable.degrade_after
     & info [ "net-degrade-after" ] ~docv:"N" ~doc)
 
+let net_rto_jitter_arg =
+  let doc =
+    "Deterministic retransmission-backoff jitter: each retry delay d is drawn from [d, \
+     d*(1+$(docv))] using the seeded PRNG so links do not retry in lockstep after a \
+     partition heals. 0 disables jitter."
+  in
+  Arg.(value & opt float 0.0 & info [ "net-rto-jitter" ] ~docv:"FRAC" ~doc)
+
 (* ---------------- soak ---------------- *)
 
 let soak_cmd engine_kind dim seed tenants queries elements batch threshold churn
     faulty_incarnations crash_every wedges net_faults net_rto net_rto_max net_degrade_after
-    queue_capacity drain_per_tick fsync_every checkpoint_every wal_lag_limit query_quota
-    shards executor quiet =
+    net_rto_jitter queue_capacity drain_per_tick fsync_every checkpoint_every wal_lag_limit
+    query_quota shards executor quiet =
   protect @@ fun () ->
   let executor =
     match executor with
@@ -146,7 +158,9 @@ let soak_cmd engine_kind dim seed tenants queries elements batch threshold churn
       crash_every;
       wedges;
       net = net_faults;
-      reliable = reliable_config ~rto:net_rto ~rto_max:net_rto_max ~degrade_after:net_degrade_after;
+      reliable =
+        reliable_config ~rto:net_rto ~rto_max:net_rto_max ~degrade_after:net_degrade_after
+          ~jitter:net_rto_jitter;
       server =
         {
           Server.default with
@@ -246,18 +260,194 @@ let soak_term =
   Term.(
     const soak_cmd $ engine_arg $ dim_arg $ seed_arg $ tenants $ queries $ elements $ batch
     $ threshold $ churn $ faulty $ crash_every $ wedges $ net_faults $ net_rto_arg
-    $ net_rto_max_arg $ net_degrade_after_arg $ queue_capacity $ drain $ fsync_every
-    $ checkpoint_every $ wal_lag $ quota $ shards $ executor $ quiet)
+    $ net_rto_max_arg $ net_degrade_after_arg $ net_rto_jitter_arg $ queue_capacity $ drain
+    $ fsync_every $ checkpoint_every $ wal_lag $ quota $ shards $ executor $ quiet)
 
 let soak_doc = "Combined-fault soak: crash+short-write+ENOSPC storage faults and network faults \
                 under multi-tenant churn, verified bit-identical against the WAL oracle."
 
+(* ---------------- failover-soak ---------------- *)
+
+let failover_cmd engine_kind dim seed tenants queries elements batch threshold churn
+    faulty_incarnations crash_every net_faults net_rto net_rto_max net_degrade_after
+    net_rto_jitter replicas scenario kill_at wedge_at wedge_duration segment_records
+    queue_capacity drain_per_tick fsync_every checkpoint_every hb_every hb_timeout quiet =
+  protect @@ fun () ->
+  let scenario =
+    match scenario with
+    | "clean" -> Rsoak.Clean
+    | "kill" -> Rsoak.Kill kill_at
+    | "wedge" -> Rsoak.Wedge { at = wedge_at; duration = wedge_duration }
+    | s -> fail "unknown --scenario %S (clean | kill | wedge)" s
+  in
+  if replicas < 0 then fail "--replicas must be >= 0";
+  let cfg =
+    {
+      Rsoak.tenants;
+      queries;
+      elements;
+      batch;
+      threshold;
+      churn;
+      dim;
+      seed;
+      faulty_incarnations;
+      crash_every;
+      scenario;
+      cluster =
+        {
+          Rsoak.default.Rsoak.cluster with
+          Cluster.serving = replicas + 1;
+          net = net_faults;
+          hb_every;
+          hb_timeout;
+          reliable =
+            reliable_config ~rto:net_rto ~rto_max:net_rto_max ~degrade_after:net_degrade_after
+              ~jitter:net_rto_jitter;
+          server =
+            {
+              Server.default with
+              Server.dim;
+              queue_capacity;
+              drain_per_tick;
+              segment_records;
+              durable =
+                { Rts_resilience.Durable.default with fsync_every; checkpoint_every };
+            };
+        };
+    }
+  in
+  let progress = if quiet then fun _ -> () else fun s -> Printf.eprintf "rts-serve: %s\n%!" s in
+  let report = Rsoak.run ~progress ~make:(fun ~dim -> make_engine engine_kind ~dim) cfg in
+  Format.printf "%a@." Rsoak.pp report;
+  if report.Rsoak.ok then 0 else 1
+
+let failover_term =
+  let tenants = Arg.(value & opt int 2 & info [ "tenants" ] ~docv:"N" ~doc:"Tenant count.") in
+  let queries =
+    Arg.(value & opt int 30 & info [ "queries" ] ~docv:"M" ~doc:"Initial registrations per tenant.")
+  in
+  let elements =
+    Arg.(value & opt int 850 & info [ "elements" ] ~docv:"N" ~doc:"Stream elements per tenant.")
+  in
+  let batch =
+    Arg.(value & opt int 8 & info [ "batch" ] ~docv:"B" ~doc:"Elements per batch frame.")
+  in
+  let threshold =
+    Arg.(value & opt int 2500 & info [ "threshold" ] ~docv:"TAU" ~doc:"Max maturity threshold.")
+  in
+  let churn =
+    Arg.(
+      value & opt float 0.12
+      & info [ "churn" ] ~docv:"P" ~doc:"Per-chunk terminate+register probability.")
+  in
+  let faulty =
+    Arg.(
+      value & opt int 2
+      & info [ "faulty-incarnations" ] ~docv:"K"
+          ~doc:"Fault-wrapped storage lives per (node, tenant) (0 = clean disks).")
+  in
+  let crash_every =
+    Arg.(
+      value & opt int 180
+      & info [ "crash-every" ] ~docv:"N" ~doc:"Mean WAL appends between drawn crash points.")
+  in
+  let net_faults =
+    Arg.(
+      value
+      & opt net_fault_conv Rsoak.default.Rsoak.cluster.Cluster.net
+      & info [ "net-faults" ] ~docv:"SPEC"
+          ~doc:"Network fault spec on every link (e.g. 'drop=0.08,dup=0.04,reorder=0.15').")
+  in
+  let replicas =
+    Arg.(
+      value & opt int 2
+      & info [ "replicas" ] ~docv:"N"
+          ~doc:"Replica count; the cluster serves on N+1 nodes (node 0 is the initial primary).")
+  in
+  let scenario =
+    Arg.(
+      value & opt string "kill"
+      & info [ "scenario" ] ~docv:"KIND"
+          ~doc:
+            "Fault scripted against the initial primary: clean (none), kill (fail-stop at \
+             --kill-at), wedge (stall over [--wedge-at, --wedge-at + --wedge-duration], then \
+             wake the zombie into the fenced view).")
+  in
+  let kill_at =
+    Arg.(value & opt int 120 & info [ "kill-at" ] ~docv:"TICK" ~doc:"Kill tick (scenario=kill).")
+  in
+  let wedge_at =
+    Arg.(value & opt int 120 & info [ "wedge-at" ] ~docv:"TICK" ~doc:"Wedge tick (scenario=wedge).")
+  in
+  let wedge_duration =
+    Arg.(
+      value & opt int 300
+      & info [ "wedge-duration" ] ~docv:"TICKS" ~doc:"Wedge length (scenario=wedge).")
+  in
+  let segment_records =
+    Arg.(
+      value & opt int 48
+      & info [ "segment-records" ] ~docv:"N"
+          ~doc:"WAL segment rotation threshold; 0 disables rotation (and pruning).")
+  in
+  let queue_capacity =
+    Arg.(
+      value & opt int 16
+      & info [ "queue-capacity" ] ~docv:"N" ~doc:"Per-tenant ingest ring capacity.")
+  in
+  let drain =
+    Arg.(
+      value & opt int 6
+      & info [ "drain-per-tick" ] ~docv:"N" ~doc:"Ops applied per drain tick (pacing).")
+  in
+  let fsync_every =
+    Arg.(value & opt int 5 & info [ "fsync-every" ] ~docv:"N" ~doc:"WAL fsync batching.")
+  in
+  let checkpoint_every =
+    Arg.(value & opt int 67 & info [ "checkpoint-every" ] ~docv:"N" ~doc:"Checkpoint cadence.")
+  in
+  let hb_every =
+    Arg.(
+      value
+      & opt int Cluster.default.Cluster.hb_every
+      & info [ "hb-every" ] ~docv:"TICKS" ~doc:"Primary heartbeat cadence.")
+  in
+  let hb_timeout =
+    Arg.(
+      value
+      & opt int Cluster.default.Cluster.hb_timeout
+      & info [ "hb-timeout" ] ~docv:"TICKS"
+          ~doc:"Controller: heartbeat silence before starting a failover election.")
+  in
+  let quiet = Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress progress lines.") in
+  Term.(
+    const failover_cmd $ engine_arg $ dim_arg $ seed_arg $ tenants $ queries $ elements $ batch
+    $ threshold $ churn $ faulty $ crash_every $ net_faults $ net_rto_arg $ net_rto_max_arg
+    $ net_degrade_after_arg $ net_rto_jitter_arg $ replicas $ scenario $ kill_at $ wedge_at
+    $ wedge_duration $ segment_records $ queue_capacity $ drain $ fsync_every $ checkpoint_every
+    $ hb_every $ hb_timeout $ quiet)
+
+let failover_doc =
+  "Replica-topology soak: primary/replica WAL shipping over a lossy fabric with storage faults \
+   on every node, a scripted primary kill or wedge, fenced automatic failover, and \
+   bit-identical verification of the promoted node's (archive ++ chain) oracle against its \
+   maturity log and the subscriber's merged push stream."
+
 (* ---------------- session ---------------- *)
 
-let session_cmd engine_kind dim wal_dir net_rto net_rto_max net_degrade_after =
+let session_cmd engine_kind dim wal_dir role net_rto net_rto_max net_degrade_after
+    net_rto_jitter =
   protect @@ fun () ->
+  let role =
+    match role with
+    | "primary" -> Server.Primary
+    | "replica" -> Server.Replica
+    | s -> fail "unknown --role %S (primary | replica)" s
+  in
   let reliable =
     reliable_config ~rto:net_rto ~rto_max:net_rto_max ~degrade_after:net_degrade_after
+      ~jitter:net_rto_jitter
   in
   let provider ~tenant ~incarnation:_ =
     match wal_dir with
@@ -275,6 +465,7 @@ let session_cmd engine_kind dim wal_dir net_rto net_rto_max net_degrade_after =
       ~make:(fun ~dim -> make_engine engine_kind ~dim)
       ~provider ()
   in
+  Server.set_role (Hub.server hub) role;
   let client = Hub.client hub 0 in
   let print_replies () =
     List.iter
@@ -316,9 +507,18 @@ let session_term =
             "Root directory for per-tenant durable state (subdirectory per tenant). \
              Re-running with the same root resumes every tenant from its WAL.")
   in
+  let role =
+    Arg.(
+      value & opt string "primary"
+      & info [ "role" ] ~docv:"ROLE"
+          ~doc:
+            "Serving role: primary accepts client traffic; replica answers data frames with \
+             retry-after (clients retarget on the next view change) and only applies ops \
+             shipped by a primary, as in the failover harness.")
+  in
   Term.(
-    const session_cmd $ engine_arg $ dim_arg $ wal $ net_rto_arg $ net_rto_max_arg
-    $ net_degrade_after_arg)
+    const session_cmd $ engine_arg $ dim_arg $ wal $ role $ net_rto_arg $ net_rto_max_arg
+    $ net_degrade_after_arg $ net_rto_jitter_arg)
 
 let session_doc = "Interactive single-process serving session: wire-protocol frames on stdin, \
                    replies and maturity pushes on stdout."
@@ -334,5 +534,6 @@ let () =
        (Cmd.group ~default info_main
           [
             Cmd.v (Cmd.info "soak" ~doc:soak_doc) soak_term;
+            Cmd.v (Cmd.info "failover-soak" ~doc:failover_doc) failover_term;
             Cmd.v (Cmd.info "session" ~doc:session_doc) session_term;
           ]))

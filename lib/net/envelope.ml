@@ -9,7 +9,7 @@ type payload =
   | App of { body : string }
   | Ack of { ack : int }
 
-type t = { src : node; dst : node; seq : int; payload : payload }
+type t = { src : node; dst : node; seq : int; epoch : int; payload : payload }
 
 let node_id = function Coordinator -> -1 | Site i -> i
 
@@ -47,4 +47,8 @@ let pp_payload ppf = function
   | Ack { ack } -> Format.fprintf ppf "Ack{%d}" ack
 
 let pp ppf t =
-  Format.fprintf ppf "%a->%a #%d %a" pp_node t.src pp_node t.dst t.seq pp_payload t.payload
+  if t.epoch = 0 then
+    Format.fprintf ppf "%a->%a #%d %a" pp_node t.src pp_node t.dst t.seq pp_payload t.payload
+  else
+    Format.fprintf ppf "%a->%a #%d e%d %a" pp_node t.src pp_node t.dst t.seq t.epoch pp_payload
+      t.payload

@@ -27,7 +27,12 @@
       [ack]; consumed by {!Reliable}, never seen by the protocol.
 
     Every envelope carries a per-directed-link sequence number [seq]
-    assigned by the reliability layer (0 for raw/ack sends). *)
+    assigned by the reliability layer (0 for raw/ack sends), and an
+    [epoch] — the sender incarnation's fencing number (0 when the
+    protocol above does not use fencing). The transport itself never
+    interprets [epoch]; receivers that care (the replicated serving
+    layer) drop envelopes from superseded epochs before the payload
+    reaches the application. *)
 
 type node = Coordinator | Site of int
 
@@ -40,7 +45,7 @@ type payload =
   | App of { body : string }
   | Ack of { ack : int }
 
-type t = { src : node; dst : node; seq : int; payload : payload }
+type t = { src : node; dst : node; seq : int; epoch : int; payload : payload }
 
 val node_id : node -> int
 (** [-1] for the coordinator, the site index otherwise. *)

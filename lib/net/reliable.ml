@@ -1,9 +1,9 @@
 module Prng = Rts_util.Prng
 module Metrics = Rts_obs.Metrics
 
-type config = { rto : int; rto_max : int; degrade_after : int }
+type config = { rto : int; rto_max : int; degrade_after : int; jitter : float }
 
-let default = { rto = 12; rto_max = 192; degrade_after = 24 }
+let default = { rto = 12; rto_max = 192; degrade_after = 24; jitter = 0.0 }
 
 type entry = { env : Envelope.t; mutable attempts : int; mutable timer : Vclock.timer option }
 
@@ -14,6 +14,7 @@ type recv_link = { mutable expected : int; buffer : (int, Envelope.t) Hashtbl.t 
 type t = {
   config : config;
   clock : Vclock.t;
+  rng : Prng.t; (* jitter draws only; the Network owns its own stream *)
   mutable net : Network.t option; (* tied after create; always Some in use *)
   deliver : Envelope.t -> unit;
   on_degrade : int -> unit;
@@ -53,10 +54,20 @@ let is_degraded t site = Hashtbl.mem t.degraded site
 
 let degraded_sites t = Hashtbl.length t.degraded
 
-(* Exponential backoff: rto * 2^(attempts-1), capped. *)
+(* Exponential backoff: rto * 2^(attempts-1), capped, plus optional
+   deterministic jitter. Without jitter, every link that lost traffic to
+   the same partition retries on the same tick when it heals — a
+   synchronized burst into a link that may still be lossy. [jitter = j]
+   spreads each delay uniformly over [d, d * (1 + j)] from the fabric's
+   seeded PRNG, so the spread is reproducible run to run. Jitter 0 draws
+   nothing, leaving pre-existing seeded schedules bit-identical. *)
 let backoff t attempts =
   let d = t.config.rto lsl min attempts 20 in
-  min (max t.config.rto d) t.config.rto_max
+  let d = min (max t.config.rto d) t.config.rto_max in
+  if t.config.jitter <= 0. then d
+  else
+    let span = int_of_float (float_of_int d *. t.config.jitter) in
+    if span <= 0 then d else d + Prng.int t.rng (span + 1)
 
 let rec arm_timer t entry =
   let delay = backoff t entry.attempts in
@@ -76,12 +87,12 @@ let rec arm_timer t entry =
              t.on_degrade site
            end))
 
-let send t ~src ~dst payload =
+let send ?(epoch = 0) t ~src ~dst payload =
   let key = link_key src dst in
   let l = sender_link t key in
   let seq = l.next_seq in
   l.next_seq <- seq + 1;
-  let env = { Envelope.src; dst; seq; payload } in
+  let env = { Envelope.src; dst; seq; epoch; payload } in
   let entry = { env; attempts = 0; timer = None } in
   Hashtbl.replace l.unacked seq entry;
   t.protocol_sends <- t.protocol_sends + 1;
@@ -108,7 +119,13 @@ let on_receive t (env : Envelope.t) =
          lost. Acks are raw datagrams — unsequenced, never retried. *)
       t.acks_sent <- t.acks_sent + 1;
       Network.send (network t)
-        { Envelope.src = env.dst; dst = env.src; seq = 0; payload = Envelope.Ack { ack = env.seq } };
+        {
+          Envelope.src = env.dst;
+          dst = env.src;
+          seq = 0;
+          epoch = env.epoch;
+          payload = Envelope.Ack { ack = env.seq };
+        };
       let key = link_key env.src env.dst in
       let l = recv_link t key in
       if env.seq < l.expected || Hashtbl.mem l.buffer env.seq then
@@ -136,10 +153,17 @@ let on_receive t (env : Envelope.t) =
       end
 
 let create ~config ~clock ~rng ~spec ~deliver ~on_degrade () =
+  if config.jitter < 0. then invalid_arg "Reliable.create: jitter < 0";
+  (* [copy], not [split]: copying leaves the caller's stream untouched,
+     so enabling (or merely plumbing) jitter never perturbs the fault
+     injector's draws and every pre-jitter seeded schedule stays
+     bit-identical. *)
+  let jitter_rng = Prng.copy rng in
   let t =
     {
       config;
       clock;
+      rng = jitter_rng;
       net = None;
       deliver;
       on_degrade;

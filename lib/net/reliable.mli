@@ -22,10 +22,16 @@ type config = {
   degrade_after : int;
       (** Loss budget: cumulative retransmits on one site's link beyond
           which [on_degrade] fires. *)
+  jitter : float;
+      (** Deterministic backoff jitter: each retransmission delay [d] is
+          drawn uniformly from [d, d * (1 + jitter)] using the fabric's
+          seeded PRNG, decorrelating links that would otherwise retry in
+          lockstep after a partition heals. 0 (default) draws nothing
+          and preserves the exact pre-jitter schedule. *)
 }
 
 val default : config
-(** [{ rto = 12; rto_max = 192; degrade_after = 24 }]. *)
+(** [{ rto = 12; rto_max = 192; degrade_after = 24; jitter = 0.0 }]. *)
 
 type t
 
@@ -43,8 +49,11 @@ val create :
     [on_degrade] fires at most once per site. Both may call {!send}
     re-entrantly. *)
 
-val send : t -> src:Envelope.node -> dst:Envelope.node -> Envelope.payload -> unit
-(** Enqueue one protocol message; the layer owns sequencing and retry. *)
+val send : ?epoch:int -> t -> src:Envelope.node -> dst:Envelope.node -> Envelope.payload -> unit
+(** Enqueue one protocol message; the layer owns sequencing and retry.
+    [epoch] (default 0) stamps the sender incarnation's fencing number
+    into the envelope — opaque to the transport, read by receivers that
+    fence stale incarnations. *)
 
 val network : t -> Network.t
 

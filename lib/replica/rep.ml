@@ -1,0 +1,143 @@
+module Replay = Rts_workload.Replay
+module Frame = Rts_serve.Frame
+
+type t =
+  | Append of { epoch : int; tenant : string; index : int; op : Replay.op }
+  | Ack of { epoch : int; tenant : string; durable : int }
+  | Heartbeat of { epoch : int; floors : (string * int) list }
+  | Probe of { epoch : int }
+  | Position of { epoch : int; total : int }
+  | View of { epoch : int; primary : int; members : int list }
+
+(* Every verb starts with "r" and none collides with an [Rts_serve.Frame]
+   verb, so a receiver can dispatch on the first field alone. *)
+let verbs = [ "rapp"; "rack"; "rhb"; "rprobe"; "rpos"; "rview" ]
+
+let cut s =
+  match String.index_opt s ',' with
+  | None -> None
+  | Some i -> Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let is_rep line =
+  let verb = match cut line with Some (v, _) -> v | None -> line in
+  List.mem verb verbs
+
+let floors_to_string floors =
+  (* sorted for a canonical rendering — heartbeats are compared in tests *)
+  List.sort compare floors
+  |> List.map (fun (t, f) -> Printf.sprintf "%s:%d" t f)
+  |> String.concat ";"
+
+let to_string = function
+  | Append { epoch; tenant; index; op } ->
+      (* the op line rides last: it contains commas of its own *)
+      Printf.sprintf "rapp,%d,%s,%d,%s" epoch tenant index (Replay.op_to_line op)
+  | Ack { epoch; tenant; durable } -> Printf.sprintf "rack,%d,%s,%d" epoch tenant durable
+  | Heartbeat { epoch; floors = [] } -> Printf.sprintf "rhb,%d" epoch
+  | Heartbeat { epoch; floors } -> Printf.sprintf "rhb,%d,%s" epoch (floors_to_string floors)
+  | Probe { epoch } -> Printf.sprintf "rprobe,%d" epoch
+  | Position { epoch; total } -> Printf.sprintf "rpos,%d,%d" epoch total
+  | View { epoch; primary; members } ->
+      (* members sorted for a canonical rendering *)
+      Printf.sprintf "rview,%d,%d,%s" epoch primary
+        (String.concat ";" (List.map string_of_int (List.sort compare members)))
+
+let int_of s = match int_of_string_opt s with Some n -> Ok n | None -> Error ("bad int " ^ s)
+
+let ( let* ) = Result.bind
+
+let epoch_of rest k =
+  match cut rest with
+  | None ->
+      let* e = int_of rest in
+      k e None
+  | Some (e, tail) ->
+      let* e = int_of e in
+      k e (Some tail)
+
+let need = function Some x -> Ok x | None -> Error "missing field"
+
+let parse_floors s =
+  if s = "" then Ok []
+  else
+    List.fold_right
+      (fun part acc ->
+        let* acc = acc in
+        match String.index_opt part ':' with
+        | None -> Error ("bad floor " ^ part)
+        | Some i ->
+            let tenant = String.sub part 0 i in
+            let* floor = int_of (String.sub part (i + 1) (String.length part - i - 1)) in
+            if Frame.tenant_ok tenant then Ok ((tenant, floor) :: acc)
+            else Error ("bad tenant " ^ tenant))
+      (String.split_on_char ';' s) (Ok [])
+
+let of_string ~dim line =
+  let line = String.trim line in
+  match cut line with
+  | None -> Error (Printf.sprintf "unknown rep frame %S" line)
+  | Some ("rapp", rest) ->
+      epoch_of rest (fun epoch tail ->
+          let* tail = need tail in
+          let* tenant, tail =
+            match cut tail with
+            | Some (t, tl) when Frame.tenant_ok t -> Ok (t, tl)
+            | _ -> Error "bad tenant field"
+          in
+          let* index, opline =
+            match cut tail with Some (i, l) -> Ok (i, l) | None -> Error "missing op"
+          in
+          let* index = int_of index in
+          match Replay.parse_op ~dim ~line_no:0 opline with
+          | op -> Ok (Append { epoch; tenant; index; op })
+          | exception Rts_workload.Csv_io.Parse_error msg -> Error msg)
+  | Some ("rack", rest) ->
+      epoch_of rest (fun epoch tail ->
+          let* tail = need tail in
+          match cut tail with
+          | Some (tenant, d) when Frame.tenant_ok tenant ->
+              let* durable = int_of d in
+              Ok (Ack { epoch; tenant; durable })
+          | _ -> Error "bad ack")
+  | Some ("rhb", rest) ->
+      epoch_of rest (fun epoch tail ->
+          let* floors = parse_floors (Option.value ~default:"" tail) in
+          Ok (Heartbeat { epoch; floors }))
+  | Some ("rprobe", rest) ->
+      epoch_of rest (fun epoch tail ->
+          match tail with None -> Ok (Probe { epoch }) | Some _ -> Error "rprobe: extra field")
+  | Some ("rpos", rest) ->
+      epoch_of rest (fun epoch tail ->
+          let* t = need tail in
+          let* total = int_of t in
+          Ok (Position { epoch; total }))
+  | Some ("rview", rest) ->
+      epoch_of rest (fun epoch tail ->
+          let* tail = need tail in
+          match cut tail with
+          | None -> Error "rview: missing members"
+          | Some (p, ms) ->
+              let* primary = int_of p in
+              let* members =
+                List.fold_right
+                  (fun m acc ->
+                    let* acc = acc in
+                    let* m = int_of m in
+                    Ok (m :: acc))
+                  (if ms = "" then [] else String.split_on_char ';' ms)
+                  (Ok [])
+              in
+              if List.mem primary members then Ok (View { epoch; primary; members })
+              else Error "rview: primary not a member")
+  | Some (verb, _) -> Error (Printf.sprintf "unknown rep verb %S" verb)
+
+let epoch = function
+  | Append { epoch; _ }
+  | Ack { epoch; _ }
+  | Heartbeat { epoch; _ }
+  | Probe { epoch }
+  | Position { epoch; _ }
+  | View { epoch; _ } ->
+      epoch
+
+let pp ppf f = Format.pp_print_string ppf (to_string f)

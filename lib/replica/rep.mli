@@ -1,0 +1,58 @@
+(** Wire frames of the replication protocol.
+
+    Like {!Rts_serve.Frame}, one frame is one line of text carried as
+    the opaque body of an {!Rts_net.Envelope.App} payload over the
+    {!Rts_net.Reliable} transport — replication rides the same
+    exactly-once per-link-FIFO fabric as client traffic. Every frame
+    carries the sender's fencing [epoch] (receivers drop frames from
+    superseded incarnations; the same epoch is also stamped into the
+    envelope itself and into WAL segment headers).
+
+    {v
+    rapp,<epoch>,<tenant>,<index>,<op line>   primary -> replica: ship op #index
+    rack,<epoch>,<tenant>,<durable>           replica -> primary: durable through #durable
+    rhb,<epoch>[,<t>:<floor>[;...]]           primary heartbeat + per-tenant prune floors
+    rprobe,<epoch>                            controller -> node: report your position
+    rpos,<epoch>,<total>                      node -> controller: total ops applied
+    rview,<epoch>,<primary>                   controller -> everyone: new view
+    v}
+
+    Verbs are disjoint from the serve protocol's, so both can share one
+    link and be told apart by the first field ({!is_rep}). *)
+
+module Replay = Rts_workload.Replay
+
+type t =
+  | Append of { epoch : int; tenant : string; index : int; op : Replay.op }
+      (** Ship one committed op; [index] is the primary's op ordinal
+          (1-based, dense). Receivers deduplicate on [index]. *)
+  | Ack of { epoch : int; tenant : string; durable : int }
+      (** The replica's WAL holds ops [1..durable] of this tenant. *)
+  | Heartbeat of { epoch : int; floors : (string * int) list }
+      (** Primary liveness beacon; [floors] carries, per tenant, the
+          cluster-wide minimum replica ack — the bound below which a
+          replica may prune its own cold WAL segments without
+          compromising a future promotion's ability to backfill. *)
+  | Probe of { epoch : int }
+      (** Controller → node: fence yourself at this epoch and report how
+          far you got (election ballot). *)
+  | Position of { epoch : int; total : int }
+      (** Node → controller: total applied ops across tenants — the
+          election criterion (most-caught-up wins). *)
+  | View of { epoch : int; primary : int; members : int list }
+      (** Controller → everyone: the new configuration. [members] is the
+          set of serving nodes that answered the election probe (always
+          includes [primary]); the promoted primary replicates to
+          [members] minus itself, so a dead or partitioned node cannot
+          pin the ack floor — and with it the parked maturity pushes —
+          at zero forever. *)
+
+val is_rep : string -> bool
+(** Does this line start with a replication verb? *)
+
+val to_string : t -> string
+val of_string : dim:int -> string -> (t, string) result
+
+val epoch : t -> int
+
+val pp : Format.formatter -> t -> unit

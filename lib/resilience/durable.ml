@@ -58,19 +58,24 @@ let durability_metrics h =
       ("checkpoint_last_gen", Metrics.Gauge (float_of_int (h.next_gen - 1)));
     ]
 
-let wrap ?(config = default) ?report ~dir (engine : Engine.t) =
+let wrap ?(config = default) ?report ?wal_epoch ?(segment_records = 0) ~dir (engine : Engine.t)
+    =
   if config.fsync_every < 1 then invalid_arg "Durable.wrap: fsync_every < 1";
   if config.checkpoint_every < 1 then invalid_arg "Durable.wrap: checkpoint_every < 1";
   if config.keep < 1 then invalid_arg "Durable.wrap: keep < 1";
   let wal =
-    Wal.writer ~fsync_every:config.fsync_every ~dim:engine.Engine.dim ~dir ()
+    Wal.writer ~fsync_every:config.fsync_every ?epoch:wal_epoch ~segment_records
+      ~dim:engine.Engine.dim ~dir ()
   in
   let ops, elements =
     match report with
     | Some (r : Recovery.report) -> (r.ops_total, r.elements_total)
     | None ->
+        (* Without a recovery report the element count can only come
+           from the records actually present, so a pruned chain (base >
+           0) must go through {!Recovery.recover} instead. *)
         let existing = Wal.existing wal in
-        (existing.Wal.records, count_elements existing.Wal.ops)
+        (existing.Wal.base + existing.Wal.records, count_elements existing.Wal.ops)
   in
   let next_gen =
     match Checkpoint.generations ~dir with (g, _) :: _ -> g + 1 | [] -> 0
@@ -140,3 +145,13 @@ let wrap ?(config = default) ?report ~dir (engine : Engine.t) =
 let sync h = Wal.sync h.wal
 
 let close h = Wal.close h.wal
+
+let rotate_wal h = Wal.rotate h.wal
+
+let prune_wal h ~below =
+  (* Never reclaim past what the newest durable checkpoint covers:
+     recovery replays the chain from the checkpoint floor, so a segment
+     above it is still load-bearing whatever the caller's floor says. *)
+  Wal.prune ~dir:h.dir ~below:(min below h.last_checkpoint_ops) ()
+
+let wal_rotations h = Wal.rotations h.wal

@@ -42,17 +42,40 @@ type handle
 (** Owner's control surface for the wrapped engine's durability state. *)
 
 val wrap :
-  ?config:config -> ?report:Recovery.report -> dir:Io.dir -> Engine.t -> Engine.t * handle
+  ?config:config ->
+  ?report:Recovery.report ->
+  ?wal_epoch:int ->
+  ?segment_records:int ->
+  dir:Io.dir ->
+  Engine.t ->
+  Engine.t * handle
 (** See module doc. [report] (from the {!Recovery.recover} that produced
     [engine]) both positions the op/element ordinals and seeds the
-    [recovery_*] metrics. Raises [Invalid_argument] on a nonsensical
-    config. *)
+    [recovery_*] metrics — mandatory when the WAL chain has been pruned
+    ([base > 0]), since the element count is then only derivable from a
+    checkpoint. [wal_epoch] stamps the writer incarnation's epoch into
+    the log (raises {!Wal.Fenced} if the chain carries a higher one);
+    [segment_records] > 0 enables WAL rotation at that segment size.
+    Raises [Invalid_argument] on a nonsensical config. *)
 
 val sync : handle -> unit
 (** Force the WAL durable now, regardless of batching. *)
 
 val checkpoint_now : handle -> unit
 (** Publish a checkpoint immediately (also syncs the WAL first). *)
+
+val rotate_wal : handle -> unit
+(** Seal the active WAL records into a cold segment now. *)
+
+val prune_wal : handle -> below:int -> int
+(** Reclaim cold WAL segments wholly at or below [min below
+    last-checkpoint-ops] — the caller supplies its external floor (e.g.
+    minimum replica ack) and the checkpoint floor is applied on top, so
+    recovery can always replay the chain from the newest checkpoint.
+    Returns the number of segments removed. *)
+
+val wal_rotations : handle -> int
+(** Cold segments sealed by this handle's writer. *)
 
 val close : handle -> unit
 (** Sync and release the WAL file handle. Further ops on the wrapped

@@ -34,15 +34,33 @@ let write_all fd s =
     pos := !pos + Unix.write_substring fd s !pos (n - !pos)
   done
 
-(* Best effort: persist the rename itself. Not all platforms allow
-   fsync on a directory fd; failure to do so only widens the crash
-   window, it never corrupts state, so errors are swallowed. *)
+(* Persist the rename itself. Not every platform allows fsync on a
+   directory fd — that class of refusal only widens the crash window and
+   is ignored. A real I/O failure (EIO, ENOSPC, disk gone) means the
+   rename may not be on stable storage: swallowing it would let a caller
+   believe a checkpoint was published durably when it was not. *)
+let fatal_fsync_error = function
+  | Unix.EINVAL | Unix.EBADF | Unix.ENOSYS | Unix.EOPNOTSUPP | Unix.EROFS
+  | Unix.EACCES | Unix.EPERM | Unix.ENOTDIR | Unix.ENOENT ->
+      false
+  | Unix.EIO | Unix.ENOSPC -> true
+  (* Quota errors (EDQUOT) have no constructor in [Unix.error]; they
+     arrive as [EUNKNOWNERR] and classify fatal here, as does anything
+     else unrecognised. *)
+  | _ -> true
+
 let fsync_dir path =
   match Unix.openfile path [ Unix.O_RDONLY ] 0 with
   | exception Unix.Unix_error _ -> ()
-  | fd ->
-      (try Unix.fsync fd with Unix.Unix_error _ -> ());
-      Unix.close fd
+  | fd -> (
+      match Unix.fsync fd with
+      | () -> Unix.close fd
+      | exception Unix.Unix_error (e, _, _) when not (fatal_fsync_error e) -> Unix.close fd
+      | exception err ->
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          (match err with
+          | Unix.Unix_error (Unix.ENOSPC, _, _) -> raise No_space
+          | _ -> raise err))
 
 let fs_dir root =
   mkdir_p root;

@@ -59,3 +59,20 @@ val mem_dir : unit -> dir
 (** A fresh, empty in-memory store. [sync] is a no-op (everything
     "durable" immediately); pair with {!Fault.wrap} to model the gap
     between appended and durable. *)
+
+val fsync_dir : string -> unit
+(** Fsync the directory at [path] so a just-renamed entry survives a
+    crash. A missing path, or a platform that cannot fsync a directory
+    fd (see {!fatal_fsync_error}), is a silent no-op; real I/O failures
+    raise ([ENOSPC] as {!No_space}). *)
+
+val fatal_fsync_error : Unix.error -> bool
+(** Classifies an [fsync] errno on a {e directory} fd. [false] means the
+    platform refused the operation ([EINVAL]/[EBADF]/[ENOSYS]/
+    [EOPNOTSUPP]/permission-shaped refusals) — harmless, the rename is
+    merely not forced to stable storage and the crash window widens.
+    [true] means a real I/O failure ([EIO], [ENOSPC], quota): the
+    publication may be lost, so {!fs_dir}'s atomic write re-raises it
+    ([ENOSPC] as {!No_space}) instead of silently reporting success.
+    Unknown errnos classify as fatal — losing durability silently is the
+    one failure this layer must never paper over. *)

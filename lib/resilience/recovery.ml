@@ -59,7 +59,11 @@ let recover ~dim ~make ~dir () =
      shorten the trusted prefix below it). Replay whatever the WAL
      holds past the checkpoint; durability reaches the further of the
      two positions. *)
-  let suffix = drop checkpoint_ops wal.Wal.ops in
+  (* The WAL chain may not reach back to op 0: segments below the
+     checkpoint floor are pruned, so [wal.base] ops are simply absent.
+     They are covered by the checkpoint (pruning never outruns it), so
+     replay starts [checkpoint_ops - base] records into the chain. *)
+  let suffix = drop (checkpoint_ops - wal.Wal.base) wal.Wal.ops in
   let outcome =
     try Replay.replay_ops engine suffix
     with Replay.Engine_error { op_index; exn; _ } ->
@@ -78,7 +82,7 @@ let recover ~dim ~make ~dir () =
       wal_records = wal.Wal.records;
       ops_replayed;
       bytes_discarded = wal.Wal.bytes_discarded;
-      ops_total = max checkpoint_ops wal.Wal.records;
+      ops_total = max checkpoint_ops (wal.Wal.base + wal.Wal.records);
       elements_total = checkpoint_elements + outcome.Replay.elements;
       maturities =
         List.map (fun (ord, id) -> (ord + checkpoint_elements, id)) outcome.Replay.maturities;

@@ -1,4 +1,5 @@
-(** Checksummed, append-only write-ahead log of engine operations.
+(** Checksummed, append-only, segmented write-ahead log of engine
+    operations.
 
     Record framing (one record per applied op, text so a trace stays
     [grep]-able):
@@ -19,6 +20,34 @@
     record into a different valid one — corruption only ever shortens
     the trusted prefix, never rewrites history.
 
+    {2 Segmentation}
+
+    The log is a chain: zero or more {e cold segments}
+    ([wal-<base>.seg], immutable, atomically published, each headed by
+    [RTSWSEG,1,<epoch>,<base>,<count>,<crc>]) followed by the {e active
+    file} ([wal.log]). Once the log has rotated — or carries a nonzero
+    epoch — the active file leads with [RTSWACT,1,<epoch>,<base>,<crc>];
+    the header-less form is the legacy single-file log and scans as base
+    0, epoch 0, so every pre-segmentation log is still readable. [base]
+    counts the ops that precede the file's first record, so a chain
+    scan yields ops [base+1 .. base+records] of the global sequence.
+
+    Rotation ({!rotate}, or automatic every [segment_records] appends)
+    seals the active records into a cold segment and resets the active
+    file to a bare header. The crash window between those two atomic
+    steps leaves an overlap, which {!scan} and {!writer} resolve in
+    favour of the sealed copy. Cold segments wholly below a caller's
+    safe floor (its checkpoint, its replicas' acks) are reclaimed with
+    {!prune} — this is what keeps disk usage bounded on a server that
+    never stops.
+
+    {2 Epoch fencing}
+
+    Each header carries the {e epoch} of the writer incarnation that
+    produced it. Opening a {!writer} with an [epoch] lower than the
+    highest one already in the directory raises {!Fenced}: a deposed
+    primary cannot extend a log its successor has taken over.
+
     Durability: {!append} buffers in the OS via {!Io.file.append};
     records become crash-proof when the writer fsyncs — every
     [fsync_every] records, or explicitly via {!sync} (the {!Durable}
@@ -30,50 +59,117 @@ open Rts_workload
 val default_file : string
 (** ["wal.log"]. *)
 
+exception Fenced of { requested : int; found : int }
+(** Raised by {!writer} when asked to open with an epoch below the one
+    already stamped in the directory: the caller is a stale incarnation
+    and must not write. *)
+
 val frame : Replay.op -> string
 (** One framed record including the trailing newline. *)
 
 type scanned = {
-  ops : Replay.op list;  (** The intact prefix, in append order. *)
+  ops : Replay.op list;  (** Available records, chain order. *)
   records : int;  (** [List.length ops]. *)
-  valid_bytes : int;  (** Byte length of the intact prefix. *)
-  bytes_discarded : int;  (** Torn-tail bytes after the intact prefix. *)
+  base : int;
+      (** Ops below the chain: [List.hd ops] (if any) is op number
+          [base + 1] of the global sequence. 0 unless segments have
+          been pruned away (or the active header says otherwise). *)
+  epoch : int;  (** Highest epoch stamped in the chain; 0 if none. *)
+  valid_bytes : int;
+      (** Byte length of the {e active file}'s intact prefix (header
+          included). *)
+  bytes_discarded : int;
+      (** Torn-tail bytes in the {e active file} after that prefix. *)
 }
 
 val scan_string : dim:int -> string -> scanned
-(** Parse a raw log image. Total: never raises on any input. *)
+(** Parse a raw record image (no headers — the legacy/in-memory form).
+    Total: never raises on any input. [base] and [epoch] are 0. *)
 
 val scan : dim:int -> dir:Io.dir -> ?file:string -> unit -> scanned
-(** {!scan_string} over [file] (default {!default_file}) in [dir]; an
-    absent file is an empty log. *)
+(** Scan the whole chain rooted at [file] (default {!default_file}):
+    cold segments in base order, then the active file, de-duplicating
+    the rotation crash-window overlap. An absent chain is an empty
+    log. *)
+
+type segment = { seg_file : string; seg_base : int; seg_count : int; seg_epoch : int }
+
+val segments : dir:Io.dir -> ?file:string -> unit -> segment list
+(** Cold segments present for [file]'s chain, sorted by base. Only
+    segments with an intact header are listed. *)
+
+val scan_segment_string : dim:int -> string -> (int * int * int * Replay.op list) option
+(** Validate a cold-segment image: [Some (epoch, base, count, ops)] iff
+    the header CRC holds and exactly [count] intact records follow.
+    Exposed so harnesses can archive a segment's contents before it is
+    pruned (the soak's full-history oracle). *)
+
+val segment_name : ?file:string -> int -> string
+(** [segment_name base] is the cold-segment file name for a segment
+    whose first record is op [base + 1]. *)
+
+val prune : dir:Io.dir -> ?file:string -> below:int -> unit -> int
+(** Remove every cold segment whose records all lie at or below op
+    number [below]; returns how many were removed. Safe floors are the
+    caller's business: the checkpoint floor locally, the minimum
+    replica ack under replication. *)
 
 type writer
 
-val writer : ?fsync_every:int -> ?file:string -> dim:int -> dir:Io.dir -> unit -> writer
-(** Open (or create) the log for appending. An existing file is scanned
-    first and any torn tail is truncated away, so new records always
-    extend the intact prefix — appending after garbage would otherwise
-    hide them from every future {!scan}. [fsync_every] (default 1: sync
-    every record, the safe end of the spectrum) batches fsyncs for
-    throughput at the price of a wider lost-suffix window on crash. *)
+val writer :
+  ?fsync_every:int ->
+  ?file:string ->
+  ?epoch:int ->
+  ?segment_records:int ->
+  dim:int ->
+  dir:Io.dir ->
+  unit ->
+  writer
+(** Open (or create) the log for appending. An existing chain is
+    scanned first; the active file's torn tail is truncated away, and a
+    rotation-crash overlap is resolved (the active file is rewritten to
+    start where the cold chain ends), so new records always extend the
+    intact chain. [fsync_every] (default 1: sync every record, the safe
+    end of the spectrum) batches fsyncs for throughput at the price of
+    a wider lost-suffix window on crash.
+
+    [epoch] (default: inherit whatever the chain carries) stamps this
+    incarnation's epoch into the active header and every segment it
+    seals; raises {!Fenced} if the chain already carries a higher one.
+    [segment_records] > 0 rotates automatically after that many records
+    accumulate in the active file; 0 (default) disables rotation and
+    preserves the classic single-file layout byte for byte. *)
 
 val existing : writer -> scanned
-(** What the opening scan found (before any {!append} by this writer). *)
+(** What the opening chain scan found (before any {!append} by this
+    writer). *)
+
+val epoch : writer -> int
+(** The epoch this writer stamps (after inheritance/fencing). *)
 
 val append : writer -> Replay.op -> unit
-(** Frame and append one record; fsyncs if the batch is due. *)
+(** Frame and append one record; fsyncs if the batch is due, rotates if
+    the segment is full. *)
 
 val sync : writer -> unit
 (** Force outstanding records durable now. No-op if none are pending. *)
+
+val rotate : writer -> unit
+(** Seal the active records into a cold segment now (no-op on an empty
+    active file) and continue appending to a fresh active file. *)
 
 val close : writer -> unit
 (** {!sync}, then release the handle. *)
 
 val records : writer -> int
-(** Total valid records in the log: pre-existing plus appended. *)
+(** Total ops ever logged through this chain: the chain's base plus
+    available records plus this writer's appends. *)
 
 val appended : writer -> int
 (** Records appended through this writer. *)
 
 val fsyncs : writer -> int
 (** Fsyncs issued by this writer (feeds [wal_fsyncs_total]). *)
+
+val rotations : writer -> int
+(** Segments sealed by this writer. *)

@@ -56,6 +56,29 @@ let pop_inflight t =
   | Some f -> f
   | None -> failwith "Client.deliver: reply with nothing in flight"
 
+(* Failover: frames in flight toward a dead primary will never be
+   answered (its replies are fenced off), so put them back at the front
+   of the outbox — original order — to be re-sent to the promoted node.
+   Subscriptions are dropped rather than requeued: the caller must
+   re-subscribe with the current watermark, or the stale [after = 0]
+   form would replay maturities this client already consumed. Data
+   frames re-send at-least-once; ops the old primary had already
+   replicated apply twice, which is exactly the at-least-once intake
+   contract the WAL-replay oracle measures against (maturity pushes
+   stay exactly-once regardless, via the ack-floor gate plus the
+   watermark backfill). *)
+let requeue_inflight t =
+  let stranded = List.of_seq (Queue.to_seq t.inflight) in
+  Queue.clear t.inflight;
+  let keep = List.filter (function Frame.Subscribe _ -> false | _ -> true) stranded in
+  t.outbox <- keep @ t.outbox;
+  List.length keep
+
+let watermark t name =
+  List.fold_left
+    (fun acc (tn, ord, _) -> if tn = name && ord > acc then ord else acc)
+    0 t.matured
+
 let deliver t reply =
   t.transcript <- reply :: t.transcript;
   match reply with
@@ -87,6 +110,8 @@ let deliver t reply =
       ignore (pop_inflight t);
       t.bye <- true;
       pump t
+
+let kick t = pump t
 
 let inflight t = Queue.length t.inflight
 

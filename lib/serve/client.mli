@@ -22,6 +22,22 @@ val enqueue : t -> Frame.client -> unit
 val deliver : t -> Frame.server -> unit
 (** Feed one reply/push from the transport. *)
 
+val requeue_inflight : t -> int
+(** Failover support: move every unanswered in-flight frame back to the
+    front of the outbox (original order) to be re-sent — at-least-once —
+    to a newly promoted primary, except [Subscribe] frames, which are
+    dropped (re-subscribe with {!watermark} instead). Returns the number
+    of frames requeued. The caller should re-point its [send] routing
+    before the next {!enqueue}/{!kick} pumps the outbox. *)
+
+val kick : t -> unit
+(** Pump the outbox through the window now (used after
+    {!requeue_inflight} once routing points at the new primary). *)
+
+val watermark : t -> string -> int
+(** Highest element ordinal among maturities received for the tenant
+    (0 if none) — the [after] value for an exactly-once re-subscribe. *)
+
 val inflight : t -> int
 
 val idle : t -> bool

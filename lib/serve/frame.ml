@@ -3,7 +3,7 @@ open Rts_workload
 type client =
   | Op of { tenant : string; op : Replay.op }
   | Batch of { tenant : string; elems : Rts_core.Types.elem array }
-  | Subscribe of { tenant : string }
+  | Subscribe of { tenant : string; after : int }
   | Stats
   | Shutdown
 
@@ -53,7 +53,8 @@ let client_to_string = function
       Printf.sprintf "batch,%s,%s" tenant
         (String.concat ";"
            (Array.to_list (Array.map (fun e -> Csv_io.element_to_line e) elems)))
-  | Subscribe { tenant } -> "sub," ^ tenant
+  | Subscribe { tenant; after } ->
+      if after = 0 then "sub," ^ tenant else Printf.sprintf "sub,%s,%d" tenant after
   | Stats -> "stats"
   | Shutdown -> "shutdown"
 
@@ -70,8 +71,21 @@ let client_of_string ~dim line =
       | "stats" -> Ok Stats
       | "shutdown" -> Ok Shutdown
       | _ -> Error (Printf.sprintf "unknown frame %S" line))
-  | Some ("sub", tenant) ->
-      if tenant_ok tenant then Ok (Subscribe { tenant }) else Error "bad tenant field"
+  | Some ("sub", rest) -> (
+      (* [sub,<tenant>] subscribes from genesis; [sub,<tenant>,<after>]
+         resumes past the element-ordinal watermark [after] — the
+         re-subscribe form a client uses after failing over to a new
+         primary, so maturities it already consumed are not re-pushed. *)
+      match cut rest with
+      | None ->
+          if tenant_ok rest then Ok (Subscribe { tenant = rest; after = 0 })
+          else Error "bad tenant field"
+      | Some (tenant, aft) ->
+          if not (tenant_ok tenant) then Error "bad tenant field"
+          else (
+            match int_of_string_opt aft with
+            | Some after when after >= 0 -> Ok (Subscribe { tenant; after })
+            | _ -> Error ("bad watermark " ^ aft)))
   | Some ("op", rest) ->
       with_tenant rest (fun tenant payload ->
           match Replay.parse_op ~dim ~line_no:0 payload with

@@ -11,7 +11,7 @@
     {v
     op,<tenant>,<R/T/E op line>       register / terminate / feed
     batch,<tenant>,<E line>[;<E line>...]   feed_batch (one instant)
-    sub,<tenant>                      subscribe-maturities
+    sub,<tenant>[,<after>]            subscribe-maturities (resume past watermark)
     stats                             server metric snapshot
     shutdown                          drain everything, sync, stop
     v}
@@ -38,7 +38,13 @@ type client =
       (** REGISTER / TERMINATE / one element, as a {!Replay.op}. *)
   | Batch of { tenant : string; elems : Rts_core.Types.elem array }
       (** Many elements in one frame — transport-level batching. *)
-  | Subscribe of { tenant : string }
+  | Subscribe of { tenant : string; after : int }
+      (** Subscribe to maturity pushes. [after] is an element-ordinal
+          watermark: the backfill skips maturities with ordinal [<=
+          after]. [0] (the wire default) replays from genesis; a client
+          re-subscribing to a freshly promoted primary passes the
+          highest ordinal it has already consumed, keeping the push
+          stream exactly-once across failover. *)
   | Stats
   | Shutdown
 

@@ -25,6 +25,7 @@ type config = {
   shards : int;
   executor : Rts_shard.Executor.kind option;
   durable : Durable.config;
+  segment_records : int;
 }
 
 let default =
@@ -43,9 +44,24 @@ let default =
     shards = 1;
     executor = None;
     durable = Durable.default;
+    segment_records = 0;
   }
 
 type health = Serving | Crashed of { disk_full : bool }
+
+type role = Primary | Replica
+
+(* Hooks the replication layer installs on a primary. The server stays
+   transport-agnostic: it reports each committed op ([on_applied]) and
+   reads back two scalars — [ack_floor], the highest op ordinal every
+   replica has acknowledged as durable (the maturity-push gate), and
+   [lag], the replication backlog folded into the [Wal_lag] admission
+   gate so intake sheds load when replicas fall behind. *)
+type replication = {
+  on_applied : tenant:string -> index:int -> op:Replay.op -> unit;
+  ack_floor : tenant:string -> int;
+  lag : tenant:string -> int;
+}
 
 type tenant = {
   name : string;
@@ -77,8 +93,14 @@ type tenant = {
   mutable accepted : int;
   mutable rejected : int;  (* benign engine rejections *)
   mutable pending_registers : int;
-  mutable notified_through : int;  (* maturities pushed up to this op ordinal *)
+  mutable notified_through : int;  (* maturities staged up to this op ordinal *)
   mutable log : (int * int) list;  (* (element ordinal, id), reversed *)
+  pending_pushes : (int * int * int list) Queue.t;
+      (* (op ordinal, element ordinal, ids) staged but held back by the
+         replication ack floor — flushed in order as acks advance, so a
+         maturity is never pushed before every replica holds its op
+         durably (never-early across failover). Always empty without
+         replication, and on replicas (no subscribers, floor = max). *)
   mutable subscribers : int list;  (* in subscription order *)
   mutable last_progress : int;
   mutable wedged : bool;
@@ -94,6 +116,9 @@ type t = {
   send : dst:int -> Frame.server -> unit;
   tenants : (string, tenant) Hashtbl.t;
   order : string Queue.t;
+  mutable role : role;
+  mutable epoch : int;  (* fencing incarnation; stamps new WAL lives *)
+  mutable replication : replication option;
   mutable watchdog_armed : bool;
   mutable shutting : bool;
   reg : Metrics.t;
@@ -155,6 +180,47 @@ let wal_lag t tenant =
   + Spsc_ring.length tenant.ring
   + (match tenant.in_flight with Some _ -> 1 | None -> 0)
 
+let replica_lag t tenant =
+  match t.replication with Some r -> r.lag ~tenant:tenant.name | None -> 0
+
+(* Highest op ordinal whose maturities may be pushed to subscribers.
+   Without replication (or on a replica, which has no subscribers) there
+   is no failover to be early against, so the floor is unbounded and
+   pushes stay synchronous — the pre-replication behaviour. *)
+let push_floor t tenant =
+  match t.replication with
+  | Some r when t.role = Primary -> r.ack_floor ~tenant:tenant.name
+  | _ -> max_int
+
+(* Stage one op's maturities: append to the tenant log (the log is the
+   oracle of what this node attributed, pushed or not), then either push
+   now or park behind the replication ack floor. *)
+let emit_maturity t tenant ~ord ~ordinal ~ids =
+  tenant.log <- List.rev_append (List.map (fun id -> (ordinal, id)) ids) tenant.log;
+  Metrics.add t.c_matured (List.length ids);
+  if ord <= push_floor t tenant then
+    List.iter
+      (fun dst -> t.send ~dst (Frame.Matured { tenant = tenant.name; ordinal; ids }))
+      tenant.subscribers
+  else Queue.add (ord, ordinal, ids) tenant.pending_pushes
+
+(* Release parked pushes whose op every replica now holds durably. The
+   replication layer calls this (via [flush_pushes]) whenever an ack
+   advances the floor. FIFO pop preserves ordinal order per subscriber. *)
+let flush_pending t tenant =
+  let floor = push_floor t tenant in
+  let rec go () =
+    match Queue.peek_opt tenant.pending_pushes with
+    | Some (ord, ordinal, ids) when ord <= floor ->
+        ignore (Queue.pop tenant.pending_pushes);
+        List.iter
+          (fun dst -> t.send ~dst (Frame.Matured { tenant = tenant.name; ordinal; ids }))
+          tenant.subscribers;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
 (* Replay entries are dropped only below [last_checkpoint] — the
    ordinal covered by CRC-verified durability (a published checkpoint,
    or the recovery scan at life start). The fsync-based [durable_floor]
@@ -198,7 +264,11 @@ let start_life t tenant =
        points; the wrapper's own mid-apply cadence is disabled so a
        checkpoint can never consume the in-flight op's maturities *)
     let config = { t.config.durable with Durable.checkpoint_every = max_int } in
-    let engine, handle = Durable.wrap ~config ~report ~dir engine in
+    let engine, handle =
+      Durable.wrap ~config ~report
+        ?wal_epoch:(if t.epoch > 0 then Some t.epoch else None)
+        ~segment_records:t.config.segment_records ~dir engine
+    in
     (engine, handle, report)
   with
   | engine, handle, report ->
@@ -235,28 +305,25 @@ let start_life t tenant =
                 tenant.pending_registers <- tenant.pending_registers - 1
             | _ -> ());
             Metrics.incr t.c_applied;
-            if ord > tenant.notified_through then begin
-              tenant.notified_through <- ord;
-              match op with
-              | Replay.Element _ ->
-                  let ordinal = report.Recovery.elements_total in
-                  let ids =
-                    List.filter_map
-                      (fun (eord, id) -> if eord = ordinal then Some id else None)
-                      report.Recovery.maturities
-                  in
-                  if ids <> [] then begin
-                    tenant.log <-
-                      List.rev_append (List.map (fun id -> (ordinal, id)) ids) tenant.log;
-                    Metrics.add t.c_matured (List.length ids);
-                    List.iter
-                      (fun dst ->
-                        t.send ~dst
-                          (Frame.Matured { tenant = tenant.name; ordinal; ids }))
-                      tenant.subscribers
-                  end
-              | Replay.Register _ | Replay.Terminate _ -> ()
-            end;
+            (if ord > tenant.notified_through then begin
+               tenant.notified_through <- ord;
+               match op with
+               | Replay.Element _ ->
+                   let ordinal = report.Recovery.elements_total in
+                   let ids =
+                     List.filter_map
+                       (fun (eord, id) -> if eord = ordinal then Some id else None)
+                       report.Recovery.maturities
+                   in
+                   if ids <> [] then emit_maturity t tenant ~ord ~ordinal ~ids
+               | Replay.Register _ | Replay.Terminate _ -> ()
+             end);
+            (* the fault interrupted [apply_op] before it could report
+               this committed op to the replication layer — do it now,
+               or the record would never ship *)
+            (match t.replication with
+            | Some r -> r.on_applied ~tenant:tenant.name ~index:ord ~op
+            | None -> ());
             []
       in
       let lost =
@@ -314,6 +381,7 @@ let fresh_tenant t name =
     pending_registers = 0;
     notified_through = 0;
     log = [];
+    pending_pushes = Queue.create ();
     subscribers = [];
     last_progress = 0;
     wedged = false;
@@ -363,17 +431,12 @@ let apply_op t tenant op =
          new to push early. *)
       if tenant.applied > tenant.notified_through then begin
         tenant.notified_through <- tenant.applied;
-        if matured <> [] then begin
-          let ordinal = tenant.elements in
-          tenant.log <-
-            List.rev_append (List.map (fun id -> (ordinal, id)) matured) tenant.log;
-          Metrics.add t.c_matured (List.length matured);
-          List.iter
-            (fun dst ->
-              t.send ~dst (Frame.Matured { tenant = tenant.name; ordinal; ids = matured }))
-            tenant.subscribers
-        end
-      end
+        if matured <> [] then
+          emit_maturity t tenant ~ord:tenant.applied ~ordinal:tenant.elements ~ids:matured
+      end;
+      (match t.replication with
+      | Some r -> r.on_applied ~tenant:tenant.name ~index:tenant.applied ~op
+      | None -> ())
   | exception ((Fault.Crash _ | Io.No_space) as ex) -> raise ex
   | exception (Invalid_argument _ | Not_found) ->
       tenant.in_flight <- None;
@@ -420,11 +483,12 @@ let verify_wal t tenant =
   | Some h, Some dir ->
       Durable.sync h;
       let scanned = Wal.scan ~dim:t.config.dim ~dir () in
-      if scanned.Wal.records <> tenant.applied then
+      if scanned.Wal.base + scanned.Wal.records <> tenant.applied then
         raise
           (Fault.Crash
-             (Printf.sprintf "wal verify: %d records on disk, %d ops applied"
-                scanned.Wal.records tenant.applied));
+             (Printf.sprintf "wal verify: %d records on disk (base %d), %d ops applied"
+                (scanned.Wal.base + scanned.Wal.records)
+                scanned.Wal.base tenant.applied));
       tenant.synced <- tenant.applied;
       tenant.sync_base <- tenant.applied
   | _ -> ()
@@ -436,19 +500,36 @@ let verify_wal t tenant =
    report. (The Durable wrapper's own cadence is disabled at [wrap]
    time for the same reason.) The WAL is read-back verified first so a
    checkpoint never publishes over a silently torn record. *)
-let maybe_checkpoint t tenant =
+let checkpoint_tenant t tenant =
   match tenant.handle with
-  | Some h
-    when tenant.applied - tenant.last_checkpoint
-         >= t.config.durable.Durable.checkpoint_every ->
+  | None -> ()
+  | Some h ->
       verify_wal t tenant;
       Durable.checkpoint_now h;
       tenant.synced <- tenant.applied;
       tenant.sync_base <- tenant.applied;
       tenant.last_checkpoint <- tenant.applied;
       trace tenant.name "checkpoint at %d" tenant.applied;
-      prune_replay tenant
-  | _ -> ()
+      prune_replay tenant;
+      (* with rotation on, closed segments wholly below both the new
+         checkpoint and the replica ack floor are dead weight: recovery
+         starts from the checkpoint, and every replica already holds
+         those records durably. [Durable.prune_wal] re-floors at the
+         checkpoint, so an unreplicated server prunes on checkpoints
+         alone; a lagging replica holds segments on the primary's disk
+         (deliberately — they are its catch-up source of truth). *)
+      if t.config.segment_records > 0 then begin
+        let floor =
+          match t.replication with
+          | Some r -> min tenant.applied (r.ack_floor ~tenant:tenant.name)
+          | None -> tenant.applied
+        in
+        ignore (Durable.prune_wal h ~below:floor)
+      end
+
+let maybe_checkpoint t tenant =
+  if tenant.applied - tenant.last_checkpoint >= t.config.durable.Durable.checkpoint_every
+  then checkpoint_tenant t tenant
 
 (* ---- supervision --------------------------------------------------- *)
 
@@ -527,6 +608,18 @@ and restart t tenant =
 and iter_tenants t f =
   Queue.iter (fun name -> f (Hashtbl.find t.tenants name)) t.order
 
+(* Clean-shutdown checkpoint: force a checkpoint (and segment prune) on
+   every serving tenant regardless of the op-count cadence. The in-run
+   cadence prunes with whatever ack floor the replicas have reached by
+   checkpoint time; at quiescence the floor has caught up, so one final
+   checkpoint releases the segments a lagging replica pinned. *)
+let checkpoint_all t =
+  iter_tenants t (fun tenant ->
+      if tenant.health = Serving && not tenant.wedged then
+        try checkpoint_tenant t tenant with
+        | Fault.Crash _ -> mark_crashed t tenant ~disk_full:false
+        | Io.No_space -> mark_crashed t tenant ~disk_full:true)
+
 (* ---- admission ----------------------------------------------------- *)
 
 let dt_messages tenant =
@@ -538,15 +631,19 @@ let admission t tenant ops =
   let registers =
     List.fold_left (fun n op -> match op with Replay.Register _ -> n + 1 | _ -> n) 0 ops
   in
+  (* replication lag rides the same gate as local durability lag: an op
+     is a liability until it is durable here AND on every replica, so
+     both backlogs bound intake (quorum-lag shedding). *)
+  let lag tenant = wal_lag t tenant + replica_lag t tenant in
   match tenant.health with
   | Crashed { disk_full = true } -> Some Frame.Disk_full
   | Crashed { disk_full = false } ->
       (* engine unavailable mid-recovery: quota/budget can't be read,
          but the durability backlog still gates intake *)
-      if wal_lag t tenant + List.length ops > t.config.wal_lag_limit then Some Frame.Wal_lag
+      if lag tenant + List.length ops > t.config.wal_lag_limit then Some Frame.Wal_lag
       else None
   | Serving ->
-      if wal_lag t tenant + List.length ops > t.config.wal_lag_limit then Some Frame.Wal_lag
+      if lag tenant + List.length ops > t.config.wal_lag_limit then Some Frame.Wal_lag
       else if
         registers > 0
         && tenant.engine.Engine.alive () + tenant.pending_registers + registers
@@ -611,9 +708,52 @@ let ingest t ~src name ops =
             else arm_drain t tenant
           end)
 
+(* Replicated intake: ops shipped by the primary enter here, bypassing
+   admission — flow control already happened at the primary (its
+   [Wal_lag] gate counts replication lag), and the transport is
+   exactly-once FIFO, so refusing an op here would silently diverge the
+   replica. Ops land in the unbounded backlog; the normal drain /
+   supervision machinery applies them and self-heals replica-side
+   storage crashes exactly as it does on a standalone server. Returns
+   [false] only when the tenant table is full (a topology mismatch). *)
+let replica_submit t name ops =
+  match get_or_create t name with
+  | Error _ -> false
+  | Ok tenant ->
+      let n = List.length ops in
+      List.iter
+        (fun op ->
+          Queue.add op tenant.backlog;
+          match op with
+          | Replay.Register _ -> tenant.pending_registers <- tenant.pending_registers + 1
+          | _ -> ())
+        ops;
+      tenant.accepted <- tenant.accepted + n;
+      Metrics.add t.c_accepted n;
+      trace tenant.name "replica accept n=%d total=%d backlog=%d" n tenant.accepted
+        (Queue.length tenant.backlog);
+      if tenant.wedged || tenant.health <> Serving then arm_watchdog t
+      else arm_drain t tenant;
+      true
+
 (* ---- lifecycle ----------------------------------------------------- *)
 
 let metrics t = Metrics.snapshot t.reg
+
+(* Satellite gauges for the stats frame: per-tenant WAL backlog (ops
+   accepted but not yet locally durable) and replication lag. *)
+let tenant_gauges t =
+  Metrics.of_assoc
+    (List.concat_map
+       (fun name ->
+         let x = Hashtbl.find t.tenants name in
+         [
+           ( Printf.sprintf "serve_wal_backlog_%s" name,
+             Metrics.Gauge (float_of_int (wal_lag t x)) );
+           ( Printf.sprintf "serve_replica_lag_%s" name,
+             Metrics.Gauge (float_of_int (replica_lag t x)) );
+         ])
+       (List.of_seq (Queue.to_seq t.order)))
 
 let shutdown t =
   if not t.shutting then begin
@@ -644,12 +784,22 @@ let handle t ~src frame =
   else
     match frame with
     | Frame.Stats ->
-        t.send ~dst:src (Frame.Stats_reply { body = Metrics.to_prometheus (metrics t) })
+        t.send ~dst:src
+          (Frame.Stats_reply
+             { body = Metrics.to_prometheus (Metrics.merge (metrics t) (tenant_gauges t)) })
     | Frame.Shutdown ->
         shutdown t;
         (* [shutdown] flips [t.shutting]; reply directly *)
         t.send ~dst:src Frame.Bye
-    | Frame.Subscribe { tenant = name } -> (
+    | (Frame.Subscribe _ | Frame.Op _ | Frame.Batch _) when t.role = Replica ->
+        (* replicas take data only from the primary's shipping stream.
+           A client frame landing here is almost always the failover
+           race: the client heard the view before this node did (the
+           two travel on independent links) and retargeted first. Ask
+           it to retry — by then the promotion has landed — rather than
+           terminally reject work the new view makes valid. *)
+        t.send ~dst:src (Frame.Retry_after { ticks = t.config.retry_after })
+    | Frame.Subscribe { tenant = name; after } -> (
         match get_or_create t name with
         | Error (Frame.Overloaded { reason; _ } as reply) ->
             Metrics.incr t.c_overloaded;
@@ -665,7 +815,17 @@ let handle t ~src frame =
                  grouped by element ordinal exactly as live pushes are.
                  Per-link FIFO puts the backfill before any later push:
                  the subscriber's stream converges to the server's own
-                 log no matter when the subscription arrives. *)
+                 log no matter when the subscription arrives. Two
+                 exclusions keep the stream exactly-once and never-early:
+                 ordinals at or below the client's [after] watermark were
+                 already consumed (from a previous primary), and ordinals
+                 parked in [pending_pushes] are not yet replica-durable —
+                 the flush delivers those to every subscriber later. *)
+              let cutoff =
+                match Queue.peek_opt tenant.pending_pushes with
+                | Some (_, ordinal, _) -> ordinal
+                | None -> max_int
+              in
               let rec backfill = function
                 | [] -> ()
                 | (ordinal, id) :: rest ->
@@ -674,7 +834,8 @@ let handle t ~src frame =
                       | tl -> (List.rev ids, tl)
                     in
                     let ids, rest = split [ id ] rest in
-                    t.send ~dst:src (Frame.Matured { tenant = name; ordinal; ids });
+                    if ordinal > after && ordinal < cutoff then
+                      t.send ~dst:src (Frame.Matured { tenant = name; ordinal; ids });
                     backfill rest
               in
               backfill (List.rev tenant.log)
@@ -691,6 +852,8 @@ let create ?(config = default) ~clock ~make ~provider ~send () =
     || config.retry_after < 1 || config.watchdog_interval < 1 || config.wedge_timeout < 1
     || config.max_restarts < 1 || config.shards < 1
   then invalid_arg "Server.create: config fields must be positive";
+  if config.segment_records < 0 then
+    invalid_arg "Server.create: segment_records must be >= 0";
   let reg = Metrics.create () in
   {
     config;
@@ -700,6 +863,9 @@ let create ?(config = default) ~clock ~make ~provider ~send () =
     send;
     tenants = Hashtbl.create 16;
     order = Queue.create ();
+    role = Primary;
+    epoch = 0;
+    replication = None;
     watchdog_armed = false;
     shutting = false;
     reg;
@@ -743,8 +909,37 @@ let crashes t = Metrics.counter_value (metrics t) "serve_crashes_total"
 let healthy t =
   let ok = ref true in
   iter_tenants t (fun tenant ->
-      if tenant.health <> Serving || tenant.wedged || has_work tenant then ok := false);
+      if
+        tenant.health <> Serving || tenant.wedged || has_work tenant
+        || not (Queue.is_empty tenant.pending_pushes)
+      then ok := false);
   !ok
+
+(* ---- replication surface ------------------------------------------- *)
+
+let role t = t.role
+
+let set_role t role =
+  t.role <- role;
+  if role = Primary then iter_tenants t (fun tenant -> flush_pending t tenant)
+
+let epoch t = t.epoch
+
+let set_epoch t e =
+  if e < t.epoch then
+    invalid_arg (Printf.sprintf "Server.set_epoch: %d < current %d" e t.epoch);
+  t.epoch <- e
+
+let set_replication t r = t.replication <- r
+
+let flush_pushes t name =
+  match find t name with Some tenant -> flush_pending t tenant | None -> ()
+
+let durable_position t name =
+  match find t name with Some tenant -> durable_floor t tenant | None -> 0
+
+let pending_push_count t name =
+  match find t name with Some x -> Queue.length x.pending_pushes | None -> 0
 
 let inject_wedge t name =
   match find t name with

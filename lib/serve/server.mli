@@ -67,11 +67,54 @@ type config = {
   executor : Rts_shard.Executor.kind option;
       (** Shard executor ([None] = the shard layer's default). *)
   durable : Durable.config;  (** WAL batching / checkpoint cadence. *)
+  segment_records : int;
+      (** WAL segment rotation threshold per tenant life, passed through
+          to {!Rts_resilience.Wal.writer}; [0] (the default) never
+          rotates. With rotation on, checkpoints also prune cold
+          segments below both the checkpoint and the replica ack floor,
+          bounding per-tenant disk. *)
 }
 
 val default : config
 
 type t
+
+(** {2 Roles and replication}
+
+    A server is [Primary] (accepts client data frames, ships committed
+    ops to replicas via the installed {!replication} hooks) or [Replica]
+    (rejects client data frames with ["not primary"]; ops arrive only
+    through {!replica_submit}, shipped by the primary over the
+    exactly-once transport). Both roles run the full supervision and
+    durability machinery, so a replica self-heals its own storage
+    crashes from in-process queues just like a standalone server.
+
+    Fencing: {!set_epoch} records the cluster epoch; new tenant lives
+    stamp it into their WAL headers ({!Rts_resilience.Wal.Fenced}
+    protects a directory from a superseded incarnation reopening it).
+
+    Never-early pushes: with replication installed, a maturity is pushed
+    to subscribers only once [ack_floor] — the highest op every replica
+    acknowledged durable — covers its op; until then it parks in a
+    per-tenant queue that {!flush_pushes} releases as acks advance. The
+    tenant's maturity {e log} records it immediately either way (the log
+    is what this node attributed; the push stream is what clients saw). *)
+
+type role = Primary | Replica
+
+type replication = {
+  on_applied : tenant:string -> index:int -> op:Rts_workload.Replay.op -> unit;
+      (** Fires once per committed op, in ordinal order ([index] is the
+          op ordinal). Re-applies after a local storage crash fire again
+          with the same index and a bit-identical op — ship-side
+          dedup by index is safe. *)
+  ack_floor : tenant:string -> int;
+      (** Highest op ordinal every replica has acknowledged durable
+          ([max_int] if the deployment has no replicas). *)
+  lag : tenant:string -> int;
+      (** Replication backlog folded into the {!Frame.Wal_lag} admission
+          gate (quorum-lag shedding). *)
+}
 
 val create :
   ?config:config ->
@@ -117,7 +160,8 @@ val maturity_log : t -> string -> (int * int) list
 val crashes : t -> int
 
 val healthy : t -> bool
-(** Every tenant serving, nothing queued, nothing wedged. *)
+(** Every tenant serving, nothing queued, nothing wedged, no maturity
+    push parked behind the replication ack floor. *)
 
 val is_shutdown : t -> bool
 
@@ -125,6 +169,40 @@ val metrics : t -> Rts_obs.Metrics.snapshot
 (** The [serve_*] counters: accepted/applied/rejected/matured ops,
     retries, per-reason overload counts, crashes, restarts, wedges,
     tenant gauge. *)
+
+(* ---- replication surface ---- *)
+
+val role : t -> role
+
+val set_role : t -> role -> unit
+(** Switching to [Primary] (promotion) also flushes any parked pushes
+    whose floor now permits them. *)
+
+val epoch : t -> int
+
+val set_epoch : t -> int -> unit
+(** Raise the fencing epoch stamped into subsequently started tenant
+    lives. Raises [Invalid_argument] if [e] is below the current epoch
+    (epochs are monotone). *)
+
+val set_replication : t -> replication option -> unit
+
+val replica_submit : t -> string -> Rts_workload.Replay.op list -> bool
+(** Enqueue ops shipped by the primary, bypassing admission (the
+    primary's own gate already counted replication lag; the transport
+    is exactly-once FIFO, so refusal would diverge the replica). [false]
+    only if the tenant table is full. *)
+
+val flush_pushes : t -> string -> unit
+(** Re-read the ack floor and release any parked maturity pushes it now
+    covers. The replication layer calls this when an ack advances. *)
+
+val durable_position : t -> string -> int
+(** The tenant's locally durable op ordinal (fsync-cadence floor) — what
+    a replica reports in its acks. 0 for unknown tenants. *)
+
+val pending_push_count : t -> string -> int
+(** Maturity groups parked behind the replication ack floor. *)
 
 (* ---- control ---- *)
 
@@ -137,6 +215,14 @@ val inject_wedge : t -> string -> unit
 val sync_all : t -> unit
 (** Force every serving tenant's WAL durable now (storage faults during
     the sync crash that tenant, to be supervised as usual). *)
+
+val checkpoint_all : t -> unit
+(** Force a checkpoint — and, with rotation on, a segment prune — on
+    every serving tenant regardless of the op-count cadence. The in-run
+    cadence prunes with whatever replica ack floor it sees at checkpoint
+    time; call this at quiescence (the floor has caught up by then) so
+    segments pinned by a lagging replica are released before shutdown.
+    Storage faults crash the tenant, to be supervised as usual. *)
 
 val shutdown : t -> unit
 (** Drain every queue to empty — restarting crashed tenants inline as

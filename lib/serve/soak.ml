@@ -172,7 +172,7 @@ let run ?(progress = fun _ -> ()) ~make cfg =
   let server = Hub.server hub in
   let subscriber = Hub.client hub cfg.tenants in
   for i = 0 to cfg.tenants - 1 do
-    Client.enqueue subscriber (Frame.Subscribe { tenant = tenant_name i })
+    Client.enqueue subscriber (Frame.Subscribe { tenant = tenant_name i; after = 0 })
   done;
   for i = 0 to cfg.tenants - 1 do
     let frames = script cfg ~tenant_idx:i in
@@ -229,12 +229,14 @@ let run ?(progress = fun _ -> ()) ~make cfg =
           accepted;
           applied;
           rejected;
-          wal_records = scanned.Wal.records;
+          wal_records = scanned.Wal.base + scanned.Wal.records;
           restarts = Server.restarts server name;
           matured = List.length log;
           log_ok = log = oracle.Replay.maturities;
           sub_ok = sub = oracle.Replay.maturities;
-          acct_ok = accepted = applied + rejected && scanned.Wal.records = applied;
+          acct_ok =
+            accepted = applied + rejected
+            && scanned.Wal.base + scanned.Wal.records = applied;
         })
   in
   let crashes = Server.crashes server in

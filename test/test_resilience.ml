@@ -124,6 +124,122 @@ let test_wal_writer_truncates_torn_tail_on_open () =
   Alcotest.(check int) "nothing left over" 0 s.Wal.bytes_discarded
 
 (* ------------------------------------------------------------------ *)
+(* Segmented WAL: rotation, pruning, epoch fencing                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_wal_rotation_roundtrip () =
+  let dir = Io.mem_dir () in
+  let w = Wal.writer ~dim:1 ~segment_records:2 ~dir () in
+  List.iter (Wal.append w) sample_ops;
+  Wal.close w;
+  Alcotest.(check int) "two segments sealed" 2 (Wal.rotations w);
+  (match Wal.segments ~dir () with
+  | [ s1; s2 ] ->
+      Alcotest.(check int) "first base" 0 s1.Wal.seg_base;
+      Alcotest.(check int) "first count" 2 s1.Wal.seg_count;
+      Alcotest.(check int) "second base" 2 s2.Wal.seg_base;
+      Alcotest.(check int) "second count" 2 s2.Wal.seg_count
+  | segs -> Alcotest.failf "expected 2 segments, got %d" (List.length segs));
+  let s = Wal.scan ~dim:1 ~dir () in
+  Alcotest.(check int) "chain records" 5 s.Wal.records;
+  Alcotest.(check int) "chain base" 0 s.Wal.base;
+  Alcotest.(check bool) "ops identical across the chain" true (s.Wal.ops = sample_ops);
+  (* reopening continues the chain where it left off *)
+  let w2 = Wal.writer ~dim:1 ~segment_records:2 ~dir () in
+  Wal.append w2 (Replay.Element (e 2. 1));
+  Wal.close w2;
+  let s = Wal.scan ~dim:1 ~dir () in
+  Alcotest.(check int) "append extends the chain" 6 s.Wal.records;
+  Alcotest.(check bool) "suffix is the new op" true
+    (s.Wal.ops = sample_ops @ [ Replay.Element (e 2. 1) ])
+
+let test_wal_prune_below_floor () =
+  let dir = Io.mem_dir () in
+  let w = Wal.writer ~dim:1 ~dir () in
+  List.iter (Wal.append w) (List.filteri (fun i _ -> i < 3) sample_ops);
+  Wal.rotate w;
+  List.iter (Wal.append w) (drop 3 sample_ops);
+  Wal.close w;
+  Alcotest.(check int) "one sealed segment" 1 (List.length (Wal.segments ~dir ()));
+  (* a floor inside the segment reclaims nothing: pruning is whole
+     segments only, never record surgery *)
+  Alcotest.(check int) "partial floor removes nothing" 0 (Wal.prune ~dir ~below:2 ());
+  Alcotest.(check int) "covering floor removes the segment" 1 (Wal.prune ~dir ~below:3 ());
+  Alcotest.(check int) "no cold segments left" 0 (List.length (Wal.segments ~dir ()));
+  let s = Wal.scan ~dim:1 ~dir () in
+  Alcotest.(check int) "surviving records" 2 s.Wal.records;
+  Alcotest.(check int) "base reflects the pruned prefix" 3 s.Wal.base;
+  Alcotest.(check bool) "surviving ops are the suffix" true (s.Wal.ops = drop 3 sample_ops)
+
+let test_wal_epoch_fencing () =
+  let dir = Io.mem_dir () in
+  let w = Wal.writer ~dim:1 ~epoch:3 ~dir () in
+  List.iter (Wal.append w) sample_ops;
+  Wal.close w;
+  Alcotest.(check int) "epoch stamped in the chain" 3 (Wal.scan ~dim:1 ~dir ()).Wal.epoch;
+  (match Wal.writer ~dim:1 ~epoch:2 ~dir () with
+  | exception Wal.Fenced { requested = 2; found = 3 } -> ()
+  | exception Wal.Fenced _ -> Alcotest.fail "Fenced carried the wrong epochs"
+  | _ -> Alcotest.fail "a stale incarnation must be fenced");
+  (* no epoch argument inherits the chain's *)
+  let w = Wal.writer ~dim:1 ~dir () in
+  Alcotest.(check int) "inherited epoch" 3 (Wal.epoch w);
+  Wal.append w (Replay.Element (e 1. 1));
+  Wal.close w;
+  (* a successor with a higher epoch takes over and keeps the history *)
+  let w = Wal.writer ~dim:1 ~epoch:7 ~dir () in
+  Wal.append w (Replay.Element (e 2. 1));
+  Wal.close w;
+  let s = Wal.scan ~dim:1 ~dir () in
+  Alcotest.(check int) "chain carries the successor epoch" 7 s.Wal.epoch;
+  Alcotest.(check int) "nothing lost across the takeover" 7 s.Wal.records
+
+let test_wal_rotation_crash_overlap () =
+  (* simulate a crash between rotate's two atomic steps: the sealed
+     segment exists AND the active file still holds the records it
+     sealed. Scan and writer must both resolve toward the sealed copy. *)
+  let a = Io.mem_dir () in
+  let w = Wal.writer ~dim:1 ~segment_records:3 ~dir:a () in
+  List.iter (Wal.append w) sample_ops;
+  Wal.close w;
+  let seg_name = Wal.segment_name 0 in
+  let seg = Option.get (a.Io.read_file seg_name) in
+  let b = Io.mem_dir () in
+  b.Io.write_atomic seg_name seg;
+  (* pre-rotation active image: all five records, headerless (base 0) *)
+  let f = b.Io.open_append Wal.default_file in
+  List.iter (fun op -> f.Io.append (Wal.frame op)) sample_ops;
+  f.Io.close ();
+  let s = Wal.scan ~dim:1 ~dir:b () in
+  Alcotest.(check int) "overlap deduplicated" 5 s.Wal.records;
+  Alcotest.(check bool) "each op appears once" true (s.Wal.ops = sample_ops);
+  let w = Wal.writer ~dim:1 ~dir:b () in
+  Alcotest.(check int) "opening scan agrees" 5 (Wal.existing w).Wal.records;
+  Wal.append w (Replay.Element (e 9. 1));
+  Wal.close w;
+  let s = Wal.scan ~dim:1 ~dir:b () in
+  Alcotest.(check int) "append extends past the resolved overlap" 6 s.Wal.records;
+  Alcotest.(check bool) "no duplicated prefix" true
+    (s.Wal.ops = sample_ops @ [ Replay.Element (e 9. 1) ])
+
+let test_fsync_dir_errno_classifier () =
+  (* "directory fsync unsupported" errnos are swallowed; real I/O
+     failures must raise — a checkpoint rename that never reached
+     stable storage is data loss, not an inconvenience *)
+  List.iter
+    (fun err -> Alcotest.(check bool) "benign errno swallowed" false (Io.fatal_fsync_error err))
+    [
+      Unix.EINVAL; Unix.EBADF; Unix.ENOSYS; Unix.EOPNOTSUPP; Unix.EROFS;
+      Unix.EACCES; Unix.EPERM; Unix.ENOTDIR; Unix.ENOENT;
+    ];
+  List.iter
+    (fun err -> Alcotest.(check bool) "fatal errno raises" true (Io.fatal_fsync_error err))
+    [ Unix.EIO; Unix.ENOSPC; Unix.EUNKNOWNERR 122 ];
+  (* a real directory fsyncs without noise; a missing path is a no-op *)
+  Io.fsync_dir (Filename.get_temp_dir_name ());
+  Io.fsync_dir "/definitely/not/a/real/path"
+
+(* ------------------------------------------------------------------ *)
 (* Checkpoint                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -272,6 +388,72 @@ let test_recover_skips_corrupt_newest_checkpoint () =
   Alcotest.(check bool) "fell back to scratch" true (r.Recovery.checkpoint_gen = None);
   Alcotest.(check int) "full WAL replayed" 4 r.Recovery.ops_replayed;
   Alcotest.(check (list (pair int int))) "same maturity log from scratch" [ (3, 1) ]
+    r.Recovery.maturities;
+  Alcotest.(check int) "q1 gone" 0 (engine.Engine.alive ())
+
+(* the populated_dir trace again, but over a rotating WAL: cold
+   segments every 2 records, checkpoint at op 3 *)
+let segmented_dir () =
+  let dir = Io.mem_dir () in
+  let cfg = { Durable.fsync_every = 1; checkpoint_every = 3; keep = 2 } in
+  let durable, h =
+    Durable.wrap ~config:cfg ~segment_records:2 ~dir (Baseline_engine.make ~dim:1)
+  in
+  durable.Engine.register (q ~id:1 ~threshold:4 (0., 10.));
+  ignore (durable.Engine.process (e 5. 2));
+  ignore (durable.Engine.process (e 20. 9));
+  let matured = durable.Engine.process (e 5. 2) in
+  Alcotest.(check (list int)) "q1 matured live" [ 1 ] matured;
+  (h, dir)
+
+let test_recover_checkpoint_only_dir () =
+  let h, dir = segmented_dir () in
+  (* publish a checkpoint covering everything, then prune: the whole
+     WAL history is rotated away — only checkpoints and a bare active
+     header remain on disk *)
+  Durable.checkpoint_now h;
+  Durable.rotate_wal h;
+  Alcotest.(check bool) "segments pruned" true (Durable.prune_wal h ~below:max_int > 0);
+  Durable.close h;
+  Alcotest.(check int) "no cold segments left" 0 (List.length (Wal.segments ~dir ()));
+  let s = Wal.scan ~dim:1 ~dir () in
+  Alcotest.(check int) "no records left" 0 s.Wal.records;
+  Alcotest.(check int) "chain base = durable ops" 4 s.Wal.base;
+  let engine, r = Recovery.recover ~dim:1 ~make:make_dt ~dir () in
+  Alcotest.(check bool) "restored from a checkpoint" true (r.Recovery.checkpoint_gen <> None);
+  Alcotest.(check int) "nothing to replay" 0 r.Recovery.ops_replayed;
+  Alcotest.(check int) "resumes after the checkpointed ops" 4 r.Recovery.ops_total;
+  Alcotest.(check int) "element ordinal restored" 3 r.Recovery.elements_total;
+  Alcotest.(check (list (pair int int))) "no replayed maturities" [] r.Recovery.maturities;
+  Alcotest.(check int) "q1 matured before the checkpoint" 0 (engine.Engine.alive ());
+  (* continuation over the pruned chain (base > 0) carries the report
+     and keeps global element ordinals intact *)
+  let cfg = { Durable.fsync_every = 1; checkpoint_every = 100; keep = 2 } in
+  let durable2, h2 = Durable.wrap ~config:cfg ~report:r ~segment_records:2 ~dir engine in
+  durable2.Engine.register (q ~id:2 ~threshold:3 (0., 10.));
+  let m = durable2.Engine.process (e 5. 3) in
+  Alcotest.(check (list int)) "continuation matures" [ 2 ] m;
+  Durable.close h2;
+  let _, r2 = Recovery.recover ~dim:1 ~make:make_dt ~dir () in
+  Alcotest.(check int) "chain replays only the continuation" 2 r2.Recovery.ops_replayed;
+  Alcotest.(check (list (pair int int)))
+    "maturity re-fired at the global ordinal" [ (4, 2) ] r2.Recovery.maturities
+
+let test_recover_empty_newest_segment () =
+  let h, dir = segmented_dir () in
+  (* the newest link of the chain — the active file — is a bare header:
+     the last append landed exactly on a rotation boundary *)
+  Durable.rotate_wal h;
+  Durable.close h;
+  let s = Wal.scan ~dim:1 ~dir () in
+  Alcotest.(check int) "records intact in cold segments" 4 s.Wal.records;
+  Alcotest.(check int) "active file holds nothing" 2
+    (List.length (Wal.segments ~dir ()));
+  let engine, r = Recovery.recover ~dim:1 ~make:make_baseline ~dir () in
+  Alcotest.(check bool) "restored from gen 0" true (r.Recovery.checkpoint_gen = Some 0);
+  Alcotest.(check int) "replayed the post-checkpoint suffix" 1 r.Recovery.ops_replayed;
+  Alcotest.(check int) "durable ops" 4 r.Recovery.ops_total;
+  Alcotest.(check (list (pair int int))) "maturity re-fired" [ (3, 1) ]
     r.Recovery.maturities;
   Alcotest.(check int) "q1 gone" 0 (engine.Engine.alive ())
 
@@ -721,6 +903,16 @@ let () =
           Alcotest.test_case "writer amputates torn tail on open" `Quick
             test_wal_writer_truncates_torn_tail_on_open;
         ] );
+      ( "segmented-wal",
+        [
+          Alcotest.test_case "rotation round-trip" `Quick test_wal_rotation_roundtrip;
+          Alcotest.test_case "prune below the floor" `Quick test_wal_prune_below_floor;
+          Alcotest.test_case "epoch fencing" `Quick test_wal_epoch_fencing;
+          Alcotest.test_case "rotation crash-window overlap" `Quick
+            test_wal_rotation_crash_overlap;
+          Alcotest.test_case "fsync_dir errno classifier" `Quick
+            test_fsync_dir_errno_classifier;
+        ] );
       ( "checkpoint",
         [
           Alcotest.test_case "write/load round-trip" `Quick test_checkpoint_roundtrip;
@@ -739,6 +931,10 @@ let () =
             test_recover_checkpoint_plus_wal_suffix;
           Alcotest.test_case "corrupt newest checkpoint fallback" `Quick
             test_recover_skips_corrupt_newest_checkpoint;
+          Alcotest.test_case "checkpoint-only dir (WAL pruned away)" `Quick
+            test_recover_checkpoint_only_dir;
+          Alcotest.test_case "empty newest segment" `Quick
+            test_recover_empty_newest_segment;
           Alcotest.test_case "dimension mismatch" `Quick test_recover_dim_mismatch;
           Alcotest.test_case "metrics" `Quick test_recovery_metrics;
         ] );

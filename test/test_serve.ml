@@ -41,7 +41,7 @@ let test_frame_units () =
       Frame.Op { tenant = "a_B-9."; op = Replay.Terminate 14 };
       Frame.Op { tenant = "t0"; op = Replay.Element (Generator.element gen) };
       Frame.Batch { tenant = "t1"; elems = Array.init 4 (fun _ -> Generator.element gen) };
-      Frame.Subscribe { tenant = "watcher" };
+      Frame.Subscribe { tenant = "watcher"; after = 0 };
       Frame.Stats;
       Frame.Shutdown;
     ];
@@ -109,7 +109,7 @@ let prop_client_roundtrip =
                 elems =
                   Array.init (1 + Rts_util.Prng.int rng 6) (fun _ -> Generator.element gen);
               }
-        | _ -> Frame.Subscribe { tenant = "sub-0" }
+        | _ -> Frame.Subscribe { tenant = "sub-0"; after = 0 }
       in
       Frame.client_of_string ~dim (Frame.client_to_string frame) = Ok frame)
 
@@ -238,6 +238,80 @@ let test_shutdown_rejects () =
   Alcotest.(check int) "nothing queued post-shutdown" 0 (Server.queue_depth server "t")
 
 (* ------------------------------------------------------------------ *)
+(* Subscription watermark + stats gauges                               *)
+(* ------------------------------------------------------------------ *)
+
+let wq ~id ~threshold (lo, hi) = { Types.id; rect = Types.interval lo hi; threshold }
+let wel v w = { Types.value = [| v |]; weight = w }
+
+let matured_frames replies =
+  List.filter_map
+    (function Frame.Matured { ordinal; ids; _ } -> Some (ordinal, ids) | _ -> None)
+    (List.rev !replies)
+
+let test_subscribe_watermark_backfill () =
+  let server, clock, replies, _ = direct_server { Server.default with Server.dim = 1 } in
+  let op o = Server.handle server ~src:0 (Frame.Op { tenant = "t"; op = o }) in
+  op (Replay.Register (wq ~id:1 ~threshold:2 (0., 10.)));
+  op (Replay.Register (wq ~id:2 ~threshold:5 (0., 10.)));
+  op (Replay.Element (wel 5. 2));
+  (* ordinal 1: q1 matures *)
+  op (Replay.Element (wel 5. 2));
+  op (Replay.Element (wel 5. 2));
+  (* ordinal 3: q2's consumed weight reaches 6 >= 5 *)
+  Vclock.run_until_idle clock;
+  Alcotest.(check (list (pair int int))) "server log" [ (1, 1); (3, 2) ]
+    (Server.maturity_log server "t");
+  (* a fresh subscriber (watermark 0) gets the whole backfill *)
+  replies := [];
+  Server.handle server ~src:7 (Frame.Subscribe { tenant = "t"; after = 0 });
+  Alcotest.(check (list (pair int (list int)))) "full backfill" [ (1, [ 1 ]); (3, [ 2 ]) ]
+    (matured_frames replies);
+  (* a failover survivor that already consumed through ordinal 1 must
+     not see it again: exactly-once across re-subscription *)
+  replies := [];
+  Server.handle server ~src:8 (Frame.Subscribe { tenant = "t"; after = 1 });
+  Alcotest.(check (list (pair int (list int)))) "watermark excludes consumed ordinals"
+    [ (3, [ 2 ]) ] (matured_frames replies);
+  (* watermark at the log head: backfill is empty, not an error *)
+  replies := [];
+  Server.handle server ~src:9 (Frame.Subscribe { tenant = "t"; after = 3 });
+  Alcotest.(check (list (pair int (list int)))) "nothing past the watermark" []
+    (matured_frames replies)
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i = i + n <= h && (String.sub haystack i n = needle || go (i + 1)) in
+  go 0
+
+let test_stats_tenant_gauges () =
+  let config =
+    { Server.default with Server.dim = 1; wal_lag_limit = 512; queue_capacity = 64 }
+  in
+  let server, clock, replies, _ = direct_server config in
+  let _, element = gen_ops ~dim:1 ~seed:12 in
+  for _ = 1 to 3 do
+    Server.handle server ~src:0 (Frame.Op { tenant = "t"; op = element () })
+  done;
+  let stats_body () =
+    Server.handle server ~src:0 Frame.Stats;
+    match last replies with
+    | Frame.Stats_reply { body } -> body
+    | f -> Alcotest.failf "expected stats, got %s" (Frame.server_to_string f)
+  in
+  (* the clock has not run: three accepted ops are not yet durable, and
+     the stats frame says so before any admission refusal would *)
+  let body = stats_body () in
+  Alcotest.(check bool) "backlog gauge reflects undrained ops" true
+    (contains body "serve_wal_backlog_t 3");
+  Alcotest.(check bool) "replica gauge present (zero without replication)" true
+    (contains body "serve_replica_lag_t 0");
+  Vclock.run_until_idle clock;
+  let body = stats_body () in
+  Alcotest.(check bool) "backlog drains to zero" true
+    (contains body "serve_wal_backlog_t 0")
+
+(* ------------------------------------------------------------------ *)
 (* Supervision: injected wedge -> watchdog restart, nothing lost       *)
 (* ------------------------------------------------------------------ *)
 
@@ -265,7 +339,7 @@ let test_wedge_restart () =
   let server = Hub.server hub in
   let feeder = Hub.client hub 0 in
   let watcher = Hub.client hub 1 in
-  Client.enqueue watcher (Frame.Subscribe { tenant = "t0" });
+  Client.enqueue watcher (Frame.Subscribe { tenant = "t0"; after = 0 });
   let gen = Generator.create ~dim:1 ~seed:21 () in
   for id = 0 to 14 do
     Client.enqueue feeder
@@ -359,6 +433,9 @@ let () =
           Alcotest.test_case "wal lag limit" `Quick test_admission_wal_lag;
           Alcotest.test_case "backpressure retry" `Quick test_backpressure_retry;
           Alcotest.test_case "shutdown rejects" `Quick test_shutdown_rejects;
+          Alcotest.test_case "subscribe watermark backfill" `Quick
+            test_subscribe_watermark_backfill;
+          Alcotest.test_case "stats tenant gauges" `Quick test_stats_tenant_gauges;
         ] );
       ("supervision", [ Alcotest.test_case "wedge restart" `Quick test_wedge_restart ]);
       ( "soak",
