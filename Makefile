@@ -20,9 +20,9 @@ RTS_SERVE_SEEDS ?= 3,13,29
 # against the fault-free oracle); override with RTS_REPLICA_SEEDS=a,b,c.
 RTS_REPLICA_SEEDS ?= 2,11,23
 
-.PHONY: all build lint test bench-smoke bench-perf bench-shard bench-par \
-        diff-bench check check-fault check-net check-shard check-serve \
-        check-replica clean
+.PHONY: all build lint test bench-smoke bench-perf bench-alloc bench-shard \
+        bench-par diff-bench check check-fault check-net check-shard \
+        check-serve check-replica clean
 
 all: build
 
@@ -54,6 +54,19 @@ bench-smoke: build
 bench-perf: build
 	$(DUNE) exec bench/main.exe -- perf --scale $(SMOKE_SCALE) --reps 3 --json > /dev/null
 	$(DUNE) exec tools/validate_bench.exe -- --perf-budgets tools/perf_budgets.json BENCH_perf.json
+
+# Allocation gate: the same perf run, held to BOTH budget sets -- the
+# work counters AND the zero-allocation contract of the DT hot path
+# (allocated_words_per_element = 0 at every batch size, no tolerance:
+# Rts_obs.Alloc calibrates out its own bracket overhead, so a genuinely
+# allocation-free feed reports exactly 0 on every compiler leg). A
+# single boxed float argument or stray closure on the feed path fails
+# this target.
+bench-alloc: build
+	$(DUNE) exec bench/main.exe -- perf --scale $(SMOKE_SCALE) --reps 3 --json > /dev/null
+	$(DUNE) exec tools/validate_bench.exe -- \
+	  --perf-budgets tools/perf_budgets.json \
+	  --alloc-budgets tools/alloc_budgets.json BENCH_perf.json
 
 # Shard smoke: run the sharded-ingestion benchmark (k = 1/2/4/8 curve,
 # maturity log asserted bit-identical to the unsharded reference inside
@@ -93,6 +106,7 @@ bench-par: build
 diff-bench: bench-perf bench-shard bench-par
 	$(DUNE) exec tools/diff_bench.exe -- \
 	  --budgets tools/perf_budgets.json BENCH_perf.json \
+	  --budgets tools/alloc_budgets.json BENCH_perf.json \
 	  --budgets tools/shard_budgets.json BENCH_shard.json \
 	  $(if $(wildcard BENCH_par.json),--budgets tools/par_budgets.json BENCH_par.json,)
 

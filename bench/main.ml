@@ -197,6 +197,20 @@ let result_json ?stability (r : Scenario.result) =
      ]
     @ stability_fields @ dt_fields)
 
+(* GC environment stamp for every emitted document: reps are separated
+   by [Gc.full_major] (see [measure]), so numbers are comparable only
+   among runs produced under the same collector configuration — record
+   it instead of assuming it. *)
+let gc_params_json () =
+  let c = Gc.get () in
+  Json.Obj
+    [
+      ("minor_heap_words", Json.int c.Gc.minor_heap_size);
+      ("space_overhead", Json.int c.Gc.space_overhead);
+      ("full_major_between_reps", Json.Bool true);
+      ("ocaml_version", Json.Str Sys.ocaml_version);
+    ]
+
 let runs_acc : Json.t list ref = ref []
 
 (* Warmup + median-of-k: every timed configuration first does a short
@@ -213,7 +227,14 @@ let measure ~traced p cfg factory =
   ignore (Scenario.run (warmup_cfg cfg) factory);
   let k = max 1 p.reps in
   let runs =
-    List.init k (fun _ -> (if traced then Scenario.run_traced else Scenario.run) cfg factory)
+    List.init k (fun _ ->
+        (* Full collection between warmup and every rep: each rep starts
+           from the same empty-minor-heap, compacted-major state, so the
+           min/max envelope reflects the code under test rather than
+           garbage inherited from the previous run. The GC parameters
+           this ran under are stamped into the JSON ("gc" in params). *)
+        Gc.full_major ();
+        (if traced then Scenario.run_traced else Scenario.run) cfg factory)
   in
   let arr = Array.of_list runs in
   Array.sort
@@ -244,6 +265,7 @@ let emit_json p figure =
                 ("tau", Json.int p.tau);
                 ("n_dynamic", Json.int p.n_dynamic);
                 ("horizon", Json.int p.horizon);
+                ("gc", gc_params_json ());
               ] );
           ("runs", Json.List runs);
         ]
@@ -625,6 +647,36 @@ let micro p =
 let perf_counter_names =
   [ "dt_node_updates_total"; "dt_heap_ops_total"; "dt_signals_total"; "scan_updates_total" ]
 
+(* Steady-state allocation audit — the `allocated_words_per_element`
+   gauge of BENCH_perf.json. Feed a warm engine (m/10 never-maturing
+   queries, like the bechamel micro harness below) a pool of
+   pre-generated batches, then bracket [Gc.minor_words] around a
+   multi-batch pass: [Rts_obs.Alloc] calibrates out the bracket's own
+   boxed floats, so an allocation-free feed path reports exactly 0 —
+   which is what tools/alloc_budgets.json gates for the DT engine, with
+   no tolerance band. The untimed warmup pass first grows every reusable
+   scratch buffer to its steady-state size: the audit asks "does the hot
+   loop allocate per element?", not "do buffers grow once at startup?". *)
+let alloc_words_per_element p (factory : dim:int -> Engine.t) b =
+  let mm = max 1 (p.m / 10) in
+  let gen = Generator.create ~dim:1 ~seed:p.seed () in
+  let engine = factory ~dim:1 in
+  for id = 0 to mm - 1 do
+    engine.Engine.register (Generator.query gen ~id ~threshold:max_int)
+  done;
+  let pool = Array.init 64 (fun _ -> Array.init b (fun _ -> Generator.element gen)) in
+  let iters = max 1 (65536 / b) in
+  let i = ref 0 in
+  let pass () =
+    for _ = 1 to iters do
+      ignore (engine.Engine.feed_batch (Array.unsafe_get pool (!i land 63)) : int list);
+      incr i
+    done
+  in
+  pass ();
+  Gc.full_major ();
+  Rts_obs.Alloc.words_per_item ~runs:3 ~items:(iters * b) pass
+
 let perf p =
   header
     (Printf.sprintf
@@ -645,8 +697,8 @@ let perf p =
       chunk = max 1024 (p.n_dynamic / 16);
     }
   in
-  pf "@[<h>%-14s %6s %12s %10s %14s %12s@]@." "engine" "batch" "per_op_us" "seconds"
-    "node_updates" "heap_ops";
+  pf "@[<h>%-14s %6s %12s %10s %14s %12s %12s@]@." "engine" "batch" "per_op_us" "seconds"
+    "node_updates" "heap_ops" "alloc_w/el";
   let runs = ref [] in
   let per_op = Hashtbl.create 16 in
   let counters = Hashtbl.create 16 in
@@ -656,13 +708,26 @@ let perf p =
         (fun b ->
           let bcfg = { cfg with Scenario.batch = b } in
           let r, stability = measure ~traced:true p bcfg factory in
+          (* The allocation audit rides along as a gauge in the run's
+             metrics object, so validate_bench/diff_bench gate it through
+             the same budget machinery as the work counters. *)
+          let alloc_w = alloc_words_per_element p factory b in
+          let r =
+            {
+              r with
+              Scenario.final_metrics =
+                Metrics.merge r.Scenario.final_metrics
+                  (Metrics.of_assoc
+                     [ ("allocated_words_per_element", Metrics.Gauge alloc_w) ]);
+            }
+          in
           let fm = r.Scenario.final_metrics in
           let c k = Metrics.counter_value fm k in
           let us = r.Scenario.total_seconds *. 1e6 /. float_of_int (max 1 r.Scenario.ops) in
           Hashtbl.replace per_op (name, b) us;
           Hashtbl.replace counters (name, b) (List.map (fun k -> (k, c k)) perf_counter_names);
-          pf "@[<h>%-14s %6d %12.3f %10.3f %14d %12d@]@." name b us r.Scenario.total_seconds
-            (c "dt_node_updates_total") (c "dt_heap_ops_total");
+          pf "@[<h>%-14s %6d %12.3f %10.3f %14d %12d %12.1f@]@." name b us r.Scenario.total_seconds
+            (c "dt_node_updates_total") (c "dt_heap_ops_total") alloc_w;
           let run =
             match result_json ~stability r with
             | Json.Obj fields -> Json.Obj (fields @ [ ("batch", Json.int b) ])
@@ -788,6 +853,7 @@ let perf p =
                 ("tau", Json.int p.tau);
                 ("n", Json.int p.n_dynamic);
                 ("batches", Json.List (List.map Json.int batches));
+                ("gc", gc_params_json ());
               ] );
           ("runs", Json.List (List.rev !runs));
           ("micro", Json.List micro_rows);

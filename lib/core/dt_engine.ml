@@ -26,6 +26,12 @@ type t = {
   mutable n_registered : int;
   mutable n_terminated : int;
   mutable n_matured : int;
+  (* batch scratch for the multi-tree 1D path: the batch's (key, weight)
+     pairs are extracted and sorted ONCE here, then every live tree is
+     fed the same flat arrays — no per-tree cursor or sorted-copy
+     allocation. Grown on demand, so the steady state allocates nothing. *)
+  mutable bkeys : float array;
+  mutable bwts : int array;
 }
 
 let create ?(eager = false) ~dim () =
@@ -44,6 +50,8 @@ let create ?(eager = false) ~dim () =
     n_registered = 0;
     n_terminated = 0;
     n_matured = 0;
+    bkeys = [||];
+    bwts = [||];
   }
 
 let absorb_stats (agg : Endpoint_tree.stats) (s : Endpoint_tree.stats) =
@@ -200,15 +208,26 @@ let process t e =
     out
   end
 
-(* Batched ingestion (the tentpole): validate the whole batch up front,
-   sort one copy by first coordinate, and drive each live tree through a
-   shared-prefix {!Endpoint_tree.cursor} — a batch of b elements costs one
-   sort plus b short tail-walks per tree instead of b full root-to-leaf
-   descents. Maturities accumulate across the batch; global-rebuild checks
-   run once at the end (rebuilds never change which queries mature or
-   their exact weights, only when migration work happens). The matured
-   set, every survivor's weight, and the post-call [alive_snapshot] equal
-   the sequential [process] results for the same multiset of elements. *)
+let ensure_scratch t n =
+  if Array.length t.bkeys < n then begin
+    t.bkeys <- Array.make n 0.;
+    t.bwts <- Array.make n 0
+  end
+
+(* Batched ingestion: validate the whole batch up front, sort it once by
+   first coordinate, and drive each live tree through its preallocated
+   shared-prefix cursor — a batch of b elements costs one sort plus b
+   short tail-walks per tree instead of b full root-to-leaf descents. For
+   1D the sort happens in the engine's flat (key, weight) scratch and
+   each tree consumes it via {!Endpoint_tree.feed_sorted_kw}, so the
+   whole multi-tree path is allocation-free in the steady state (the
+   single-tree path delegates to the equally alloc-free
+   {!Endpoint_tree.process_batch}). Maturities accumulate across the
+   batch; global-rebuild checks run once at the end (rebuilds never
+   change which queries mature or their exact weights, only when
+   migration work happens). The matured set, every survivor's weight,
+   and the post-call [alive_snapshot] equal the sequential [process]
+   results for the same multiset of elements. *)
 let process_batch t elems =
   let n = Array.length elems in
   if n = 0 then []
@@ -218,16 +237,32 @@ let process_batch t elems =
     let live = t.live in
     (if Array.length live = 1 then Endpoint_tree.process_batch live.(0) elems
      else begin
-       Array.iter (fun e -> validate_elem ~dim:t.dims e) elems;
-       if Array.length live > 1 then begin
-         let sorted = Endpoint_tree.sort_batch elems in
-         Array.iter
-           (fun tr ->
-             let c = Endpoint_tree.cursor tr in
-             Array.iter (fun e -> Endpoint_tree.process_sorted c e) sorted;
-             Endpoint_tree.flush c)
-           live
-       end
+       for i = 0 to n - 1 do
+         validate_elem ~dim:t.dims (Array.unsafe_get elems i)
+       done;
+       if Array.length live > 1 then
+         if t.dims = 1 then begin
+           ensure_scratch t n;
+           let keys = t.bkeys and wts = t.bwts in
+           for i = 0 to n - 1 do
+             let e = Array.unsafe_get elems i in
+             Array.unsafe_set keys i (Array.unsafe_get e.value 0);
+             Array.unsafe_set wts i e.weight
+           done;
+           Endpoint_tree.sort_kw keys wts n;
+           for ti = 0 to Array.length live - 1 do
+             Endpoint_tree.feed_sorted_kw (Array.unsafe_get live ti) keys wts n
+           done
+         end
+         else begin
+           let sorted = Endpoint_tree.sort_batch elems in
+           Array.iter
+             (fun tr ->
+               let c = Endpoint_tree.cursor tr in
+               Array.iter (fun e -> Endpoint_tree.process_sorted c e) sorted;
+               Endpoint_tree.flush c)
+             live
+         end
      end);
     if t.matured_acc == [] then []
     else begin

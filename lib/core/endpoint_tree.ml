@@ -8,16 +8,44 @@ type stats = {
   mutable heap_ops : int;
 }
 
-(* One query's distributed-tracking state. [edges] are the (query, node)
-   pairs of its canonical node set U_q: the "participants" of Section 4.
+(* Unboxed, off-heap storage for everything the per-element path touches.
+   Bigarrays are invisible to the GC: the minor collector never scans
+   them, writes need no [caml_modify] barrier, and int/float loads come
+   back unboxed. Combined with the preallocated cursor and scratch
+   buffers below, the batched 1D feed path allocates zero minor-heap
+   words per element — gated by tools/alloc_budgets.json in CI. *)
+type farr = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type iarr = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+let ba_f n : farr = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n
+
+let ba_i n : iarr = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n
+
+(* Bigarray.Array1.create returns uninitialized memory. *)
+let ba_i0 n =
+  let a = ba_i n in
+  Bigarray.Array1.fill a 0;
+  a
+
+let[@inline] bget (a : iarr) i = Bigarray.Array1.unsafe_get a i
+
+let[@inline] bset (a : iarr) i (v : int) = Bigarray.Array1.unsafe_set a i v
+
+let[@inline] fget (a : farr) i = Bigarray.Array1.unsafe_get a i
+
+(* One query's distributed-tracking state. Its canonical node set U_q —
+   the "participants" of Section 4 — lives in the tree's flat edge arena
+   as the contiguous index range [e_off, e_off + e_len): see [t] below.
    [tree_tau] is the weight the query still needed when this tree was
    built; within a tree, W(q) is simply the sum of the canonical nodes'
    counters (all counters start at zero at build time and U_q tiles R_q). *)
 type qstate = {
   query : query;
   tree_tau : int;
-  mutable edges : edge array;
-  mutable tmp_edges : edge list; (* build-time accumulator *)
+  mutable e_off : int; (* first edge of this query in the edge arena *)
+  mutable e_len : int; (* h_q = |U_q| *)
+  mutable tmp_slots : int list; (* build-time accumulator of counter slots *)
   mutable lambda : int;
   mutable signals : int; (* signals received in the current round *)
   mutable direct : bool; (* endgame mode: remaining <= 6h *)
@@ -25,48 +53,44 @@ type qstate = {
   mutable alive : bool;
 }
 
-and edge = {
-  owner : qstate;
-  elvl : level; (* the last-dimension level owning the canonical node *)
-  enode : int; (* node id within [elvl] *)
-  mutable cbar : int; (* node counter acknowledged to the coordinator *)
-  mutable sigma : int; (* counter value at which the next signal fires *)
-  mutable pos : int; (* index in the node's sigma heap; -1 when absent *)
-}
-
-(* The per-node min-heap H(u) of slack deadlines, intrusive and specialized:
-   entries are the edges themselves, ordered by [sigma], each knowing its
-   own array index. There is one such heap per last-dimension node and one
-   entry per (query, canonical node) pair — sum of |U_q| entries overall —
-   so both the per-entry footprint and the per-comparison cost matter far
-   more than generality here (a closure-based generic heap measurably
-   dominates the 2D running time). *)
-and sheap = { mutable data : edge array; mutable len : int }
-
-(* One endpoint-tree level, stored structure-of-arrays: every per-node
-   attribute lives in a contiguous array indexed by node id (preorder,
-   root = 0), with -1 child sentinels instead of [node option] records.
-   The hot path — one root-to-leaf descent per element per level — then
-   touches a handful of flat int/float arrays whose upper levels stay
-   cache-resident, instead of chasing boxed node pointers. [jlo, jhi) is
-   node id's jurisdiction interval; the rightmost spine has jhi =
-   infinity. Last-dimension levels carry the element counters and the
-   per-node sigma heaps; other levels carry the secondary trees on the
-   next dimension ([sub]). *)
-and level = {
+(* One endpoint-tree level, stored structure-of-arrays on Bigarray: every
+   per-node attribute lives in a contiguous unboxed array indexed by node
+   id (preorder, root = 0), with -1 child sentinels instead of
+   [node option] records. The hot path — one root-to-leaf descent per
+   element per level — then touches a handful of flat off-heap int/float
+   arrays whose upper levels stay cache-resident, instead of chasing
+   boxed node pointers. [jlo, jhi) is node id's jurisdiction interval;
+   the rightmost spine has jhi = infinity. Last-dimension nodes own
+   [cbase + id] in the tree-wide counter/heap slot space (see [t]);
+   other levels carry the secondary trees on the next dimension. *)
+type level = {
   k : int; (* dimension of this level *)
   last : bool; (* k = dims - 1: nodes carry counters + heaps *)
   n : int; (* node count; 0 = empty level *)
   depth : int; (* longest root-to-leaf path, in nodes *)
-  jlo : float array;
-  jhi : float array;
-  left : int array; (* -1 for leaves *)
-  right : int array;
-  counter : int array; (* last level only, else [||] *)
-  heaps : sheap array; (* last level only, else [||] *)
+  cbase : int; (* first counter/heap slot of this level (last levels only) *)
+  jlo : farr;
+  jhi : farr;
+  left : iarr; (* -1 for leaves *)
+  right : iarr;
   sub : level option array; (* non-last levels only, else [||] *)
 }
 
+(* The tree. All last-dimension nodes of all (secondary) levels share one
+   flat slot space [0, nslots): [counters] holds the element counters and
+   [hbase]/[hlen]/[hcap] describe each slot's sigma min-heap H(u) — the
+   per-node heap of slack deadlines (Section 4, "putting together all
+   queries with heaps") — stored as index regions of the shared [hstore].
+   Heap capacities are exact by construction (one entry per canonical
+   (query, node) edge, and edges are only ever removed after build), so a
+   heap push can never need to grow anything.
+
+   Edges themselves are a structure-of-arrays arena indexed by edge id:
+   [e_owner] (index into [qarr]), [e_slot] (counter/heap slot),
+   [e_cbar] (counter value acknowledged to the coordinator), [e_sigma]
+   (counter value at which the next signal fires) and [e_pos] (index in
+   the slot's heap region, -1 when absent). A query's edges are
+   contiguous, [qstate.e_off .. e_off + e_len). *)
 type t = {
   dims : int;
   eager : bool; (* ablation: skip DT rounds, signal every counter change *)
@@ -76,66 +100,103 @@ type t = {
   built : int;
   on_mature : int -> unit;
   st : stats;
+  counters : iarr; (* per-slot element counters c(u) *)
+  hbase : iarr; (* per-slot heap region start in [hstore] *)
+  hlen : iarr; (* per-slot heap size *)
+  hcap : iarr; (* per-slot heap capacity (exact) *)
+  hstore : iarr; (* heap entries: edge ids, ordered by e_sigma per region *)
+  e_owner : iarr;
+  e_slot : iarr;
+  e_cbar : iarr;
+  e_sigma : iarr;
+  e_pos : iarr;
+  qarr : qstate array; (* build-order query states; e_owner indexes this *)
+  mutable skeys : float array; (* batch scratch: extracted keys *)
+  mutable swts : int array; (* batch scratch: extracted weights *)
+  mutable scur : cursor option; (* reusable cursor, Some after build *)
 }
 
-(* ---- intrusive sigma heap ------------------------------------------- *)
+and cursor = {
+  ctree : t;
+  cpath : int array; (* node ids of the cached top-level path, root first *)
+  cmark : int array; (* cumulative weight [cw] when cpath.(i) was pushed *)
+  mutable clen : int;
+  mutable cw : int; (* cumulative weight of all elements fed so far *)
+  clast : float ref;
+      (* last key fed; enforces the sortedness contract. A [float ref]
+         (single-field float record) stores the float flat — a [mutable
+         float] field in this mixed record would box on every write. *)
+}
 
-let heap_swap h i j =
-  let a = h.data.(i) and b = h.data.(j) in
-  h.data.(i) <- b;
-  h.data.(j) <- a;
-  a.pos <- j;
-  b.pos <- i
+(* ---- intrusive sigma heap, flat edition ------------------------------ *)
+(* Each heap lives in hstore[base .. base + hcap); entries are edge ids
+   ordered by e_sigma, each knowing its own region-relative index via
+   e_pos. The comparison loops are closure-free: a generic heap's
+   closure-based comparator measurably dominates the 2D running time. *)
 
-let rec heap_up h i =
+let heap_swap t base i j =
+  let hs = t.hstore in
+  let a = bget hs (base + i) and b = bget hs (base + j) in
+  bset hs (base + i) b;
+  bset hs (base + j) a;
+  bset t.e_pos a j;
+  bset t.e_pos b i
+
+let rec heap_up t base i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if h.data.(i).sigma < h.data.(parent).sigma then begin
-      heap_swap h i parent;
-      heap_up h parent
+    if bget t.e_sigma (bget t.hstore (base + i)) < bget t.e_sigma (bget t.hstore (base + parent))
+    then begin
+      heap_swap t base i parent;
+      heap_up t base parent
     end
   end
 
-let rec heap_down h i =
+let rec heap_down t base len i =
   let l = (2 * i) + 1 in
-  if l < h.len then begin
+  if l < len then begin
     let r = l + 1 in
-    let smallest = if r < h.len && h.data.(r).sigma < h.data.(l).sigma then r else l in
-    if h.data.(smallest).sigma < h.data.(i).sigma then begin
-      heap_swap h i smallest;
-      heap_down h smallest
+    let smallest =
+      if r < len && bget t.e_sigma (bget t.hstore (base + r)) < bget t.e_sigma (bget t.hstore (base + l))
+      then r
+      else l
+    in
+    if bget t.e_sigma (bget t.hstore (base + smallest)) < bget t.e_sigma (bget t.hstore (base + i))
+    then begin
+      heap_swap t base i smallest;
+      heap_down t base len smallest
     end
   end
 
-let heap_push h e =
-  let cap = Array.length h.data in
-  if h.len >= cap then begin
-    let ndata = Array.make (max 4 (2 * cap)) e in
-    Array.blit h.data 0 ndata 0 h.len;
-    h.data <- ndata
-  end;
-  h.data.(h.len) <- e;
-  e.pos <- h.len;
-  h.len <- h.len + 1;
-  heap_up h e.pos
+let heap_push t slot ei =
+  let base = bget t.hbase slot in
+  let len = bget t.hlen slot in
+  assert (len < bget t.hcap slot);
+  bset t.hstore (base + len) ei;
+  bset t.e_pos ei len;
+  bset t.hlen slot (len + 1);
+  heap_up t base len
 
-let heap_remove h e =
-  let i = e.pos in
-  assert (i >= 0 && i < h.len && h.data.(i) == e);
-  h.len <- h.len - 1;
-  e.pos <- -1;
-  if i <> h.len then begin
-    let last = h.data.(h.len) in
-    h.data.(i) <- last;
-    last.pos <- i;
-    heap_down h i;
-    heap_up h last.pos
+let heap_remove t slot ei =
+  let base = bget t.hbase slot in
+  let len = bget t.hlen slot - 1 in
+  let i = bget t.e_pos ei in
+  assert (i >= 0 && i <= len && bget t.hstore (base + i) = ei);
+  bset t.hlen slot len;
+  bset t.e_pos ei (-1);
+  if i <> len then begin
+    let last = bget t.hstore (base + len) in
+    bset t.hstore (base + i) last;
+    bset t.e_pos last i;
+    heap_down t base len i;
+    heap_up t base (bget t.e_pos last)
   end
 
-(* Restore order after [e.sigma] changed in place. *)
-let heap_fix h e =
-  heap_down h e.pos;
-  heap_up h e.pos
+(* Restore order after [e_sigma.{ei}] changed in place. *)
+let heap_fix t slot ei =
+  let base = bget t.hbase slot and len = bget t.hlen slot in
+  heap_down t base len (bget t.e_pos ei);
+  heap_up t base (bget t.e_pos ei)
 
 (* ---- construction --------------------------------------------------- *)
 
@@ -145,16 +206,18 @@ let empty_level k last =
     last;
     n = 0;
     depth = 0;
-    jlo = [||];
-    jhi = [||];
-    left = [||];
-    right = [||];
-    counter = [||];
-    heaps = [||];
+    cbase = 0;
+    jlo = ba_f 0;
+    jhi = ba_f 0;
+    left = ba_i 0;
+    right = ba_i 0;
     sub = [||];
   }
 
-let rec build_level ~dims k (qs : qstate list) : level =
+(* [slots] threads the tree-wide counter/heap slot allocator through the
+   recursive construction: each last-dimension level claims [n]
+   consecutive slots as its [cbase .. cbase + n). *)
+let rec build_level ~dims ~slots k (qs : qstate list) : level =
   let last = k = dims - 1 in
   (* Grid endpoints on dimension k. A +infinity upper bound creates no
      endpoint: the rightmost jurisdiction already extends to +infinity. *)
@@ -173,8 +236,10 @@ let rec build_level ~dims k (qs : qstate list) : level =
        allocated preorder so a left child is its parent's immediate
        neighbour in every array. *)
     let n = (2 * kn) - 1 in
-    let jlo = Array.make n 0. and jhi = Array.make n 0. in
-    let left = Array.make n (-1) and right = Array.make n (-1) in
+    let jlo = ba_f n and jhi = ba_f n in
+    let left = ba_i n and right = ba_i n in
+    Bigarray.Array1.fill left (-1);
+    Bigarray.Array1.fill right (-1);
     let next = ref 0 in
     let maxdepth = ref 0 in
     let rec build lo hi d =
@@ -182,33 +247,40 @@ let rec build_level ~dims k (qs : qstate list) : level =
       incr next;
       if d > !maxdepth then maxdepth := d;
       if lo = hi then begin
-        jlo.(id) <- keys.(lo);
-        jhi.(id) <- (if lo + 1 < kn then keys.(lo + 1) else infinity)
+        jlo.{id} <- keys.(lo);
+        jhi.{id} <- (if lo + 1 < kn then keys.(lo + 1) else infinity)
       end
       else begin
         let mid = (lo + hi) / 2 in
         let l = build lo mid (d + 1) in
         let r = build (mid + 1) hi (d + 1) in
-        left.(id) <- l;
-        right.(id) <- r;
-        jlo.(id) <- jlo.(l);
-        jhi.(id) <- jhi.(r)
+        left.{id} <- l;
+        right.{id} <- r;
+        jlo.{id} <- jlo.{l};
+        jhi.{id} <- jhi.{r}
       end;
       id
     in
     ignore (build 0 (kn - 1) 1 : int);
+    let cbase =
+      if last then begin
+        let c = !slots in
+        slots := c + n;
+        c
+      end
+      else 0
+    in
     let lvl =
       {
         k;
         last;
         n;
         depth = !maxdepth;
+        cbase;
         jlo;
         jhi;
         left;
         right;
-        counter = (if last then Array.make n 0 else [||]);
-        heaps = (if last then Array.init n (fun _ -> { data = [||]; len = 0 }) else [||]);
         sub = (if last then [||] else Array.make n None);
       }
     in
@@ -218,17 +290,15 @@ let rec build_level ~dims k (qs : qstate list) : level =
        partially overlap the range. *)
     let pending = if last then [||] else Array.make n [] in
     let rec add_canonical u qlo qhi q =
-      if qlo <= jlo.(u) && jhi.(u) <= qhi then begin
-        if last then
-          q.tmp_edges <-
-            { owner = q; elvl = lvl; enode = u; cbar = 0; sigma = 0; pos = -1 } :: q.tmp_edges
+      if qlo <= jlo.{u} && jhi.{u} <= qhi then begin
+        if last then q.tmp_slots <- (cbase + u) :: q.tmp_slots
         else pending.(u) <- q :: pending.(u)
       end
-      else if jhi.(u) <= qlo || qhi <= jlo.(u) then ()
+      else if jhi.{u} <= qlo || qhi <= jlo.{u} then ()
       else begin
-        assert (left.(u) >= 0);
-        add_canonical left.(u) qlo qhi q;
-        add_canonical right.(u) qlo qhi q
+        assert (left.{u} >= 0);
+        add_canonical left.{u} qlo qhi q;
+        add_canonical right.{u} qlo qhi q
       end
     in
     List.iter
@@ -237,87 +307,91 @@ let rec build_level ~dims k (qs : qstate list) : level =
     (* Recursively hang the secondary trees. *)
     if not last then
       for u = 0 to n - 1 do
-        if pending.(u) <> [] then lvl.sub.(u) <- Some (build_level ~dims (k + 1) pending.(u))
+        if pending.(u) <> [] then
+          lvl.sub.(u) <- Some (build_level ~dims ~slots (k + 1) pending.(u))
       done;
     lvl
   end
 
 (* ---- distributed-tracking per query ---------------------------------- *)
 
-let set_deadline t edge =
+let set_deadline t ei =
   t.st.heap_ops <- t.st.heap_ops + 1;
-  let h = edge.elvl.heaps.(edge.enode) in
-  if edge.pos >= 0 then heap_fix h edge else heap_push h edge
+  let slot = bget t.e_slot ei in
+  if bget t.e_pos ei >= 0 then heap_fix t slot ei else heap_push t slot ei
 
 (* Start a DT round (or the direct endgame) for [q], given how much weight
    it still needs. Resynchronizes every edge with its node's exact counter
    — the "collection" step of the protocol. *)
 let start_phase t (q : qstate) remaining =
   assert (remaining >= 1);
-  let h = Array.length q.edges in
+  let h = q.e_len in
+  let lo = q.e_off and hi = q.e_off + q.e_len - 1 in
   if t.eager || remaining <= 6 * h then begin
     q.direct <- true;
     q.wknown <- q.tree_tau - remaining;
-    Array.iter
-      (fun e ->
-        let c = e.elvl.counter.(e.enode) in
-        e.cbar <- c;
-        e.sigma <- c + 1;
-        set_deadline t e)
-      q.edges
+    for ei = lo to hi do
+      let c = bget t.counters (bget t.e_slot ei) in
+      bset t.e_cbar ei c;
+      bset t.e_sigma ei (c + 1);
+      set_deadline t ei
+    done
   end
   else begin
     q.direct <- false;
     q.lambda <- remaining / (2 * h);
     q.signals <- 0;
-    Array.iter
-      (fun e ->
-        e.cbar <- e.elvl.counter.(e.enode);
-        e.sigma <- e.cbar + q.lambda;
-        set_deadline t e)
-      q.edges
+    for ei = lo to hi do
+      let c = bget t.counters (bget t.e_slot ei) in
+      bset t.e_cbar ei c;
+      bset t.e_sigma ei (c + q.lambda);
+      set_deadline t ei
+    done
   end
 
-let tree_weight (q : qstate) =
-  Array.fold_left (fun acc e -> acc + e.elvl.counter.(e.enode)) 0 q.edges
+let tree_weight t (q : qstate) =
+  let acc = ref 0 in
+  for ei = q.e_off to q.e_off + q.e_len - 1 do
+    acc := !acc + bget t.counters (bget t.e_slot ei)
+  done;
+  !acc
 
 let mature t (q : qstate) =
   q.alive <- false;
-  Array.iter
-    (fun e ->
-      if e.pos >= 0 then begin
-        heap_remove e.elvl.heaps.(e.enode) e;
-        t.st.heap_ops <- t.st.heap_ops + 1
-      end)
-    q.edges;
+  for ei = q.e_off to q.e_off + q.e_len - 1 do
+    if bget t.e_pos ei >= 0 then begin
+      heap_remove t (bget t.e_slot ei) ei;
+      t.st.heap_ops <- t.st.heap_ops + 1
+    end
+  done;
   t.alive <- t.alive - 1;
   Hashtbl.remove t.states q.query.id;
   t.on_mature q.query.id
 
 let end_round t (q : qstate) =
   t.st.round_ends <- t.st.round_ends + 1;
-  let w = tree_weight q in
+  let w = tree_weight t q in
   let remaining = q.tree_tau - w in
   if remaining <= 0 then mature t q else start_phase t q remaining
 
 (* The edge has just been popped from its node's heap because
    c(u) >= sigma. Deliver the pending signal(s). *)
-let fire t edge =
-  let q = edge.owner in
-  let c = edge.elvl.counter.(edge.enode) in
+let fire t ei =
+  let q = Array.unsafe_get t.qarr (bget t.e_owner ei) in
+  let c = bget t.counters (bget t.e_slot ei) in
   if q.direct then begin
     t.st.signals <- t.st.signals + 1;
-    q.wknown <- q.wknown + (c - edge.cbar);
-    edge.cbar <- c;
+    q.wknown <- q.wknown + (c - bget t.e_cbar ei);
+    bset t.e_cbar ei c;
     if q.wknown >= q.tree_tau then mature t q
     else begin
-      edge.sigma <- c + 1;
-      set_deadline t edge
+      bset t.e_sigma ei (c + 1);
+      set_deadline t ei
     end
   end
   else begin
-    let h = Array.length q.edges in
-    let k = (c - edge.cbar) / q.lambda in
+    let h = q.e_len in
+    let k = (c - bget t.e_cbar ei) / q.lambda in
     (* The coordinator halts the round at the h-th signal, so at most
        h - q.signals of the k signals are actually delivered; any surplus
        weight is picked up by the round-end collection. *)
@@ -326,29 +400,32 @@ let fire t edge =
     q.signals <- q.signals + delivered;
     if q.signals >= h then end_round t q
     else begin
-      edge.cbar <- edge.cbar + (k * q.lambda);
-      edge.sigma <- edge.cbar + q.lambda;
-      set_deadline t edge
+      bset t.e_cbar ei (bget t.e_cbar ei + (k * q.lambda));
+      bset t.e_sigma ei (bget t.e_cbar ei + q.lambda);
+      set_deadline t ei
     end
   end
 
 (* Hot path: runs on every counter increment of every visited node, so it
-   must not allocate when no deadline fires. *)
-let drain t lvl u =
-  let h = lvl.heaps.(u) in
-  let c = lvl.counter.(u) in
-  let rec loop () =
-    if h.len > 0 then begin
-      let edge = h.data.(0) in
-      if edge.sigma <= c then begin
-        heap_remove h edge;
+   must not allocate when no deadline fires. A while loop, not an inner
+   recursive function — the closure an inner [let rec loop] captures
+   would be one minor-heap block per node update. *)
+let drain t slot =
+  let c = bget t.counters slot in
+  let base = bget t.hbase slot in
+  let continue = ref true in
+  while !continue do
+    if bget t.hlen slot > 0 then begin
+      let ei = bget t.hstore base in
+      if bget t.e_sigma ei <= c then begin
+        heap_remove t slot ei;
         t.st.heap_ops <- t.st.heap_ops + 1;
-        fire t edge;
-        loop ()
+        fire t ei
       end
+      else continue := false
     end
-  in
-  loop ()
+    else continue := false
+  done
 
 (* One root-to-leaf descent per level, flat-array edition: at every node
    of the path, a last-dimension level bumps the counter and drains the
@@ -357,81 +434,23 @@ let drain t lvl u =
 let rec process_level t (value : point) w lvl =
   if lvl.n > 0 then begin
     let x = value.(lvl.k) in
-    if x >= lvl.jlo.(0) then descend t value w lvl x 0
+    if x >= fget lvl.jlo 0 then descend t value w lvl x 0
   end
 
 and descend t value w lvl x u =
   (if lvl.last then begin
-     lvl.counter.(u) <- lvl.counter.(u) + w;
+     let slot = lvl.cbase + u in
+     bset t.counters slot (bget t.counters slot + w);
      t.st.node_updates <- t.st.node_updates + 1;
-     drain t lvl u
+     drain t slot
    end
    else match lvl.sub.(u) with Some sub -> process_level t value w sub | None -> ());
-  let r = lvl.right.(u) in
+  let r = bget lvl.right u in
   if r >= 0 then
-    if x >= lvl.jlo.(r) then descend t value w lvl x r else descend t value w lvl x lvl.left.(u)
+    if x >= fget lvl.jlo r then descend t value w lvl x r
+    else descend t value w lvl x (bget lvl.left u)
 
-(* ---- public API ------------------------------------------------------ *)
-
-let build ?(eager = false) ~dim ~on_mature batch =
-  if dim < 1 then invalid_arg "Endpoint_tree.build: dim < 1";
-  let states = Hashtbl.create (max 16 (2 * List.length batch)) in
-  let qstates =
-    List.map
-      (fun (q, remaining) ->
-        validate_query ~dim q;
-        if remaining < 1 then invalid_arg "Endpoint_tree.build: remaining < 1";
-        if remaining > q.threshold then
-          invalid_arg "Endpoint_tree.build: remaining exceeds threshold";
-        if Hashtbl.mem states q.id then invalid_arg "Endpoint_tree.build: duplicate query id";
-        let qs =
-          {
-            query = q;
-            tree_tau = remaining;
-            edges = [||];
-            tmp_edges = [];
-            lambda = 0;
-            signals = 0;
-            direct = false;
-            wknown = 0;
-            alive = true;
-          }
-        in
-        Hashtbl.replace states q.id qs;
-        qs)
-      batch
-  in
-  let top = build_level ~dims:dim 0 qstates in
-  let t =
-    {
-      dims = dim;
-      eager;
-      top;
-      states;
-      alive = List.length qstates;
-      built = List.length qstates;
-      on_mature;
-      st = { elements = 0; node_updates = 0; signals = 0; round_ends = 0; heap_ops = 0 };
-    }
-  in
-  List.iter
-    (fun q ->
-      q.edges <- Array.of_list q.tmp_edges;
-      q.tmp_edges <- [];
-      assert (Array.length q.edges >= 1);
-      start_phase t q q.tree_tau)
-    qstates;
-  t
-
-let dim t = t.dims
-
-let process t e =
-  if Array.length e.value <> t.dims then invalid_arg "Endpoint_tree.process: bad dimensionality";
-  if e.weight < 1 then invalid_arg "Endpoint_tree.process: weight < 1";
-  t.st.elements <- t.st.elements + 1;
-  process_level t e.value e.weight t.top
-
-(* ---- batched ingestion ---------------------------------------------- *)
+(* ---- cursor ---------------------------------------------------------- *)
 
 (* A cursor caches the current root-to-leaf path of the top level between
    consecutive elements of a key-sorted batch, and — on a 1D (last) level
@@ -450,17 +469,6 @@ let process t e =
    has matured. Maturities therefore coarsen to batch granularity but the
    matured id multiset equals the sequential one at every batch boundary.
    Work counters (node updates, heap ops) can only decrease. *)
-type cursor = {
-  ctree : t;
-  cpath : int array; (* node ids of the cached top-level path, root first *)
-  cmark : int array; (* cumulative weight [cw] when cpath.(i) was pushed *)
-  mutable clen : int;
-  mutable cw : int; (* cumulative weight of all elements fed so far *)
-  clast : float ref;
-      (* last key fed; enforces the sortedness contract. A [float ref]
-         (single-field float record) stores the float flat — a [mutable
-         float] field in this mixed record would box on every write. *)
-}
 
 let cursor t =
   {
@@ -472,16 +480,21 @@ let cursor t =
     clast = ref neg_infinity;
   }
 
+(* The tree's own preallocated cursor, created once at build time and
+   reused by every {!process_batch} / {!feed_sorted_kw} call so the batch
+   path allocates nothing. Between batches the path is empty (flush
+   resets clen), so reuse is invisible. *)
+let scratch_cursor t = match t.scur with Some c -> c | None -> assert false
+
 (* Apply the pending aggregated weight of path slot [i] (1D levels only). *)
 let flush_slot c i =
   let t = c.ctree in
-  let lvl = t.top in
-  let pend = c.cw - c.cmark.(i) in
+  let pend = c.cw - Array.unsafe_get c.cmark i in
   if pend > 0 then begin
-    let u = c.cpath.(i) in
-    lvl.counter.(u) <- lvl.counter.(u) + pend;
+    let slot = t.top.cbase + Array.unsafe_get c.cpath i in
+    bset t.counters slot (bget t.counters slot + pend);
     t.st.node_updates <- t.st.node_updates + 1;
-    drain t lvl u
+    drain t slot
   end
 
 let flush c =
@@ -511,11 +524,11 @@ let process_sorted c e =
        contiguous suffix. The root's jurisdiction extends to +infinity, so
        once seeded the path never empties. *)
     let len = ref c.clen in
-    while !len > 0 && x >= lvl.jhi.(path.(!len - 1)) do
+    while !len > 0 && x >= lvl.jhi.{path.(!len - 1)} do
       decr len;
       if last then flush_slot c !len
     done;
-    if !len = 0 && x >= lvl.jlo.(0) then begin
+    if !len = 0 && x >= lvl.jlo.{0} then begin
       path.(0) <- 0;
       c.cmark.(0) <- c.cw;
       len := 1
@@ -524,9 +537,9 @@ let process_sorted c e =
       (* Tail walk: descend from the deepest surviving node to the leaf,
          marking each fresh node with the current cumulative weight. *)
       let u = ref path.(!len - 1) in
-      while lvl.right.(!u) >= 0 do
-        let r = lvl.right.(!u) in
-        let nxt = if x >= lvl.jlo.(r) then r else lvl.left.(!u) in
+      while lvl.right.{!u} >= 0 do
+        let r = lvl.right.{!u} in
+        let nxt = if x >= lvl.jlo.{r} then r else lvl.left.{!u} in
         path.(!len) <- nxt;
         c.cmark.(!len) <- c.cw;
         incr len;
@@ -569,12 +582,13 @@ let sort_batch (elems : elem array) =
 (* ---- 1D fast path: never touch a boxed element inside the hot loop ----
 
    For a 1D tree the only per-element inputs are the key and the weight,
-   so the batch is reduced to two parallel unboxed arrays (float keys, int
-   weights), co-sorted by a monomorphic quicksort (direct float compares,
-   no closure calls, no write barriers — quicksort on the flat arrays is
-   several times cheaper than [Array.sort] swapping boxed pointers through
-   [caml_modify]), and fed through the cursor without validation or
-   sortedness re-checks (our own sort guarantees both). *)
+   so the batch is reduced to two parallel unboxed scratch arrays (float
+   keys, int weights) owned by the tree, co-sorted by a monomorphic
+   quicksort (direct float compares, no closure calls, no write barriers
+   — quicksort on the flat arrays is several times cheaper than
+   [Array.sort] swapping boxed pointers through [caml_modify]), and fed
+   through the preallocated cursor without validation or sortedness
+   re-checks (our own sort guarantees both). *)
 
 let swap_kw (keys : float array) (wts : int array) i j =
   let k = Array.unsafe_get keys i in
@@ -624,64 +638,200 @@ let rec qsort_kw (keys : float array) (wts : int array) lo hi =
       Array.unsafe_set wts (!j + 1) w
     done
 
-(* Feed one pre-validated, pre-sorted (key, weight) into a 1D cursor.
-   Node-id indexing is safe by construction, so the jurisdiction walk uses
-   unsafe loads. *)
-let feed1 c (x : float) w =
+let sort_kw keys wts n = if n > 1 then qsort_kw keys wts 0 (n - 1)
+
+(* Feed entry [i] of the pre-validated, key-sorted parallel (key, weight)
+   arrays into a 1D cursor. Takes the arrays plus an index rather than
+   the values themselves: a [float] function argument is boxed at every
+   call on non-flambda compilers — 2 minor-heap words per element per
+   tree, which the allocation gate would reject — while the indexed load
+   stays unboxed. Node-id indexing is safe by construction, so the
+   jurisdiction walk uses unsafe loads. *)
+let feed1 c (keys : float array) (wts : int array) i =
+  let x = Array.unsafe_get keys i in
   let t = c.ctree in
   let lvl = t.top in
   let path = c.cpath in
   let len = ref c.clen in
-  while !len > 0 && x >= Array.unsafe_get lvl.jhi (Array.unsafe_get path (!len - 1)) do
+  while !len > 0 && x >= fget lvl.jhi (Array.unsafe_get path (!len - 1)) do
     decr len;
     flush_slot c !len
   done;
-  if !len = 0 && x >= Array.unsafe_get lvl.jlo 0 then begin
+  if !len = 0 && x >= fget lvl.jlo 0 then begin
     Array.unsafe_set path 0 0;
     Array.unsafe_set c.cmark 0 c.cw;
     len := 1
   end;
   if !len > 0 then begin
     let u = ref (Array.unsafe_get path (!len - 1)) in
-    let r = ref (Array.unsafe_get lvl.right !u) in
+    let r = ref (bget lvl.right !u) in
     while !r >= 0 do
-      let nxt =
-        if x >= Array.unsafe_get lvl.jlo !r then !r else Array.unsafe_get lvl.left !u
-      in
+      let nxt = if x >= fget lvl.jlo !r then !r else bget lvl.left !u in
       Array.unsafe_set path !len nxt;
       Array.unsafe_set c.cmark !len c.cw;
       incr len;
       u := nxt;
-      r := Array.unsafe_get lvl.right nxt
+      r := bget lvl.right nxt
     done;
-    c.cw <- c.cw + w
+    c.cw <- c.cw + Array.unsafe_get wts i
   end;
   c.clen <- !len
 
+let feed_sorted_kw t (keys : float array) (wts : int array) n =
+  if not t.top.last then invalid_arg "Endpoint_tree.feed_sorted_kw: tree is not one-dimensional";
+  t.st.elements <- t.st.elements + n;
+  if t.top.n > 0 && n > 0 then begin
+    let c = scratch_cursor t in
+    for i = 0 to n - 1 do
+      feed1 c keys wts i
+    done;
+    flush c
+  end
+
+let ensure_scratch t n =
+  if Array.length t.skeys < n then begin
+    t.skeys <- Array.make n 0.;
+    t.swts <- Array.make n 0
+  end
+
 let process_batch t elems =
-  Array.iter (fun e -> validate_elem ~dim:t.dims e) elems;
   let n = Array.length elems in
-  let lvl = t.top in
-  if lvl.last then begin
-    (* 1D: reduce to flat (key, weight) arrays, co-sort, feed. *)
+  for i = 0 to n - 1 do
+    validate_elem ~dim:t.dims (Array.unsafe_get elems i)
+  done;
+  if t.top.last then begin
+    (* 1D: reduce to the flat (key, weight) scratch, co-sort, feed. *)
     t.st.elements <- t.st.elements + n;
-    if lvl.n > 0 && n > 0 then begin
-      let keys = Array.init n (fun i -> (Array.unsafe_get elems i).value.(0)) in
-      let wts = Array.init n (fun i -> (Array.unsafe_get elems i).weight) in
-      qsort_kw keys wts 0 (n - 1);
-      let c = cursor t in
+    if t.top.n > 0 && n > 0 then begin
+      ensure_scratch t n;
+      let keys = t.skeys and wts = t.swts in
       for i = 0 to n - 1 do
-        feed1 c (Array.unsafe_get keys i) (Array.unsafe_get wts i)
+        let e = Array.unsafe_get elems i in
+        Array.unsafe_set keys i (Array.unsafe_get e.value 0);
+        Array.unsafe_set wts i e.weight
+      done;
+      sort_kw keys wts n;
+      let c = scratch_cursor t in
+      for i = 0 to n - 1 do
+        feed1 c keys wts i
       done;
       flush c
     end
   end
   else begin
     let sorted = sort_batch elems in
-    let c = cursor t in
-    Array.iter (fun e -> process_sorted c e) sorted;
+    let c = scratch_cursor t in
+    c.clast := neg_infinity;
+    for i = 0 to Array.length sorted - 1 do
+      process_sorted c (Array.unsafe_get sorted i)
+    done;
     flush c
   end
+
+(* ---- public API ------------------------------------------------------ *)
+
+let build ?(eager = false) ~dim ~on_mature batch =
+  if dim < 1 then invalid_arg "Endpoint_tree.build: dim < 1";
+  let states = Hashtbl.create (max 16 (2 * List.length batch)) in
+  let qstates =
+    List.map
+      (fun (q, remaining) ->
+        validate_query ~dim q;
+        if remaining < 1 then invalid_arg "Endpoint_tree.build: remaining < 1";
+        if remaining > q.threshold then
+          invalid_arg "Endpoint_tree.build: remaining exceeds threshold";
+        if Hashtbl.mem states q.id then invalid_arg "Endpoint_tree.build: duplicate query id";
+        let qs =
+          {
+            query = q;
+            tree_tau = remaining;
+            e_off = 0;
+            e_len = 0;
+            tmp_slots = [];
+            lambda = 0;
+            signals = 0;
+            direct = false;
+            wknown = 0;
+            alive = true;
+          }
+        in
+        Hashtbl.replace states q.id qs;
+        qs)
+      batch
+  in
+  let slots = ref 0 in
+  let top = build_level ~dims:dim ~slots 0 qstates in
+  let nslots = !slots in
+  let qarr = Array.of_list qstates in
+  let nedges = List.fold_left (fun acc q -> acc + List.length q.tmp_slots) 0 qstates in
+  (* Per-slot exact heap capacities, then prefix-sum the region bases. *)
+  let counters = ba_i0 nslots in
+  let hcap = ba_i0 nslots in
+  List.iter (fun q -> List.iter (fun s -> hcap.{s} <- hcap.{s} + 1) q.tmp_slots) qstates;
+  let hbase = ba_i nslots and hlen = ba_i0 nslots in
+  let off = ref 0 in
+  for s = 0 to nslots - 1 do
+    hbase.{s} <- !off;
+    off := !off + hcap.{s}
+  done;
+  let hstore = ba_i nedges in
+  let e_owner = ba_i nedges and e_slot = ba_i nedges in
+  let e_cbar = ba_i nedges and e_sigma = ba_i nedges and e_pos = ba_i nedges in
+  let eoff = ref 0 in
+  Array.iteri
+    (fun qi q ->
+      q.e_off <- !eoff;
+      List.iter
+        (fun s ->
+          let ei = !eoff in
+          e_owner.{ei} <- qi;
+          e_slot.{ei} <- s;
+          e_cbar.{ei} <- 0;
+          e_sigma.{ei} <- 0;
+          e_pos.{ei} <- -1;
+          incr eoff)
+        q.tmp_slots;
+      q.e_len <- !eoff - q.e_off;
+      q.tmp_slots <- [];
+      assert (q.e_len >= 1))
+    qarr;
+  let t =
+    {
+      dims = dim;
+      eager;
+      top;
+      states;
+      alive = Array.length qarr;
+      built = Array.length qarr;
+      on_mature;
+      st = { elements = 0; node_updates = 0; signals = 0; round_ends = 0; heap_ops = 0 };
+      counters;
+      hbase;
+      hlen;
+      hcap;
+      hstore;
+      e_owner;
+      e_slot;
+      e_cbar;
+      e_sigma;
+      e_pos;
+      qarr;
+      skeys = [||];
+      swts = [||];
+      scur = None;
+    }
+  in
+  Array.iter (fun q -> start_phase t q q.tree_tau) qarr;
+  t.scur <- Some (cursor t);
+  t
+
+let dim t = t.dims
+
+let process t e =
+  if Array.length e.value <> t.dims then invalid_arg "Endpoint_tree.process: bad dimensionality";
+  if e.weight < 1 then invalid_arg "Endpoint_tree.process: weight < 1";
+  t.st.elements <- t.st.elements + 1;
+  process_level t e.value e.weight t.top
 
 let find_alive t id =
   match Hashtbl.find_opt t.states id with
@@ -693,21 +843,20 @@ let is_alive t id = match Hashtbl.find_opt t.states id with Some q -> q.alive | 
 let remove t id =
   let q = find_alive t id in
   q.alive <- false;
-  Array.iter
-    (fun e ->
-      if e.pos >= 0 then begin
-        heap_remove e.elvl.heaps.(e.enode) e;
-        t.st.heap_ops <- t.st.heap_ops + 1
-      end)
-    q.edges;
+  for ei = q.e_off to q.e_off + q.e_len - 1 do
+    if bget t.e_pos ei >= 0 then begin
+      heap_remove t (bget t.e_slot ei) ei;
+      t.st.heap_ops <- t.st.heap_ops + 1
+    end
+  done;
   t.alive <- t.alive - 1;
   Hashtbl.remove t.states id
 
-let current_weight t id = tree_weight (find_alive t id)
+let current_weight t id = tree_weight t (find_alive t id)
 
 let remaining t id =
   let q = find_alive t id in
-  q.tree_tau - tree_weight q
+  q.tree_tau - tree_weight t q
 
 let alive_count t = t.alive
 
@@ -715,26 +864,29 @@ let built_count t = t.built
 
 let alive_queries t =
   Hashtbl.fold
-    (fun _ (q : qstate) acc -> if q.alive then (q.query, q.tree_tau - tree_weight q) :: acc else acc)
+    (fun _ (q : qstate) acc ->
+      if q.alive then (q.query, q.tree_tau - tree_weight t q) :: acc else acc)
     t.states []
 
-let fanout t id = Array.length (find_alive t id).edges
+let fanout t id = (find_alive t id).e_len
 
 let stats t = t.st
 
 type space = { tree_nodes : int; live_entries : int; dead_entries : int }
 
 let space t =
-  let nodes = ref 0 and live = ref 0 and dead = ref 0 in
+  let nodes = ref 0 in
   let rec walk lvl =
     nodes := !nodes + lvl.n;
-    if lvl.last then
-      Array.iter
-        (fun h ->
-          live := !live + h.len;
-          dead := !dead + (Array.length h.data - h.len))
-        lvl.heaps
-    else Array.iter (function Some sub -> walk sub | None -> ()) lvl.sub
+    if not lvl.last then Array.iter (function Some sub -> walk sub | None -> ()) lvl.sub
   in
   walk t.top;
-  { tree_nodes = !nodes; live_entries = !live; dead_entries = !dead }
+  let live = ref 0 in
+  for s = 0 to Bigarray.Array1.dim t.hlen - 1 do
+    live := !live + bget t.hlen s
+  done;
+  {
+    tree_nodes = !nodes;
+    live_entries = !live;
+    dead_entries = Bigarray.Array1.dim t.hstore - !live;
+  }

@@ -94,14 +94,32 @@ val sort_batch : elem array -> elem array
     one sorted copy. *)
 
 val process_batch : t -> elem array -> unit
-(** [process_batch t elems] validates every element, sorts a copy of the
-    batch by first coordinate, feeds it through one {!cursor} and
+(** [process_batch t elems] validates every element, sorts the batch
+    (into the tree's preallocated scratch buffers on 1D trees, a copy
+    otherwise), feeds it through the tree's reusable cursor and
     {!flush}es it. The matured id multiset equals that of calling
     {!process} on the batch in any order (weights are order-independent
     within a batch); only the attribution of maturity to individual
     elements inside the batch coarsens. Work counters never exceed the
     per-element equivalents — shared descents and aggregated bumps can
-    only remove work. *)
+    only remove work. On a 1D tree the call allocates zero minor-heap
+    words once the scratch buffers have reached the batch size (gated by
+    tools/alloc_budgets.json). *)
+
+val sort_kw : float array -> int array -> int -> unit
+(** [sort_kw keys wts n] co-sorts the first [n] entries of the parallel
+    (key, weight) arrays ascending by key, in place, with a monomorphic
+    closure-free quicksort. Allocation-free. Exposed for multi-tree
+    drivers ({!Dt_engine}) that extract a batch once and feed every live
+    1D tree via {!feed_sorted_kw}. *)
+
+val feed_sorted_kw : t -> float array -> int array -> int -> unit
+(** [feed_sorted_kw t keys wts n] feeds the first [n] (key, weight)
+    pairs — which the caller guarantees are pre-validated and sorted
+    ascending by key, e.g. by {!sort_kw} — through the tree's reusable
+    cursor and flushes it, exactly like the 1D {!process_batch} but
+    without re-extracting or re-sorting. Allocation-free. Raises
+    [Invalid_argument] if the tree is not one-dimensional. *)
 
 val remove : t -> int -> unit
 (** [remove t id] terminates an alive query: deletes its slack entries from
@@ -149,7 +167,7 @@ val stats : t -> stats
 type space = {
   tree_nodes : int; (** nodes across all levels (primary + secondary) *)
   live_entries : int; (** slack-heap entries of alive queries = sum of h_q *)
-  dead_entries : int; (** heap array slack left by departed queries *)
+  dead_entries : int; (** heap-store slack left by departed queries *)
 }
 
 val space : t -> space

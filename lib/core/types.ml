@@ -41,9 +41,17 @@ let validate_query ~dim q =
     q.rect.lo;
   if q.threshold < 1 then invalid_arg "query: threshold < 1"
 
+(* Hot-path validation: indexed loop, not [Array.iter] — the polymorphic
+   iterator's closure receives each coordinate boxed, one minor-heap
+   block per coordinate per element; the monomorphic indexed read stays
+   unboxed (the comparison consumes the float directly). *)
 let validate_elem ~dim e =
   if Array.length e.value <> dim then invalid_arg "element: dimensionality mismatch";
-  Array.iter (fun x -> if Float.is_nan x then invalid_arg "element: NaN coordinate") e.value;
+  let v = e.value in
+  for k = 0 to dim - 1 do
+    let x = Array.unsafe_get v k in
+    if x <> x then invalid_arg "element: NaN coordinate"
+  done;
   if e.weight < 1 then invalid_arg "element: weight < 1"
 
 let pp_rect ppf r =

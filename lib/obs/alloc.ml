@@ -1,0 +1,29 @@
+(* [Gc.minor_words ()] computes the word count FIRST and only then boxes
+   the result, so the [before] call's own box is counted by [after] but
+   not by [before]: a raw [after - before] bracket over an allocation-free
+   section reads exactly one boxed float (2-3 words depending on runtime),
+   never zero. Calibrate that constant with an empty back-to-back bracket
+   instead of hard-coding it — it is a runtime detail, not a contract. *)
+let bracket_overhead () =
+  let a = Gc.minor_words () in
+  let b = Gc.minor_words () in
+  b -. a
+
+let words f =
+  let overhead = bracket_overhead () in
+  let before = Gc.minor_words () in
+  f ();
+  let after = Gc.minor_words () in
+  Float.max 0. (after -. before -. overhead)
+
+let words_min ~runs f =
+  let best = ref (words f) in
+  for _ = 2 to runs do
+    let w = words f in
+    if w < !best then best := w
+  done;
+  !best
+
+let words_per_item ~runs ~items f =
+  if items <= 0 then invalid_arg "Alloc.words_per_item: items <= 0";
+  words_min ~runs f /. float_of_int items

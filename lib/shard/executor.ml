@@ -66,9 +66,11 @@ let post t i f =
 
 let barrier t =
   check t;
-  (* drain every slot: rings are FIFO, so a no-op fan-out queued after
-     the posted tasks completes only once they have all run *)
-  (match t.pool with None -> () | Some p -> ignore (Executor_backend.exec p (fun _ -> ())));
+  (* drain every slot: rings are FIFO, so the backend's preallocated
+     sentinel, queued after the posted tasks, completes only once they
+     have all run — and unlike a no-op [exec] fan-out it allocates
+     nothing per call *)
+  (match t.pool with None -> () | Some p -> Executor_backend.drain p);
   let first = ref None in
   for i = t.shards - 1 downto 0 do
     match t.post_errors.(i) with

@@ -110,6 +110,14 @@ module Latch = struct
       Condition.wait t.c t.m
     done;
     Mutex.unlock t.m
+
+  (* Re-arm a latch whose previous cycle has fully completed (pending =
+     0 and [wait] returned). Only the coordinator calls this, and only
+     between cycles, so no arrival can race the store. *)
+  let reset t n =
+    Mutex.lock t.m;
+    t.pending <- n;
+    Mutex.unlock t.m
 end
 
 type pool = {
@@ -118,6 +126,11 @@ type pool = {
   (* first raw exception to escape a posted task on each slot; written
      by that slot's worker only, read after the joins in [close] *)
   escaped : (exn * Printexc.raw_backtrace) option array;
+  (* preallocated [drain] machinery: one reusable latch and one shared
+     sentinel task, built at spawn so the per-batch barrier on the
+     ingestion hot path allocates nothing *)
+  drain_latch : Latch.t;
+  drain_task : task;
   mutable closed : bool;
 }
 
@@ -125,6 +138,8 @@ let spawn n =
   if n < 1 then invalid_arg "Executor_backend.spawn: n < 1";
   let chans = Array.init n (fun _ -> Chan.create ()) in
   let escaped = Array.make n None in
+  let drain_latch = Latch.create 0 in
+  let drain_task = Run (fun () -> Latch.arrive drain_latch) in
   let domains =
     Array.mapi
       (fun i ch ->
@@ -141,7 +156,7 @@ let spawn n =
             loop ()))
       chans
   in
-  { chans; domains; escaped; closed = false }
+  { chans; domains; escaped; drain_latch; drain_task; closed = false }
 
 let check p = if p.closed then invalid_arg "Executor_backend: pool closed"
 
@@ -188,6 +203,21 @@ let post p i f =
   check p;
   if i < 0 || i >= Array.length p.chans then invalid_arg "Executor_backend.post: slot out of range";
   Chan.put p.chans.(i) (Run f)
+
+(* Barrier over posted work without the allocation freight of [exec]
+   (per-call result/error arrays, a fresh latch, one closure per slot):
+   re-arm the pool's latch, push the one preallocated sentinel task down
+   every ring (FIFO ⇒ it runs after all previously posted tasks), wait.
+   Each slot runs the shared sentinel exactly once per cycle, so the
+   arrive count matches the re-armed pending count. *)
+let drain p =
+  check p;
+  let n = Array.length p.chans in
+  Latch.reset p.drain_latch n;
+  for i = 0 to n - 1 do
+    Chan.put p.chans.(i) p.drain_task
+  done;
+  Latch.wait p.drain_latch
 
 let close p =
   if not p.closed then begin

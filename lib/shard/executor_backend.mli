@@ -51,6 +51,17 @@ val post : pool -> int -> (unit -> unit) -> unit
     deadlock). Visibility of the task's effects is only guaranteed
     after a subsequent barrier ({!exec}). *)
 
+val drain : pool -> unit
+(** Barrier over previously {!post}ed work: returns once every task
+    posted to every slot before this call has finished. Unlike
+    [ignore (exec p (fun _ -> ()))] — the old way to drain — this
+    allocates nothing per call on the hot path: the domains backend
+    posts one preallocated sentinel task per slot and waits on a
+    reusable latch; the sequential backend is a no-op (posted tasks
+    already ran inline). Establishes the same happens-before edges as
+    {!exec}'s barrier. Must only be called from the coordinator (the
+    single producer). *)
+
 val close : pool -> unit
 (** Stop and join the workers. Every worker is handed a quit signal and
     every domain is joined {e before} any exception propagates — a

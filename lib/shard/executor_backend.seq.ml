@@ -43,6 +43,10 @@ let post p i f =
   try f ()
   with e -> if p.escaped.(i) = None then p.escaped.(i) <- Some (e, Printexc.get_raw_backtrace ())
 
+(* posted tasks ran inline at the post site, so there is nothing to
+   wait for — the drain is the identity *)
+let drain p = check p
+
 let close p =
   if not p.closed then begin
     p.closed <- true;

@@ -52,6 +52,15 @@ type t = {
   c_batches : Metrics.counter;
   c_dispatches : Metrics.counter;
   c_forwarded : Metrics.counter;
+  (* Coordinator-owned reusable routing buffers for the batched
+     Elements pipeline: seg_buf.(s)[0 .. seg_len.(s)-1] collects the
+     elements of the current segment bound for shard s. Growable,
+     never shrunk, reset per segment — replacing the per-segment
+     list-cons buckets (3 words per routed element) with appends into
+     arrays that survive across batches. Only the coordinator's thread
+     touches them; posted tasks receive exact-size copies. *)
+  seg_buf : Types.elem array array;
+  seg_len : int array;
   mutable closed : bool;
 }
 
@@ -93,6 +102,8 @@ let create ?(executor = Executor.Seq) ?(partition = Queries) ~shards ~dim make =
     c_batches = Metrics.counter reg "shard_batches_total";
     c_dispatches = Metrics.counter reg "shard_dispatches_total";
     c_forwarded = Metrics.counter reg "shard_forwarded_total";
+    seg_buf = Array.make shards [||];
+    seg_len = Array.make shards 0;
     closed = false;
   }
 
@@ -230,6 +241,20 @@ let process t e =
    over the sub-batch, so don't shred a batch into slivers just to
    overlap with routing — keep at least ~128 elements per shard per
    segment and at most 4 segments per batch. *)
+(* append [e] to shard [s]'s segment buffer, doubling on demand; the
+   buffer persists across segments and batches, so steady-state routing
+   allocates only the exact-size copies handed to the posted tasks *)
+let seg_push t s e =
+  let b = t.seg_buf.(s) in
+  let len = t.seg_len.(s) in
+  if len >= Array.length b then begin
+    let nb = Array.make (max 64 (2 * len)) e in
+    Array.blit b 0 nb 0 len;
+    t.seg_buf.(s) <- nb
+  end;
+  Array.unsafe_set t.seg_buf.(s) len e;
+  t.seg_len.(s) <- len + 1
+
 let feed_batch_routed t r arr =
   let n = Array.length arr in
   let k = t.nshards in
@@ -241,23 +266,27 @@ let feed_batch_routed t r arr =
   let off = ref 0 in
   while !off < n do
     let len = min seg (n - !off) in
-    let buckets = Array.make k [] in
-    (* walk the segment backwards so consing yields stream order *)
-    for j = !off + len - 1 downto !off do
-      let e = arr.(j) in
+    (* forward walk appends in stream order into the reusable per-slot
+       buffers (no per-element list cells) *)
+    for j = !off to !off + len - 1 do
+      let e = Array.unsafe_get arr j in
       Range_router.iter_targets r (elem_key t e) (fun ~owner s ->
           if not owner then incr forwarded;
-          buckets.(s) <- e :: buckets.(s))
+          seg_push t s e)
     done;
     for s = 0 to k - 1 do
-      match buckets.(s) with
-      | [] -> ()
-      | b ->
-          let sub = Array.of_list b in
-          Executor.post t.exec s (fun () ->
-              match t.engines.(s).Engine.feed_batch sub with
-              | [] -> ()
-              | m -> acc.(s) <- List.rev_append m acc.(s))
+      let blen = t.seg_len.(s) in
+      if blen > 0 then begin
+        (* exact-size copy: the posted task owns [sub] outright, so the
+           coordinator is free to overwrite the buffer while slot [s] is
+           still feeding this segment *)
+        let sub = Array.sub t.seg_buf.(s) 0 blen in
+        t.seg_len.(s) <- 0;
+        Executor.post t.exec s (fun () ->
+            match t.engines.(s).Engine.feed_batch sub with
+            | [] -> ()
+            | m -> acc.(s) <- List.rev_append m acc.(s))
+      end
     done;
     off := !off + len
   done;

@@ -1,0 +1,751 @@
+(* Boxed-array reference build of Endpoint_tree, frozen as an oracle.
+
+   This module is a faithful copy of the lib/core/endpoint_tree.ml that
+   shipped before the Bigarray rewrite: boxed OCaml arrays for
+   jlo/jhi/left/right/counter, intrusive record edges, and per-node
+   growable sigma-heap arrays. test_endpoint_tree_equiv.ml drives it and
+   the production Bigarray build with identical operation sequences and
+   asserts identical observable behaviour: same maturity log (order
+   included), same per-query weights, same work counters. Do not
+   "improve" this module — its value is that it does not change. *)
+
+open Rts_core.Types
+
+type stats = {
+  mutable elements : int;
+  mutable node_updates : int;
+  mutable signals : int;
+  mutable round_ends : int;
+  mutable heap_ops : int;
+}
+
+(* One query's distributed-tracking state. [edges] are the (query, node)
+   pairs of its canonical node set U_q: the "participants" of Section 4.
+   [tree_tau] is the weight the query still needed when this tree was
+   built; within a tree, W(q) is simply the sum of the canonical nodes'
+   counters (all counters start at zero at build time and U_q tiles R_q). *)
+type qstate = {
+  query : query;
+  tree_tau : int;
+  mutable edges : edge array;
+  mutable tmp_edges : edge list; (* build-time accumulator *)
+  mutable lambda : int;
+  mutable signals : int; (* signals received in the current round *)
+  mutable direct : bool; (* endgame mode: remaining <= 6h *)
+  mutable wknown : int; (* direct mode: coordinator's exact W(q) *)
+  mutable alive : bool;
+}
+
+and edge = {
+  owner : qstate;
+  elvl : level; (* the last-dimension level owning the canonical node *)
+  enode : int; (* node id within [elvl] *)
+  mutable cbar : int; (* node counter acknowledged to the coordinator *)
+  mutable sigma : int; (* counter value at which the next signal fires *)
+  mutable pos : int; (* index in the node's sigma heap; -1 when absent *)
+}
+
+(* The per-node min-heap H(u) of slack deadlines, intrusive and specialized:
+   entries are the edges themselves, ordered by [sigma], each knowing its
+   own array index. There is one such heap per last-dimension node and one
+   entry per (query, canonical node) pair — sum of |U_q| entries overall —
+   so both the per-entry footprint and the per-comparison cost matter far
+   more than generality here (a closure-based generic heap measurably
+   dominates the 2D running time). *)
+and sheap = { mutable data : edge array; mutable len : int }
+
+(* One endpoint-tree level, stored structure-of-arrays: every per-node
+   attribute lives in a contiguous array indexed by node id (preorder,
+   root = 0), with -1 child sentinels instead of [node option] records.
+   The hot path — one root-to-leaf descent per element per level — then
+   touches a handful of flat int/float arrays whose upper levels stay
+   cache-resident, instead of chasing boxed node pointers. [jlo, jhi) is
+   node id's jurisdiction interval; the rightmost spine has jhi =
+   infinity. Last-dimension levels carry the element counters and the
+   per-node sigma heaps; other levels carry the secondary trees on the
+   next dimension ([sub]). *)
+and level = {
+  k : int; (* dimension of this level *)
+  last : bool; (* k = dims - 1: nodes carry counters + heaps *)
+  n : int; (* node count; 0 = empty level *)
+  depth : int; (* longest root-to-leaf path, in nodes *)
+  jlo : float array;
+  jhi : float array;
+  left : int array; (* -1 for leaves *)
+  right : int array;
+  counter : int array; (* last level only, else [||] *)
+  heaps : sheap array; (* last level only, else [||] *)
+  sub : level option array; (* non-last levels only, else [||] *)
+}
+
+type t = {
+  dims : int;
+  eager : bool; (* ablation: skip DT rounds, signal every counter change *)
+  top : level;
+  states : (int, qstate) Hashtbl.t;
+  mutable alive : int;
+  built : int;
+  on_mature : int -> unit;
+  st : stats;
+}
+
+(* ---- intrusive sigma heap ------------------------------------------- *)
+
+let heap_swap h i j =
+  let a = h.data.(i) and b = h.data.(j) in
+  h.data.(i) <- b;
+  h.data.(j) <- a;
+  a.pos <- j;
+  b.pos <- i
+
+let rec heap_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.data.(i).sigma < h.data.(parent).sigma then begin
+      heap_swap h i parent;
+      heap_up h parent
+    end
+  end
+
+let rec heap_down h i =
+  let l = (2 * i) + 1 in
+  if l < h.len then begin
+    let r = l + 1 in
+    let smallest = if r < h.len && h.data.(r).sigma < h.data.(l).sigma then r else l in
+    if h.data.(smallest).sigma < h.data.(i).sigma then begin
+      heap_swap h i smallest;
+      heap_down h smallest
+    end
+  end
+
+let heap_push h e =
+  let cap = Array.length h.data in
+  if h.len >= cap then begin
+    let ndata = Array.make (max 4 (2 * cap)) e in
+    Array.blit h.data 0 ndata 0 h.len;
+    h.data <- ndata
+  end;
+  h.data.(h.len) <- e;
+  e.pos <- h.len;
+  h.len <- h.len + 1;
+  heap_up h e.pos
+
+let heap_remove h e =
+  let i = e.pos in
+  assert (i >= 0 && i < h.len && h.data.(i) == e);
+  h.len <- h.len - 1;
+  e.pos <- -1;
+  if i <> h.len then begin
+    let last = h.data.(h.len) in
+    h.data.(i) <- last;
+    last.pos <- i;
+    heap_down h i;
+    heap_up h last.pos
+  end
+
+(* Restore order after [e.sigma] changed in place. *)
+let heap_fix h e =
+  heap_down h e.pos;
+  heap_up h e.pos
+
+(* ---- construction --------------------------------------------------- *)
+
+let empty_level k last =
+  {
+    k;
+    last;
+    n = 0;
+    depth = 0;
+    jlo = [||];
+    jhi = [||];
+    left = [||];
+    right = [||];
+    counter = [||];
+    heaps = [||];
+    sub = [||];
+  }
+
+let rec build_level ~dims k (qs : qstate list) : level =
+  let last = k = dims - 1 in
+  (* Grid endpoints on dimension k. A +infinity upper bound creates no
+     endpoint: the rightmost jurisdiction already extends to +infinity. *)
+  let endpoints =
+    List.concat_map
+      (fun q ->
+        let lo = q.query.rect.lo.(k) and hi = q.query.rect.hi.(k) in
+        if hi = infinity then [ lo ] else [ lo; hi ])
+      qs
+  in
+  let keys = Array.of_list (List.sort_uniq compare endpoints) in
+  let kn = Array.length keys in
+  if kn = 0 then empty_level k last
+  else begin
+    (* Balanced binary tree over the kn leaves: exactly 2*kn - 1 nodes,
+       allocated preorder so a left child is its parent's immediate
+       neighbour in every array. *)
+    let n = (2 * kn) - 1 in
+    let jlo = Array.make n 0. and jhi = Array.make n 0. in
+    let left = Array.make n (-1) and right = Array.make n (-1) in
+    let next = ref 0 in
+    let maxdepth = ref 0 in
+    let rec build lo hi d =
+      let id = !next in
+      incr next;
+      if d > !maxdepth then maxdepth := d;
+      if lo = hi then begin
+        jlo.(id) <- keys.(lo);
+        jhi.(id) <- (if lo + 1 < kn then keys.(lo + 1) else infinity)
+      end
+      else begin
+        let mid = (lo + hi) / 2 in
+        let l = build lo mid (d + 1) in
+        let r = build (mid + 1) hi (d + 1) in
+        left.(id) <- l;
+        right.(id) <- r;
+        jlo.(id) <- jlo.(l);
+        jhi.(id) <- jhi.(r)
+      end;
+      id
+    in
+    ignore (build 0 (kn - 1) 1 : int);
+    let lvl =
+      {
+        k;
+        last;
+        n;
+        depth = !maxdepth;
+        jlo;
+        jhi;
+        left;
+        right;
+        counter = (if last then Array.make n 0 else [||]);
+        heaps = (if last then Array.init n (fun _ -> { data = [||]; len = 0 }) else [||]);
+        sub = (if last then [||] else Array.make n None);
+      }
+    in
+    (* Canonical decomposition of each [qlo, qhi) over the level: emit the
+       maximal nodes whose jurisdiction is contained in the range. Since
+       qlo and qhi are grid endpoints of this level, a leaf can never
+       partially overlap the range. *)
+    let pending = if last then [||] else Array.make n [] in
+    let rec add_canonical u qlo qhi q =
+      if qlo <= jlo.(u) && jhi.(u) <= qhi then begin
+        if last then
+          q.tmp_edges <-
+            { owner = q; elvl = lvl; enode = u; cbar = 0; sigma = 0; pos = -1 } :: q.tmp_edges
+        else pending.(u) <- q :: pending.(u)
+      end
+      else if jhi.(u) <= qlo || qhi <= jlo.(u) then ()
+      else begin
+        assert (left.(u) >= 0);
+        add_canonical left.(u) qlo qhi q;
+        add_canonical right.(u) qlo qhi q
+      end
+    in
+    List.iter
+      (fun q -> add_canonical 0 q.query.rect.lo.(k) q.query.rect.hi.(k) q)
+      qs;
+    (* Recursively hang the secondary trees. *)
+    if not last then
+      for u = 0 to n - 1 do
+        if pending.(u) <> [] then lvl.sub.(u) <- Some (build_level ~dims (k + 1) pending.(u))
+      done;
+    lvl
+  end
+
+(* ---- distributed-tracking per query ---------------------------------- *)
+
+let set_deadline t edge =
+  t.st.heap_ops <- t.st.heap_ops + 1;
+  let h = edge.elvl.heaps.(edge.enode) in
+  if edge.pos >= 0 then heap_fix h edge else heap_push h edge
+
+(* Start a DT round (or the direct endgame) for [q], given how much weight
+   it still needs. Resynchronizes every edge with its node's exact counter
+   — the "collection" step of the protocol. *)
+let start_phase t (q : qstate) remaining =
+  assert (remaining >= 1);
+  let h = Array.length q.edges in
+  if t.eager || remaining <= 6 * h then begin
+    q.direct <- true;
+    q.wknown <- q.tree_tau - remaining;
+    Array.iter
+      (fun e ->
+        let c = e.elvl.counter.(e.enode) in
+        e.cbar <- c;
+        e.sigma <- c + 1;
+        set_deadline t e)
+      q.edges
+  end
+  else begin
+    q.direct <- false;
+    q.lambda <- remaining / (2 * h);
+    q.signals <- 0;
+    Array.iter
+      (fun e ->
+        e.cbar <- e.elvl.counter.(e.enode);
+        e.sigma <- e.cbar + q.lambda;
+        set_deadline t e)
+      q.edges
+  end
+
+let tree_weight (q : qstate) =
+  Array.fold_left (fun acc e -> acc + e.elvl.counter.(e.enode)) 0 q.edges
+
+let mature t (q : qstate) =
+  q.alive <- false;
+  Array.iter
+    (fun e ->
+      if e.pos >= 0 then begin
+        heap_remove e.elvl.heaps.(e.enode) e;
+        t.st.heap_ops <- t.st.heap_ops + 1
+      end)
+    q.edges;
+  t.alive <- t.alive - 1;
+  Hashtbl.remove t.states q.query.id;
+  t.on_mature q.query.id
+
+let end_round t (q : qstate) =
+  t.st.round_ends <- t.st.round_ends + 1;
+  let w = tree_weight q in
+  let remaining = q.tree_tau - w in
+  if remaining <= 0 then mature t q else start_phase t q remaining
+
+(* The edge has just been popped from its node's heap because
+   c(u) >= sigma. Deliver the pending signal(s). *)
+let fire t edge =
+  let q = edge.owner in
+  let c = edge.elvl.counter.(edge.enode) in
+  if q.direct then begin
+    t.st.signals <- t.st.signals + 1;
+    q.wknown <- q.wknown + (c - edge.cbar);
+    edge.cbar <- c;
+    if q.wknown >= q.tree_tau then mature t q
+    else begin
+      edge.sigma <- c + 1;
+      set_deadline t edge
+    end
+  end
+  else begin
+    let h = Array.length q.edges in
+    let k = (c - edge.cbar) / q.lambda in
+    (* The coordinator halts the round at the h-th signal, so at most
+       h - q.signals of the k signals are actually delivered; any surplus
+       weight is picked up by the round-end collection. *)
+    let delivered = min k (h - q.signals) in
+    t.st.signals <- t.st.signals + delivered;
+    q.signals <- q.signals + delivered;
+    if q.signals >= h then end_round t q
+    else begin
+      edge.cbar <- edge.cbar + (k * q.lambda);
+      edge.sigma <- edge.cbar + q.lambda;
+      set_deadline t edge
+    end
+  end
+
+(* Hot path: runs on every counter increment of every visited node, so it
+   must not allocate when no deadline fires. *)
+let drain t lvl u =
+  let h = lvl.heaps.(u) in
+  let c = lvl.counter.(u) in
+  let rec loop () =
+    if h.len > 0 then begin
+      let edge = h.data.(0) in
+      if edge.sigma <= c then begin
+        heap_remove h edge;
+        t.st.heap_ops <- t.st.heap_ops + 1;
+        fire t edge;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+(* One root-to-leaf descent per level, flat-array edition: at every node
+   of the path, a last-dimension level bumps the counter and drains the
+   node's deadline heap; other levels recurse into the node's secondary
+   tree. Allocation-free. *)
+let rec process_level t (value : point) w lvl =
+  if lvl.n > 0 then begin
+    let x = value.(lvl.k) in
+    if x >= lvl.jlo.(0) then descend t value w lvl x 0
+  end
+
+and descend t value w lvl x u =
+  (if lvl.last then begin
+     lvl.counter.(u) <- lvl.counter.(u) + w;
+     t.st.node_updates <- t.st.node_updates + 1;
+     drain t lvl u
+   end
+   else match lvl.sub.(u) with Some sub -> process_level t value w sub | None -> ());
+  let r = lvl.right.(u) in
+  if r >= 0 then
+    if x >= lvl.jlo.(r) then descend t value w lvl x r else descend t value w lvl x lvl.left.(u)
+
+(* ---- public API ------------------------------------------------------ *)
+
+let build ?(eager = false) ~dim ~on_mature batch =
+  if dim < 1 then invalid_arg "Endpoint_tree.build: dim < 1";
+  let states = Hashtbl.create (max 16 (2 * List.length batch)) in
+  let qstates =
+    List.map
+      (fun (q, remaining) ->
+        validate_query ~dim q;
+        if remaining < 1 then invalid_arg "Endpoint_tree.build: remaining < 1";
+        if remaining > q.threshold then
+          invalid_arg "Endpoint_tree.build: remaining exceeds threshold";
+        if Hashtbl.mem states q.id then invalid_arg "Endpoint_tree.build: duplicate query id";
+        let qs =
+          {
+            query = q;
+            tree_tau = remaining;
+            edges = [||];
+            tmp_edges = [];
+            lambda = 0;
+            signals = 0;
+            direct = false;
+            wknown = 0;
+            alive = true;
+          }
+        in
+        Hashtbl.replace states q.id qs;
+        qs)
+      batch
+  in
+  let top = build_level ~dims:dim 0 qstates in
+  let t =
+    {
+      dims = dim;
+      eager;
+      top;
+      states;
+      alive = List.length qstates;
+      built = List.length qstates;
+      on_mature;
+      st = { elements = 0; node_updates = 0; signals = 0; round_ends = 0; heap_ops = 0 };
+    }
+  in
+  List.iter
+    (fun q ->
+      q.edges <- Array.of_list q.tmp_edges;
+      q.tmp_edges <- [];
+      assert (Array.length q.edges >= 1);
+      start_phase t q q.tree_tau)
+    qstates;
+  t
+
+let dim t = t.dims
+
+let process t e =
+  if Array.length e.value <> t.dims then invalid_arg "Endpoint_tree.process: bad dimensionality";
+  if e.weight < 1 then invalid_arg "Endpoint_tree.process: weight < 1";
+  t.st.elements <- t.st.elements + 1;
+  process_level t e.value e.weight t.top
+
+(* ---- batched ingestion ---------------------------------------------- *)
+
+(* A cursor caches the current root-to-leaf path of the top level between
+   consecutive elements of a key-sorted batch, and — on a 1D (last) level
+   — defers counter increments with cumulative-weight marks: a node that
+   stays on the path across many consecutive elements receives ONE
+   aggregated bump (and one heap drain) when it finally leaves the path
+   (or at {!flush}), instead of one per element.
+
+   Protocol correctness: [fire] delivers exact [c - cbar] deltas in
+   multiples of lambda and re-arms [sigma > c], so an aggregated jump of
+   k*lambda produces exactly the k signals the per-element drains would
+   have, and the known weight never exceeds the true weight (never
+   early). After [flush] every counter is fully applied and drained, so
+   per-node undelivered weight is < lambda and the DT invariant
+   W < (wknown + tau)/2 holds: any query whose true weight reached tau
+   has matured. Maturities therefore coarsen to batch granularity but the
+   matured id multiset equals the sequential one at every batch boundary.
+   Work counters (node updates, heap ops) can only decrease. *)
+type cursor = {
+  ctree : t;
+  cpath : int array; (* node ids of the cached top-level path, root first *)
+  cmark : int array; (* cumulative weight [cw] when cpath.(i) was pushed *)
+  mutable clen : int;
+  mutable cw : int; (* cumulative weight of all elements fed so far *)
+  clast : float ref;
+      (* last key fed; enforces the sortedness contract. A [float ref]
+         (single-field float record) stores the float flat — a [mutable
+         float] field in this mixed record would box on every write. *)
+}
+
+let cursor t =
+  {
+    ctree = t;
+    cpath = Array.make (t.top.depth + 1) (-1);
+    cmark = Array.make (t.top.depth + 1) 0;
+    clen = 0;
+    cw = 0;
+    clast = ref neg_infinity;
+  }
+
+(* Apply the pending aggregated weight of path slot [i] (1D levels only). *)
+let flush_slot c i =
+  let t = c.ctree in
+  let lvl = t.top in
+  let pend = c.cw - c.cmark.(i) in
+  if pend > 0 then begin
+    let u = c.cpath.(i) in
+    lvl.counter.(u) <- lvl.counter.(u) + pend;
+    t.st.node_updates <- t.st.node_updates + 1;
+    drain t lvl u
+  end
+
+let flush c =
+  if c.ctree.top.last then
+    for i = c.clen - 1 downto 0 do
+      flush_slot c i
+    done;
+  c.clen <- 0
+
+let process_sorted c e =
+  let t = c.ctree in
+  if Array.length e.value <> t.dims then
+    invalid_arg "Endpoint_tree.process_sorted: bad dimensionality";
+  if e.weight < 1 then invalid_arg "Endpoint_tree.process_sorted: weight < 1";
+  t.st.elements <- t.st.elements + 1;
+  let lvl = t.top in
+  if lvl.n > 0 then begin
+    let x = e.value.(lvl.k) in
+    if not (x >= !(c.clast)) then
+      invalid_arg "Endpoint_tree.process_sorted: elements not sorted on the first dimension";
+    c.clast := x;
+    let path = c.cpath in
+    let last = lvl.last in
+    (* Pop the path suffix whose jurisdictions end at or before x,
+       flushing each popped node's aggregated pending weight. Jurisdiction
+       intervals nest along the path, so the exhausted nodes form a
+       contiguous suffix. The root's jurisdiction extends to +infinity, so
+       once seeded the path never empties. *)
+    let len = ref c.clen in
+    while !len > 0 && x >= lvl.jhi.(path.(!len - 1)) do
+      decr len;
+      if last then flush_slot c !len
+    done;
+    if !len = 0 && x >= lvl.jlo.(0) then begin
+      path.(0) <- 0;
+      c.cmark.(0) <- c.cw;
+      len := 1
+    end;
+    if !len > 0 then begin
+      (* Tail walk: descend from the deepest surviving node to the leaf,
+         marking each fresh node with the current cumulative weight. *)
+      let u = ref path.(!len - 1) in
+      while lvl.right.(!u) >= 0 do
+        let r = lvl.right.(!u) in
+        let nxt = if x >= lvl.jlo.(r) then r else lvl.left.(!u) in
+        path.(!len) <- nxt;
+        c.cmark.(!len) <- c.cw;
+        incr len;
+        u := nxt
+      done;
+      if last then
+        (* The element's weight lands on every path node lazily: it is
+           folded into [cw] and applied when nodes leave the path. *)
+        c.cw <- c.cw + e.weight
+      else
+        (* Multi-dimensional: sub-trees key on other dimensions, so the
+           element must be applied per-path-node immediately; the cursor
+           still amortizes the navigation. *)
+        for i = 0 to !len - 1 do
+          match lvl.sub.(path.(i)) with
+          | Some sub -> process_level t e.value e.weight sub
+          | None -> ()
+        done
+    end;
+    c.clen <- !len
+  end
+
+(* Sort by first coordinate without touching the boxed element array
+   during the sort itself: extract the keys into an unboxed float array,
+   sort an int permutation (no write barrier on int stores, branch-only
+   comparator — the polymorphic [compare] on floats is an out-of-line C
+   call and a heapsort makes ~2 n log n of them), then materialize the
+   sorted element array in one pass. *)
+let sort_batch (elems : elem array) =
+  let n = Array.length elems in
+  let keys = Array.init n (fun i -> (Array.unsafe_get elems i).value.(0)) in
+  let idx = Array.init n (fun i -> i) in
+  Array.sort
+    (fun i j ->
+      let a = Array.unsafe_get keys i and b = Array.unsafe_get keys j in
+      if a < b then -1 else if a > b then 1 else 0)
+    idx;
+  Array.init n (fun i -> Array.unsafe_get elems (Array.unsafe_get idx i))
+
+(* ---- 1D fast path: never touch a boxed element inside the hot loop ----
+
+   For a 1D tree the only per-element inputs are the key and the weight,
+   so the batch is reduced to two parallel unboxed arrays (float keys, int
+   weights), co-sorted by a monomorphic quicksort (direct float compares,
+   no closure calls, no write barriers — quicksort on the flat arrays is
+   several times cheaper than [Array.sort] swapping boxed pointers through
+   [caml_modify]), and fed through the cursor without validation or
+   sortedness re-checks (our own sort guarantees both). *)
+
+let swap_kw (keys : float array) (wts : int array) i j =
+  let k = Array.unsafe_get keys i in
+  Array.unsafe_set keys i (Array.unsafe_get keys j);
+  Array.unsafe_set keys j k;
+  let w = Array.unsafe_get wts i in
+  Array.unsafe_set wts i (Array.unsafe_get wts j);
+  Array.unsafe_set wts j w
+
+let rec qsort_kw (keys : float array) (wts : int array) lo hi =
+  if hi - lo > 12 then begin
+    (* median-of-three pivot, Hoare partition *)
+    let mid = (lo + hi) lsr 1 in
+    if keys.(mid) < keys.(lo) then swap_kw keys wts mid lo;
+    if keys.(hi) < keys.(mid) then begin
+      swap_kw keys wts hi mid;
+      if keys.(mid) < keys.(lo) then swap_kw keys wts mid lo
+    end;
+    let p = keys.(mid) in
+    let i = ref lo and j = ref hi in
+    while !i <= !j do
+      while Array.unsafe_get keys !i < p do
+        incr i
+      done;
+      while Array.unsafe_get keys !j > p do
+        decr j
+      done;
+      if !i <= !j then begin
+        swap_kw keys wts !i !j;
+        incr i;
+        decr j
+      end
+    done;
+    qsort_kw keys wts lo !j;
+    qsort_kw keys wts !i hi
+  end
+  else
+    for i = lo + 1 to hi do
+      let k = keys.(i) and w = wts.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && Array.unsafe_get keys !j > k do
+        Array.unsafe_set keys (!j + 1) (Array.unsafe_get keys !j);
+        Array.unsafe_set wts (!j + 1) (Array.unsafe_get wts !j);
+        decr j
+      done;
+      Array.unsafe_set keys (!j + 1) k;
+      Array.unsafe_set wts (!j + 1) w
+    done
+
+(* Feed one pre-validated, pre-sorted (key, weight) into a 1D cursor.
+   Node-id indexing is safe by construction, so the jurisdiction walk uses
+   unsafe loads. *)
+let feed1 c (x : float) w =
+  let t = c.ctree in
+  let lvl = t.top in
+  let path = c.cpath in
+  let len = ref c.clen in
+  while !len > 0 && x >= Array.unsafe_get lvl.jhi (Array.unsafe_get path (!len - 1)) do
+    decr len;
+    flush_slot c !len
+  done;
+  if !len = 0 && x >= Array.unsafe_get lvl.jlo 0 then begin
+    Array.unsafe_set path 0 0;
+    Array.unsafe_set c.cmark 0 c.cw;
+    len := 1
+  end;
+  if !len > 0 then begin
+    let u = ref (Array.unsafe_get path (!len - 1)) in
+    let r = ref (Array.unsafe_get lvl.right !u) in
+    while !r >= 0 do
+      let nxt =
+        if x >= Array.unsafe_get lvl.jlo !r then !r else Array.unsafe_get lvl.left !u
+      in
+      Array.unsafe_set path !len nxt;
+      Array.unsafe_set c.cmark !len c.cw;
+      incr len;
+      u := nxt;
+      r := Array.unsafe_get lvl.right nxt
+    done;
+    c.cw <- c.cw + w
+  end;
+  c.clen <- !len
+
+let process_batch t elems =
+  Array.iter (fun e -> validate_elem ~dim:t.dims e) elems;
+  let n = Array.length elems in
+  let lvl = t.top in
+  if lvl.last then begin
+    (* 1D: reduce to flat (key, weight) arrays, co-sort, feed. *)
+    t.st.elements <- t.st.elements + n;
+    if lvl.n > 0 && n > 0 then begin
+      let keys = Array.init n (fun i -> (Array.unsafe_get elems i).value.(0)) in
+      let wts = Array.init n (fun i -> (Array.unsafe_get elems i).weight) in
+      qsort_kw keys wts 0 (n - 1);
+      let c = cursor t in
+      for i = 0 to n - 1 do
+        feed1 c (Array.unsafe_get keys i) (Array.unsafe_get wts i)
+      done;
+      flush c
+    end
+  end
+  else begin
+    let sorted = sort_batch elems in
+    let c = cursor t in
+    Array.iter (fun e -> process_sorted c e) sorted;
+    flush c
+  end
+
+let find_alive t id =
+  match Hashtbl.find_opt t.states id with
+  | Some q when q.alive -> q
+  | _ -> raise Not_found
+
+let is_alive t id = match Hashtbl.find_opt t.states id with Some q -> q.alive | None -> false
+
+let remove t id =
+  let q = find_alive t id in
+  q.alive <- false;
+  Array.iter
+    (fun e ->
+      if e.pos >= 0 then begin
+        heap_remove e.elvl.heaps.(e.enode) e;
+        t.st.heap_ops <- t.st.heap_ops + 1
+      end)
+    q.edges;
+  t.alive <- t.alive - 1;
+  Hashtbl.remove t.states id
+
+let current_weight t id = tree_weight (find_alive t id)
+
+let remaining t id =
+  let q = find_alive t id in
+  q.tree_tau - tree_weight q
+
+let alive_count t = t.alive
+
+let built_count t = t.built
+
+let alive_queries t =
+  Hashtbl.fold
+    (fun _ (q : qstate) acc -> if q.alive then (q.query, q.tree_tau - tree_weight q) :: acc else acc)
+    t.states []
+
+let fanout t id = Array.length (find_alive t id).edges
+
+let stats t = t.st
+
+type space = { tree_nodes : int; live_entries : int; dead_entries : int }
+
+let space t =
+  let nodes = ref 0 and live = ref 0 and dead = ref 0 in
+  let rec walk lvl =
+    nodes := !nodes + lvl.n;
+    if lvl.last then
+      Array.iter
+        (fun h ->
+          live := !live + h.len;
+          dead := !dead + (Array.length h.data - h.len))
+        lvl.heaps
+    else Array.iter (function Some sub -> walk sub | None -> ()) lvl.sub
+  in
+  walk t.top;
+  { tree_nodes = !nodes; live_entries = !live; dead_entries = !dead }

@@ -1,0 +1,207 @@
+(* Differential equivalence: the Bigarray Endpoint_tree vs the frozen
+   boxed reference build (endpoint_tree_ref.ml).
+
+   The Bigarray rewrite claims to be operation-for-operation equivalent
+   to the boxed implementation it replaced: same maturity log (order
+   included, because heap layouts and iteration orders were preserved
+   exactly), same per-query weights, same work counters. This property
+   drives both builds through identical random op sequences — single
+   elements, sorted batches, cursor feeds flushed at random cut points,
+   removals — over random 1D/2D query sets, and checks the observable
+   state after every operation.
+
+   The suite also pins the headline allocation claim as a regression
+   test: feeding the DT engine 1024-element batches allocates zero
+   minor-heap words per element (native code only — bytecode boxes
+   local floats by design). This is the same invariant CI gates through
+   tools/alloc_budgets.json; keeping a copy in the test suite means a
+   regression fails `dune runtest` directly, without running the bench. *)
+
+open Rts_core
+module ET = Endpoint_tree
+module Ref = Endpoint_tree_ref
+module Prng = Rts_util.Prng
+module Alloc = Rts_obs.Alloc
+
+(* ---- random episode ---- *)
+
+let gen_batch rng ~dim ~m ~domain =
+  List.init m (fun id ->
+      let bounds =
+        Array.init dim (fun _ ->
+            let a = float_of_int (Prng.int rng domain) in
+            (a, a +. 1. +. float_of_int (Prng.int rng domain)))
+      in
+      let remaining = 1 + Prng.int rng 60 in
+      ({ Types.id; rect = Types.rect_make bounds; threshold = remaining }, remaining))
+
+let gen_elem rng ~dim ~domain =
+  {
+    Types.value = Array.init dim (fun _ -> float_of_int (Prng.int rng (domain + 4)));
+    weight = 1 + Prng.int rng 20;
+  }
+
+let check_sync ~seed ~step a b log_a log_b =
+  if !log_a <> !log_b then
+    Alcotest.failf "seed %d step %d: maturity logs diverged: bigarray=[%s] ref=[%s]" seed step
+      (String.concat ";" (List.map string_of_int (List.rev !log_a)))
+      (String.concat ";" (List.map string_of_int (List.rev !log_b)));
+  if ET.alive_count a <> Ref.alive_count b then
+    Alcotest.failf "seed %d step %d: alive %d vs %d" seed step (ET.alive_count a)
+      (Ref.alive_count b)
+
+let check_final ~seed ~m a b =
+  for id = 0 to m - 1 do
+    let alive_a = ET.is_alive a id and alive_b = Ref.is_alive b id in
+    if alive_a <> alive_b then
+      Alcotest.failf "seed %d: query %d alive %b vs %b" seed id alive_a alive_b;
+    if alive_a then begin
+      if ET.current_weight a id <> Ref.current_weight b id then
+        Alcotest.failf "seed %d: query %d weight %d vs %d" seed id (ET.current_weight a id)
+          (Ref.current_weight b id);
+      if ET.remaining a id <> Ref.remaining b id then
+        Alcotest.failf "seed %d: query %d remaining %d vs %d" seed id (ET.remaining a id)
+          (Ref.remaining b id);
+      if ET.fanout a id <> Ref.fanout b id then
+        Alcotest.failf "seed %d: query %d fanout %d vs %d" seed id (ET.fanout a id)
+          (Ref.fanout b id)
+    end
+  done;
+  (* alive_queries must agree as rebuild batches: same queries, same
+     residual thresholds, same order (both fold the same Hashtbl layout
+     and sort identically) *)
+  let snap_a = List.map (fun (q, r) -> (q.Types.id, r)) (ET.alive_queries a) in
+  let snap_b = List.map (fun (q, r) -> (q.Types.id, r)) (Ref.alive_queries b) in
+  Alcotest.(check (list (pair int int))) (Printf.sprintf "seed %d: alive_queries" seed)
+    (List.sort compare snap_b) (List.sort compare snap_a);
+  (* exact work-counter equivalence: the rewrite may not add or remove
+     protocol work, it only relocates the bytes *)
+  let sa = ET.stats a and sb = Ref.stats b in
+  let pairs =
+    [
+      ("elements", sa.ET.elements, sb.Ref.elements);
+      ("node_updates", sa.ET.node_updates, sb.Ref.node_updates);
+      ("signals", sa.ET.signals, sb.Ref.signals);
+      ("round_ends", sa.ET.round_ends, sb.Ref.round_ends);
+      ("heap_ops", sa.ET.heap_ops, sb.Ref.heap_ops);
+    ]
+  in
+  List.iter
+    (fun (name, va, vb) ->
+      if va <> vb then Alcotest.failf "seed %d: stats.%s %d vs %d" seed name va vb)
+    pairs;
+  let spa = ET.space a and spb = Ref.space b in
+  if spa.ET.tree_nodes <> spb.Ref.tree_nodes then
+    Alcotest.failf "seed %d: tree_nodes %d vs %d" seed spa.ET.tree_nodes spb.Ref.tree_nodes;
+  if spa.ET.live_entries <> spb.Ref.live_entries then
+    Alcotest.failf "seed %d: live_entries %d vs %d" seed spa.ET.live_entries spb.Ref.live_entries
+
+let episode seed =
+  let rng = Prng.create ~seed in
+  let dim = 1 + Prng.int rng 2 in
+  let domain = 4 + Prng.int rng 40 in
+  let m = Prng.int rng 40 in
+  let eager = Prng.bernoulli rng 0.15 in
+  let batch = gen_batch rng ~dim ~m ~domain in
+  let log_a = ref [] and log_b = ref [] in
+  let a = ET.build ~eager ~dim ~on_mature:(fun id -> log_a := id :: !log_a) batch in
+  let b = Ref.build ~eager ~dim ~on_mature:(fun id -> log_b := id :: !log_b) batch in
+  let steps = 30 + Prng.int rng 60 in
+  for step = 1 to steps do
+    (match Prng.int rng 10 with
+    | 0 | 1 | 2 | 3 ->
+        (* single element through the per-element entry point *)
+        let e = gen_elem rng ~dim ~domain in
+        ET.process a e;
+        Ref.process b e
+    | 4 | 5 | 6 ->
+        (* whole-batch entry point (sort + cursor + flush inside) *)
+        let n = 1 + Prng.int rng 200 in
+        let elems = Array.init n (fun _ -> gen_elem rng ~dim ~domain) in
+        ET.process_batch a elems;
+        Ref.process_batch b elems
+    | 7 | 8 ->
+        (* cursor feed over one sorted copy, flushed at random cut
+           points — both builds must coarsen identically at every cut *)
+        let n = 1 + Prng.int rng 200 in
+        let elems = ET.sort_batch (Array.init n (fun _ -> gen_elem rng ~dim ~domain)) in
+        let cuts = Array.init n (fun _ -> Prng.bernoulli rng 0.1) in
+        let ca = ET.cursor a and cb = Ref.cursor b in
+        for i = 0 to n - 1 do
+          ET.process_sorted ca elems.(i);
+          Ref.process_sorted cb elems.(i);
+          if cuts.(i) then begin
+            ET.flush ca;
+            Ref.flush cb
+          end
+        done;
+        ET.flush ca;
+        Ref.flush cb
+    | _ ->
+        if m > 0 then begin
+          let id = Prng.int rng m in
+          let alive_a = ET.is_alive a id and alive_b = Ref.is_alive b id in
+          if alive_a <> alive_b then
+            Alcotest.failf "seed %d step %d: query %d alive %b vs %b" seed step id alive_a
+              alive_b;
+          if alive_a then begin
+            ET.remove a id;
+            Ref.remove b id
+          end
+        end);
+    check_sync ~seed ~step a b log_a log_b
+  done;
+  check_final ~seed ~m a b
+
+let prop_equiv =
+  QCheck.Test.make ~count:(Qcheck_env.count 60)
+    ~name:"bigarray Endpoint_tree == boxed reference (ops, logs, counters)"
+    QCheck.(make Gen.(int_bound 1_000_000))
+    (fun seed ->
+      episode seed;
+      true)
+
+(* ---- pinned allocation regression ---- *)
+
+(* The CI bench gates allocated_words_per_element = 0 for the DT engine
+   at every batch size (tools/alloc_budgets.json); this is the in-suite
+   copy at batch 1024. Native only: bytecode has no float unboxing, so
+   the zero-allocation property is not claimed there. *)
+let test_dt_alloc_free_1024 () =
+  match Sys.backend_type with
+  | Sys.Bytecode | Sys.Other _ -> ()
+  | Sys.Native ->
+      let rng = Prng.create ~seed:7 in
+      let e = Dt_engine.make ~dim:1 in
+      for id = 0 to 49 do
+        let a = float_of_int (Prng.int rng 1000) in
+        let hi = a +. 1. +. float_of_int (Prng.int rng 1000) in
+        e.Engine.register
+          { Types.id; rect = Types.rect_make [| (a, hi) |]; threshold = max_int }
+      done;
+      let batch =
+        Array.init 1024 (fun _ ->
+            {
+              Types.value = [| float_of_int (Prng.int rng 1100) |];
+              weight = 1 + Prng.int rng 5;
+            })
+      in
+      (* warm up: grows the engine's scratch buffers to the batch size
+         and settles any lazy structure, then measure steady state *)
+      ignore (e.Engine.feed_batch batch);
+      Gc.full_major ();
+      let words =
+        Alloc.words_per_item ~runs:5 ~items:1024 (fun () ->
+            ignore (e.Engine.feed_batch batch))
+      in
+      Alcotest.(check (float 0.0))
+        "allocated words per element, DT feed_batch 1024" 0.0 words
+
+let () =
+  Alcotest.run "endpoint_tree_equiv"
+    [
+      ("equivalence", [ QCheck_alcotest.to_alcotest prop_equiv ]);
+      ( "allocation",
+        [ Alcotest.test_case "dt feed_batch 1024 allocates 0 words/element" `Quick
+            test_dt_alloc_free_1024 ] );
+    ]

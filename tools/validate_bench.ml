@@ -31,6 +31,12 @@
    corresponding document is also held to the checked-in deterministic
    work-counter budgets — keyed "engine/batch" for perf, "engine/kK" for
    shard and par sweeps: actual counter <= budget, same scale and seed.
+   [--alloc-budgets FILE] layers a second, independently-keyed budget
+   set onto the same perf runs — the allocation gate
+   (allocated_words_per_element, also deterministic per scale/seed
+   because Rts_obs.Alloc calibrates out its own bracket overhead) —
+   so the work-counter and allocation budgets can live in separate
+   checked-in files and evolve independently.
    Wall clock is deliberately NOT gated — shared CI runners make it
    noisy (and the shard sweep may run on a single core, where no
    parallel speedup is physically available) — the work counters are
@@ -71,7 +77,7 @@ let budget_key ~file ~where keying run =
       | _, None -> err "%s: %s: run missing \"shards\" (needed for budgets)" file where; None
       | None, _ -> None)
 
-let check_run ~file ~figure ~strict ~keying ?budgets i run =
+let check_run ~file ~figure ~strict ~keying ~budgets i run =
   let where = Printf.sprintf "runs[%d]" i in
   ignore figure;
   (match str "engine" run with
@@ -112,10 +118,11 @@ let check_run ~file ~figure ~strict ~keying ?budgets i run =
       | _ -> ())
   | None, None, None -> ()
   | _ -> err "%s: %s: reps/total_seconds_min/total_seconds_max must appear together" file where);
-  (* Deterministic work-counter budgets (--perf-budgets/--shard-budgets). *)
-  (match budgets with
-  | None -> ()
-  | Some budgets -> (
+  (* Deterministic budgets (--perf-budgets/--shard-budgets/--alloc-budgets).
+     Each supplied budget set is enforced independently; a run's key must
+     appear in every set that applies to its figure. *)
+  List.iter
+    (fun budgets ->
       match budget_key ~file ~where keying run with
       | None -> ()
       | Some key -> (
@@ -135,7 +142,8 @@ let check_run ~file ~figure ~strict ~keying ?budgets i run =
                       err "%s: %s (%s): budget for %s is not a number" file where key counter)
                 entries
           | Some _ -> err "%s: budgets entry %S is not an object" file key
-          | None -> err "%s: %s: no budgets entry for %S" file where key)));
+          | None -> err "%s: %s: no budgets entry for %S" file where key))
+    budgets;
   (* The paper's budget: if the run reports DT messages, they must fit. *)
   (match (num "dt_messages" run, num "dt_message_budget" run) with
   | Some messages, Some budget ->
@@ -331,7 +339,7 @@ let check_budget_params ~file ~budget_file budget_doc doc =
       | _ -> ())
     [ "scale"; "seed" ]
 
-let check_file ~perf_budgets ~shard_budgets file =
+let check_file ~perf_budgets ~shard_budgets ~alloc_budgets file =
   match In_channel.with_open_text file In_channel.input_all with
   | exception Sys_error msg -> err "%s" msg
   | contents -> (
@@ -373,35 +381,39 @@ let check_file ~perf_budgets ~shard_budgets file =
             let pick = function
               | Some (budget_file, (budget_doc, b)) ->
                   check_budget_params ~file ~budget_file budget_doc doc;
-                  Some b
-              | None -> None
+                  [ b ]
+              | None -> []
             in
             match keying with
-            | Bench_targets.By_batch -> pick perf_budgets
+            | Bench_targets.By_batch -> pick perf_budgets @ pick alloc_budgets
             | Bench_targets.By_shards -> pick shard_budgets
-            | Bench_targets.No_budgets -> None
+            | Bench_targets.No_budgets -> []
           in
           (match mem "runs" doc with
           | Some (Json.List []) -> err "%s: \"runs\" is empty" file
           | Some (Json.List runs) ->
               List.iteri
                 (fun i run ->
-                  check_run ~file ~figure ~strict ~keying ?budgets:run_budgets i run)
+                  check_run ~file ~figure ~strict ~keying ~budgets:run_budgets i run)
                 runs;
               Printf.printf "validate-bench: %s: %d runs ok%s\n" file (List.length runs)
-                (if run_budgets <> None then " (budgets enforced)" else "")
+                (if run_budgets <> [] then " (budgets enforced)" else "")
           | _ -> err "%s: missing \"runs\" array" file))
 
 let () =
-  let perf_budgets = ref None and shard_budgets = ref None and files = ref [] in
+  let perf_budgets = ref None
+  and shard_budgets = ref None
+  and alloc_budgets = ref None
+  and files = ref [] in
   let load into path =
     match load_budgets path with Some b -> into := Some (path, b) | None -> ()
   in
   let rec parse = function
     | "--perf-budgets" :: path :: rest -> load perf_budgets path; parse rest
     | "--shard-budgets" :: path :: rest -> load shard_budgets path; parse rest
-    | [ ("--perf-budgets" | "--shard-budgets") ] ->
-        prerr_endline "validate-bench: --perf-budgets/--shard-budgets need a FILE";
+    | "--alloc-budgets" :: path :: rest -> load alloc_budgets path; parse rest
+    | [ ("--perf-budgets" | "--shard-budgets" | "--alloc-budgets") ] ->
+        prerr_endline "validate-bench: --perf-budgets/--shard-budgets/--alloc-budgets need a FILE";
         exit 2
     | f :: rest -> files := f :: !files; parse rest
     | [] -> ()
@@ -410,10 +422,14 @@ let () =
   let files = List.rev !files in
   if files = [] then begin
     prerr_endline
-      "usage: validate_bench [--perf-budgets FILE] [--shard-budgets FILE] BENCH_<fig>.json ...";
+      "usage: validate_bench [--perf-budgets FILE] [--shard-budgets FILE] [--alloc-budgets FILE] \
+       BENCH_<fig>.json ...";
     exit 2
   end;
-  List.iter (check_file ~perf_budgets:!perf_budgets ~shard_budgets:!shard_budgets) files;
+  List.iter
+    (check_file ~perf_budgets:!perf_budgets ~shard_budgets:!shard_budgets
+       ~alloc_budgets:!alloc_budgets)
+    files;
   if !errors > 0 then begin
     Printf.eprintf "validate-bench: %d problem(s)\n" !errors;
     exit 1
