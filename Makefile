@@ -19,10 +19,14 @@ RTS_SERVE_SEEDS ?= 3,13,29
 # wedge under combined storage+network faults, promoted log verified
 # against the fault-free oracle); override with RTS_REPLICA_SEEDS=a,b,c.
 RTS_REPLICA_SEEDS ?= 2,11,23
+# Pinned seeds for the approximate-tier equivalence sweep (crprecis and
+# heavy maturity logs held to "late subset of the exact baseline" on
+# paper-style scenarios); override with RTS_APPROX_SEEDS=a,b,c.
+RTS_APPROX_SEEDS ?= 7,21,63
 
 .PHONY: all build lint test bench-smoke bench-perf bench-alloc bench-shard \
-        bench-par diff-bench check check-fault check-net check-shard \
-        check-serve check-replica clean
+        bench-par bench-approx diff-bench check check-fault check-net check-shard \
+        check-serve check-replica check-approx clean
 
 all: build
 
@@ -95,6 +99,27 @@ bench-par: build
 	  echo "bench-par: skipped (fewer than 2 cores available -- no JSON emitted)"; \
 	fi
 
+# Approximate-tier bench smoke: sketch footprint, certified error vs a
+# brute-force exact scan, never-early + top-n parity verdicts (the bench
+# aborts before emitting JSON if either fails), held to the checked-in
+# per-engine budgets. Everything gated is deterministic per (scale,
+# seed) — the sketches use no hash families — so the budgets carry no
+# tolerance band, and approx_bound_violations must be exactly 0.
+bench-approx: build
+	$(DUNE) exec bench/main.exe -- approx --scale $(SMOKE_SCALE) --reps 3 --json > /dev/null
+	$(DUNE) exec tools/validate_bench.exe -- --approx-budgets tools/approx_budgets.json BENCH_approx.json
+
+# Approximate-tier suite on its own: qcheck certified-bound containment
+# and never-early properties against brute-force references, top-n
+# threshold-search exactness, and the pinned-seed scenario sweep (every
+# approximate maturity also matures in the exact baseline, no earlier),
+# then the bench-approx budget gate. CI runs this as a separate job on
+# both compiler legs.
+check-approx: build
+	RTS_APPROX_SEEDS=$(RTS_APPROX_SEEDS) $(DUNE) exec test/test_approx.exe
+	$(MAKE) bench-approx
+	@echo "check-approx: OK"
+
 # Bench-budget drift report: for every budgeted work counter, print a
 # markdown delta table (budget / actual / headroom / drift) so a counter
 # creeping toward its ceiling is visible long before it trips the gate.
@@ -103,11 +128,12 @@ bench-par: build
 # BENCH_perf.json and BENCH_shard.json (run bench-perf / bench-shard
 # first, or let this target produce them). BENCH_par.json joins the
 # table when the host could produce it (>= 2 cores).
-diff-bench: bench-perf bench-shard bench-par
+diff-bench: bench-perf bench-shard bench-par bench-approx
 	$(DUNE) exec tools/diff_bench.exe -- \
 	  --budgets tools/perf_budgets.json BENCH_perf.json \
 	  --budgets tools/alloc_budgets.json BENCH_perf.json \
 	  --budgets tools/shard_budgets.json BENCH_shard.json \
+	  --budgets tools/approx_budgets.json BENCH_approx.json \
 	  $(if $(wildcard BENCH_par.json),--budgets tools/par_budgets.json BENCH_par.json,)
 
 # Fault-injection suite on its own: crash the durable engine at every op

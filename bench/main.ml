@@ -1256,6 +1256,180 @@ let ablation p =
   pf "@."
 
 (* ---------------------------------------------------------------- *)
+(* Extra: the approximate tier — sketch footprint, certified error    *)
+(* vs a brute-force exact scan, per-op latency of the never-early     *)
+(* engines, and top-n search parity with the full sort. Everything    *)
+(* emitted is deterministic per (scale, seed): the sketches use no    *)
+(* hash families and the workload generator is a pinned PRNG, so      *)
+(* tools/approx_budgets.json gates the error/memory gauges with no    *)
+(* tolerance band.                                                    *)
+
+module Approx = Rts_approx
+
+(* Probe the two summaries directly against a reference element log:
+   certified-bound violations (must be 0), the widest certified interval
+   and the largest |midpoint - exact| over [probes] ranges drawn from the
+   query generator. O(probes * n) brute-force scans, run once. *)
+let approx_probe_gauges p ~probes =
+  let n = 4 * (p.tau / 10) in
+  let gen = Generator.create ~dim:1 ~seed:p.seed () in
+  let sums =
+    [
+      ("crprecis", Approx.Crprecis.summary (Approx.Crprecis.create ()));
+      ("heavy", Approx.Heavy.summary (Approx.Heavy.create ()));
+    ]
+  in
+  let log = Array.init n (fun _ -> Generator.element gen) in
+  Array.iter
+    (fun (e : Types.elem) ->
+      List.iter (fun (_, s) -> s.Approx.Summary.insert e.Types.value.(0) e.Types.weight) sums)
+    log;
+  let ranges =
+    List.init probes (fun i ->
+        let q = Generator.query gen ~id:i ~threshold:1 in
+        (q.Types.rect.Types.lo.(0), q.Types.rect.Types.hi.(0)))
+  in
+  List.map
+    (fun (name, s) ->
+      let violations = ref 0 and max_width = ref 0 and max_err = ref 0 in
+      List.iter
+        (fun (lo, hi) ->
+          let exact =
+            Array.fold_left
+              (fun acc (e : Types.elem) ->
+                let v = e.Types.value.(0) in
+                if lo <= v && v < hi then acc + e.Types.weight else acc)
+              0 log
+          in
+          let est = s.Approx.Summary.range ~lo ~hi in
+          if not (est.Approx.Summary.lower <= exact && exact <= est.Approx.Summary.upper) then
+            incr violations;
+          max_width := max !max_width (est.Approx.Summary.upper - est.Approx.Summary.lower);
+          let mid = (est.Approx.Summary.lower + est.Approx.Summary.upper) / 2 in
+          max_err := max !max_err (abs (mid - exact)))
+        ranges;
+      ( name,
+        Metrics.of_assoc
+          [
+            ("approx_bound_violations", Metrics.Gauge (float_of_int !violations));
+            ("approx_max_width", Metrics.Gauge (float_of_int !max_width));
+            ("approx_max_observed_error", Metrics.Gauge (float_of_int !max_err));
+          ] ))
+    sums
+
+let approx p =
+  let probes = 64 in
+  header
+    (Printf.sprintf
+       "Approx: never-early sketch engines vs exact (1D static, m=%d, tau=%d) — sketch words, \
+        certified error over %d probe ranges, per-op latency, top-n search parity"
+       p.m p.tau probes);
+  let cfg = { (base_cfg p) with Scenario.dim = 1 } in
+  (* The exact reference: first maturity timestamp per query id. *)
+  let exact = Scenario.run cfg (fun ~dim -> Baseline_engine.make ~dim) in
+  let exact_ts = Hashtbl.create 1024 in
+  List.iter
+    (fun (ts, id) -> if not (Hashtbl.mem exact_ts id) then Hashtbl.add exact_ts id ts)
+    exact.Scenario.maturity_log;
+  let probe_gauges = approx_probe_gauges p ~probes in
+  let roster : (string * (dim:int -> Engine.t)) list =
+    [
+      ("crprecis", fun ~dim:_ -> Approx.Crprecis_engine.make ());
+      ("heavy", fun ~dim:_ -> Approx.Heavy_engine.make ());
+      ("dt", fun ~dim -> Dt_engine.make ~dim);
+    ]
+  in
+  let never_early = ref true in
+  let runs = ref [] in
+  pf "@[<h>%-10s %12s %10s %9s %9s %14s %12s %12s@]@." "engine" "per_op_us" "seconds"
+    "matured" "late" "sketch_words" "max_width" "max_err";
+  List.iter
+    (fun (name, factory) ->
+      let r, stability = measure ~traced:true p cfg factory in
+      (* Every maturity the engine reports must be one the exact run also
+         reports, no earlier than the exact timestamp (late is fine — it
+         is the price of certified lower bounds). *)
+      let late = ref 0 in
+      List.iter
+        (fun (ts, id) ->
+          match Hashtbl.find_opt exact_ts id with
+          | Some ts' when ts' <= ts -> if ts' < ts then incr late
+          | _ -> never_early := false)
+        r.Scenario.maturity_log;
+      let r =
+        match List.assoc_opt name probe_gauges with
+        | Some g -> { r with Scenario.final_metrics = Metrics.merge r.Scenario.final_metrics g }
+        | None -> r
+      in
+      let fm = r.Scenario.final_metrics in
+      let gauge k =
+        match Metrics.get fm k with Some (Metrics.Gauge v) -> int_of_float v | _ -> 0
+      in
+      pf "@[<h>%-10s %12.3f %10.3f %9d %9d %14d %12d %12d@]@." name
+        (r.Scenario.total_seconds *. 1e6 /. float_of_int (max 1 r.Scenario.ops))
+        r.Scenario.total_seconds r.Scenario.matured !late (gauge "approx_sketch_words")
+        (gauge "approx_max_width")
+        (gauge "approx_max_observed_error");
+      if p.json then runs := result_json ~stability r :: !runs)
+    roster;
+  (* Top-n parity: the binary threshold search against the full sort on a
+     live engine mid-stream, at several n. *)
+  let topn_matches =
+    let e = Approx.Topn.engine ~dim:1 in
+    let gen = Generator.create ~dim:1 ~seed:p.seed () in
+    for id = 0 to max 10 (p.m / 10) - 1 do
+      e.Engine.register (Generator.query gen ~id ~threshold:(max 2 p.tau))
+    done;
+    for _ = 1 to 4 * (p.tau / 10) do
+      ignore (e.Engine.process (Generator.element gen) : int list)
+    done;
+    let sorted_prefix n =
+      e.Engine.alive_snapshot ()
+      |> List.map (fun ((q : Types.query), w) ->
+             { Approx.Topn.id = q.Types.id; slack = q.Types.threshold - w;
+               threshold = q.Types.threshold })
+      |> List.sort (fun (a : Approx.Topn.entry) b ->
+             if a.Approx.Topn.slack <> b.Approx.Topn.slack then
+               compare a.Approx.Topn.slack b.Approx.Topn.slack
+             else compare a.Approx.Topn.id b.Approx.Topn.id)
+      |> List.filteri (fun k _ -> k < n)
+    in
+    List.for_all (fun n -> Approx.Topn.closest e ~n = sorted_prefix n) [ 0; 1; 10; 100 ]
+  in
+  pf "@.never-early vs exact baseline: %b; top-n search = sorted prefix: %b@." !never_early
+    topn_matches;
+  if not !never_early then failwith "approx bench: an engine matured a query EARLY";
+  if not topn_matches then failwith "approx bench: top-n search diverged from the full sort";
+  if p.json then begin
+    let doc =
+      Json.Obj
+        [
+          ("figure", Json.Str "approx");
+          ( "params",
+            Json.Obj
+              [
+                ("scale", Json.Num p.scale);
+                ("seed", Json.int p.seed);
+                ("reps", Json.int p.reps);
+                ("m", Json.int p.m);
+                ("tau", Json.int p.tau);
+                ("probes", Json.int probes);
+                ("gc", gc_params_json ());
+              ] );
+          ("runs", Json.List (List.rev !runs));
+          ("approx_never_early", Json.Bool !never_early);
+          ("topn_matches_sort", Json.Bool topn_matches);
+        ]
+    in
+    let oc = open_out "BENCH_approx.json" in
+    Json.to_channel ~indent:2 oc doc;
+    output_char oc '\n';
+    close_out oc;
+    Printf.eprintf "rts-bench: wrote BENCH_approx.json (%d runs)\n%!" (List.length !runs)
+  end;
+  pf "@."
+
+(* ---------------------------------------------------------------- *)
 (* Command line                                                      *)
 
 open Cmdliner
@@ -1311,6 +1485,7 @@ let implementations : (string * (params -> unit)) list =
     ("shard", shard);
     ("par", par);
     ("ablation", ablation);
+    ("approx", approx);
   ]
 
 let check_coverage () =

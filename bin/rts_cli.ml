@@ -45,44 +45,91 @@ let protect f =
   | Unix.Unix_error (e, fn, arg) -> err exit_io "%s: %s (%s)" fn (Unix.error_message e) arg
   | Failure msg -> err exit_failure "%s" msg
 
+(* Engine selection resolves through the registry so the approximate tier
+   (and any future engine library) plugs in without touching this file;
+   the install call both links rts_approx and fixes registration order. *)
+let () = Rts_approx.Install.install ()
+
 let engine_conv =
-  let parse = function
-    | "dt" -> Ok `Dt
-    | "dt-eager" -> Ok `Dt_eager
-    | "baseline" -> Ok `Baseline
-    | "interval-tree" -> Ok `Interval_tree
-    | "seg-intv" -> Ok `Seg_intv
-    | "r-tree" -> Ok `Rtree
-    | s -> Error (`Msg (Printf.sprintf "unknown engine %S" s))
+  let parse s =
+    if Engine_registry.mem s then Ok s
+    else
+      Error
+        (`Msg
+          (Printf.sprintf "unknown engine %S (known: %s)" s
+             (String.concat ", " (Engine_registry.names ()))))
   in
-  let print ppf e =
-    Format.pp_print_string ppf
-      (match e with
-      | `Dt -> "dt"
-      | `Dt_eager -> "dt-eager"
-      | `Baseline -> "baseline"
-      | `Interval_tree -> "interval-tree"
-      | `Seg_intv -> "seg-intv"
-      | `Rtree -> "r-tree")
-  in
+  let print ppf s = Format.pp_print_string ppf s in
   Arg.conv (parse, print)
 
-let make_engine kind ~dim =
-  match kind with
-  | `Dt -> Dt_engine.make ~dim
-  | `Dt_eager -> Dt_engine.make_eager ~dim
-  | `Baseline -> Baseline_engine.make ~dim
-  | `Interval_tree ->
-      if dim <> 1 then fail "interval-tree engine is 1D only";
-      Stab1d_engine.make ()
-  | `Seg_intv ->
-      if dim <> 2 then fail "seg-intv engine is 2D only";
-      Stab2d_engine.make ()
-  | `Rtree -> Rtree_engine.make ~dim
+(* The heavy engine carries its own query class (hot ranges); keep a
+   handle to the concrete tracker when this process builds one so --hot
+   can reach past the uniform Engine.t interface. *)
+let heavy_handle : Rts_approx.Heavy_engine.t option ref = ref None
+
+let make_engine name ~dim =
+  if name = "heavy" && dim = 1 then begin
+    let h = Rts_approx.Heavy_engine.create () in
+    heavy_handle := Some h;
+    Rts_approx.Heavy_engine.engine h
+  end
+  else Engine_registry.make ~name ~dim
 
 let engine_arg =
-  let doc = "Engine: dt (the paper's algorithm), dt-eager, baseline, interval-tree, seg-intv, r-tree." in
-  Arg.(value & opt engine_conv `Dt & info [ "engine" ] ~docv:"ENGINE" ~doc)
+  let doc =
+    "Engine: "
+    ^ String.concat "; "
+        (List.map
+           (fun e ->
+             Printf.sprintf "%s (%s)" e.Engine_registry.name e.Engine_registry.doc)
+           (Engine_registry.entries ()))
+    ^ "."
+  in
+  Arg.(value & opt engine_conv "dt" & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+(* ---- approximate-tier reporting (--top / --hot) ---- *)
+
+let top_arg =
+  let doc =
+    "After the run, print the $(docv) queries closest to maturity (smallest remaining \
+     mass), found by binary threshold search over the slack values instead of sorting \
+     all alive queries. Works with every engine. 0 disables."
+  in
+  Arg.(value & opt int 0 & info [ "top" ] ~docv:"N" ~doc)
+
+let hot_arg =
+  let doc =
+    "After the run, print the maximal dyadic ranges whose certified mass upper bound \
+     reaches $(docv) (the heavy tracker's BPTree-style descent). Requires --engine \
+     heavy, unsharded."
+  in
+  Arg.(value & opt (some int) None & info [ "hot" ] ~docv:"MASS" ~doc)
+
+let print_top engine top =
+  if top > 0 then begin
+    let entries = Rts_approx.Topn.closest engine ~n:top in
+    Printf.eprintf "rts-cli: top %d nearest-maturity queries:\n%!" (List.length entries);
+    List.iteri
+      (fun i e ->
+        Printf.eprintf "  #%d q%d: needs %d more of tau %d\n%!" (i + 1)
+          e.Rts_approx.Topn.id e.Rts_approx.Topn.slack e.Rts_approx.Topn.threshold)
+      entries
+  end
+
+let print_hot hot =
+  match (hot, !heavy_handle) with
+  | None, _ -> ()
+  | Some _, None -> fail "--hot requires --engine heavy (1D, unsharded)"
+  | Some threshold, Some h ->
+      let rs = Rts_approx.Heavy_engine.hot h ~threshold in
+      Printf.eprintf "rts-cli: %d hot ranges (certified upper bound >= %d):\n%!"
+        (List.length rs) threshold;
+      List.iter
+        (fun r ->
+          let lo, hi = r.Rts_approx.Heavy.range in
+          Printf.eprintf "  [%g, %g) level %d: mass in [%d, %d]\n%!" lo hi
+            r.Rts_approx.Heavy.level r.Rts_approx.Heavy.lower r.Rts_approx.Heavy.upper)
+        rs
 
 let dim_arg =
   let doc = "Dimensionality of the data space." in
@@ -209,11 +256,13 @@ let print_stats stats snapshot =
 
 let run_cmd engine_kind dim closed queries_file quiet stats wal_dir checkpoint_every fsync_every
     net_faults net_seed net_sites net_rto net_rto_max net_degrade_after net_rto_jitter batch
-    shards executor =
+    shards executor top hot =
   protect @@ fun () ->
   if net_faults <> None && wal_dir <> None then
     fail "--net-faults cannot be combined with --wal (the shadow is not recoverable)";
   if batch < 1 then fail "--batch must be >= 1";
+  if hot <> None && (shards > 1 || executor <> None) then
+    fail "--hot requires an unsharded run (the tracker lives in one engine)";
   (* Sharding sits innermost: Durable logs ops against the sharded engine
      (recovery replays the WAL into a fresh sharded engine via the same
      factory) and the net shadow cross-checks its merged output. *)
@@ -331,6 +380,8 @@ let run_cmd engine_kind dim closed queries_file quiet stats wal_dir checkpoint_e
         (Sh.registered s) net_sites (Sh.messages s) (Sh.useful_messages s) (Sh.message_bound_total s)
         (Sh.bound_ok s) (Sh.retransmits s) (Sh.degraded_sites s) (Sh.late_maturities s)
         (Sh.never_early_ok s));
+  print_top engine top;
+  print_hot hot;
   print_stats stats (engine.Engine.metrics ());
   close_shards ();
   0
@@ -427,9 +478,11 @@ let record_cmd dim seed m tau n mode p_ins =
     r.Scenario.elements r.Scenario.registered r.Scenario.terminated;
   0
 
-let demo_cmd engine_kind dim seed m tau n mode p_ins stats shards executor =
+let demo_cmd engine_kind dim seed m tau n mode p_ins stats shards executor top hot =
   protect @@ fun () ->
   let mode = scenario_mode mode n p_ins in
+  if hot <> None && (shards > 1 || executor <> None) then
+    fail "--hot requires an unsharded run (the tracker lives in one engine)";
   let cfg =
     {
       Scenario.default with
@@ -443,7 +496,16 @@ let demo_cmd engine_kind dim seed m tau n mode p_ins stats shards executor =
     }
   in
   let make, close_shards = sharded_factory engine_kind ~shards ~executor in
+  (* Scenario owns the engine; keep a handle for post-run --top/--hot. *)
+  let built = ref None in
+  let make ~dim =
+    let e = make ~dim in
+    built := Some e;
+    e
+  in
   let r = Scenario.run cfg make in
+  Option.iter (fun e -> print_top e top) !built;
+  print_hot hot;
   close_shards ();
   Format.printf "%a@." Scenario.pp_result r;
   Format.printf "trace (elements, alive, us/op):@.";
@@ -505,7 +567,7 @@ let run_term =
     const run_cmd $ engine_arg $ dim_arg $ closed $ queries_file $ quiet $ stats_arg $ wal
     $ checkpoint_every $ fsync_every $ net_faults_arg $ net_seed_arg $ net_sites_arg
     $ net_rto_arg $ net_rto_max_arg $ net_degrade_after_arg $ net_rto_jitter_arg $ batch
-    $ shards_arg $ executor_arg)
+    $ shards_arg $ executor_arg $ top_arg $ hot_arg)
 
 let recover_term =
   let wal_dir =
@@ -543,7 +605,7 @@ let demo_term =
   in
   Term.(
     const demo_cmd $ engine_arg $ dim_arg $ seed_arg $ m $ tau $ n $ mode $ p_ins $ stats_arg
-    $ shards_arg $ executor_arg)
+    $ shards_arg $ executor_arg $ top_arg $ hot_arg)
 
 let record_term =
   let m = Arg.(value & opt int 1_000 & info [ "m" ] ~docv:"M" ~doc:"Initial queries.") in

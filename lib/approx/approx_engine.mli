@@ -1,0 +1,45 @@
+(** Engine shell over an approximate {!Summary}: turns certified range
+    bounds into {e never-early} range-thresholding.
+
+    Exact engines fire a query the moment its accumulated weight W
+    reaches τ. An approximate engine only ever knows an interval for W:
+    registering q freezes the summary's bounds [\[l_reg, u_reg\]] on its
+    range, and at any later instant with range bounds [\[l_now, u_now\]]
+
+    {v  W ∈ [ max 0 (l_now - u_reg),  u_now - l_reg ]  v}
+
+    The never-early rule is: report maturity only when the {e lower} end
+    of that interval reaches τ. Every reported maturity is therefore a
+    true maturity (possibly late); the engine never fires on sketch
+    noise. The price is recall, not precision: a range too narrow for
+    the grid to certify (lower bound pinned at 0) is simply never
+    reported, and the exact tier exists for it.
+
+    Scheduling reuses the DT slack idea on the summary's clock: one unit
+    of stream mass raises a range's certified lower bound by at most its
+    [cells] count, so a query whose bound is short of τ by [s] cannot
+    mature before another [ceil(s / cells)] mass arrives — the engine
+    parks it in a {!Rts_structures.Handle_heap} keyed by that deadline
+    and touches it again only when the clock catches up, exactly like a
+    DT round-end. Per element the engine pays the summary insert plus an
+    O(1) heap peek; per deadline hit, one range re-estimate.
+
+    [alive_snapshot] reports each query's certified {e lower} bound on W
+    (clamped below τ): restoring from it can only make a successor {e
+    later}, never early, so [Durable] checkpoints compose soundly. As
+    with any engine wrapped in approximation, [feed_batch] keeps exactly
+    sequential semantics ({!Engine.batch_of_process}). *)
+
+type t
+
+val create : name:string -> summary:Summary.t -> unit -> t
+(** 1D engines only (the summaries are 1D); [dim] is fixed at 1. *)
+
+val engine : t -> Rts_core.Engine.t
+
+val bounds : t -> int -> int * int
+(** Certified [(lower, upper)] on the accumulated weight W of an alive
+    query. Raises [Not_found] if the id is not alive. *)
+
+val checks : t -> int
+(** Deadline re-checks performed so far (also a metrics counter). *)

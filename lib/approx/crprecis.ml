@@ -1,0 +1,124 @@
+type level =
+  | Exact of int array  (* cells <= p_1: collisions impossible, one array *)
+  | Sketched of { c : int; tabs : int array array }
+
+type t = {
+  dy : Dyadic.t;
+  levels : level array;  (* depth + 1 entries, root first *)
+  ntabs : int;
+  mutable below : int;
+  mutable above : int;
+  mutable inmass : int;  (* in-domain mass: the F of the lower-bound formula *)
+  words : int;
+}
+
+let default_primes = [ 521; 523; 541; 547; 557 ]
+
+(* Largest r such that p_1 * ... * p_r <= n - 1: the most arrays a
+   nonzero cell difference of magnitude < n can be divisible by. *)
+let collisions primes n =
+  let r = ref 0 and prod = ref 1 in
+  (try
+     Array.iter
+       (fun p ->
+         if !prod * p <= n - 1 then begin
+           prod := !prod * p;
+           incr r
+         end
+         else raise Exit)
+       primes
+   with Exit -> ());
+  !r
+
+let create ?dyadic ?(primes = default_primes) () =
+  let dy = match dyadic with Some d -> d | None -> Dyadic.create () in
+  let primes = Array.of_list primes in
+  if Array.length primes < 2 then invalid_arg "Crprecis.create: need >= 2 tables";
+  Array.iteri
+    (fun k p ->
+      if p < 2 || (k > 0 && p <= primes.(k - 1)) then
+        invalid_arg "Crprecis.create: primes must be ascending and >= 2")
+    primes;
+  let depth = Dyadic.depth dy in
+  let levels =
+    Array.init (depth + 1) (fun l ->
+        let n = Dyadic.cells_at dy l in
+        if n <= primes.(0) then Exact (Array.make n 0)
+        else
+          Sketched
+            { c = collisions primes n; tabs = Array.map (fun p -> Array.make p 0) primes })
+  in
+  let words =
+    Array.fold_left
+      (fun acc -> function
+        | Exact a -> acc + Array.length a
+        | Sketched { tabs; _ } ->
+            Array.fold_left (fun acc a -> acc + Array.length a) acc tabs)
+      0 levels
+  in
+  { dy; levels; ntabs = Array.length primes; below = 0; above = 0; inmass = 0; words }
+
+let dyadic t = t.dy
+
+let mass t = t.below + t.above + t.inmass
+
+let words t = t.words
+
+let insert t x w =
+  if w < 0 then invalid_arg "Crprecis.insert: negative weight";
+  match Dyadic.classify t.dy x with
+  | `Below -> t.below <- t.below + w
+  | `Above -> t.above <- t.above + w
+  | `In b ->
+      t.inmass <- t.inmass + w;
+      for l = 0 to Dyadic.depth t.dy do
+        let i = Dyadic.index_at t.dy ~level:l ~bucket:b in
+        match t.levels.(l) with
+        | Exact a -> a.(i) <- a.(i) + w
+        | Sketched { tabs; _ } ->
+            for k = 0 to t.ntabs - 1 do
+              let a = tabs.(k) in
+              let j = i mod Array.length a in
+              a.(j) <- a.(j) + w
+            done
+      done
+
+let collisions_at t l =
+  match t.levels.(l) with Exact _ -> 0 | Sketched { c; _ } -> c
+
+let cell_bounds t { Dyadic.level; index } =
+  match t.levels.(level) with
+  | Exact a ->
+      let f = a.(index) in
+      (f, f)
+  | Sketched { c; tabs } ->
+      let u = ref max_int in
+      for k = 0 to t.ntabs - 1 do
+        let a = tabs.(k) in
+        let v = a.(index mod Array.length a) in
+        if v < !u then u := v
+      done;
+      let u = !u in
+      let lower =
+        if c >= t.ntabs then 0
+        else
+          let num = (t.ntabs * u) - (c * t.inmass) in
+          if num <= 0 then 0 else (num + (t.ntabs - c) - 1) / (t.ntabs - c)
+      in
+      (lower, u)
+
+let range t ~lo ~hi =
+  let cov = Dyadic.cover t.dy ~lo ~hi in
+  let lower = List.fold_left (fun acc c -> acc + fst (cell_bounds t c)) 0 cov.Dyadic.inner in
+  let upper = List.fold_left (fun acc c -> acc + snd (cell_bounds t c)) 0 cov.Dyadic.outer in
+  let upper = if cov.Dyadic.below then upper + t.below else upper in
+  let upper = if cov.Dyadic.above then upper + t.above else upper in
+  { Summary.lower; upper; cells = max 1 (List.length cov.Dyadic.inner) }
+
+let summary t =
+  {
+    Summary.insert = insert t;
+    range = (fun ~lo ~hi -> range t ~lo ~hi);
+    words = (fun () -> words t);
+    mass = (fun () -> mass t);
+  }

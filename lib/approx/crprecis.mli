@@ -1,0 +1,52 @@
+(** CR-precis: a deterministic counter-array sketch (Ganguly–Majumder,
+    PAPERS.md) over the dyadic hierarchy.
+
+    Per dyadic level the sketch keeps [t] counter arrays with pairwise
+    distinct prime lengths [p_1 < ... < p_t]; a cell [i] increments slot
+    [i mod p_k] in every array. Two distinct cells [a <> b] at a level
+    with [N] cells collide in array [k] iff [p_k] divides [a - b], and
+    since [0 < |a - b| < N] the product of the colliding primes is below
+    [N] — so at most [c] arrays can collide, where [c] is the largest
+    [r] with [p_1 * ... * p_r <= N - 1]. That Chinese-remainder argument
+    is the whole error story, and it is deterministic: no hash family,
+    no failure probability, bit-exact across runs — which is what lets
+    the bench pin the sketch's error budget with no tolerance band.
+
+    Bounds per cell with true count [f], total in-domain mass [F]:
+    - upper: [U = min_k array_k.(i mod p_k) >= f] (every colliding
+      contribution is nonnegative);
+    - lower: each colliding element lands in at most [c] of the [t]
+      arrays, so [t*U <= t*f + c*(F - f)], giving
+      [f >= ceil((t*U - c*F) / (t - c))] when [c < t], else 0.
+
+    Levels with at most [p_1] cells cannot collide at all and store one
+    exact array — the sketch is only "approximate" at the finest levels,
+    exactly where exactness would cost the most memory. Total size is a
+    few tens of kilowords, independent of query count and stream length. *)
+
+type t
+
+val create : ?dyadic:Dyadic.t -> ?primes:int list -> unit -> t
+(** Default primes: [521; 523; 541; 547; 557]. Raises [Invalid_argument]
+    unless the list has >= 2 ascending pairwise-distinct entries >= 2. *)
+
+val dyadic : t -> Dyadic.t
+
+val insert : t -> float -> int -> unit
+(** [insert t x w]: raises [Invalid_argument] if [w < 0]. Out-of-domain
+    values go to exact side counters, never into cells. *)
+
+val mass : t -> int
+(** Total inserted weight, including out-of-domain. *)
+
+val cell_bounds : t -> Dyadic.cell -> int * int
+(** Certified [(lower, upper)] for one cell's true count. *)
+
+val collisions_at : t -> int -> int
+(** The [c] of a level — 0 on the exact levels. For tests and docs. *)
+
+val range : t -> lo:float -> hi:float -> Summary.est
+
+val words : t -> int
+
+val summary : t -> Summary.t

@@ -1,0 +1,13 @@
+type t = { sk : Crprecis.t; shell : Approx_engine.t }
+
+let create ?dyadic ?primes () =
+  let sk = Crprecis.create ?dyadic ?primes () in
+  { sk; shell = Approx_engine.create ~name:"crprecis" ~summary:(Crprecis.summary sk) () }
+
+let sketch t = t.sk
+
+let bounds t id = Approx_engine.bounds t.shell id
+
+let engine t = Approx_engine.engine t.shell
+
+let make () = engine (create ())

@@ -1,0 +1,21 @@
+(** The CR-precis sketch packaged as an RTS engine (name ["crprecis"]).
+
+    1D only; never-early maturity via {!Approx_engine}. Memory is a few
+    tens of kilowords independent of query count and stream length;
+    per-element cost is the sketch's counter increments plus an O(1)
+    deadline peek. *)
+
+type t
+
+val create : ?dyadic:Dyadic.t -> ?primes:int list -> unit -> t
+
+val sketch : t -> Crprecis.t
+
+val bounds : t -> int -> int * int
+(** Certified [(lower, upper)] on an alive query's accumulated weight.
+    Raises [Not_found] if the id is not alive. *)
+
+val engine : t -> Rts_core.Engine.t
+
+val make : unit -> Rts_core.Engine.t
+(** Default-configured engine, as the registry builds it. *)

@@ -1,0 +1,101 @@
+type t = {
+  lo : float;
+  hi : float;
+  depth : int;
+  buckets : int;  (* 2^depth *)
+  width : float;  (* (hi - lo) / buckets *)
+}
+
+type cell = { level : int; index : int }
+
+type cover = {
+  inner : cell list;
+  outer : cell list;
+  below : bool;
+  above : bool;
+}
+
+let create ?(lo = 0.) ?(hi = 1e5) ?(depth = 14) () =
+  if not (lo < hi) then invalid_arg "Dyadic.create: requires lo < hi";
+  if depth < 0 || depth > 30 then invalid_arg "Dyadic.create: depth out of [0, 30]";
+  let buckets = 1 lsl depth in
+  { lo; hi; depth; buckets; width = (hi -. lo) /. float_of_int buckets }
+
+let depth t = t.depth
+let buckets t = t.buckets
+let cells_at t l =
+  if l < 0 || l > t.depth then invalid_arg "Dyadic.cells_at: level out of range";
+  1 lsl l
+
+let raw t x = (x -. t.lo) /. t.width
+
+let classify t x =
+  if x < t.lo then `Below
+  else if x >= t.hi then `Above
+  else
+    (* In-domain by the float comparison above; the division can still
+       round to either neighbouring bucket at a boundary, so clamp. *)
+    let b = int_of_float (Float.floor (raw t x)) in
+    `In (if b < 0 then 0 else if b >= t.buckets then t.buckets - 1 else b)
+
+let index_at t ~level ~bucket = bucket lsr (t.depth - level)
+
+let path t bucket =
+  Array.init (t.depth + 1) (fun l -> { level = l; index = index_at t ~level:l ~bucket })
+
+let cell_range t { level; index } =
+  let size = 1 lsl (t.depth - level) in
+  let lo = t.lo +. (float_of_int (index * size) *. t.width) in
+  let hi = t.lo +. (float_of_int ((index + 1) * size) *. t.width) in
+  (lo, hi)
+
+(* Canonical decomposition of the finest-bucket range [a, b): greedily
+   take the largest aligned dyadic block that starts at [a] and fits —
+   the same segment-tree walk the endpoint tree performs, on a grid. *)
+let decompose t a b =
+  let acc = ref [] in
+  let a = ref a in
+  while !a < b do
+    (* Largest power-of-two block aligned at !a ... *)
+    let align = if !a = 0 then t.buckets else !a land - !a in
+    let size = ref align in
+    (* ... shrunk until it fits inside [a, b). *)
+    while !a + !size > b do
+      size := !size / 2
+    done;
+    let s = ref 0 in
+    while 1 lsl !s < !size do
+      incr s
+    done;
+    acc := { level = t.depth - !s; index = !a lsr !s } :: !acc;
+    a := !a + !size
+  done;
+  List.rev !acc
+
+(* Two buckets of slop on every rounded edge: the bucket index of a value
+   and of a query endpoint are computed with the same float division, but
+   the two roundings need not agree at a boundary. One bucket absorbs the
+   disagreement; the second keeps the argument comfortable rather than
+   tight. The mass this concedes sits in [upper - lower] where it
+   belongs — soundness is never traded for it. *)
+let slop = 2
+
+let clamp t v = if v < 0 then 0 else if v > t.buckets then t.buckets else v
+
+let cover t ~lo ~hi =
+  if not (lo < hi) then invalid_arg "Dyadic.cover: requires lo < hi";
+  let flo = Float.floor (raw t lo) and fhi = Float.floor (raw t hi) in
+  (* Guard the int conversion: a query interval can legitimately extend
+     to +/-1e18 or beyond, far outside float->int safety. *)
+  let to_i f =
+    if f <= -1e9 then -max_int / 2 else if f >= 1e9 then max_int / 2 else int_of_float f
+  in
+  let ilo = to_i flo and ihi = to_i fhi in
+  let inner_lo = clamp t (ilo + slop) and inner_hi = clamp t (ihi - slop + 1) in
+  let outer_lo = clamp t (ilo - slop) and outer_hi = clamp t (ihi + slop + 1) in
+  {
+    inner = (if inner_lo < inner_hi then decompose t inner_lo inner_hi else []);
+    outer = (if outer_lo < outer_hi then decompose t outer_lo outer_hi else []);
+    below = lo < t.lo;
+    above = hi > t.hi;
+  }

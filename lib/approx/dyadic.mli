@@ -1,0 +1,72 @@
+(** Dyadic discretization of a fixed 1D domain.
+
+    Both approximate summaries (the CR-precis sketch and the heavy-ranges
+    tracker) index their counters by the cells of a dyadic hierarchy over
+    a fixed interval [\[lo, hi)]: level [l] (0 = root .. depth = finest)
+    splits the domain into [2^l] equal cells, and any bucket range has a
+    canonical decomposition into at most [2*depth] cells — the same
+    canonical-node-set idea the endpoint tree uses for exact queries,
+    flattened onto a fixed grid so a summary's size is independent of the
+    query count and stream length.
+
+    Discretization is where an approximate engine could silently become
+    unsound, so the query-side mapping is deliberately asymmetric:
+
+    - the {e inner} bucket range rounds inward (with a two-bucket safety
+      margin against float rounding), so every element whose bucket lies
+      in it is guaranteed to lie in the original float interval — sums
+      over inner cells are certified {e lower} bounds;
+    - the {e outer} bucket range rounds outward by the same margin, so
+      every in-domain element of the float interval lands in it — sums
+      over outer cells are certified {e upper} bounds;
+    - values outside [\[lo, hi)] are never inserted into cells; callers
+      track them in two exact side counters and [cover] reports whether
+      the queried interval sticks out past either edge (in which case the
+      side mass belongs in the upper bound only). *)
+
+type t
+
+type cell = { level : int; index : int }
+(** Cell [index] at [level]; level [l] has [2^l] cells. *)
+
+type cover = {
+  inner : cell list;  (** Canonical cells of the inward-rounded range. *)
+  outer : cell list;  (** Canonical cells of the outward-rounded range. *)
+  below : bool;  (** Queried interval extends below the domain. *)
+  above : bool;  (** Queried interval extends above the domain. *)
+}
+
+val create : ?lo:float -> ?hi:float -> ?depth:int -> unit -> t
+(** Defaults: [lo = 0.], [hi = 1e5] (the workload generator's domain),
+    [depth = 14] (16384 finest buckets, ~6.1 units wide). Raises
+    [Invalid_argument] unless [lo < hi] and [0 <= depth <= 30]. *)
+
+val depth : t -> int
+
+val buckets : t -> int
+(** [2^depth], the number of finest-level buckets. *)
+
+val cells_at : t -> int -> int
+(** [cells_at t l] is [2^l], the number of cells at level [l]. *)
+
+val classify : t -> float -> [ `Below | `In of int | `Above ]
+(** Finest-level bucket of a value, or which side of the domain it
+    falls off. Never raises on finite input. *)
+
+val path : t -> int -> cell array
+(** [path t bucket] is the cell containing [bucket] at every level,
+    root first ([depth + 1] cells). Allocates; summaries that insert on
+    the hot path should use [index_at]. *)
+
+val index_at : t -> level:int -> bucket:int -> int
+(** Cell index at [level] of a finest-level [bucket]; O(1). *)
+
+val cell_range : t -> cell -> float * float
+(** The float interval [\[lo, hi)] a cell covers. *)
+
+val cover : t -> lo:float -> hi:float -> cover
+(** Canonical inner/outer decompositions of a float interval. The inner
+    list may be empty (interval narrower than the safety margin); the
+    outer list is empty only when the interval misses the domain
+    entirely. Raises [Invalid_argument] if [lo >= hi] or either bound is
+    NaN. *)

@@ -1,0 +1,162 @@
+type mg = { tbl : (int, int ref) Hashtbl.t; mutable spill : int }
+
+type level =
+  | Exact of int array  (* cells <= capacity: never evicts *)
+  | Mg of mg
+
+type t = {
+  dy : Dyadic.t;
+  cap : int;
+  levels : level array;
+  mutable below : int;
+  mutable above : int;
+  mutable inmass : int;
+  mutable evictions : int;
+}
+
+let create ?dyadic ?(capacity = 128) () =
+  let dy = match dyadic with Some d -> d | None -> Dyadic.create () in
+  if capacity < 1 then invalid_arg "Heavy.create: capacity < 1";
+  let levels =
+    Array.init
+      (Dyadic.depth dy + 1)
+      (fun l ->
+        let n = Dyadic.cells_at dy l in
+        if n <= capacity then Exact (Array.make n 0)
+        else Mg { tbl = Hashtbl.create (2 * capacity); spill = 0 })
+  in
+  { dy; cap = capacity; levels; below = 0; above = 0; inmass = 0; evictions = 0 }
+
+let dyadic t = t.dy
+
+let mass t = t.below + t.above + t.inmass
+
+let spill t =
+  Array.fold_left
+    (fun acc -> function Exact _ -> acc | Mg m -> acc + m.spill)
+    0 t.levels
+
+(* Weighted Misra-Gries step. When the table is full, the incoming
+   foreign cell and every resident pay the same toll [m]; either the
+   whole increment is absorbed into spill (m = w) or some resident hits
+   zero and frees a slot, so the recursion terminates in one step. *)
+let rec mg_add t m cell w =
+  if w > 0 then
+    match Hashtbl.find_opt m.tbl cell with
+    | Some r -> r := !r + w
+    | None ->
+        if Hashtbl.length m.tbl < t.cap then Hashtbl.add m.tbl cell (ref w)
+        else begin
+          let toll = Hashtbl.fold (fun _ r acc -> min !r acc) m.tbl w in
+          m.spill <- m.spill + toll;
+          t.evictions <- t.evictions + 1;
+          let dead = ref [] in
+          Hashtbl.iter
+            (fun c r ->
+              r := !r - toll;
+              if !r = 0 then dead := c :: !dead)
+            m.tbl;
+          List.iter (Hashtbl.remove m.tbl) !dead;
+          mg_add t m cell (w - toll)
+        end
+
+let insert t x w =
+  if w < 0 then invalid_arg "Heavy.insert: negative weight";
+  match Dyadic.classify t.dy x with
+  | `Below -> t.below <- t.below + w
+  | `Above -> t.above <- t.above + w
+  | `In b ->
+      t.inmass <- t.inmass + w;
+      for l = 0 to Dyadic.depth t.dy do
+        let i = Dyadic.index_at t.dy ~level:l ~bucket:b in
+        match t.levels.(l) with
+        | Exact a -> a.(i) <- a.(i) + w
+        | Mg m -> mg_add t m i w
+      done
+
+let cell_bounds t { Dyadic.level; index } =
+  match t.levels.(level) with
+  | Exact a ->
+      let f = a.(index) in
+      (f, f)
+  | Mg m ->
+      let est = match Hashtbl.find_opt m.tbl index with Some r -> !r | None -> 0 in
+      (est, est + m.spill)
+
+let range t ~lo ~hi =
+  let cov = Dyadic.cover t.dy ~lo ~hi in
+  let lower = List.fold_left (fun acc c -> acc + fst (cell_bounds t c)) 0 cov.Dyadic.inner in
+  let upper = List.fold_left (fun acc c -> acc + snd (cell_bounds t c)) 0 cov.Dyadic.outer in
+  let upper = if cov.Dyadic.below then upper + t.below else upper in
+  let upper = if cov.Dyadic.above then upper + t.above else upper in
+  { Summary.lower; upper; cells = max 1 (List.length cov.Dyadic.inner) }
+
+let words t =
+  (* 3 words per MG binding (key, ref cell, bucket slot) is the honest
+     order of magnitude for a Hashtbl-backed table at capacity. *)
+  Array.fold_left
+    (fun acc -> function
+      | Exact a -> acc + Array.length a
+      | Mg _ -> acc + (3 * t.cap))
+    0 t.levels
+
+let summary t =
+  {
+    Summary.insert = insert t;
+    range = (fun ~lo ~hi -> range t ~lo ~hi);
+    words = (fun () -> words t);
+    mass = (fun () -> mass t);
+  }
+
+type hot_range = {
+  range : float * float;
+  level : int;
+  lower : int;
+  upper : int;
+}
+
+let hot_of_cell t cell (lower, upper) =
+  { range = Dyadic.cell_range t.dy cell; level = cell.Dyadic.level; lower; upper }
+
+let hot t ~threshold =
+  if threshold < 1 then invalid_arg "Heavy.hot: threshold < 1";
+  let out = ref [] in
+  let rec go cell =
+    let ((_, upper) as b) = cell_bounds t cell in
+    if upper >= threshold then
+      if cell.Dyadic.level = Dyadic.depth t.dy then out := hot_of_cell t cell b :: !out
+      else begin
+        let c0 = { Dyadic.level = cell.Dyadic.level + 1; index = 2 * cell.Dyadic.index } in
+        let c1 = { Dyadic.level = cell.Dyadic.level + 1; index = (2 * cell.Dyadic.index) + 1 } in
+        let q0 = snd (cell_bounds t c0) >= threshold in
+        let q1 = snd (cell_bounds t c1) >= threshold in
+        if q0 || q1 then begin
+          if q0 then go c0;
+          if q1 then go c1
+        end
+        else out := hot_of_cell t cell b :: !out
+      end
+  in
+  go { Dyadic.level = 0; index = 0 };
+  List.rev !out
+
+let top t ~n =
+  if n < 0 then invalid_arg "Heavy.top: n < 0";
+  let finest = { Dyadic.level = Dyadic.depth t.dy; index = 0 } in
+  let entries =
+    match t.levels.(finest.Dyadic.level) with
+    | Exact a ->
+        let acc = ref [] in
+        Array.iteri (fun i c -> if c > 0 then acc := (i, c) :: !acc) a;
+        !acc
+    | Mg m -> Hashtbl.fold (fun i r acc -> (i, !r) :: acc) m.tbl []
+  in
+  let spill_f =
+    match t.levels.(finest.Dyadic.level) with Exact _ -> 0 | Mg m -> m.spill
+  in
+  entries
+  |> List.sort (fun (i1, c1) (i2, c2) ->
+         if c1 <> c2 then compare c2 c1 else compare i1 i2)
+  |> List.filteri (fun k _ -> k < n)
+  |> List.map (fun (i, c) ->
+         hot_of_cell t { Dyadic.level = Dyadic.depth t.dy; index = i } (c, c + spill_f))

@@ -1,0 +1,67 @@
+(** Heavy-ranges tracker: deterministic hierarchical heavy hitters in
+    constant memory, BPTree-style (Braverman et al., PAPERS.md).
+
+    BPTree finds ℓ₂ heavy hitters by binary-searching down a prefix
+    tree, keeping constant state per level. This tracker is its
+    deterministic instantiation for our discipline: per dyadic level a
+    weighted Misra–Gries summary of at most [capacity] cells, and the
+    hot-range query class descends the hierarchy root-to-leaves,
+    expanding only the children whose certified upper bound keeps them
+    heavy — the binary search over prefixes, with MG playing the role
+    of BPTree's randomized CountSketch filter so that answers are
+    bit-exact across runs (no hash family, no failure probability).
+
+    MG accounting: when a level's table is full, an incoming foreign
+    cell pays mass [m] to evict — every tracked count drops by [m] and
+    the level's [spill] grows by [m]. For every cell [c] at that level,
+    [count(c) <= true(c) <= count(c) + spill] (untracked cells count as
+    0). Levels with at most [capacity] cells never evict and are exact.
+    Since cells at one level are disjoint, ranking cells by [count] is
+    ranking by their ℓ₂ (indeed any monotone norm) contribution. *)
+
+type t
+
+val create : ?dyadic:Dyadic.t -> ?capacity:int -> unit -> t
+(** Default [capacity = 128] tracked cells per level. Raises
+    [Invalid_argument] if [capacity < 1]. *)
+
+val dyadic : t -> Dyadic.t
+
+val insert : t -> float -> int -> unit
+
+val mass : t -> int
+
+val spill : t -> int
+(** Total evicted mass summed over the levels — the tracker's aggregate
+    error level (a gauge in the engine's metrics). *)
+
+val cell_bounds : t -> Dyadic.cell -> int * int
+
+val range : t -> lo:float -> hi:float -> Summary.est
+
+val words : t -> int
+
+val summary : t -> Summary.t
+
+(** {2 The new query class} *)
+
+type hot_range = {
+  range : float * float;  (** The cell's interval, [\[lo, hi)]. *)
+  level : int;
+  lower : int;  (** Certified bounds on the cell's true mass. *)
+  upper : int;
+}
+
+val hot : t -> threshold:int -> hot_range list
+(** Maximal dyadic cells that may carry mass [>= threshold]: the
+    BPTree-style descent — a cell qualifies if its upper bound reaches
+    the threshold; it is refined into whichever children still qualify,
+    and reported when no child does (or at the finest level). Returned
+    in ascending value order; deterministic. Raises [Invalid_argument]
+    if [threshold < 1]. *)
+
+val top : t -> n:int -> hot_range list
+(** The [n] heaviest finest-level cells by tracked weight (ties broken
+    by ascending cell index), heaviest first — "top ranges by ℓ₂
+    weight". Fewer than [n] entries are returned only when fewer cells
+    are tracked. *)

@@ -1,0 +1,29 @@
+module Metrics = Rts_obs.Metrics
+
+type t = { hv : Heavy.t; shell : Approx_engine.t }
+
+let create ?dyadic ?capacity () =
+  let hv = Heavy.create ?dyadic ?capacity () in
+  { hv; shell = Approx_engine.create ~name:"heavy" ~summary:(Heavy.summary hv) () }
+
+let tracker t = t.hv
+
+let bounds t id = Approx_engine.bounds t.shell id
+
+let hot t ~threshold = Heavy.hot t.hv ~threshold
+
+let top t ~n = Heavy.top t.hv ~n
+
+let engine t =
+  let e = Approx_engine.engine t.shell in
+  let base_metrics = e.Rts_core.Engine.metrics in
+  {
+    e with
+    Rts_core.Engine.metrics =
+      (fun () ->
+        Metrics.merge (base_metrics ())
+          (Metrics.of_assoc
+             [ ("approx_spill", Metrics.Gauge (float_of_int (Heavy.spill t.hv))) ]));
+  }
+
+let make () = engine (create ())

@@ -1,0 +1,25 @@
+(** The heavy-ranges tracker packaged as an RTS engine (name ["heavy"]).
+
+    1D only; never-early maturity via {!Approx_engine}, plus the
+    tracker's own query class ({!hot}, {!top}) for "which ranges are
+    hot" questions that need no registered query at all. The engine's
+    metrics add the [approx_spill] gauge (total Misra–Gries evicted
+    mass — the tracker's aggregate error level). *)
+
+type t
+
+val create : ?dyadic:Dyadic.t -> ?capacity:int -> unit -> t
+
+val tracker : t -> Heavy.t
+
+val bounds : t -> int -> int * int
+(** Certified [(lower, upper)] on an alive query's accumulated weight.
+    Raises [Not_found] if the id is not alive. *)
+
+val hot : t -> threshold:int -> Heavy.hot_range list
+
+val top : t -> n:int -> Heavy.hot_range list
+
+val engine : t -> Rts_core.Engine.t
+
+val make : unit -> Rts_core.Engine.t

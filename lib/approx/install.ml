@@ -1,0 +1,17 @@
+module R = Rts_core.Engine_registry
+
+let installed = ref false
+
+let install () =
+  if not !installed then begin
+    installed := true;
+    R.register ~name:"crprecis"
+      ~doc:"CR-precis sketch, never-early approximate maturity" ~dims:(R.Only 1)
+      (fun ~dim:_ -> Crprecis_engine.make ());
+    R.register ~name:"heavy"
+      ~doc:"Misra-Gries heavy-ranges tracker, never-early approximate maturity"
+      ~dims:(R.Only 1)
+      (fun ~dim:_ -> Heavy_engine.make ());
+    R.register ~name:"topn" ~doc:"exact DT with top-n nearest-maturity threshold search"
+      (fun ~dim -> Topn.engine ~dim)
+  end

@@ -1,0 +1,9 @@
+(** Hook the approximate tier into {!Rts_core.Engine_registry}.
+
+    Explicit rather than a module-initialization side effect: an
+    executable that wants [--engine crprecis|heavy|topn] calls
+    [Install.install ()] once at startup, which both forces the linker
+    to keep this library and makes the registration order visible.
+    Idempotent. *)
+
+val install : unit -> unit

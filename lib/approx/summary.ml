@@ -1,0 +1,8 @@
+type est = { lower : int; upper : int; cells : int }
+
+type t = {
+  insert : float -> int -> unit;
+  range : lo:float -> hi:float -> est;
+  words : unit -> int;
+  mass : unit -> int;
+}

@@ -1,0 +1,31 @@
+(** The interface an approximate range summary presents to the engine
+    shell ({!Approx_engine}).
+
+    A summary ingests weighted 1D values and answers certified interval
+    estimates for the mass that has landed in a float range since the
+    summary was created. Both implementations (CR-precis counter arrays,
+    Misra–Gries heavy-ranges) are deterministic: the same insert sequence
+    always yields the same bounds, so bench budgets pin their error
+    exactly with no tolerance band. *)
+
+type est = {
+  lower : int;
+      (** Certified lower bound on the true in-range mass. Never
+          negative, never exceeds [upper]. *)
+  upper : int;  (** Certified upper bound on the true in-range mass. *)
+  cells : int;
+      (** Number of canonical cells certifying [lower] (at least 1).
+          The engine uses it to stride re-check deadlines: one unit of
+          stream mass can raise the certified lower bound of a range by
+          at most [cells]. *)
+}
+
+type t = {
+  insert : float -> int -> unit;  (** [insert value weight]. *)
+  range : lo:float -> hi:float -> est;
+  words : unit -> int;
+      (** Memory footprint of the summary's counters, in words —
+          constant over a run; the bench gates it. *)
+  mass : unit -> int;
+      (** Exact total weight inserted so far (the deadline clock). *)
+}

@@ -1,0 +1,45 @@
+open Rts_core
+
+type entry = { id : int; slack : int; threshold : int }
+
+let compare_entry a b =
+  if a.slack <> b.slack then compare a.slack b.slack else compare a.id b.id
+
+let closest_of_snapshot snap ~n =
+  if n < 0 then invalid_arg "Topn.closest: n < 0";
+  let m = List.length snap in
+  let entries =
+    List.map
+      (fun ((q : Types.query), w) ->
+        { id = q.Types.id; slack = q.Types.threshold - w; threshold = q.Types.threshold })
+      snap
+  in
+  if n = 0 then []
+  else if n >= m then List.sort compare_entry entries
+  else begin
+    let arr = Array.of_list entries in
+    let count_le s =
+      Array.fold_left (fun acc e -> if e.slack <= s then acc + 1 else acc) 0 arr
+    in
+    (* Binary-search the smallest slack bound s* admitting >= n queries.
+       Slacks are >= 1 (alive means W < tau); lo is always a bound that
+       admits < n, hi one that admits >= n. *)
+    let hi = ref 1 in
+    Array.iter (fun e -> if e.slack > !hi then hi := e.slack) arr;
+    let lo = ref 0 in
+    while !hi - !lo > 1 do
+      let mid = !lo + ((!hi - !lo) / 2) in
+      if count_le mid >= n then hi := mid else lo := mid
+    done;
+    let s_star = !hi in
+    (* Survivors: everything strictly under s* (fewer than n of those)
+       plus the ties at s*; sort only them. *)
+    let survivors = Array.to_list arr |> List.filter (fun e -> e.slack <= s_star) in
+    List.sort compare_entry survivors |> List.filteri (fun k _ -> k < n)
+  end
+
+let closest (e : Engine.t) ~n = closest_of_snapshot (e.Engine.alive_snapshot ()) ~n
+
+let engine ~dim =
+  let inner = Dt_engine.make ~dim in
+  { inner with Engine.name = "topn" }

@@ -1,0 +1,40 @@
+(** Top-n threshold search: the n closest-to-maturity queries without
+    sorting all m.
+
+    The binary-threshold-search idiom (SNIPPETS.md, `jwbuitenhuis/topn`):
+    instead of sorting the full population to take a prefix, binary-search
+    a {e threshold} — here the remaining mass [slack = τ - W] a query
+    still needs — over its value range, counting how many queries pass at
+    each probe (O(m) per probe, no allocation), until the smallest slack
+    bound [s*] admitting at least n queries is found. Only the survivors
+    (at most n plus the ties at [s*]) are collected and sorted. Total
+    O(m log S + k log k) with k ≈ n, versus O(m log m) for the sort; the
+    win is real when n ≪ m, which is the monitoring case ("show the 10
+    hottest of a million queries").
+
+    The per-query slack comes from [alive_snapshot] — for the DT engine
+    that is the slack-heap machinery's own [progress] accounting, so this
+    query class rides on state the engine already maintains. Determinism:
+    ties in slack break by ascending id, so the answer is a function of
+    the snapshot alone. *)
+
+type entry = {
+  id : int;
+  slack : int;  (** τ - W: remaining mass to maturity; >= 1 for alive. *)
+  threshold : int;
+}
+
+val closest : Rts_core.Engine.t -> n:int -> entry list
+(** The [n] alive queries nearest maturity, most urgent first (slack
+    ascending, then id ascending) — exactly the first [n] of the fully
+    sorted ranking. Returns all alive queries when [n >= alive]. Raises
+    [Invalid_argument] if [n < 0]. *)
+
+val closest_of_snapshot : (Rts_core.Types.query * int) list -> n:int -> entry list
+(** Same, over an explicit [alive_snapshot] — lets callers reuse one
+    snapshot for several [n] or compose with a replica's shipped state. *)
+
+val engine : dim:int -> Rts_core.Engine.t
+(** The ["topn"] registry engine: the exact DT engine with this search
+    riding on it — maturity semantics identical to ["dt"]; the CLI's
+    [--top] reporting resolves through it at any dimensionality. *)

@@ -1,0 +1,56 @@
+type dims = Any | Only of int
+
+type entry = {
+  name : string;
+  doc : string;
+  dims : dims;
+  make : dim:int -> Engine.t;
+}
+
+let table : entry list ref = ref []
+
+let find name = List.find_opt (fun e -> e.name = name) !table
+
+let mem name = find name <> None
+
+let register ~name ~doc ?(dims = Any) make =
+  if mem name then
+    invalid_arg (Printf.sprintf "Engine_registry.register: duplicate engine %S" name);
+  table := !table @ [ { name; doc; dims; make } ]
+
+let names () = List.map (fun e -> e.name) !table
+
+let entries () = !table
+
+let make ~name ~dim =
+  match find name with
+  | None ->
+      failwith
+        (Printf.sprintf "unknown engine %S (known: %s)" name
+           (String.concat ", " (names ())))
+  | Some e -> (
+      match e.dims with
+      | Only d when d <> dim ->
+          failwith (Printf.sprintf "%s engine is %dD only" name d)
+      | _ -> e.make ~dim)
+
+(* The in-tree exact engines. Registered at module initialization: any
+   executable that resolves an engine through this module links (and
+   therefore initializes) rts_core, so the core roster is always
+   present. Out-of-tree tiers (rts_approx) add themselves via an
+   explicit [install] call from the executable's startup. *)
+let () =
+  register ~name:"dt" ~doc:"the paper's DT algorithm (lazy rebuilds)" (fun ~dim ->
+      Dt_engine.make ~dim);
+  register ~name:"dt-eager" ~doc:"DT with eager tree rebuilds" (fun ~dim ->
+      Dt_engine.make_eager ~dim);
+  register ~name:"baseline" ~doc:"exact per-query scan" (fun ~dim ->
+      Baseline_engine.make ~dim);
+  register ~name:"interval-tree" ~doc:"1D stabbing via interval tree"
+    ~dims:(Only 1)
+    (fun ~dim:_ -> Stab1d_engine.make ());
+  register ~name:"seg-intv" ~doc:"2D stabbing via segment+interval tree"
+    ~dims:(Only 2)
+    (fun ~dim:_ -> Stab2d_engine.make ());
+  register ~name:"r-tree" ~doc:"R-tree stabbing scan" (fun ~dim ->
+      Rtree_engine.make ~dim)

@@ -1,4 +1,4 @@
-type budget_keying = No_budgets | By_batch | By_shards
+type budget_keying = No_budgets | By_batch | By_shards | By_engine
 
 type t = {
   name : string;
@@ -34,8 +34,21 @@ let all =
        on <2 cores)"
       ~strict_trace:true ~budget_keying:By_shards;
     t "ablation" "DT slack rounds vs eager signalling";
+    t "approx"
+      "Approximate tier: sketch memory + certified error vs exact + per-op latency \
+       (crprecis/heavy), top-n search parity"
+      ~budget_keying:By_engine;
   ]
 
 let names = List.map (fun x -> x.name) all
 
 let find name = List.find_opt (fun x -> x.name = name) all
+
+(* Shared by diff_bench's drift table and its regression test: a zero
+   budget admits no relative drift — 0/0 is "met exactly", anything else
+   over a zero budget is infinitely over; neither is a percentage, so
+   both render as text instead of the -nan%/+inf% a naive division
+   prints for freshly-added all-zero budget rows. *)
+let drift_cell ~budget ~actual =
+  if budget = 0.0 then if actual = 0.0 then "n/a" else "OVER (zero budget)"
+  else Printf.sprintf "%+.1f%%" ((actual -. budget) /. budget *. 100.0)

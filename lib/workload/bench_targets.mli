@@ -20,6 +20,10 @@ type budget_keying =
   | By_shards
       (** budget entries are keyed ["<engine>/k<shards>"] — the shard
           scaling sweep ([shard], [tools/shard_budgets.json]) *)
+  | By_engine
+      (** budget entries are keyed by the bare engine name — the
+          approximate-tier sweep ([approx], [tools/approx_budgets.json]),
+          one run per engine *)
 
 type t = {
   name : string;  (** target name = cmdliner subcommand = JSON "figure" *)
@@ -39,3 +43,10 @@ val all : t list
 val names : string list
 
 val find : string -> t option
+
+val drift_cell : budget:float -> actual:float -> string
+(** The drift column of [diff_bench]'s delta table: [(actual - budget) /
+    budget] as a signed percentage — except that zero-budget rows carry
+    no relative drift and render as ["n/a"] (met exactly) or
+    ["OVER (zero budget)"] instead of the [-nan%]/[+inf%] a naive
+    division produces. *)

@@ -226,6 +226,29 @@ let test_scenario_deterministic () =
   Alcotest.(check (list (pair int int))) "replay" r1.maturity_log r2.maturity_log;
   Alcotest.(check int) "same ops" r1.ops r2.ops
 
+(* Regression: diff_bench's drift column on zero-budget rows used to
+   render the 0/0 division as -nan%; such rows must come out as text. *)
+let test_drift_cell () =
+  let cell budget actual = Rts_workload.Bench_targets.drift_cell ~budget ~actual in
+  Alcotest.(check string) "zero budget met" "n/a" (cell 0.0 0.0);
+  Alcotest.(check string) "zero budget exceeded" "OVER (zero budget)" (cell 0.0 3.0);
+  Alcotest.(check string) "over" "+10.0%" (cell 100.0 110.0);
+  Alcotest.(check string) "under" "-25.0%" (cell 100.0 75.0);
+  Alcotest.(check string) "met exactly" "+0.0%" (cell 100.0 100.0);
+  List.iter
+    (fun (b, a) ->
+      let s = cell b a in
+      Alcotest.(check bool)
+        (Printf.sprintf "no nan for budget=%g actual=%g" b a)
+        false
+        (let lower = String.lowercase_ascii s in
+         (* substring check without Str: any rendered nan is a bug *)
+         let rec has i =
+           i + 3 <= String.length lower && (String.sub lower i 3 = "nan" || has (i + 1))
+         in
+         has 0))
+    [ (0.0, 0.0); (0.0, 5.0); (1.0, 0.0); (7.0, 7.0) ]
+
 let () =
   Alcotest.run "workload"
     [
@@ -255,4 +278,5 @@ let () =
           Alcotest.test_case "2d scenario" `Quick test_scenario_2d;
           Alcotest.test_case "deterministic replay" `Quick test_scenario_deterministic;
         ] );
+      ("bench-tools", [ Alcotest.test_case "drift cell rendering" `Quick test_drift_cell ]);
     ]

@@ -60,6 +60,7 @@ let collect_rows ~file ~keying budgets runs =
             match (str "engine" run, num "shards" run) with
             | Some e, Some k -> Some (Printf.sprintf "%s/k%.0f" e k)
             | _ -> None)
+        | Bench_targets.By_engine -> str "engine" run
         | Bench_targets.No_budgets -> None
       in
       match key with
@@ -105,14 +106,13 @@ let print_tables ~file ~figure rows clock =
     Printf.printf "|---|---|---:|---:|---:|---:|---|\n";
     List.iter
       (fun r ->
-        let drift_pct =
-          (* a zero budget (e.g. forwarded elements at k=1) admits no
-             relative drift: 0 when met, infinite when exceeded *)
-          if r.budget = 0.0 then if r.actual = 0.0 then 0.0 else infinity
-          else (r.actual -. r.budget) /. r.budget *. 100.0
-        in
-        Printf.printf "| %s | %s | %.0f | %.0f | %.0f | %+.1f%% | %s |\n" r.key r.counter r.budget
-          r.actual (r.budget -. r.actual) drift_pct (status r))
+        (* Bench_targets.drift_cell renders zero-budget rows (e.g.
+           forwarded elements at k=1, approx bound violations) as text —
+           a naive division prints -nan%/+inf% for them. *)
+        Printf.printf "| %s | %s | %.0f | %.0f | %.0f | %s | %s |\n" r.key r.counter r.budget
+          r.actual (r.budget -. r.actual)
+          (Bench_targets.drift_cell ~budget:r.budget ~actual:r.actual)
+          (status r))
       rows;
     Printf.printf "\n"
   end;

@@ -76,6 +76,10 @@ let budget_key ~file ~where keying run =
       | Some engine, Some shards -> Some (Printf.sprintf "%s/k%.0f" engine shards)
       | _, None -> err "%s: %s: run missing \"shards\" (needed for budgets)" file where; None
       | None, _ -> None)
+  | Bench_targets.By_engine -> (
+      match str "engine" run with
+      | Some engine -> Some engine
+      | None -> err "%s: %s: run missing \"engine\" (needed for budgets)" file where; None)
 
 let check_run ~file ~figure ~strict ~keying ~budgets i run =
   let where = Printf.sprintf "runs[%d]" i in
@@ -260,6 +264,44 @@ let check_verdict ~file doc key diverged =
   | Some (Json.Bool false) -> err "%s: %s is false — %s" file key diverged
   | _ -> err "%s: document missing bool %S" file key
 
+(* approx documents: the approximate tier's sweep. The error accounting
+   is measured in-bench against a brute-force exact scan — the document
+   must carry the verdicts (never-early vs the exact baseline, top-n
+   parity with the full sort) as true, and every approximate run must
+   report zero certified-bound violations plus the sketch footprint and
+   observed-error gauges the budgets gate. *)
+let check_approx_doc ~file doc =
+  (match Option.bind (mem "params" doc) (num "probes") with
+  | Some p when p >= 1.0 -> ()
+  | _ -> err "%s: approx document missing params.probes >= 1" file);
+  check_verdict ~file doc "approx_never_early"
+    "an approximate engine matured a query before the exact baseline";
+  check_verdict ~file doc "topn_matches_sort"
+    "the binary threshold search diverged from the full sorted ranking";
+  match mem "runs" doc with
+  | Some (Json.List runs) ->
+      List.iteri
+        (fun i run ->
+          let where = Printf.sprintf "runs[%d]" i in
+          match str "engine" run with
+          | Some ("crprecis" | "heavy") ->
+              List.iter
+                (fun g ->
+                  match Option.bind (mem "metrics" run) (num g) with
+                  | Some v when Float.is_finite v ->
+                      if g = "approx_bound_violations" && v <> 0.0 then
+                        err "%s: %s: approx_bound_violations = %.0f (must be 0)" file where v
+                  | _ -> err "%s: %s: approx run missing metrics gauge %S" file where g)
+                [
+                  "approx_bound_violations";
+                  "approx_max_width";
+                  "approx_max_observed_error";
+                  "approx_sketch_words";
+                ]
+          | _ -> ())
+        runs
+  | _ -> ()
+
 (* shard documents: scaling-sweep shape and the determinism verdict. The
    speedup numbers are informational (the recorded cores say whether a
    parallel speedup was even physically available); the merge
@@ -339,7 +381,7 @@ let check_budget_params ~file ~budget_file budget_doc doc =
       | _ -> ())
     [ "scale"; "seed" ]
 
-let check_file ~perf_budgets ~shard_budgets ~alloc_budgets file =
+let check_file ~perf_budgets ~shard_budgets ~alloc_budgets ~approx_budgets file =
   match In_channel.with_open_text file In_channel.input_all with
   | exception Sys_error msg -> err "%s" msg
   | contents -> (
@@ -377,6 +419,7 @@ let check_file ~perf_budgets ~shard_budgets ~alloc_budgets file =
           if figure = "perf" then check_perf_doc ~file doc;
           if figure = "shard" then check_shard_doc ~file doc;
           if figure = "par" then check_par_doc ~file doc;
+          if figure = "approx" then check_approx_doc ~file doc;
           let run_budgets =
             let pick = function
               | Some (budget_file, (budget_doc, b)) ->
@@ -387,6 +430,7 @@ let check_file ~perf_budgets ~shard_budgets ~alloc_budgets file =
             match keying with
             | Bench_targets.By_batch -> pick perf_budgets @ pick alloc_budgets
             | Bench_targets.By_shards -> pick shard_budgets
+            | Bench_targets.By_engine -> pick approx_budgets
             | Bench_targets.No_budgets -> []
           in
           (match mem "runs" doc with
@@ -404,6 +448,7 @@ let () =
   let perf_budgets = ref None
   and shard_budgets = ref None
   and alloc_budgets = ref None
+  and approx_budgets = ref None
   and files = ref [] in
   let load into path =
     match load_budgets path with Some b -> into := Some (path, b) | None -> ()
@@ -412,8 +457,11 @@ let () =
     | "--perf-budgets" :: path :: rest -> load perf_budgets path; parse rest
     | "--shard-budgets" :: path :: rest -> load shard_budgets path; parse rest
     | "--alloc-budgets" :: path :: rest -> load alloc_budgets path; parse rest
-    | [ ("--perf-budgets" | "--shard-budgets" | "--alloc-budgets") ] ->
-        prerr_endline "validate-bench: --perf-budgets/--shard-budgets/--alloc-budgets need a FILE";
+    | "--approx-budgets" :: path :: rest -> load approx_budgets path; parse rest
+    | [ ("--perf-budgets" | "--shard-budgets" | "--alloc-budgets" | "--approx-budgets") ] ->
+        prerr_endline
+          "validate-bench: --perf-budgets/--shard-budgets/--alloc-budgets/--approx-budgets need \
+           a FILE";
         exit 2
     | f :: rest -> files := f :: !files; parse rest
     | [] -> ()
@@ -423,12 +471,12 @@ let () =
   if files = [] then begin
     prerr_endline
       "usage: validate_bench [--perf-budgets FILE] [--shard-budgets FILE] [--alloc-budgets FILE] \
-       BENCH_<fig>.json ...";
+       [--approx-budgets FILE] BENCH_<fig>.json ...";
     exit 2
   end;
   List.iter
     (check_file ~perf_budgets:!perf_budgets ~shard_budgets:!shard_budgets
-       ~alloc_budgets:!alloc_budgets)
+       ~alloc_budgets:!alloc_budgets ~approx_budgets:!approx_budgets)
     files;
   if !errors > 0 then begin
     Printf.eprintf "validate-bench: %d problem(s)\n" !errors;
